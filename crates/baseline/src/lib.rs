@@ -1,0 +1,35 @@
+//! Rival distributed file system architectures, built on the same
+//! substrates as the ITC system, for the Section 6 comparison.
+//!
+//! The paper positions Vice-Virtue against contemporaries that made
+//! different structural choices:
+//!
+//! * **Remote-open** systems (Locus, the Newcastle Connection, IBIS):
+//!   "Operations on remote files are forwarded to the appropriate storage
+//!   site" — every read and write crosses the network, and servers keep
+//!   per-open state. [`RemoteOpenFs`] implements this architecture.
+//! * **Page-caching** systems (Apollo DOMAIN): the file is mapped into
+//!   virtual memory and "caches individual pages of files, rather than
+//!   entire files", with a timestamp check "when a file is first mapped".
+//!   [`PageCacheFs`] implements this architecture.
+//! * **Whole-file caching** (Vice-Virtue, Cedar): [`WholeFileFs`] adapts
+//!   the real `itc-core` system to the common [`DfsClient`] interface.
+//!
+//! [`phases::run_phases`] drives the same five-phase benchmark over any of
+//! the three, so experiment E15 measures the architectural difference and
+//! nothing else.
+
+pub mod page_cache;
+pub mod phases;
+pub mod remote_open;
+pub mod traits;
+pub mod whole_file;
+
+pub use page_cache::PageCacheFs;
+pub use phases::{run_phases, PhaseReport};
+pub use remote_open::RemoteOpenFs;
+pub use traits::{BaselineError, DfsClient};
+pub use whole_file::WholeFileFs;
+
+/// The page size used by the block-oriented architectures.
+pub const PAGE: u64 = 4096;

@@ -1,0 +1,181 @@
+//! The five-phase benchmark, generic over the architecture under test.
+//!
+//! Identical operation sequence for every [`DfsClient`], so the only
+//! variable in experiment E15 is the architecture itself.
+
+use crate::traits::{BaselineError, DfsClient};
+use itc_sim::{Costs, SimTime};
+use itc_workload::{SourceTree, TreeSpec};
+
+/// Per-phase and total times for one architecture.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Architecture label.
+    pub label: &'static str,
+    /// MakeDir, Copy, ScanDir, ReadAll, Make durations.
+    pub phases: [SimTime; 5],
+}
+
+impl PhaseReport {
+    /// Total duration.
+    pub fn total(&self) -> SimTime {
+        self.phases
+            .iter()
+            .fold(SimTime::ZERO, |acc, &p| acc + p)
+    }
+}
+
+/// Installs the default tree under `/src` via `preload` (the closure) and
+/// runs the five phases with `/obj` as the target.
+pub fn run_phases<C, F>(
+    client: &mut C,
+    costs: &Costs,
+    mut preload: F,
+) -> Result<PhaseReport, BaselineError>
+where
+    C: DfsClient,
+    F: FnMut(&mut C, &str, Vec<u8>),
+{
+    let tree = SourceTree::generate(TreeSpec::default());
+
+    // Provision the source tree (untimed).
+    for (rel, data) in &tree.files {
+        preload(client, &format!("/src/{rel}"), data.clone());
+    }
+
+    let mut phases = [SimTime::ZERO; 5];
+
+    // Phase 1: MakeDir.
+    let t0 = client.now();
+    client.mkdir("/obj")?;
+    for d in &tree.dirs {
+        client.mkdir(&format!("/obj/{d}"))?;
+    }
+    phases[0] = client.now() - t0;
+
+    // Phase 2: Copy.
+    let t0 = client.now();
+    for (rel, _) in &tree.files {
+        let data = client.read_file(&format!("/src/{rel}"))?;
+        client.write_file(&format!("/obj/{rel}"), data)?;
+    }
+    phases[1] = client.now() - t0;
+
+    // Phase 3: ScanDir.
+    let t0 = client.now();
+    client.readdir("/obj")?;
+    for d in &tree.dirs {
+        client.readdir(&format!("/obj/{d}"))?;
+    }
+    for (rel, _) in &tree.files {
+        client.stat(&format!("/obj/{rel}"))?;
+    }
+    phases[2] = client.now() - t0;
+
+    // Phase 4: ReadAll.
+    let t0 = client.now();
+    for (rel, _) in &tree.files {
+        let data = client.read_file(&format!("/obj/{rel}"))?;
+        let kib = (data.len() as u64).div_ceil(1024);
+        let scanned = client.now() + costs.app_scan_per_kib * kib;
+        client.advance_to(scanned);
+    }
+    phases[3] = client.now() - t0;
+
+    // Phase 5: Make.
+    let t0 = client.now();
+    let mut total_obj = 0u64;
+    for (rel, data) in tree.compilation_units() {
+        let src = client.read_file(&format!("/obj/{rel}"))?;
+        debug_assert_eq!(src.len(), data.len());
+        let kib = (src.len() as u64).div_ceil(1024);
+        let compiled = client.now() + costs.app_compile_per_kib * kib;
+        client.advance_to(compiled);
+        let obj = format!("/obj/{}.o", rel.trim_end_matches(".c"));
+        let obj_bytes = vec![0u8; src.len() / 2 + 1];
+        total_obj += obj_bytes.len() as u64;
+        client.write_file(&obj, obj_bytes)?;
+    }
+    let linked = client.now() + costs.app_compile_per_kib * total_obj.div_ceil(1024) / 4;
+    client.advance_to(linked);
+    client.write_file("/obj/a.out", vec![0u8; total_obj as usize / 2])?;
+    phases[4] = client.now() - t0;
+
+    Ok(PhaseReport {
+        label: client.label(),
+        phases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PageCacheFs, RemoteOpenFs, WholeFileFs};
+    use itc_core::SystemConfig;
+
+    #[test]
+    fn whole_file_beats_remote_open_on_the_benchmark() {
+        let costs = Costs::prototype_1985();
+
+        let mut whole = WholeFileFs::new(SystemConfig::prototype(1, 1), false);
+        let whole_report =
+            run_phases(&mut whole, &costs, |c, p, d| c.preload(p, d)).unwrap();
+
+        let mut remote = RemoteOpenFs::new(costs.clone(), 0);
+        let remote_report =
+            run_phases(&mut remote, &costs, |c, p, d| c.preload(p, d)).unwrap();
+
+        assert!(
+            remote_report.total() > whole_report.total(),
+            "remote-open {} should lose to whole-file {}",
+            remote_report.total(),
+            whole_report.total()
+        );
+    }
+
+    #[test]
+    fn page_cache_lands_between_on_server_load() {
+        let costs = Costs::prototype_1985();
+
+        // Use the revised whole-file design: the architectural comparison
+        // should not be confounded by the prototype's per-call overheads
+        // (check-on-open, server-side traversal, process-per-client),
+        // which Section 5.3 removes.
+        let mut whole = WholeFileFs::new(SystemConfig::revised(1, 1), false);
+        run_phases(&mut whole, &costs, |c, p, d| c.preload(p, d)).unwrap();
+        let whole_cpu = whole.server_cpu_busy();
+        let whole_calls = whole.calls();
+
+        let mut page = PageCacheFs::new(costs.clone(), 0, 4096);
+        run_phases(&mut page, &costs, |c, p, d| c.preload(p, d)).unwrap();
+        let page_cpu = page.server_cpu_busy();
+        let page_calls = page.calls();
+
+        let mut remote = RemoteOpenFs::new(costs.clone(), 0);
+        run_phases(&mut remote, &costs, |c, p, d| c.preload(p, d)).unwrap();
+        let remote_cpu = remote.server_cpu_busy();
+        let remote_calls = remote.calls();
+
+        // The paper's scalability argument: whole-file transfer touches
+        // the server once per open/close, so it issues the fewest calls
+        // and consumes the least server CPU; remote-open the most.
+        assert!(
+            whole_calls < page_calls && page_calls < remote_calls,
+            "calls: whole {whole_calls}, page {page_calls}, remote {remote_calls}"
+        );
+        assert!(whole_cpu < page_cpu, "whole {whole_cpu} vs page {page_cpu}");
+        assert!(page_cpu < remote_cpu, "page {page_cpu} vs remote {remote_cpu}");
+    }
+
+    #[test]
+    fn reports_have_five_positive_phases() {
+        let costs = Costs::prototype_1985();
+        let mut remote = RemoteOpenFs::new(costs.clone(), 0);
+        let r = run_phases(&mut remote, &costs, |c, p, d| c.preload(p, d)).unwrap();
+        assert_eq!(r.label, "remote-open");
+        for (i, p) in r.phases.iter().enumerate() {
+            assert!(*p > SimTime::ZERO, "phase {i} was zero");
+        }
+        assert_eq!(r.total(), r.phases.iter().fold(SimTime::ZERO, |a, &b| a + b));
+    }
+}

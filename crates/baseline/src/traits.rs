@@ -1,0 +1,52 @@
+//! The common client interface the architecture comparison drives.
+
+use itc_sim::SimTime;
+
+/// Errors from baseline clients.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// Path missing or malformed.
+    NoSuchFile(String),
+    /// Anything else, with context.
+    Other(String),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::NoSuchFile(p) => write!(f, "no such file: {p}"),
+            BaselineError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// A minimal distributed-file-system client: just enough surface for the
+/// five-phase benchmark, implementable by all three architectures.
+pub trait DfsClient {
+    /// The client's local virtual time.
+    fn now(&self) -> SimTime;
+
+    /// Advances local time (application compute between file operations).
+    fn advance_to(&mut self, t: SimTime);
+
+    /// Creates a directory (parents must exist).
+    fn mkdir(&mut self, path: &str) -> Result<(), BaselineError>;
+
+    /// Reads a whole file (through whatever transfer granularity the
+    /// architecture uses).
+    fn read_file(&mut self, path: &str) -> Result<Vec<u8>, BaselineError>;
+
+    /// Writes a whole file, creating or replacing it.
+    fn write_file(&mut self, path: &str, data: Vec<u8>) -> Result<(), BaselineError>;
+
+    /// Returns the file size.
+    fn stat(&mut self, path: &str) -> Result<u64, BaselineError>;
+
+    /// Lists a directory's entry names.
+    fn readdir(&mut self, path: &str) -> Result<Vec<String>, BaselineError>;
+
+    /// Architecture label for reports.
+    fn label(&self) -> &'static str;
+}

@@ -1,0 +1,187 @@
+//! Criterion microbenchmarks for the substrates: cipher, handshake, KDF,
+//! path resolution, protection evaluation, location lookup, cache, codec.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use itc_core::config::CachePolicy;
+use itc_core::location::LocationDb;
+use itc_core::proto::{
+    decode_reply, decode_request, encode_reply, encode_request, EntryKind, ServerId, VStatus,
+    ViceReply, ViceRequest,
+};
+use itc_core::protect::{AccessList, ProtectionDomain, Rights};
+use itc_core::venus::cache::{Cache, EntryKind as CacheKind};
+use itc_cryptbox::handshake::{ClientHandshake, ServerHandshake};
+use itc_cryptbox::{derive_key, mode, Key};
+use itc_unixfs::{FileSystem, Mode};
+
+fn bench_cipher(c: &mut Criterion) {
+    let key = Key([1, 2, 3, 4]);
+    let payload = vec![0xabu8; 64 * 1024];
+    let mut g = c.benchmark_group("cipher");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("seal_64k", |b| {
+        b.iter(|| mode::seal(key, 7, &payload));
+    });
+    let sealed = mode::seal(key, 7, &payload);
+    g.bench_function("open_64k", |b| {
+        b.iter(|| mode::open(key, &sealed).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_kdf_and_handshake(c: &mut Criterion) {
+    c.bench_function("kdf/derive_key", |b| {
+        b.iter(|| derive_key("correct horse battery staple", "satya"));
+    });
+    let k = derive_key("pw", "user");
+    c.bench_function("handshake/full_exchange", |b| {
+        b.iter(|| {
+            let (ch, m1) = ClientHandshake::initiate(k, 1);
+            let (sh, m2) = ServerHandshake::respond(k, &m1, 2).unwrap();
+            let (sk, m3) = ch.complete(&m2).unwrap();
+            let sk2 = sh.finish(&m3).unwrap();
+            assert_eq!(sk, sk2);
+        });
+    });
+}
+
+fn bench_unixfs(c: &mut Criterion) {
+    let mut fs = FileSystem::new();
+    // A deep, wide tree.
+    for a in 0..10 {
+        for b in 0..10 {
+            fs.mkdir_p(&format!("/d{a}/e{b}"), Mode::DIR_DEFAULT, 0, 0)
+                .unwrap();
+            for f in 0..5 {
+                fs.create(
+                    &format!("/d{a}/e{b}/f{f}.c"),
+                    Mode::FILE_DEFAULT,
+                    0,
+                    0,
+                    vec![0; 100],
+                )
+                .unwrap();
+            }
+        }
+    }
+    c.bench_function("unixfs/resolve_deep_path", |b| {
+        b.iter(|| fs.resolve("/d7/e3/f2.c", true).unwrap());
+    });
+    c.bench_function("unixfs/readdir_50", |b| {
+        b.iter(|| fs.readdir("/d7/e3").unwrap());
+    });
+}
+
+fn bench_protection(c: &mut Criterion) {
+    let mut domain = ProtectionDomain::new();
+    domain.add_user("satya", "pw").unwrap();
+    // 50 nested groups.
+    let mut prev = None::<String>;
+    for i in 0..50 {
+        let g = format!("group{i:02}");
+        domain.add_group(&g).unwrap();
+        match &prev {
+            None => domain.add_member(&g, "satya").unwrap(),
+            Some(p) => domain.add_member(&g, p).unwrap(),
+        }
+        prev = Some(g);
+    }
+    c.bench_function("protect/cps_50_nested_groups", |b| {
+        b.iter(|| domain.cps("satya"));
+    });
+    let cps = domain.cps("satya");
+    let mut acl = AccessList::new();
+    for i in 0..50 {
+        acl.grant(&format!("group{i:02}"), Rights::READ_ONLY);
+    }
+    acl.deny("group25", Rights::WRITE);
+    c.bench_function("protect/acl_eval_50_entries", |b| {
+        b.iter(|| acl.effective_rights(cps.iter().map(String::as_str)));
+    });
+}
+
+fn bench_location(c: &mut Criterion) {
+    let mut db = LocationDb::new();
+    db.assign("/vice", ServerId(0));
+    for u in 0..10_000 {
+        db.assign(&format!("/vice/usr/user{u:05}"), ServerId(u % 100));
+    }
+    c.bench_function("location/lookup_10k_entries", |b| {
+        b.iter(|| db.custodian_of("/vice/usr/user07123/src/main.c").unwrap());
+    });
+}
+
+fn sample_status(path: &str) -> VStatus {
+    VStatus {
+        path: path.to_string(),
+        fid: 9,
+        kind: EntryKind::File,
+        size: 10_000,
+        version: 3,
+        mtime: 12345,
+        mode: 0o644,
+        owner: 7,
+        read_only: false,
+    }
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/insert_evict_space_lru", |b| {
+        b.iter_batched(
+            || Cache::new(CachePolicy::SpaceLru(1 << 20)),
+            |mut cache| {
+                for i in 0..200 {
+                    let p = format!("/vice/f{i}");
+                    cache.insert(&p, vec![0; 16 * 1024], sample_status(&p), CacheKind::File);
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    let mut cache = Cache::new(CachePolicy::CountLru(1000));
+    for i in 0..500 {
+        let p = format!("/vice/f{i}");
+        cache.insert(&p, vec![0; 1024], sample_status(&p), CacheKind::File);
+    }
+    c.bench_function("cache/get_hit", |b| {
+        b.iter(|| cache.get("/vice/f250").is_some());
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let req = ViceRequest::Store {
+        path: "/vice/usr/satya/doc/paper.tex".to_string(),
+        data: vec![0xaa; 64 * 1024],
+    };
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(64 * 1024));
+    g.bench_function("encode_store_64k", |b| {
+        b.iter(|| encode_request(&req));
+    });
+    let bytes = encode_request(&req);
+    g.bench_function("decode_store_64k", |b| {
+        b.iter(|| decode_request(&bytes).unwrap());
+    });
+    let reply = ViceReply::Data {
+        status: sample_status("/vice/usr/satya/doc/paper.tex"),
+        data: vec![0xbb; 64 * 1024],
+    };
+    let reply_bytes = encode_reply(&reply);
+    g.bench_function("decode_data_reply_64k", |b| {
+        b.iter(|| decode_reply(&reply_bytes).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cipher,
+    bench_kdf_and_handshake,
+    bench_unixfs,
+    bench_protection,
+    bench_location,
+    bench_cache,
+    bench_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion system benchmarks: end-to-end operations through the full
+//! stack (namespace → cache → secure RPC → server → volume) and the
+//! experiment workloads themselves.
+//!
+//! These measure *host* CPU time of the simulation — useful for keeping
+//! the reproduction fast — while the virtual-time results live in the
+//! `tables` binary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use itc_core::{ItcSystem, SystemConfig};
+use itc_sim::SimTime;
+use itc_workload::day::{run_day, DayConfig};
+use itc_workload::{AndrewBenchmark, TreeLocation};
+
+fn logged_in() -> ItcSystem {
+    let mut sys = ItcSystem::build(SystemConfig::prototype(1, 2));
+    sys.add_user("u", "pw").unwrap();
+    sys.create_user_volume("u", 0).unwrap();
+    sys.login(0, "u", "pw").unwrap();
+    sys
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    c.bench_function("e2e/store_10k", |b| {
+        b.iter_batched(
+            logged_in,
+            |mut sys| {
+                sys.store(0, "/vice/usr/u/f", vec![7; 10_240]).unwrap();
+                sys
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("e2e/fetch_cold_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = logged_in();
+                sys.admin_install_file("/vice/usr/u/f", vec![7; 10_240])
+                    .unwrap();
+                sys
+            },
+            |mut sys| {
+                sys.fetch(0, "/vice/usr/u/f").unwrap();
+                sys
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("e2e/fetch_warm_10k", |b| {
+        let mut sys = logged_in();
+        sys.store(0, "/vice/usr/u/f", vec![7; 10_240]).unwrap();
+        sys.fetch(0, "/vice/usr/u/f").unwrap();
+        b.iter(|| sys.fetch(0, "/vice/usr/u/f").unwrap());
+    });
+
+    c.bench_function("e2e/login_handshake", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = ItcSystem::build(SystemConfig::prototype(1, 1));
+                sys.add_user("u", "pw").unwrap();
+                sys
+            },
+            |mut sys| {
+                sys.login(0, "u", "pw").unwrap();
+                sys
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    g.sample_size(10);
+    g.bench_function("andrew_remote_full", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = logged_in();
+                let bench = AndrewBenchmark::new(
+                    TreeLocation::Vice("/vice/usr/u/src".into()),
+                    TreeLocation::Vice("/vice/usr/u/obj".into()),
+                );
+                bench.install_source(&mut sys, 0).unwrap();
+                (sys, bench)
+            },
+            |(mut sys, bench)| {
+                bench.run(&mut sys, 0).unwrap();
+                sys
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("day_10min_4ws", |b| {
+        b.iter(|| {
+            let day = DayConfig {
+                duration: SimTime::from_mins(10),
+                surge: (SimTime::from_mins(3), SimTime::from_mins(6)),
+                ..DayConfig::default()
+            };
+            run_day(SystemConfig::prototype(1, 4), &day).unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Prints the reproduced tables for the paper's measurements.
+//!
+//! Usage:
+//!
+//! ```text
+//! tables [--full] all
+//! tables [--full] e1 e4 e15 ...
+//! tables list
+//! ```
+
+use itc_bench::{all_ids, run, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut ids: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--full" => scale = Scale::Full,
+            "--quick" => scale = Scale::Quick,
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids[0] == "help" {
+        eprintln!("usage: tables [--full] <all | list | e1 e2 ... f1>");
+        std::process::exit(2);
+    }
+    if ids[0] == "list" {
+        for id in all_ids() {
+            println!("{id}");
+        }
+        return;
+    }
+    let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
+        all_ids()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+    println!(
+        "ITC distributed file system reproduction — experiment tables ({})",
+        match scale {
+            Scale::Quick => "quick scale",
+            Scale::Full => "full scale",
+        }
+    );
+    println!();
+    for id in selected {
+        match run(id, scale) {
+            Some(report) => println!("{report}"),
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Shared experiment plumbing.
+
+use crate::report::Scale;
+use itc_core::SystemConfig;
+use itc_sim::SimTime;
+use itc_workload::DayConfig;
+
+/// The standard day workload at a scale.
+pub fn day_config(scale: Scale) -> DayConfig {
+    match scale {
+        Scale::Quick => DayConfig {
+            duration: SimTime::from_mins(70),
+            surge: (SimTime::from_mins(25), SimTime::from_mins(45)),
+            surge_multiplier: 3.0,
+            ..DayConfig::default()
+        },
+        Scale::Full => DayConfig {
+            duration: SimTime::from_hours(8),
+            surge: (SimTime::from_hours(3), SimTime::from_hours(4)),
+            surge_multiplier: 3.0,
+            ..DayConfig::default()
+        },
+    }
+}
+
+/// The standard prototype topology at a scale: the paper operated "about
+/// 20 workstations per server".
+pub fn proto_config(scale: Scale) -> SystemConfig {
+    match scale {
+        Scale::Quick => SystemConfig::prototype(1, 8),
+        Scale::Full => SystemConfig::prototype(2, 20),
+    }
+}
+
+/// Formats a SimTime ratio.
+pub fn ratio(num: SimTime, den: SimTime) -> String {
+    if den == SimTime::ZERO {
+        "inf".to_string()
+    } else {
+        format!("{:.2}x", num.as_secs_f64() / den.as_secs_f64())
+    }
+}

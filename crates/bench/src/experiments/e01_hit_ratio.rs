@@ -1,0 +1,44 @@
+//! E1 — cache hit ratio in actual use.
+//!
+//! Paper (Section 5.2): "Measurements indicate an average cache hit ratio
+//! of over 80% during actual use."
+
+use super::common::{day_config, proto_config};
+use crate::report::{pct, Report, Scale};
+use itc_workload::day::run_day;
+
+/// Runs a day of typical users and reports the cache hit ratio.
+pub fn run(scale: Scale) -> Report {
+    let (sys, day) = run_day(proto_config(scale), &day_config(scale)).expect("day runs");
+    let m = &day.metrics;
+
+    let mut r = Report::new(
+        "e1",
+        "Cache hit ratio during actual use",
+        "average cache hit ratio of over 80% during actual use",
+    )
+    .headers(vec!["metric", "value"]);
+    r.row(vec!["workstations".to_string(), sys.workstation_count().to_string()]);
+    r.row(vec!["user operations".to_string(), day.ops.to_string()]);
+    r.row(vec!["vice file opens".to_string(), m.venus.vice_opens.to_string()]);
+    r.row(vec!["cache hits".to_string(), m.cache.hits.to_string()]);
+    r.row(vec!["cache misses (fetches)".to_string(), m.cache.misses.to_string()]);
+    r.row(vec!["hit ratio".to_string(), pct(m.hit_ratio())]);
+    r.note(format!(
+        "measured {} vs paper 'over 80%'",
+        pct(m.hit_ratio())
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_exceeds_the_papers_bar() {
+        let r = run(Scale::Quick);
+        let ratio = r.cell_f64("hit ratio", 1).unwrap();
+        assert!(ratio > 65.0, "hit ratio {ratio}% too low");
+    }
+}

@@ -1,0 +1,77 @@
+//! E2 — the server call histogram.
+//!
+//! Paper (Section 5.2): "cache validity checking calls are preponderant,
+//! accounting for 65% of the total. Calls to obtain file status contribute
+//! about 27%, while calls to fetch and store files account for 4% and 2%
+//! respectively. These four calls thus encompass more than 98% of the
+//! calls handled by servers."
+
+use super::common::{day_config, proto_config};
+use crate::report::{pct, Report, Scale};
+use itc_workload::day::run_day;
+
+/// Paper percentages for the four headline calls.
+pub const PAPER_MIX: [(&str, f64); 4] = [
+    ("validate", 0.65),
+    ("getstatus", 0.27),
+    ("fetch", 0.04),
+    ("store", 0.02),
+];
+
+/// Runs the day under check-on-open (the prototype) and prints the mix.
+pub fn run(scale: Scale) -> Report {
+    let (_, day) = run_day(proto_config(scale), &day_config(scale)).expect("day runs");
+    let m = &day.metrics;
+
+    let mut r = Report::new(
+        "e2",
+        "Histogram of calls received by servers",
+        "validate 65%, getstatus 27%, fetch 4%, store 2% — over 98% of all calls",
+    )
+    .headers(vec!["call", "count", "measured", "paper"]);
+    let mut top4 = 0.0;
+    for (kind, paper) in PAPER_MIX {
+        let frac = m.call_fraction(kind);
+        top4 += frac;
+        r.row(vec![
+            kind.to_string(),
+            m.call_mix.get(kind).to_string(),
+            pct(frac),
+            pct(paper),
+        ]);
+    }
+    // Everything else, for honesty.
+    for (kind, count) in m.call_mix.iter() {
+        if !PAPER_MIX.iter().any(|(k, _)| *k == kind) {
+            r.row(vec![
+                kind.to_string(),
+                count.to_string(),
+                pct(m.call_fraction(kind)),
+                "-".to_string(),
+            ]);
+        }
+    }
+    r.note(format!(
+        "top four calls cover {} of all server calls (paper: over 98%)",
+        pct(top4)
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_dominates_and_ordering_matches() {
+        let r = run(Scale::Quick);
+        let v = r.cell_f64("validate", 2).unwrap();
+        let g = r.cell_f64("getstatus", 2).unwrap();
+        let f = r.cell_f64("fetch", 2).unwrap();
+        let s = r.cell_f64("store", 2).unwrap();
+        assert!(v > g, "validate {v}% should exceed getstatus {g}%");
+        assert!(g > f, "getstatus {g}% should exceed fetch {f}%");
+        assert!(f > s, "fetch {f}% should exceed store {s}%");
+        assert!(v > 40.0, "validate should dominate, got {v}%");
+    }
+}

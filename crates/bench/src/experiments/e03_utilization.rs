@@ -1,0 +1,74 @@
+//! E3 — server resource utilization over a working day.
+//!
+//! Paper (Section 5.2): "Server CPU utilization tends to be quite high:
+//! nearly 40% on the most heavily loaded servers ... Disk utilization is
+//! lower, averaging about 14% ... These figures are averages over an
+//! 8-hour period in the middle of a weekday. The short-term resource
+//! utilizations are much higher, sometimes peaking at 98% server CPU
+//! utilization! It is quite clear ... that the server CPU is the
+//! performance bottleneck."
+
+use super::common::{day_config, proto_config};
+use crate::report::{pct, Report, Scale};
+use itc_workload::day::run_day;
+use itc_workload::DayConfig;
+
+/// Runs a surge-bearing day and reports mean and peak utilizations.
+pub fn run(scale: Scale) -> Report {
+    // No intense users here: E3 reproduces the *routine* day averages
+    // (intense-user saturation is E5's subject). The midday surge supplies
+    // the short-term peaks the paper remarks on.
+    let day_cfg = DayConfig {
+        intense_users: 0,
+        surge_multiplier: 4.0,
+        ..day_config(scale)
+    };
+    let (_, day) = run_day(proto_config(scale), &day_cfg).expect("day runs");
+    let m = &day.metrics;
+
+    let mut r = Report::new(
+        "e3",
+        "Server CPU and disk utilization over the day",
+        "CPU ~40% mean on the busiest server, disk ~14%; short-term peaks near 98%",
+    )
+    .headers(vec![
+        "server",
+        "cpu mean",
+        "cpu peak (1-min)",
+        "disk mean",
+        "calls",
+    ]);
+    for (i, s) in m.servers.iter().enumerate() {
+        r.row(vec![
+            format!("server{i}"),
+            pct(s.cpu.mean_utilization),
+            pct(s.cpu.peak_utilization),
+            pct(s.disk.mean_utilization),
+            s.calls.total().to_string(),
+        ]);
+    }
+    r.note(format!(
+        "busiest server: cpu {} mean / {} peak, disk {} — cpu is the bottleneck: {}",
+        pct(m.max_server_cpu_utilization()),
+        pct(m.peak_server_cpu_utilization()),
+        pct(m.max_server_disk_utilization()),
+        m.max_server_cpu_utilization() > m.max_server_disk_utilization(),
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_is_the_bottleneck_and_peaks_exceed_means() {
+        let r = run(Scale::Quick);
+        let cpu = r.cell_f64("server0", 1).unwrap();
+        let peak = r.cell_f64("server0", 2).unwrap();
+        let disk = r.cell_f64("server0", 3).unwrap();
+        assert!(cpu > disk, "cpu {cpu}% should exceed disk {disk}%");
+        assert!(peak > cpu * 1.5, "peak {peak}% should far exceed mean {cpu}%");
+        assert!(cpu > 5.0, "server should be doing real work, got {cpu}%");
+    }
+}

@@ -1,0 +1,103 @@
+//! E4 — the five-phase benchmark, local vs remote.
+//!
+//! Paper (Section 5.2): "On a Sun workstation with a local disk, the
+//! benchmark takes about 1000 seconds to complete when all files are
+//! obtained locally. Our experiments show that the same benchmark takes
+//! about 80% longer when the workstation is obtaining all its files from
+//! an unloaded Vice server."
+
+use super::common::ratio;
+use crate::report::{secs, Report, Scale};
+use itc_core::{ItcSystem, SystemConfig};
+use itc_sim::SimTime;
+use itc_workload::{AndrewBenchmark, PhaseTimes, TreeLocation};
+
+fn fresh_system() -> ItcSystem {
+    let mut sys = ItcSystem::build(SystemConfig::prototype(1, 2));
+    sys.add_user("bench", "pw").expect("fresh");
+    sys.login(0, "bench", "pw").expect("fresh");
+    sys
+}
+
+/// Runs the benchmark locally and remotely (cold cache) and reports
+/// per-phase times.
+pub fn run(_scale: Scale) -> Report {
+    // Local run.
+    let mut sys = fresh_system();
+    let local_bench = AndrewBenchmark::new(
+        TreeLocation::Local("/local/src".into()),
+        TreeLocation::Local("/local/obj".into()),
+    );
+    local_bench.install_source(&mut sys, 0).expect("install");
+    let local = local_bench.run(&mut sys, 0).expect("local run").phases;
+
+    // Remote run: source and target both in Vice, cold cache.
+    let mut sys = fresh_system();
+    sys.create_user_volume("bench", 0).expect("fresh");
+    let remote_bench = AndrewBenchmark::new(
+        TreeLocation::Vice("/vice/usr/bench/src".into()),
+        TreeLocation::Vice("/vice/usr/bench/obj".into()),
+    );
+    remote_bench.install_source(&mut sys, 0).expect("install");
+    let remote = remote_bench.run(&mut sys, 0).expect("remote run").phases;
+
+    let mut r = Report::new(
+        "e4",
+        "Five-phase benchmark: local vs remote (cold cache, unloaded server)",
+        "about 1000 s local; about 80% longer when all files come from Vice",
+    )
+    .headers(vec!["phase", "local", "remote", "slowdown"]);
+    #[allow(clippy::type_complexity)]
+    let rows: [(&str, fn(&PhaseTimes) -> SimTime); 5] = [
+        ("MakeDir", |p| p.make_dir),
+        ("Copy", |p| p.copy),
+        ("ScanDir", |p| p.scan_dir),
+        ("ReadAll", |p| p.read_all),
+        ("Make", |p| p.make),
+    ];
+    for (name, get) in rows {
+        r.row(vec![
+            name.to_string(),
+            secs(get(&local)),
+            secs(get(&remote)),
+            ratio(get(&remote), get(&local)),
+        ]);
+    }
+    r.row(vec![
+        "TOTAL".to_string(),
+        secs(local.total()),
+        secs(remote.total()),
+        ratio(remote.total(), local.total()),
+    ]);
+    let slowdown = remote.total().as_secs_f64() / local.total().as_secs_f64();
+    r.note(format!(
+        "remote is {:.0}% slower (paper: ~80%); local total {} (paper: ~1000 s)",
+        (slowdown - 1.0) * 100.0,
+        secs(local.total()),
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_is_1000s_scale_and_remote_much_slower() {
+        let r = run(Scale::Quick);
+        let local = r.cell_f64("TOTAL", 1).unwrap();
+        let remote = r.cell_f64("TOTAL", 2).unwrap();
+        assert!(
+            (400.0..2_500.0).contains(&local),
+            "local total {local}s not on the paper's scale"
+        );
+        let slowdown = remote / local;
+        assert!(
+            (1.3..2.6).contains(&slowdown),
+            "remote/local {slowdown:.2} outside the paper's band"
+        );
+        // Make dominates both runs (it is a compilation benchmark).
+        let make_local = r.cell_f64("Make", 1).unwrap();
+        assert!(make_local > local * 0.4);
+    }
+}

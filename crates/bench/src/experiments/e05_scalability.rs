@@ -1,0 +1,102 @@
+//! E5 — how many workstations can share one server?
+//!
+//! Paper (Section 5.2): "In actual use, we operate our system with about
+//! 20 workstations per server. At this client/server ratio, our users
+//! perceive the overall performance of the workstations to be equal to or
+//! better than that of the large timesharing systems on campus. However,
+//! there have been a few occasions when intense file system activity by a
+//! few users has drastically lowered performance for all other active
+//! users."
+
+use super::common::day_config;
+use crate::report::{Report, Scale};
+use itc_core::SystemConfig;
+use itc_sim::SimTime;
+use itc_workload::day::run_day;
+use itc_workload::DayConfig;
+
+/// Mean server-call latency experienced over a day at a given
+/// clients-per-server ratio.
+fn mean_latency_at(clients: u32, intense: usize, scale: Scale) -> (f64, f64) {
+    let cfg = SystemConfig::prototype(1, clients);
+    let day = DayConfig {
+        intense_users: intense,
+        duration: match scale {
+            Scale::Quick => SimTime::from_mins(25),
+            Scale::Full => SimTime::from_hours(2),
+        },
+        surge_multiplier: 1.0,
+        ..day_config(scale)
+    };
+    let (sys, report) = run_day(cfg, &day).expect("day runs");
+    let lat = sys
+        .server(itc_core::proto::ServerId(0))
+        .stats()
+        .mean_latency_secs();
+    let util = report.metrics.max_server_cpu_utilization();
+    (lat, util)
+}
+
+/// Sweeps the clients-per-server ratio.
+pub fn run(scale: Scale) -> Report {
+    let ratios: &[u32] = match scale {
+        Scale::Quick => &[5, 20, 50],
+        Scale::Full => &[1, 5, 10, 20, 40, 70, 100],
+    };
+    let mut r = Report::new(
+        "e5",
+        "Performance vs clients per server",
+        "~20 clients/server feels like timesharing; a few intense users can degrade everyone",
+    )
+    .headers(vec![
+        "clients/server",
+        "mean call latency (s)",
+        "server cpu util",
+    ]);
+    let mut knee_seen = false;
+    let mut base = 0.0;
+    for &n in ratios {
+        let (lat, util) = mean_latency_at(n, 0, scale);
+        if base == 0.0 {
+            base = lat;
+        }
+        if lat > base * 3.0 {
+            knee_seen = true;
+        }
+        r.row(vec![
+            n.to_string(),
+            format!("{lat:.3}"),
+            format!("{:.1}%", util * 100.0),
+        ]);
+    }
+    // The "few intense users" case at the operating point.
+    let (lat_quiet, _) = mean_latency_at(20, 0, scale);
+    let (lat_hot, _) = mean_latency_at(20, 3, scale);
+    r.note(format!(
+        "at 20 clients/server: mean latency {lat_quiet:.3}s; with 3 intense users {lat_hot:.3}s \
+         ({:.1}x worse for everyone — the paper's 'drastically lowered performance')",
+        lat_hot / lat_quiet
+    ));
+    if knee_seen {
+        r.note("saturation knee observed within the sweep".to_string());
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_load_and_intense_users_hurt() {
+        let r = run(Scale::Quick);
+        let at5 = r.cell_f64("5", 1).unwrap();
+        let at50 = r.cell_f64("50", 1).unwrap();
+        assert!(
+            at50 > at5,
+            "latency at 50 clients ({at50}) should exceed latency at 5 ({at5})"
+        );
+        // The intense-user note exists and reports degradation.
+        assert!(r.notes[0].contains("intense"));
+    }
+}

@@ -1,0 +1,90 @@
+//! E6 — check-on-open vs callback invalidation.
+//!
+//! Paper (Sections 3.2, 5.2, 5.3): validation traffic is 65% of all server
+//! calls; "major performance improvement is possible if cache validity
+//! checks are minimized. This has led to the alternate cache invalidation
+//! scheme": servers "notify workstations when their caches become
+//! invalid", trading server callback state for validation traffic.
+
+use super::common::{day_config, proto_config};
+use crate::report::{pct, Report, Scale};
+use itc_sim::ValidationMode;
+use itc_workload::day::run_day;
+
+/// Runs the identical day under both validation modes.
+pub fn run(scale: Scale) -> Report {
+    let mut results = Vec::new();
+    for mode in [ValidationMode::CheckOnOpen, ValidationMode::Callback] {
+        let cfg = itc_core::SystemConfig {
+            validation: mode,
+            ..proto_config(scale)
+        };
+        let (sys, day) = run_day(cfg, &day_config(scale)).expect("day runs");
+        let m = day.metrics;
+        let promises: usize = m.servers.iter().map(|s| s.callback_promises).sum();
+        results.push((mode, m, promises, sys));
+    }
+
+    let mut r = Report::new(
+        "e6",
+        "Cache validation: check-on-open vs callback invalidation",
+        "validation is 65% of server calls; callbacks eliminate it at the cost of server state",
+    )
+    .headers(vec![
+        "mode",
+        "total calls",
+        "validate calls",
+        "validate %",
+        "server cpu",
+        "callback state",
+    ]);
+    for (mode, m, promises, _) in &results {
+        let label = match mode {
+            ValidationMode::CheckOnOpen => "check-on-open",
+            ValidationMode::Callback => "callback",
+        };
+        r.row(vec![
+            label.to_string(),
+            m.total_calls().to_string(),
+            m.call_mix.get("validate").to_string(),
+            pct(m.call_fraction("validate")),
+            pct(m.max_server_cpu_utilization()),
+            promises.to_string(),
+        ]);
+    }
+    let coo = &results[0].1;
+    let cb = &results[1].1;
+    r.note(format!(
+        "callbacks cut total server calls by {} and server CPU from {} to {}; \
+         server now holds {} callback promises (the state/traffic trade of Section 3.2)",
+        pct(1.0 - cb.total_calls() as f64 / coo.total_calls() as f64),
+        pct(coo.max_server_cpu_utilization()),
+        pct(cb.max_server_cpu_utilization()),
+        results[1].2,
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn callbacks_slash_calls_and_add_state() {
+        let r = run(Scale::Quick);
+        let coo_calls = r.cell_f64("check-on-open", 1).unwrap();
+        let cb_calls = r.cell_f64("callback", 1).unwrap();
+        assert!(
+            cb_calls < coo_calls * 0.7,
+            "callback calls {cb_calls} should be well under check-on-open {coo_calls}"
+        );
+        let coo_val = r.cell_f64("check-on-open", 2).unwrap();
+        let cb_val = r.cell_f64("callback", 2).unwrap();
+        assert!(cb_val < coo_val * 0.2, "callback validates {cb_val} vs {coo_val}");
+        // Callback mode holds server state; check-on-open holds none.
+        let coo_state = r.cell_f64("check-on-open", 5).unwrap();
+        let cb_state = r.cell_f64("callback", 5).unwrap();
+        assert_eq!(coo_state, 0.0);
+        assert!(cb_state > 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! E7 — server-side vs client-side pathname traversal.
+//!
+//! Paper (Sections 4, 5.3): "Currently, workstations present servers with
+//! entire pathnames of files and the servers do the traversing ... The
+//! offloading of pathname traversal from servers to clients will reduce
+//! the utilization of the server CPU and hence improve the scalability of
+//! our design."
+
+use super::common::{day_config, proto_config};
+use crate::report::{pct, Report, Scale};
+use itc_sim::TraversalMode;
+use itc_workload::day::run_day;
+
+/// Runs the identical day under both traversal modes (validation and all
+/// other knobs held at the prototype settings).
+pub fn run(scale: Scale) -> Report {
+    let mut rows = Vec::new();
+    for mode in [TraversalMode::ServerSide, TraversalMode::ClientSide] {
+        let cfg = itc_core::SystemConfig {
+            traversal: mode,
+            ..proto_config(scale)
+        };
+        let (sys, day) = run_day(cfg, &day_config(scale)).expect("day runs");
+        let m = day.metrics;
+        let cpu_busy: f64 = m
+            .servers
+            .iter()
+            .map(|s| s.cpu.busy_total.as_secs_f64())
+            .sum();
+        let per_call = cpu_busy / m.total_calls().max(1) as f64;
+        rows.push((mode, m, cpu_busy, per_call, sys));
+    }
+
+    let mut r = Report::new(
+        "e7",
+        "Pathname traversal: server-side (prototype) vs client-side (revised)",
+        "moving traversal to clients reduces server CPU utilization and improves scalability",
+    )
+    .headers(vec![
+        "mode",
+        "server cpu busy (s)",
+        "cpu util",
+        "total calls",
+        "cpu per call (s)",
+    ]);
+    for (mode, m, busy, per_call, _) in &rows {
+        let label = match mode {
+            TraversalMode::ServerSide => "server-side",
+            TraversalMode::ClientSide => "client-side",
+        };
+        r.row(vec![
+            label.to_string(),
+            format!("{busy:.1}"),
+            pct(m.max_server_cpu_utilization()),
+            m.total_calls().to_string(),
+            format!("{per_call:.3}"),
+        ]);
+    }
+    r.note(format!(
+        "client-side traversal cuts server CPU per call by {} (clients cache directories and walk them)",
+        pct(1.0 - rows[1].3 / rows[0].3)
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_side_spends_less_server_cpu_per_call() {
+        let r = run(Scale::Quick);
+        let srv = r.cell_f64("server-side", 4).unwrap();
+        let cli = r.cell_f64("client-side", 4).unwrap();
+        assert!(
+            cli < srv,
+            "client-side per-call cpu {cli} should be below server-side {srv}"
+        );
+    }
+}

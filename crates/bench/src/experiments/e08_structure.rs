@@ -1,0 +1,74 @@
+//! E8 — server structure: process-per-client vs single-process LWP.
+//!
+//! Paper (Section 3.5.2): "Experience with the prototype indicates that
+//! significant performance degradation is caused by context switching
+//! between the per-client Unix processes. In addition, the inability to
+//! share data structures between these processes precludes many strategies
+//! to improve performance. Our reimplementation will represent a server as
+//! a single Unix process incorporating a lightweight process mechanism."
+
+use super::common::{day_config, proto_config};
+use crate::report::{pct, Report, Scale};
+use itc_sim::ServerStructure;
+use itc_workload::day::run_day;
+
+/// Runs the identical day under both server structures.
+pub fn run(scale: Scale) -> Report {
+    let mut rows = Vec::new();
+    for structure in [
+        ServerStructure::ProcessPerClient,
+        ServerStructure::SingleProcessLwp,
+    ] {
+        let cfg = itc_core::SystemConfig {
+            structure,
+            ..proto_config(scale)
+        };
+        let (sys, day) = run_day(cfg, &day_config(scale)).expect("day runs");
+        let m = day.metrics;
+        let lat = sys
+            .server(itc_core::proto::ServerId(0))
+            .stats()
+            .mean_latency_secs();
+        rows.push((structure, m, lat, sys));
+    }
+
+    let mut r = Report::new(
+        "e8",
+        "Server structure: process-per-client (prototype) vs single-process LWP (revised)",
+        "context switching between per-client processes causes significant degradation",
+    )
+    .headers(vec!["structure", "server cpu util", "mean call latency (s)"]);
+    for (structure, m, lat, _) in &rows {
+        let label = match structure {
+            ServerStructure::ProcessPerClient => "process-per-client",
+            ServerStructure::SingleProcessLwp => "single-process-lwp",
+        };
+        r.row(vec![
+            label.to_string(),
+            pct(m.max_server_cpu_utilization()),
+            format!("{lat:.3}"),
+        ]);
+    }
+    r.note(format!(
+        "the LWP structure removes the per-call context switch (and lock-server IPC), \
+         cutting mean latency by {:.0}%",
+        (1.0 - rows[1].2 / rows[0].2) * 100.0
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lwp_server_is_faster_and_cheaper() {
+        let r = run(Scale::Quick);
+        let ppc_util = r.cell_f64("process-per-client", 1).unwrap();
+        let lwp_util = r.cell_f64("single-process-lwp", 1).unwrap();
+        let ppc_lat = r.cell_f64("process-per-client", 2).unwrap();
+        let lwp_lat = r.cell_f64("single-process-lwp", 2).unwrap();
+        assert!(lwp_util < ppc_util, "util {lwp_util} vs {ppc_util}");
+        assert!(lwp_lat < ppc_lat, "latency {lwp_lat} vs {ppc_lat}");
+    }
+}

@@ -1,0 +1,77 @@
+//! E15 — whole-file caching vs page-caching vs remote-open.
+//!
+//! Paper (Section 6): the architectural comparison against Locus/Newcastle
+//! (remote-open) and Apollo (page-caching). The ITC position: whole-file
+//! transfer touches servers only at open/close, so it spends the least
+//! server CPU — the scarce resource at campus scale.
+
+use crate::report::{secs, Report, Scale};
+use itc_baseline::{run_phases, PageCacheFs, RemoteOpenFs, WholeFileFs};
+use itc_core::SystemConfig;
+use itc_sim::Costs;
+
+/// Runs the identical five-phase benchmark on all three architectures.
+pub fn run(_scale: Scale) -> Report {
+    let costs = Costs::prototype_1985();
+
+    let mut whole = WholeFileFs::new(SystemConfig::revised(1, 1), false);
+    let whole_r = run_phases(&mut whole, &costs, |c, p, d| c.preload(p, d)).expect("runs");
+
+    let mut page = PageCacheFs::new(costs.clone(), 0, 4096);
+    let page_r = run_phases(&mut page, &costs, |c, p, d| c.preload(p, d)).expect("runs");
+
+    let mut remote = RemoteOpenFs::new(costs.clone(), 0);
+    let remote_r = run_phases(&mut remote, &costs, |c, p, d| c.preload(p, d)).expect("runs");
+
+    let mut r = Report::new(
+        "e15",
+        "Architecture comparison on the five-phase benchmark",
+        "whole-file caching minimizes server involvement; remote-open pays per byte touched",
+    )
+    .headers(vec![
+        "architecture",
+        "total time",
+        "server calls",
+        "server cpu busy",
+    ]);
+    r.row(vec![
+        "whole-file (Vice/Virtue)".to_string(),
+        secs(whole_r.total()),
+        whole.calls().to_string(),
+        secs(whole.server_cpu_busy()),
+    ]);
+    r.row(vec![
+        "page-cache (Apollo-style)".to_string(),
+        secs(page_r.total()),
+        page.calls().to_string(),
+        secs(page.server_cpu_busy()),
+    ]);
+    r.row(vec![
+        "remote-open (Locus-style)".to_string(),
+        secs(remote_r.total()),
+        remote.calls().to_string(),
+        secs(remote.server_cpu_busy()),
+    ]);
+    r.note(format!(
+        "server calls: whole-file {} < page-cache {} < remote-open {} — fewer calls is the \
+         scalability argument of Section 4",
+        whole.calls(),
+        page.calls(),
+        remote.calls()
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_file_wins_on_server_load() {
+        let r = run(Scale::Quick);
+        let wf = r.cell_f64("whole-file (Vice/Virtue)", 3).unwrap();
+        let pc = r.cell_f64("page-cache (Apollo-style)", 3).unwrap();
+        let ro = r.cell_f64("remote-open (Locus-style)", 3).unwrap();
+        assert!(wf < pc && pc < ro, "server cpu: {wf} {pc} {ro}");
+    }
+}

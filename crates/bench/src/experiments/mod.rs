@@ -1,0 +1,22 @@
+//! One module per reproduced measurement. See DESIGN.md's experiment index
+//! for the mapping to the paper's claims.
+
+pub mod common;
+pub mod e01_hit_ratio;
+pub mod e02_call_mix;
+pub mod e03_utilization;
+pub mod e04_andrew;
+pub mod e05_scalability;
+pub mod e06_validation;
+pub mod e07_traversal;
+pub mod e08_structure;
+pub mod e09_replication;
+pub mod e10_mobility;
+pub mod e11_encryption;
+pub mod e12_revocation;
+pub mod e13_file_sizes;
+pub mod e14_location_db;
+pub mod e15_architectures;
+pub mod e16_write_policy;
+pub mod e17_rebalancing;
+pub mod f01_topology;

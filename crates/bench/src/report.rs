@@ -1,0 +1,151 @@
+//! Report formatting shared by all experiments.
+
+use std::fmt;
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small populations and short days — for tests and quick looks.
+    Quick,
+    /// The populations used for the numbers recorded in EXPERIMENTS.md.
+    Full,
+}
+
+/// One experiment's result.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (e.g. "e4").
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// What the paper reports, verbatim or paraphrased.
+    pub paper_claim: &'static str,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form conclusions ("measured: ...").
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &'static str, title: &'static str, paper_claim: &'static str) -> Report {
+        Report {
+            id,
+            title,
+            paper_claim,
+            headers: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn headers<S: Into<String>>(mut self, headers: Vec<S>) -> Report {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a row.
+    pub fn row<S: Into<String>>(&mut self, row: Vec<S>) {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Finds a cell by row predicate and column index (testing helper).
+    pub fn cell(&self, row_key: &str, col: usize) -> Option<&str> {
+        self.rows
+            .iter()
+            .find(|r| r.first().map(String::as_str) == Some(row_key))
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
+    }
+
+    /// Parses a cell as f64, stripping common unit suffixes (testing
+    /// helper).
+    pub fn cell_f64(&self, row_key: &str, col: usize) -> Option<f64> {
+        let raw = self.cell(row_key, col)?;
+        let cleaned: String = raw
+            .trim_end_matches(|c: char| c.is_alphabetic() || c == '%' || c == 'x')
+            .trim()
+            .to_string();
+        cleaned.parse().ok()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id.to_uppercase(), self.title)?;
+        writeln!(f, "paper: {}", self.paper_claim)?;
+        if !self.headers.is_empty() {
+            // Column widths.
+            let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+            for row in &self.rows {
+                for (i, cell) in row.iter().enumerate() {
+                    if i < widths.len() {
+                        widths[i] = widths[i].max(cell.len());
+                    } else {
+                        widths.push(cell.len());
+                    }
+                }
+            }
+            let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+                write!(f, "  ")?;
+                for (i, c) in cells.iter().enumerate() {
+                    let w = widths.get(i).copied().unwrap_or(c.len());
+                    if i + 1 == cells.len() {
+                        writeln!(f, "{c:<w$}")?;
+                    } else {
+                        write!(f, "{c:<w$}  ")?;
+                    }
+                }
+                Ok(())
+            };
+            line(f, &self.headers)?;
+            let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+            writeln!(f, "  {}", "-".repeat(total))?;
+            for row in &self.rows {
+                line(f, row)?;
+            }
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a [`itc_sim::SimTime`] as seconds with 1 decimal.
+pub fn secs(t: itc_sim::SimTime) -> String {
+    format!("{:.1}s", t.as_secs_f64())
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_prints() {
+        let mut r = Report::new("e0", "smoke", "n/a").headers(vec!["col", "val"]);
+        r.row(vec!["a", "1.5s"]);
+        r.row(vec!["b", "80.0%"]);
+        r.note("shape holds");
+        let s = r.to_string();
+        assert!(s.contains("E0"));
+        assert!(s.contains("shape holds"));
+        assert_eq!(r.cell("a", 1), Some("1.5s"));
+        assert_eq!(r.cell_f64("a", 1), Some(1.5));
+        assert_eq!(r.cell_f64("b", 1), Some(80.0));
+        assert_eq!(r.cell("missing", 0), None);
+    }
+}

@@ -1,0 +1,93 @@
+//! Aggregated measurements over a running system — the quantities
+//! Section 5.2 of the paper reports.
+
+use crate::venus::{CacheStats, VenusStats};
+use itc_sim::{Counter, SimTime, UtilizationReport};
+
+/// One server's measurement snapshot.
+#[derive(Debug, Clone)]
+pub struct ServerMetrics {
+    /// CPU utilization over the observation window.
+    pub cpu: UtilizationReport,
+    /// Disk utilization over the observation window.
+    pub disk: UtilizationReport,
+    /// Calls served, by kind.
+    pub calls: Counter,
+    /// Callback promises currently held (zero in check-on-open mode).
+    pub callback_promises: usize,
+}
+
+/// Whole-system measurement snapshot.
+#[derive(Debug, Clone)]
+pub struct SystemMetrics {
+    /// Virtual time at which the snapshot was taken (window end).
+    pub at: SimTime,
+    /// Per-server metrics, indexed by server id.
+    pub servers: Vec<ServerMetrics>,
+    /// Aggregate call mix across all servers.
+    pub call_mix: Counter,
+    /// Aggregate cache statistics across all workstations.
+    pub cache: CacheStats,
+    /// Aggregate Venus operation counters across all workstations.
+    pub venus: VenusStats,
+}
+
+impl SystemMetrics {
+    /// Total calls served by all servers.
+    pub fn total_calls(&self) -> u64 {
+        self.call_mix.total()
+    }
+
+    /// Fraction of all server calls of the given kind — directly
+    /// comparable to the paper's 65/27/4/2 histogram.
+    pub fn call_fraction(&self, kind: &str) -> f64 {
+        self.call_mix.fraction(kind)
+    }
+
+    /// Mean CPU utilization of the busiest server.
+    pub fn max_server_cpu_utilization(&self) -> f64 {
+        self.servers
+            .iter()
+            .map(|s| s.cpu.mean_utilization)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean disk utilization of the busiest server.
+    pub fn max_server_disk_utilization(&self) -> f64 {
+        self.servers
+            .iter()
+            .map(|s| s.disk.mean_utilization)
+            .fold(0.0, f64::max)
+    }
+
+    /// Highest short-term (one-minute) CPU utilization seen on any server.
+    pub fn peak_server_cpu_utilization(&self) -> f64 {
+        self.servers
+            .iter()
+            .map(|s| s.cpu.peak_utilization)
+            .fold(0.0, f64::max)
+    }
+
+    /// Overall cache hit ratio across all workstations.
+    pub fn hit_ratio(&self) -> f64 {
+        self.cache.hit_ratio()
+    }
+}
+
+/// Merges a workstation's cache stats into an aggregate.
+pub(crate) fn merge_cache(into: &mut CacheStats, s: CacheStats) {
+    into.hits += s.hits;
+    into.misses += s.misses;
+    into.evictions += s.evictions;
+    into.invalidations += s.invalidations;
+}
+
+/// Merges a workstation's op counters into an aggregate.
+pub(crate) fn merge_venus(into: &mut VenusStats, s: VenusStats) {
+    into.vice_opens += s.vice_opens;
+    into.fetches += s.fetches;
+    into.stores += s.stores;
+    into.validations += s.validations;
+    into.bytes_fetched += s.bytes_fetched;
+    into.bytes_stored += s.bytes_stored;
+}

@@ -1,0 +1,24 @@
+//! The Vice-Virtue interface.
+//!
+//! Section 3.3: "Vice provides primitives for locating the custodians of
+//! files, and for fetching, storing, and deleting entire files. It also has
+//! primitives for manipulating directories, examining and setting file and
+//! directory attributes, and validating cached copies of files." This
+//! module defines exactly those calls, plus the advisory locking primitives
+//! of Section 3.6, with real wire encodings (requests and replies are
+//! serialized to bytes, sealed by the secure channel, and decoded on the
+//! far side).
+//!
+//! The interface is deliberately "relatively static" (Section 2.3): it is
+//! the stable boundary that lets heterogeneous workstations participate —
+//! anything that can speak these messages can join the system.
+
+mod codec;
+mod types;
+
+pub use codec::{
+    decode_break, decode_reply, decode_request, encode_break, encode_reply, encode_request,
+};
+pub use types::{
+    CallbackBreak, EntryKind, ServerId, VStatus, ViceError, ViceReply, ViceRequest, VolumeId,
+};

@@ -1,0 +1,187 @@
+//! Advisory single-writer/multi-reader locking.
+//!
+//! Section 3.6: "Vice provides primitives for single-writer/multi-reader
+//! locking. Such locking is advisory in nature, and it is the responsibility
+//! of each application program to ensure that all competing accessors for a
+//! file will also perform locking."
+//!
+//! In the prototype this table lived in a dedicated lock-server Unix
+//! process (because per-client processes could not share memory); that cost
+//! is modeled by the `lock_ipc` flag in [`crate::server::CallCost`]. The
+//! table itself is the same either way.
+
+use itc_rpc::NodeId;
+use std::collections::HashMap;
+
+/// Lock flavors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// Multi-reader.
+    Shared,
+    /// Single-writer.
+    Exclusive,
+}
+
+/// One lock holder: the authenticated user at a particular workstation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Holder {
+    user: String,
+    workstation: NodeId,
+}
+
+#[derive(Debug, Default)]
+struct Entry {
+    readers: Vec<Holder>,
+    writer: Option<Holder>,
+}
+
+/// The lock table of one server.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    entries: HashMap<String, Entry>,
+}
+
+impl LockTable {
+    /// An empty table.
+    pub fn new() -> LockTable {
+        LockTable::default()
+    }
+
+    /// Attempts to acquire a lock on `path`. Returns whether it was
+    /// granted. Re-acquiring a lock already held (same user, workstation
+    /// and compatible kind) succeeds idempotently; upgrading from shared to
+    /// exclusive succeeds only when the caller is the sole reader.
+    pub fn acquire(&mut self, path: &str, user: &str, ws: NodeId, kind: LockKind) -> bool {
+        let h = Holder {
+            user: user.to_string(),
+            workstation: ws,
+        };
+        let e = self.entries.entry(path.to_string()).or_default();
+        match kind {
+            LockKind::Shared => {
+                match &e.writer {
+                    Some(w) if *w != h => false,
+                    Some(_) => true, // the writer may also read
+                    None => {
+                        if !e.readers.contains(&h) {
+                            e.readers.push(h);
+                        }
+                        true
+                    }
+                }
+            }
+            LockKind::Exclusive => {
+                if let Some(w) = &e.writer {
+                    return *w == h;
+                }
+                let other_readers = e.readers.iter().any(|r| *r != h);
+                if other_readers {
+                    return false;
+                }
+                e.readers.retain(|r| *r != h);
+                e.writer = Some(h);
+                true
+            }
+        }
+    }
+
+    /// Releases whatever lock `user@ws` holds on `path`. Releasing a lock
+    /// that is not held is a no-op (advisory semantics).
+    pub fn release(&mut self, path: &str, user: &str, ws: NodeId) {
+        let h = Holder {
+            user: user.to_string(),
+            workstation: ws,
+        };
+        if let Some(e) = self.entries.get_mut(path) {
+            e.readers.retain(|r| *r != h);
+            if e.writer.as_ref() == Some(&h) {
+                e.writer = None;
+            }
+            if e.readers.is_empty() && e.writer.is_none() {
+                self.entries.remove(path);
+            }
+        }
+    }
+
+    /// Number of paths with outstanding locks.
+    pub fn locked_paths(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WS1: NodeId = NodeId(1);
+    const WS2: NodeId = NodeId(2);
+
+    #[test]
+    fn multiple_readers_allowed() {
+        let mut t = LockTable::new();
+        assert!(t.acquire("/v/f", "a", WS1, LockKind::Shared));
+        assert!(t.acquire("/v/f", "b", WS2, LockKind::Shared));
+        assert_eq!(t.locked_paths(), 1);
+    }
+
+    #[test]
+    fn writer_excludes_everyone() {
+        let mut t = LockTable::new();
+        assert!(t.acquire("/v/f", "a", WS1, LockKind::Exclusive));
+        assert!(!t.acquire("/v/f", "b", WS2, LockKind::Exclusive));
+        assert!(!t.acquire("/v/f", "b", WS2, LockKind::Shared));
+        // Writer itself may re-acquire.
+        assert!(t.acquire("/v/f", "a", WS1, LockKind::Exclusive));
+        assert!(t.acquire("/v/f", "a", WS1, LockKind::Shared));
+    }
+
+    #[test]
+    fn readers_block_writer() {
+        let mut t = LockTable::new();
+        assert!(t.acquire("/v/f", "a", WS1, LockKind::Shared));
+        assert!(!t.acquire("/v/f", "b", WS2, LockKind::Exclusive));
+        t.release("/v/f", "a", WS1);
+        assert!(t.acquire("/v/f", "b", WS2, LockKind::Exclusive));
+    }
+
+    #[test]
+    fn sole_reader_may_upgrade() {
+        let mut t = LockTable::new();
+        assert!(t.acquire("/v/f", "a", WS1, LockKind::Shared));
+        assert!(t.acquire("/v/f", "a", WS1, LockKind::Exclusive));
+        // Now exclusive: other readers blocked.
+        assert!(!t.acquire("/v/f", "b", WS2, LockKind::Shared));
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_readers() {
+        let mut t = LockTable::new();
+        assert!(t.acquire("/v/f", "a", WS1, LockKind::Shared));
+        assert!(t.acquire("/v/f", "b", WS2, LockKind::Shared));
+        assert!(!t.acquire("/v/f", "a", WS1, LockKind::Exclusive));
+    }
+
+    #[test]
+    fn release_is_scoped_to_holder() {
+        let mut t = LockTable::new();
+        t.acquire("/v/f", "a", WS1, LockKind::Shared);
+        t.acquire("/v/f", "b", WS2, LockKind::Shared);
+        // Releasing from the wrong workstation does nothing.
+        t.release("/v/f", "a", WS2);
+        assert!(!t.acquire("/v/f", "c", WS2, LockKind::Exclusive));
+        t.release("/v/f", "a", WS1);
+        t.release("/v/f", "b", WS2);
+        assert_eq!(t.locked_paths(), 0);
+        // Releasing an unheld lock is a no-op.
+        t.release("/v/g", "a", WS1);
+    }
+
+    #[test]
+    fn same_user_different_workstations_are_distinct_holders() {
+        // Mobility: the same human at two workstations is two lock holders
+        // — otherwise a crashed workstation's lock would silently transfer.
+        let mut t = LockTable::new();
+        assert!(t.acquire("/v/f", "a", WS1, LockKind::Exclusive));
+        assert!(!t.acquire("/v/f", "a", WS2, LockKind::Exclusive));
+    }
+}

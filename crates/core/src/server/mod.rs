@@ -1,0 +1,910 @@
+//! The Vice cluster server.
+//!
+//! "No user programs are executed on any Vice machine" (Section 2.3): a
+//! server does exactly what [`Server::handle`] implements — it stores the
+//! volumes it is custodian of, answers location queries, validates cached
+//! copies (or maintains callback promises in the revised design), enforces
+//! protection on every call using the identity the RPC handshake
+//! authenticated, and serves whole-file fetch and store.
+//!
+//! The server never trusts anything a workstation claims: the `user`
+//! argument to [`Server::handle`] comes from the binding, not the request,
+//! and every request is re-checked against the access lists here even if
+//! Venus already checked client-side.
+
+mod locks;
+
+pub use locks::{LockKind, LockTable};
+
+use crate::location::LocationDb;
+use crate::proto::{
+    CallbackBreak, EntryKind, ServerId, VStatus, ViceError, ViceReply, ViceRequest,
+};
+use crate::protect::{AccessList, ProtectionDomain, Rights};
+use crate::volume::{Volume, VolumeError, VolumeId};
+use itc_rpc::{NodeId, RpcStats};
+use itc_sim::{Costs, Resource, SimTime, TraversalMode, ValidationMode};
+use itc_unixfs::{FileType, FsError};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Cost components of one handled call, consumed by the timing kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CallCost {
+    /// Handler CPU beyond fixed dispatch.
+    pub server_cpu: SimTime,
+    /// Bytes moved through the server disk.
+    pub disk_bytes: u64,
+    /// Whether the lock-server process was consulted.
+    pub lock_ipc: bool,
+}
+
+/// A Vice cluster server.
+#[derive(Debug)]
+pub struct Server {
+    id: ServerId,
+    node: NodeId,
+    cpu: Resource,
+    disk: Resource,
+    volumes: Vec<Volume>,
+    location: LocationDb,
+    domain: Rc<RefCell<ProtectionDomain>>,
+    callbacks: HashMap<String, HashSet<NodeId>>,
+    locks: LockTable,
+    stats: RpcStats,
+    validation: ValidationMode,
+    traversal: TraversalMode,
+    pending_breaks: Vec<(NodeId, CallbackBreak)>,
+    next_volume_id: u32,
+    online: bool,
+}
+
+impl Server {
+    /// Creates a server with no volumes.
+    pub fn new(
+        id: ServerId,
+        node: NodeId,
+        domain: Rc<RefCell<ProtectionDomain>>,
+        validation: ValidationMode,
+        traversal: TraversalMode,
+    ) -> Server {
+        Server {
+            id,
+            node,
+            cpu: Resource::new(format!("server{}-cpu", id.0)),
+            disk: Resource::new(format!("server{}-disk", id.0)),
+            volumes: Vec::new(),
+            location: LocationDb::new(),
+            domain,
+            callbacks: HashMap::new(),
+            locks: LockTable::new(),
+            stats: RpcStats::new(),
+            validation,
+            traversal,
+            pending_breaks: Vec::new(),
+            next_volume_id: id.0 * 10_000,
+            online: true,
+        }
+    }
+
+    /// Whether the machine is up (the availability goal of Section 2.2:
+    /// single machine failures must only affect "small groups of users").
+    pub fn is_online(&self) -> bool {
+        self.online
+    }
+
+    /// Takes the whole server down or brings it back.
+    pub fn set_online(&mut self, online: bool) {
+        self.online = online;
+    }
+
+    /// Server id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Network node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The server's CPU resource (shared with the timing kernel).
+    pub fn cpu(&self) -> &Resource {
+        &self.cpu
+    }
+
+    /// The server's disk resource.
+    pub fn disk(&self) -> &Resource {
+        &self.disk
+    }
+
+    /// Call statistics.
+    pub fn stats(&self) -> &RpcStats {
+        &self.stats
+    }
+
+    /// The server's replica of the location database.
+    pub fn location(&self) -> &LocationDb {
+        &self.location
+    }
+
+    /// Mutable location database (the system layer updates every server's
+    /// replica together, charging replication time).
+    pub fn location_mut(&mut self) -> &mut LocationDb {
+        &mut self.location
+    }
+
+    /// Allocates a fresh volume id unique to this server.
+    pub fn alloc_volume_id(&mut self) -> VolumeId {
+        let id = VolumeId(self.next_volume_id);
+        self.next_volume_id += 1;
+        id
+    }
+
+    /// Installs a volume on this server.
+    pub fn add_volume(&mut self, volume: Volume) {
+        self.volumes.push(volume);
+    }
+
+    /// Removes a volume by id (for moves), returning it.
+    pub fn take_volume(&mut self, id: VolumeId) -> Option<Volume> {
+        let idx = self.volumes.iter().position(|v| v.id() == id)?;
+        Some(self.volumes.remove(idx))
+    }
+
+    /// The hosted volumes.
+    pub fn volumes(&self) -> &[Volume] {
+        &self.volumes
+    }
+
+    /// Mutable access to a hosted volume by id.
+    pub fn volume_mut(&mut self, id: VolumeId) -> Option<&mut Volume> {
+        self.volumes.iter_mut().find(|v| v.id() == id)
+    }
+
+    /// Finds the hosted volume covering `path`, preferring the longest
+    /// mount and, among equals, a writable volume over a read-only replica
+    /// when `want_write`.
+    fn volume_for(&self, path: &str, want_write: bool) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, v) in self.volumes.iter().enumerate() {
+            if !v.covers(path) {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let bv = &self.volumes[b];
+                    let longer = v.mount().len() > bv.mount().len();
+                    let same = v.mount().len() == bv.mount().len();
+                    longer
+                        || (same
+                            && want_write
+                            && bv.is_read_only()
+                            && !v.is_read_only())
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    /// Takes the callback breaks generated by recent calls; the system
+    /// layer delivers them (one-way messages) and invalidates caches.
+    pub fn drain_breaks(&mut self) -> Vec<(NodeId, CallbackBreak)> {
+        std::mem::take(&mut self.pending_breaks)
+    }
+
+    /// Number of callback promises currently outstanding (server state the
+    /// check-on-open design avoids, at the price of validation traffic).
+    pub fn callback_promises(&self) -> usize {
+        self.callbacks.values().map(HashSet::len).sum()
+    }
+
+    /// Records statistics for a completed call (invoked by the system layer
+    /// once timing is known).
+    pub fn record_call(&self, kind: &str, req_bytes: u64, reply_bytes: u64, elapsed: SimTime) {
+        self.stats.record(kind, req_bytes, reply_bytes, elapsed);
+    }
+
+    // ------------------------------------------------------------------
+    // Request handling
+    // ------------------------------------------------------------------
+
+    /// Handles one authenticated request.
+    ///
+    /// * `user` — identity from the RPC binding (never from the request).
+    /// * `from` — the workstation's node id (for callback promises).
+    /// * `now` — virtual time, used for mtimes.
+    /// * `costs` — cost table for computing the CPU charge of this call.
+    pub fn handle(
+        &mut self,
+        user: &str,
+        from: NodeId,
+        req: &ViceRequest,
+        now: SimTime,
+        costs: &Costs,
+    ) -> (ViceReply, CallCost) {
+        let mut cost = CallCost::default();
+        let reply = self.dispatch(user, from, req, now, costs, &mut cost);
+        (reply, cost)
+    }
+
+    fn charge_traversal(&self, costs: &Costs, cost: &mut CallCost, path: &str, walked: u32) {
+        if self.traversal == TraversalMode::ServerSide {
+            // Mount-prefix components plus components walked inside the
+            // volume; the prototype's servers walked the whole pathname.
+            let prefix = path.split('/').filter(|c| !c.is_empty()).count() as u32;
+            cost.server_cpu += costs.srv_cpu_per_component * (walked + prefix) as u64;
+        }
+    }
+
+    fn cps_of(&self, user: &str) -> Vec<String> {
+        let mut cps = self.domain.borrow().cps(user);
+        // "System:AnyUser"-style blanket entries are common on ACLs; every
+        // authenticated principal implicitly carries it.
+        cps.push("anyuser".to_string());
+        cps
+    }
+
+    fn check_rights(
+        &self,
+        user: &str,
+        acl: &AccessList,
+        needed: Rights,
+        path: &str,
+    ) -> Result<(), ViceError> {
+        let cps = self.cps_of(user);
+        let eff = acl.effective_rights(cps.iter().map(String::as_str));
+        if eff.covers(needed) {
+            Ok(())
+        } else {
+            Err(ViceError::PermissionDenied(path.to_string()))
+        }
+    }
+
+    fn map_vol_err(path: &str, e: VolumeError) -> ViceError {
+        match e {
+            VolumeError::Fs(fs) => map_fs_err(path, fs),
+            VolumeError::ReadOnly => ViceError::ReadOnlyVolume(path.to_string()),
+            VolumeError::Offline => ViceError::VolumeOffline(path.to_string()),
+            VolumeError::QuotaExceeded { .. } => ViceError::QuotaExceeded(path.to_string()),
+        }
+    }
+
+    fn status_of(vol: &Volume, internal: &str) -> Result<VStatus, ViceError> {
+        let vice_path = vol.vice_path(internal);
+        let fs = vol.fs_read().map_err(|e| Self::map_vol_err(&vice_path, e))?;
+        let attr = fs
+            .lstat(internal)
+            .map_err(|e| map_fs_err(&vice_path, e))?;
+        Ok(VStatus {
+            path: vice_path,
+            fid: attr.ino.0,
+            kind: match attr.ftype {
+                FileType::Regular => EntryKind::File,
+                FileType::Directory => EntryKind::Dir,
+                FileType::Symlink => EntryKind::Symlink,
+            },
+            size: attr.size,
+            version: attr.version,
+            mtime: attr.mtime,
+            mode: attr.mode.0,
+            owner: attr.uid,
+            read_only: vol.is_read_only(),
+        })
+    }
+
+    /// Registers a callback promise for `from` on `path` (callback mode
+    /// only).
+    fn promise(&mut self, path: &str, from: NodeId, costs: &Costs, cost: &mut CallCost) {
+        if self.validation == ValidationMode::Callback {
+            self.callbacks
+                .entry(path.to_string())
+                .or_default()
+                .insert(from);
+            cost.server_cpu += costs.srv_cpu_callback;
+        }
+    }
+
+    /// Breaks callbacks on `path` (and its parent directory, whose cached
+    /// listing is stale too), excluding the mutating workstation.
+    fn break_callbacks(
+        &mut self,
+        path: &str,
+        new_version: u64,
+        from: NodeId,
+        costs: &Costs,
+        cost: &mut CallCost,
+    ) {
+        if self.validation != ValidationMode::Callback {
+            return;
+        }
+        let mut targets: Vec<String> = vec![path.to_string()];
+        if let Ok((parent, _)) = itc_unixfs::dirname_basename(path) {
+            targets.push(parent);
+        }
+        for target in targets {
+            if let Some(holders) = self.callbacks.remove(&target) {
+                for ws in holders {
+                    if ws != from {
+                        cost.server_cpu += costs.srv_cpu_callback;
+                        self.pending_breaks.push((
+                            ws,
+                            CallbackBreak {
+                                path: target.clone(),
+                                new_version,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn dispatch(
+        &mut self,
+        user: &str,
+        from: NodeId,
+        req: &ViceRequest,
+        now: SimTime,
+        costs: &Costs,
+        cost: &mut CallCost,
+    ) -> ViceReply {
+        // Custodian location is answerable even for paths we do not host.
+        if let ViceRequest::GetCustodian { path } = req {
+            return match self.location.lookup(path) {
+                Some((subtree, entry)) => ViceReply::Custodian {
+                    subtree: subtree.to_string(),
+                    custodian: entry.custodian,
+                    replicas: entry.replicas.clone(),
+                },
+                None => ViceReply::Error(ViceError::NoSuchFile(path.clone())),
+            };
+        }
+
+        let path = req.path().to_string();
+        let want_write = matches!(
+            req,
+            ViceRequest::Store { .. }
+                | ViceRequest::Remove { .. }
+                | ViceRequest::SetMode { .. }
+                | ViceRequest::MakeDir { .. }
+                | ViceRequest::RemoveDir { .. }
+                | ViceRequest::Rename { .. }
+                | ViceRequest::SetAcl { .. }
+                | ViceRequest::MakeSymlink { .. }
+        );
+        let Some(vol_idx) = self.volume_for(&path, want_write) else {
+            // Not ours: answer with the custodian hint, as Section 3.1
+            // specifies.
+            let hint = self.location.custodian_of(&path);
+            return ViceReply::Error(ViceError::NotCustodian(hint));
+        };
+
+        // The location database is authoritative: if it assigns a *deeper*
+        // subtree than the volume we would serve from, that subtree lives
+        // elsewhere (e.g. a user volume that moved away) and the enclosing
+        // volume's stub directory must not shadow it.
+        if let Some((subtree, entry)) = self.location.lookup(&path) {
+            let our_mount_len = self.volumes[vol_idx].mount().len();
+            if subtree.len() > our_mount_len
+                && entry.custodian != self.id
+                && !entry.replicas.contains(&self.id)
+            {
+                return ViceReply::Error(ViceError::NotCustodian(Some(entry.custodian)));
+            }
+        }
+
+        // Protection is evaluated on every call.
+        cost.server_cpu += costs.srv_cpu_protection;
+
+        match req {
+            ViceRequest::GetCustodian { .. } => unreachable!("handled above"),
+
+            ViceRequest::Fetch { path } => {
+                let vol = &self.volumes[vol_idx];
+                let Some(internal) = vol.internal_path(path) else {
+                    return ViceReply::Error(ViceError::NoSuchFile(path.clone()));
+                };
+                let acl = match vol.acl_for(&internal) {
+                    Ok(a) => a.clone(),
+                    Err(e) => return ViceReply::Error(Self::map_vol_err(path, e)),
+                };
+                if let Err(e) = self.check_rights(user, &acl, Rights::READ, path) {
+                    return ViceReply::Error(e);
+                }
+                let vol = &self.volumes[vol_idx];
+                let fs = match vol.fs_read() {
+                    Ok(f) => f,
+                    Err(e) => return ViceReply::Error(Self::map_vol_err(path, e)),
+                };
+                // Do not follow a final symlink: Venus interprets links
+                // itself (they may point into other volumes on other
+                // servers).
+                let resolved = match fs.resolve(&internal, false) {
+                    Ok(r) => r,
+                    Err(e) => return ViceReply::Error(map_fs_err(path, e)),
+                };
+                self.charge_traversal(costs, cost, path, resolved.components_walked);
+                let attr = fs.attr_of(resolved.ino).expect("resolved").clone();
+                match attr.ftype {
+                    FileType::Regular => {
+                        let data = fs.read_ino(resolved.ino).expect("regular file");
+                        cost.server_cpu += costs.srv_block_cpu(data.len() as u64);
+                        cost.disk_bytes = data.len() as u64;
+                        let status = match Self::status_of(&self.volumes[vol_idx], &internal) {
+                            Ok(s) => s,
+                            Err(e) => return ViceReply::Error(e),
+                        };
+                        self.promise(path, from, costs, cost);
+                        ViceReply::Data { status, data }
+                    }
+                    FileType::Directory => {
+                        // Directories are fetchable as serialized listings:
+                        // "a directory stored as a Vice file is easier to
+                        // interpret when the whole file is available"
+                        // (Section 3.2). Venus uses this for client-side
+                        // traversal.
+                        let listing = fs.readdir(&internal).expect("is a directory");
+                        let mut blob = Vec::new();
+                        for (name, ino) in &listing {
+                            let kind = match fs.attr_of(*ino).expect("entry").ftype {
+                                FileType::Regular => b'f',
+                                FileType::Directory => b'd',
+                                FileType::Symlink => b'l',
+                            };
+                            blob.push(kind);
+                            blob.extend_from_slice(name.as_bytes());
+                            blob.push(b'\n');
+                        }
+                        cost.server_cpu += costs.srv_block_cpu(blob.len() as u64);
+                        cost.disk_bytes = blob.len() as u64;
+                        let status = match Self::status_of(&self.volumes[vol_idx], &internal) {
+                            Ok(s) => s,
+                            Err(e) => return ViceReply::Error(e),
+                        };
+                        self.promise(path, from, costs, cost);
+                        ViceReply::Data { status, data: blob }
+                    }
+                    FileType::Symlink => {
+                        let target = fs.readlink(&internal).expect("is a symlink");
+                        ViceReply::Link(link_target_to_vice(vol, path, &target))
+                    }
+                }
+            }
+
+            ViceRequest::Store { path, data } => {
+                let vol = &self.volumes[vol_idx];
+                let Some(internal) = vol.internal_path(path) else {
+                    return ViceReply::Error(ViceError::NoSuchFile(path.clone()));
+                };
+                let acl = match vol.acl_for(&internal) {
+                    Ok(a) => a.clone(),
+                    Err(e) => return ViceReply::Error(Self::map_vol_err(path, e)),
+                };
+                let exists = vol.fs().exists(&internal);
+                let needed = if exists { Rights::WRITE } else { Rights::INSERT };
+                if let Err(e) = self.check_rights(user, &acl, needed, path) {
+                    return ViceReply::Error(e);
+                }
+                if self.traversal == TraversalMode::ServerSide {
+                    let walked = path.split('/').filter(|c| !c.is_empty()).count() as u32;
+                    cost.server_cpu += costs.srv_cpu_per_component * walked as u64;
+                }
+                cost.server_cpu += costs.srv_block_cpu(data.len() as u64);
+                cost.disk_bytes = data.len() as u64;
+                let uid = uid_of(user);
+                let vol = &mut self.volumes[vol_idx];
+                match vol.store(&internal, uid, now.as_micros(), data.clone()) {
+                    Ok(_) => {
+                        let status = match Self::status_of(&self.volumes[vol_idx], &internal) {
+                            Ok(s) => s,
+                            Err(e) => return ViceReply::Error(e),
+                        };
+                        let v = status.version;
+                        self.break_callbacks(path, v, from, costs, cost);
+                        // The storing workstation's own copy is current; it
+                        // gets a fresh promise.
+                        self.promise(path, from, costs, cost);
+                        ViceReply::Status(status)
+                    }
+                    Err(e) => ViceReply::Error(Self::map_vol_err(path, e)),
+                }
+            }
+
+            ViceRequest::Remove { path } => {
+                self.mutate_entry(user, from, vol_idx, path, Rights::DELETE, costs, cost, now, |vol, internal, t| {
+                    vol.fs_mut()
+                        .map_err(|e| (internal.to_string(), e))?
+                        .unlink(internal, t)
+                        .map_err(|e| (internal.to_string(), VolumeError::Fs(e)))
+                })
+            }
+
+            ViceRequest::GetStatus { path } => {
+                cost.server_cpu += costs.srv_cpu_getstatus;
+                // The prototype stored status in per-file .admin files:
+                // answering a status query touches the server disk.
+                cost.disk_bytes = 2_048;
+                let vol = &self.volumes[vol_idx];
+                let Some(internal) = vol.internal_path(path) else {
+                    return ViceReply::Error(ViceError::NoSuchFile(path.clone()));
+                };
+                let acl = match vol.acl_for(&internal) {
+                    Ok(a) => a.clone(),
+                    Err(e) => return ViceReply::Error(Self::map_vol_err(path, e)),
+                };
+                if let Err(e) = self.check_rights(user, &acl, Rights::READ, path) {
+                    return ViceReply::Error(e);
+                }
+                if let Ok(r) = self.volumes[vol_idx].fs().resolve(&internal, false) {
+                    self.charge_traversal(costs, cost, path, r.components_walked);
+                }
+                match Self::status_of(&self.volumes[vol_idx], &internal) {
+                    Ok(s) => ViceReply::Status(s),
+                    Err(e) => ViceReply::Error(e),
+                }
+            }
+
+            ViceRequest::SetMode { path, mode } => {
+                self.mutate_entry(user, from, vol_idx, path, Rights::WRITE, costs, cost, now, |vol, internal, t| {
+                    vol.fs_mut()
+                        .map_err(|e| (internal.to_string(), e))?
+                        .set_mode(internal, itc_unixfs::Mode(*mode), t)
+                        .map_err(|e| (internal.to_string(), VolumeError::Fs(e)))
+                })
+            }
+
+            ViceRequest::Validate { path, fid, version } => {
+                cost.server_cpu += costs.srv_cpu_validate;
+                // Timestamp comparison reads the .admin file from disk.
+                cost.disk_bytes = 2_048;
+                // The prototype's servers walked the entire pathname on
+                // every call — including the dominant validation calls.
+                if self.traversal == TraversalMode::ServerSide {
+                    let walked = path.split('/').filter(|c| !c.is_empty()).count() as u32;
+                    cost.server_cpu += costs.srv_cpu_per_component * walked as u64;
+                }
+                let vol = &self.volumes[vol_idx];
+                let Some(internal) = vol.internal_path(path) else {
+                    return ViceReply::Error(ViceError::NoSuchFile(path.clone()));
+                };
+                // Protection is re-checked on validation too: a revoked
+                // user must not keep using his cached copy by having the
+                // server confirm it is "current".
+                let acl = match vol.acl_for(&internal) {
+                    Ok(a) => a.clone(),
+                    Err(e) => return ViceReply::Error(Self::map_vol_err(path, e)),
+                };
+                if let Err(e) = self.check_rights(user, &acl, Rights::READ, path) {
+                    return ViceReply::Error(e);
+                }
+                let vol = &self.volumes[vol_idx];
+                match Self::status_of(vol, &internal) {
+                    Ok(status) => {
+                        // Both the identity and the version must match: a
+                        // deleted-and-recreated file has a new fid, so a
+                        // stale cache can never validate against it.
+                        let valid = status.fid == *fid && status.version == *version;
+                        self.promise(path, from, costs, cost);
+                        ViceReply::Validated {
+                            valid,
+                            status: (!valid).then_some(status),
+                        }
+                    }
+                    Err(e) => ViceReply::Error(e),
+                }
+            }
+
+            ViceRequest::MakeDir { path } => {
+                let vol = &self.volumes[vol_idx];
+                let Some(internal) = vol.internal_path(path) else {
+                    return ViceReply::Error(ViceError::NoSuchFile(path.clone()));
+                };
+                // A volume's mount root always exists (clients walking
+                // down with mkdir -p hit this for mounted user volumes).
+                if internal == "/" {
+                    return ViceReply::Error(ViceError::AlreadyExists(path.clone()));
+                }
+                let acl = match vol.acl_for(&internal) {
+                    Ok(a) => a.clone(),
+                    Err(e) => return ViceReply::Error(Self::map_vol_err(path, e)),
+                };
+                if let Err(e) = self.check_rights(user, &acl, Rights::INSERT, path) {
+                    return ViceReply::Error(e);
+                }
+                let uid = uid_of(user);
+                let vol = &mut self.volumes[vol_idx];
+                match vol.mkdir_inherit(&internal, uid, now.as_micros()) {
+                    Ok(_) => {
+                        let path_owned = path.clone();
+                        self.break_callbacks(&path_owned, 1, from, costs, cost);
+                        match Self::status_of(&self.volumes[vol_idx], &internal) {
+                            Ok(s) => ViceReply::Status(s),
+                            Err(e) => ViceReply::Error(e),
+                        }
+                    }
+                    Err(e) => ViceReply::Error(Self::map_vol_err(path, e)),
+                }
+            }
+
+            ViceRequest::RemoveDir { path } => {
+                self.mutate_entry(user, from, vol_idx, path, Rights::DELETE, costs, cost, now, |vol, internal, t| {
+                    vol.rmdir(internal, t)
+                        .map_err(|e| (internal.to_string(), e))
+                })
+            }
+
+            ViceRequest::Rename { from: src, to: dst } => {
+                let vol = &self.volumes[vol_idx];
+                // Renames must stay within one volume (as in AFS proper).
+                let (Some(si), Some(di)) = (vol.internal_path(src), vol.internal_path(dst))
+                else {
+                    return ViceReply::Error(ViceError::BadRequest(
+                        "rename must stay within one volume".to_string(),
+                    ));
+                };
+                let src_acl = match vol.acl_for(&si) {
+                    Ok(a) => a.clone(),
+                    Err(e) => return ViceReply::Error(Self::map_vol_err(src, e)),
+                };
+                let dst_acl = match vol.acl_for(&di) {
+                    Ok(a) => a.clone(),
+                    Err(e) => return ViceReply::Error(Self::map_vol_err(dst, e)),
+                };
+                if let Err(e) = self.check_rights(user, &src_acl, Rights::DELETE, src) {
+                    return ViceReply::Error(e);
+                }
+                if let Err(e) = self.check_rights(user, &dst_acl, Rights::INSERT, dst) {
+                    return ViceReply::Error(e);
+                }
+                let vol = &mut self.volumes[vol_idx];
+                let fs = match vol.fs_mut() {
+                    Ok(f) => f,
+                    Err(e) => return ViceReply::Error(Self::map_vol_err(src, e)),
+                };
+                match fs.rename(&si, &di, now.as_micros()) {
+                    Ok(()) => {
+                        let (s, d) = (src.clone(), dst.clone());
+                        self.break_callbacks(&s, 0, from, costs, cost);
+                        self.break_callbacks(&d, 0, from, costs, cost);
+                        ViceReply::Ok
+                    }
+                    Err(e) => ViceReply::Error(map_fs_err(src, e)),
+                }
+            }
+
+            ViceRequest::ListDir { path } => {
+                let vol = &self.volumes[vol_idx];
+                let Some(internal) = vol.internal_path(path) else {
+                    return ViceReply::Error(ViceError::NoSuchFile(path.clone()));
+                };
+                let acl = match vol.acl_for(&internal) {
+                    Ok(a) => a.clone(),
+                    Err(e) => return ViceReply::Error(Self::map_vol_err(path, e)),
+                };
+                if let Err(e) = self.check_rights(user, &acl, Rights::READ, path) {
+                    return ViceReply::Error(e);
+                }
+                let vol = &self.volumes[vol_idx];
+                let fs = match vol.fs_read() {
+                    Ok(f) => f,
+                    Err(e) => return ViceReply::Error(Self::map_vol_err(path, e)),
+                };
+                match fs.readdir(&internal) {
+                    Ok(entries) => {
+                        if let Ok(r) = fs.resolve(&internal, true) {
+                            self.charge_traversal(costs, cost, path, r.components_walked);
+                        }
+                        let listing = entries
+                            .into_iter()
+                            .map(|(name, ino)| {
+                                let kind = match fs.attr_of(ino).expect("entry").ftype {
+                                    FileType::Regular => EntryKind::File,
+                                    FileType::Directory => EntryKind::Dir,
+                                    FileType::Symlink => EntryKind::Symlink,
+                                };
+                                (name, kind)
+                            })
+                            .collect();
+                        ViceReply::Listing(listing)
+                    }
+                    Err(e) => ViceReply::Error(map_fs_err(path, e)),
+                }
+            }
+
+            ViceRequest::GetAcl { path } => {
+                let vol = &self.volumes[vol_idx];
+                let Some(internal) = vol.internal_path(path) else {
+                    return ViceReply::Error(ViceError::NoSuchFile(path.clone()));
+                };
+                match vol.acl_for(&internal) {
+                    Ok(a) => ViceReply::Acl(a.clone()),
+                    Err(e) => ViceReply::Error(Self::map_vol_err(path, e)),
+                }
+            }
+
+            ViceRequest::SetAcl { path, acl } => {
+                let vol = &self.volumes[vol_idx];
+                let Some(internal) = vol.internal_path(path) else {
+                    return ViceReply::Error(ViceError::NoSuchFile(path.clone()));
+                };
+                let cur = match vol.acl_for(&internal) {
+                    Ok(a) => a.clone(),
+                    Err(e) => return ViceReply::Error(Self::map_vol_err(path, e)),
+                };
+                if let Err(e) = self.check_rights(user, &cur, Rights::ADMINISTER, path) {
+                    return ViceReply::Error(e);
+                }
+                let vol = &mut self.volumes[vol_idx];
+                match vol.set_acl(&internal, acl.clone()) {
+                    Ok(()) => ViceReply::Ok,
+                    Err(e) => ViceReply::Error(Self::map_vol_err(path, e)),
+                }
+            }
+
+            ViceRequest::MakeSymlink { path, target } => {
+                let vol = &self.volumes[vol_idx];
+                let Some(internal) = vol.internal_path(path) else {
+                    return ViceReply::Error(ViceError::NoSuchFile(path.clone()));
+                };
+                let acl = match vol.acl_for(&internal) {
+                    Ok(a) => a.clone(),
+                    Err(e) => return ViceReply::Error(Self::map_vol_err(path, e)),
+                };
+                if let Err(e) = self.check_rights(user, &acl, Rights::INSERT, path) {
+                    return ViceReply::Error(e);
+                }
+                let uid = uid_of(user);
+                let vol = &mut self.volumes[vol_idx];
+                let fs = match vol.fs_mut() {
+                    Ok(f) => f,
+                    Err(e) => return ViceReply::Error(Self::map_vol_err(path, e)),
+                };
+                match fs.symlink(&internal, target, uid, now.as_micros()) {
+                    Ok(_) => ViceReply::Ok,
+                    Err(e) => ViceReply::Error(map_fs_err(path, e)),
+                }
+            }
+
+            ViceRequest::ReadLink { path } => {
+                let vol = &self.volumes[vol_idx];
+                let Some(internal) = vol.internal_path(path) else {
+                    return ViceReply::Error(ViceError::NoSuchFile(path.clone()));
+                };
+                let fs = match vol.fs_read() {
+                    Ok(f) => f,
+                    Err(e) => return ViceReply::Error(Self::map_vol_err(path, e)),
+                };
+                match fs.readlink(&internal) {
+                    Ok(t) => {
+                        let vol = &self.volumes[vol_idx];
+                        ViceReply::Link(link_target_to_vice(vol, path, &t))
+                    }
+                    Err(e) => ViceReply::Error(map_fs_err(path, e)),
+                }
+            }
+
+            ViceRequest::SetLock { path, exclusive } => {
+                cost.lock_ipc = true;
+                let vol = &self.volumes[vol_idx];
+                let Some(internal) = vol.internal_path(path) else {
+                    return ViceReply::Error(ViceError::NoSuchFile(path.clone()));
+                };
+                let acl = match vol.acl_for(&internal) {
+                    Ok(a) => a.clone(),
+                    Err(e) => return ViceReply::Error(Self::map_vol_err(path, e)),
+                };
+                if let Err(e) = self.check_rights(user, &acl, Rights::LOCK, path) {
+                    return ViceReply::Error(e);
+                }
+                let kind = if *exclusive {
+                    LockKind::Exclusive
+                } else {
+                    LockKind::Shared
+                };
+                if self.locks.acquire(path, user, from, kind) {
+                    ViceReply::Ok
+                } else {
+                    ViceReply::Error(ViceError::LockConflict(path.clone()))
+                }
+            }
+
+            ViceRequest::ReleaseLock { path } => {
+                cost.lock_ipc = true;
+                self.locks.release(path, user, from);
+                ViceReply::Ok
+            }
+        }
+    }
+
+    /// Common shape for delete-like mutations: rights check, run the
+    /// operation, break callbacks.
+    #[allow(clippy::too_many_arguments)]
+    fn mutate_entry<F>(
+        &mut self,
+        user: &str,
+        from: NodeId,
+        vol_idx: usize,
+        path: &str,
+        needed: Rights,
+        costs: &Costs,
+        cost: &mut CallCost,
+        now: SimTime,
+        op: F,
+    ) -> ViceReply
+    where
+        F: FnOnce(&mut Volume, &str, u64) -> Result<(), (String, VolumeError)>,
+    {
+        let vol = &self.volumes[vol_idx];
+        let Some(internal) = vol.internal_path(path) else {
+            return ViceReply::Error(ViceError::NoSuchFile(path.to_string()));
+        };
+        let acl = match vol.acl_for(&internal) {
+            Ok(a) => a.clone(),
+            Err(e) => return ViceReply::Error(Self::map_vol_err(path, e)),
+        };
+        if let Err(e) = self.check_rights(user, &acl, needed, path) {
+            return ViceReply::Error(e);
+        }
+        let vol = &mut self.volumes[vol_idx];
+        match op(vol, &internal, now.as_micros()) {
+            Ok(()) => {
+                self.break_callbacks(path, 0, from, costs, cost);
+                ViceReply::Ok
+            }
+            Err((p, e)) => ViceReply::Error(Self::map_vol_err(&p, e)),
+        }
+    }
+}
+
+/// Translates a symlink target (as stored) into the Vice name space for
+/// the client to interpret: absolute `/vice/...` targets pass through,
+/// other absolute targets are volume-internal, and relative targets join
+/// the link's own directory.
+fn link_target_to_vice(vol: &Volume, link_vice_path: &str, target: &str) -> String {
+    if target == "/vice" || target.starts_with("/vice/") {
+        target.to_string()
+    } else if target.starts_with('/') {
+        vol.vice_path(target)
+    } else {
+        match itc_unixfs::dirname_basename(link_vice_path) {
+            Ok((dir, _)) => {
+                itc_unixfs::join(&dir, target).unwrap_or_else(|_| target.to_string())
+            }
+            Err(_) => target.to_string(),
+        }
+    }
+}
+
+/// Maps a file-system error to the protocol error space.
+fn map_fs_err(path: &str, e: FsError) -> ViceError {
+    match e {
+        FsError::NotFound(_) => ViceError::NoSuchFile(path.to_string()),
+        FsError::NotADirectory(_) => ViceError::NotADirectory(path.to_string()),
+        FsError::IsADirectory(_) => ViceError::IsADirectory(path.to_string()),
+        FsError::AlreadyExists(_) => ViceError::AlreadyExists(path.to_string()),
+        FsError::NotEmpty(_) => ViceError::NotEmpty(path.to_string()),
+        FsError::SymlinkLoop(_) => ViceError::SymlinkLoop(path.to_string()),
+        FsError::InvalidPath(_) => ViceError::BadRequest(format!("invalid path: {path}")),
+        FsError::RenameIntoSelf(_) => ViceError::RenameIntoSelf(path.to_string()),
+        FsError::NotASymlink(_) => ViceError::BadRequest(format!("not a symlink: {path}")),
+    }
+}
+
+/// A stable uid for a user name (display/bookkeeping only; authorization is
+/// by name through the protection domain).
+pub fn uid_of(user: &str) -> u32 {
+    let mut h = 0x811c_9dc5u32;
+    for b in user.bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    // Avoid uid 0 so "root-looking" owners never appear by accident.
+    (h | 1) & 0x7fff_ffff
+}

@@ -1,0 +1,366 @@
+//! The whole-file cache.
+//!
+//! "Part of the disk on each workstation is used to store local files,
+//! while the rest is used as a cache of files in Vice. ... Virtue caches
+//! entire files along with their status and custodianship information"
+//! (Section 3.2). Entries hold complete file contents (or a directory's
+//! serialized listing, used for client-side pathname traversal in the
+//! revised design) plus the status block validation compares.
+//!
+//! Two eviction policies, matching Section 3.5.1 vs 5.3:
+//! count-limited LRU (the prototype — "Venus limits the total number of
+//! files in the cache rather than the total size") and space-limited LRU
+//! (the revised implementation).
+
+use crate::config::CachePolicy;
+use crate::proto::VStatus;
+use std::collections::HashMap;
+
+/// What a cache entry holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// A whole file.
+    File,
+    /// A directory's serialized listing (client-side traversal).
+    Directory,
+}
+
+/// One cached object.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Entire contents (file bytes or listing blob).
+    pub data: Vec<u8>,
+    /// Status as of the fetch (version is what validation compares).
+    pub status: VStatus,
+    /// Entry kind.
+    pub kind: EntryKind,
+    /// Callback-mode validity: true while the server's promise stands.
+    /// Check-on-open mode ignores this and always revalidates.
+    pub valid: bool,
+    /// LRU tick of last use.
+    last_used: u64,
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Opens satisfied without fetching (file present and current).
+    pub hits: u64,
+    /// Opens that required a whole-file fetch.
+    pub misses: u64,
+    /// Entries evicted by the policy.
+    pub evictions: u64,
+    /// Entries invalidated by callback breaks.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio over file opens; 0 when no opens yet.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The Venus file cache.
+#[derive(Debug)]
+pub struct Cache {
+    entries: HashMap<String, CacheEntry>,
+    policy: CachePolicy,
+    tick: u64,
+    bytes: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache under the given policy.
+    pub fn new(policy: CachePolicy) -> Cache {
+        Cache {
+            entries: HashMap::new(),
+            policy,
+            tick: 0,
+            bytes: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The eviction policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total cached bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Counts a hit (caller decides, since validity rules differ by mode).
+    pub fn count_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Counts a miss.
+    pub fn count_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Looks up an entry, refreshing its LRU position.
+    pub fn get(&mut self, path: &str) -> Option<&CacheEntry> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(path) {
+            Some(e) => {
+                e.last_used = tick;
+                Some(&*e)
+            }
+            None => None,
+        }
+    }
+
+    /// Looks up without touching LRU state (for inspection in tests and
+    /// metrics).
+    pub fn peek(&self, path: &str) -> Option<&CacheEntry> {
+        self.entries.get(path)
+    }
+
+    /// Inserts or replaces an entry, then evicts per policy. Returns the
+    /// paths evicted.
+    pub fn insert(
+        &mut self,
+        path: &str,
+        data: Vec<u8>,
+        status: VStatus,
+        kind: EntryKind,
+    ) -> Vec<String> {
+        self.tick += 1;
+        if let Some(old) = self.entries.remove(path) {
+            self.bytes -= old.data.len() as u64;
+        }
+        self.bytes += data.len() as u64;
+        self.entries.insert(
+            path.to_string(),
+            CacheEntry {
+                data,
+                status,
+                kind,
+                valid: true,
+                last_used: self.tick,
+            },
+        );
+        self.evict(path)
+    }
+
+    /// Marks an entry invalid (callback break). Returns true if present.
+    pub fn invalidate(&mut self, path: &str) -> bool {
+        match self.entries.get_mut(path) {
+            Some(e) => {
+                if e.valid {
+                    e.valid = false;
+                    self.stats.invalidations += 1;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks an entry valid again (after a successful validation) and
+    /// optionally refreshes its status.
+    pub fn revalidate(&mut self, path: &str, status: Option<VStatus>) {
+        if let Some(e) = self.entries.get_mut(path) {
+            e.valid = true;
+            if let Some(s) = status {
+                e.status = s;
+            }
+        }
+    }
+
+    /// Updates the contents of a cached entry in place (after a successful
+    /// store: the cache copy is the new authoritative contents).
+    pub fn update(&mut self, path: &str, data: Vec<u8>, status: VStatus) -> Vec<String> {
+        self.insert(path, data, status, EntryKind::File)
+    }
+
+    /// Removes an entry outright (file deleted).
+    pub fn remove(&mut self, path: &str) {
+        if let Some(old) = self.entries.remove(path) {
+            self.bytes -= old.data.len() as u64;
+        }
+    }
+
+    /// Drops everything (used when simulating a workstation wipe or a
+    /// different user sitting down at a public workstation).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
+    /// Evicts least-recently-used entries until the policy is satisfied,
+    /// never evicting `protect` (the entry just inserted).
+    fn evict(&mut self, protect: &str) -> Vec<String> {
+        let mut evicted = Vec::new();
+        loop {
+            let over = match self.policy {
+                CachePolicy::CountLru(max) => self.entries.len() > max,
+                CachePolicy::SpaceLru(max) => self.bytes > max,
+            };
+            if !over {
+                break;
+            }
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(p, _)| p.as_str() != protect)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(p, _)| p.clone());
+            match victim {
+                Some(p) => {
+                    if let Some(old) = self.entries.remove(&p) {
+                        self.bytes -= old.data.len() as u64;
+                    }
+                    self.stats.evictions += 1;
+                    evicted.push(p);
+                }
+                None => break, // only the protected entry remains
+            }
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::EntryKind as PKind;
+
+    fn status(path: &str, version: u64, size: u64) -> VStatus {
+        VStatus {
+            path: path.to_string(),
+            fid: 1,
+            kind: PKind::File,
+            size,
+            version,
+            mtime: 0,
+            mode: 0o644,
+            owner: 1,
+            read_only: false,
+        }
+    }
+
+    #[test]
+    fn count_lru_evicts_oldest() {
+        let mut c = Cache::new(CachePolicy::CountLru(2));
+        c.insert("/v/a", vec![1], status("/v/a", 1, 1), EntryKind::File);
+        c.insert("/v/b", vec![2], status("/v/b", 1, 1), EntryKind::File);
+        // Touch /v/a so /v/b becomes LRU.
+        c.get("/v/a");
+        let evicted = c.insert("/v/c", vec![3], status("/v/c", 1, 1), EntryKind::File);
+        assert_eq!(evicted, vec!["/v/b".to_string()]);
+        assert!(c.peek("/v/a").is_some());
+        assert!(c.peek("/v/b").is_none());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn space_lru_tracks_bytes() {
+        let mut c = Cache::new(CachePolicy::SpaceLru(100));
+        c.insert("/v/a", vec![0; 60], status("/v/a", 1, 60), EntryKind::File);
+        c.insert("/v/b", vec![0; 30], status("/v/b", 1, 30), EntryKind::File);
+        assert_eq!(c.bytes(), 90);
+        // 50 more bytes forces /v/a (LRU) out.
+        let evicted = c.insert("/v/c", vec![0; 50], status("/v/c", 1, 50), EntryKind::File);
+        assert_eq!(evicted, vec!["/v/a".to_string()]);
+        assert_eq!(c.bytes(), 80);
+    }
+
+    #[test]
+    fn space_lru_never_evicts_the_new_entry() {
+        let mut c = Cache::new(CachePolicy::SpaceLru(10));
+        // A single oversized file stays cached (the policy can't satisfy
+        // its bound, but evicting the file being opened would be absurd).
+        let evicted = c.insert("/v/huge", vec![0; 50], status("/v/huge", 1, 50), EntryKind::File);
+        assert!(evicted.is_empty());
+        assert!(c.peek("/v/huge").is_some());
+    }
+
+    #[test]
+    fn replacing_updates_bytes() {
+        let mut c = Cache::new(CachePolicy::SpaceLru(1000));
+        c.insert("/v/a", vec![0; 100], status("/v/a", 1, 100), EntryKind::File);
+        c.insert("/v/a", vec![0; 10], status("/v/a", 2, 10), EntryKind::File);
+        assert_eq!(c.bytes(), 10);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek("/v/a").unwrap().status.version, 2);
+    }
+
+    #[test]
+    fn invalidate_and_revalidate() {
+        let mut c = Cache::new(CachePolicy::CountLru(10));
+        c.insert("/v/a", vec![1], status("/v/a", 1, 1), EntryKind::File);
+        assert!(c.peek("/v/a").unwrap().valid);
+        assert!(c.invalidate("/v/a"));
+        assert!(!c.peek("/v/a").unwrap().valid);
+        assert_eq!(c.stats().invalidations, 1);
+        // Double-invalidation doesn't double-count.
+        c.invalidate("/v/a");
+        assert_eq!(c.stats().invalidations, 1);
+        c.revalidate("/v/a", Some(status("/v/a", 5, 1)));
+        let e = c.peek("/v/a").unwrap();
+        assert!(e.valid);
+        assert_eq!(e.status.version, 5);
+        assert!(!c.invalidate("/v/ghost"));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut c = Cache::new(CachePolicy::CountLru(10));
+        c.insert("/v/a", vec![0; 5], status("/v/a", 1, 5), EntryKind::File);
+        c.insert("/v/b", vec![0; 5], status("/v/b", 1, 5), EntryKind::File);
+        c.remove("/v/a");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 5);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut c = Cache::new(CachePolicy::CountLru(10));
+        for _ in 0..8 {
+            c.count_hit();
+        }
+        for _ in 0..2 {
+            c.count_miss();
+        }
+        assert!((c.stats().hit_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directory_entries_coexist_with_files() {
+        let mut c = Cache::new(CachePolicy::CountLru(10));
+        c.insert("/v/dir", b"fa\nfb\n".to_vec(), status("/v/dir", 1, 6), EntryKind::Directory);
+        c.insert("/v/dir/a", vec![1], status("/v/dir/a", 1, 1), EntryKind::File);
+        assert_eq!(c.peek("/v/dir").unwrap().kind, EntryKind::Directory);
+        assert_eq!(c.peek("/v/dir/a").unwrap().kind, EntryKind::File);
+    }
+}

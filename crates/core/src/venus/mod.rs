@@ -1,0 +1,1202 @@
+//! Venus: the workstation cache manager.
+//!
+//! Section 3.5.1: "Virtue is implemented in two parts: a set of
+//! modifications to the workstation operating system to intercept file
+//! requests, and a user-level process, called Venus. Venus handles
+//! management of the cache, communication with Vice and the emulation of
+//! native file system primitives for Vice files."
+//!
+//! This module is the heart of the client half of the design:
+//!
+//! * **Whole-file caching** — `open` fetches the entire file into the cache
+//!   on a miss; `read`/`write` touch only the cached copy; `close`
+//!   transmits the whole file back to the custodian if it was modified
+//!   (Section 3.2). "Other than performance, there is no difference
+//!   between accessing a local file and a file in the shared name space."
+//! * **Validation** — check-on-open (prototype) or callback-based (revised
+//!   design): a cached entry is used without any server traffic while its
+//!   callback promise stands.
+//! * **Custodian hints** — "Clients use cached location information as
+//!   hints" (Section 6.1); a stale hint is corrected by the
+//!   `NotCustodian` reply and retried.
+//! * **Client-side pathname traversal** (revised design) — Venus fetches
+//!   and caches intermediate directories and walks them itself, relieving
+//!   the server CPU (Section 5.3). Cached directories are treated as
+//!   hints and are not revalidated on every use; callback breaks (or
+//!   server errors) refresh them.
+//!
+//! Venus never talks to sockets: it issues calls through a
+//! [`ViceTransport`], which the system layer implements over the simulated
+//! network with real encrypted bindings.
+
+pub mod cache;
+pub mod namespace;
+
+pub use cache::{Cache, CacheEntry, CacheStats};
+pub use namespace::{Namespace, Space, WorkstationType, VICE_MOUNT};
+
+use crate::config::{CachePolicy, WritePolicy};
+use crate::proto::{EntryKind, ServerId, VStatus, ViceError, ViceReply, ViceRequest};
+use crate::protect::AccessList;
+use itc_cryptbox::Key;
+use itc_rpc::NodeId;
+use itc_sim::{Costs, SimTime, TraversalMode, ValidationMode};
+use itc_unixfs::{dirname_basename, FsError, Mode};
+use std::collections::HashMap;
+
+/// Errors surfaced to applications by Venus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VenusError {
+    /// No user is logged in at this workstation.
+    NotLoggedIn,
+    /// Vice rejected the operation.
+    Vice(ViceError),
+    /// A local file system error.
+    Local(FsError),
+    /// The transport failed (authentication, unknown server).
+    Transport(String),
+    /// Unknown file handle.
+    BadHandle(u64),
+    /// A reply had an unexpected shape for the request sent.
+    ProtocolMismatch(&'static str),
+    /// Custodian resolution failed repeatedly.
+    NoCustodian(String),
+}
+
+impl std::fmt::Display for VenusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VenusError::NotLoggedIn => write!(f, "no user logged in"),
+            VenusError::Vice(e) => write!(f, "vice: {e}"),
+            VenusError::Local(e) => write!(f, "local: {e}"),
+            VenusError::Transport(m) => write!(f, "transport: {m}"),
+            VenusError::BadHandle(h) => write!(f, "bad file handle {h}"),
+            VenusError::ProtocolMismatch(m) => write!(f, "protocol mismatch: {m}"),
+            VenusError::NoCustodian(p) => write!(f, "no custodian found for {p}"),
+        }
+    }
+}
+
+impl std::error::Error for VenusError {}
+
+impl From<ViceError> for VenusError {
+    fn from(e: ViceError) -> Self {
+        VenusError::Vice(e)
+    }
+}
+
+impl From<FsError> for VenusError {
+    fn from(e: FsError) -> Self {
+        VenusError::Local(e)
+    }
+}
+
+/// The interface Venus uses to reach Vice. Implemented by the system layer
+/// (and by lightweight fakes in unit tests).
+pub trait ViceTransport {
+    /// Issues one authenticated call at virtual time `at`; returns the
+    /// reply and the completion time.
+    fn call(
+        &mut self,
+        ws: NodeId,
+        user: &str,
+        key: Key,
+        server: ServerId,
+        req: &ViceRequest,
+        at: SimTime,
+    ) -> Result<(ViceReply, SimTime), String>;
+
+    /// Picks the topologically nearest of `candidates` to `ws` (used to
+    /// prefer a same-cluster read-only replica).
+    fn nearest(&self, ws: NodeId, candidates: &[ServerId]) -> ServerId;
+
+    /// The server in this workstation's own cluster — the default target
+    /// for location queries.
+    fn home_server(&self, ws: NodeId) -> ServerId;
+}
+
+/// Per-Venus operation counters (the cache's own hit/miss stats live in
+/// [`CacheStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VenusStats {
+    /// File opens through the Vice path.
+    pub vice_opens: u64,
+    /// Whole-file fetches issued.
+    pub fetches: u64,
+    /// Whole-file stores issued.
+    pub stores: u64,
+    /// Cache validation calls issued.
+    pub validations: u64,
+    /// Bytes fetched from Vice.
+    pub bytes_fetched: u64,
+    /// Bytes stored to Vice.
+    pub bytes_stored: u64,
+}
+
+/// An authenticated session at a workstation.
+#[derive(Debug, Clone)]
+struct Session {
+    user: String,
+    key: Key,
+}
+
+/// An open file description.
+#[derive(Debug)]
+struct OpenFile {
+    space: Space,
+    data: Vec<u8>,
+    dirty: bool,
+    writable: bool,
+}
+
+/// The Venus cache manager for one workstation.
+#[derive(Debug)]
+pub struct Venus {
+    node: NodeId,
+    namespace: Namespace,
+    cache: Cache,
+    hints: HashMap<String, (ServerId, Vec<ServerId>)>,
+    session: Option<Session>,
+    open_files: HashMap<u64, OpenFile>,
+    next_handle: u64,
+    now: SimTime,
+    validation: ValidationMode,
+    traversal: TraversalMode,
+    costs: Costs,
+    stats: VenusStats,
+    write_policy: WritePolicy,
+    /// Dirty Vice paths awaiting a deferred flush: path -> flush deadline.
+    dirty: HashMap<String, SimTime>,
+}
+
+const CUSTODIAN_RETRIES: u32 = 3;
+
+impl Venus {
+    /// Creates a Venus instance for a workstation.
+    pub fn new(
+        node: NodeId,
+        ws_type: WorkstationType,
+        policy: CachePolicy,
+        validation: ValidationMode,
+        traversal: TraversalMode,
+        costs: Costs,
+    ) -> Venus {
+        Venus::with_write_policy(
+            node,
+            ws_type,
+            policy,
+            validation,
+            traversal,
+            costs,
+            WritePolicy::StoreOnClose,
+        )
+    }
+
+    /// Creates a Venus with an explicit write-back policy (the E16
+    /// ablation; [`Venus::new`] defaults to store-on-close as the paper
+    /// chose).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_write_policy(
+        node: NodeId,
+        ws_type: WorkstationType,
+        policy: CachePolicy,
+        validation: ValidationMode,
+        traversal: TraversalMode,
+        costs: Costs,
+        write_policy: WritePolicy,
+    ) -> Venus {
+        Venus {
+            node,
+            namespace: Namespace::standard(ws_type),
+            cache: Cache::new(policy),
+            hints: HashMap::new(),
+            session: None,
+            open_files: HashMap::new(),
+            next_handle: 1,
+            now: SimTime::ZERO,
+            validation,
+            traversal,
+            costs,
+            stats: VenusStats::default(),
+            write_policy,
+            dirty: HashMap::new(),
+        }
+    }
+
+    /// The workstation's network node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current workstation-local virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances local time (think time between operations). Never moves
+    /// backward.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// The cache (for metrics).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> VenusStats {
+        self.stats
+    }
+
+    /// The local name space.
+    pub fn namespace(&self) -> &Namespace {
+        &self.namespace
+    }
+
+    /// Mutable local name space (for installing user symlinks).
+    pub fn namespace_mut(&mut self) -> &mut Namespace {
+        &mut self.namespace
+    }
+
+    /// Starts a session for `user` whose password-derived key is `key`.
+    /// (Authentication itself — the handshake — is performed by the system
+    /// layer when the first binding to each server is established; a wrong
+    /// password surfaces there.)
+    pub fn set_session(&mut self, user: &str, key: Key) {
+        self.session = Some(Session {
+            user: user.to_string(),
+            key,
+        });
+    }
+
+    /// Ends the session. The cache is retained: it belongs to the
+    /// workstation, not the user, and a returning user benefits from it.
+    pub fn clear_session(&mut self) {
+        self.session = None;
+    }
+
+    /// The logged-in user, if any.
+    pub fn current_user(&self) -> Option<&str> {
+        self.session.as_deref_user()
+    }
+
+    /// Delivers a callback break from a server: the cached copy (file or
+    /// directory) at `path` is no longer valid.
+    pub fn on_callback_break(&mut self, path: &str) {
+        // A locally-dirty file is about to be overwritten by our own flush
+        // anyway (last-writer-wins under the delayed policy); invalidating
+        // it would silently discard the user's unflushed edit.
+        if !self.dirty.contains_key(path) {
+            self.cache.invalidate(path);
+        }
+    }
+
+    fn session(&self) -> Result<Session, VenusError> {
+        self.session.clone().ok_or(VenusError::NotLoggedIn)
+    }
+
+    fn charge_intercept(&mut self) {
+        self.now += self.costs.ws_cpu_intercept;
+    }
+
+    fn charge_local_disk(&mut self, bytes: u64) {
+        self.now += self.costs.ws_disk_transfer(bytes);
+    }
+
+    // ------------------------------------------------------------------
+    // Custodian resolution
+    // ------------------------------------------------------------------
+
+    fn hint_for(&self, vice_path: &str) -> Option<(ServerId, Vec<ServerId>)> {
+        let mut best: Option<(&String, &(ServerId, Vec<ServerId>))> = None;
+        for (root, entry) in &self.hints {
+            let matches = vice_path == root.as_str()
+                || vice_path.starts_with(&format!("{root}/"));
+            if matches && best.is_none_or(|(b, _)| root.len() > b.len()) {
+                best = Some((root, entry));
+            }
+        }
+        best.map(|(_, e)| e.clone())
+    }
+
+    fn drop_hint_for(&mut self, vice_path: &str) {
+        self.hints
+            .retain(|root, _| !(vice_path == root.as_str() || vice_path.starts_with(&format!("{root}/"))));
+    }
+
+    /// Learns the custodian of `vice_path`, consulting the hint cache
+    /// first and the home server's location database otherwise.
+    fn resolve_custodian(
+        &mut self,
+        t: &mut dyn ViceTransport,
+        vice_path: &str,
+    ) -> Result<(ServerId, Vec<ServerId>), VenusError> {
+        if let Some(hit) = self.hint_for(vice_path) {
+            return Ok(hit);
+        }
+        let s = self.session()?;
+        let home = t.home_server(self.node);
+        let req = ViceRequest::GetCustodian {
+            path: vice_path.to_string(),
+        };
+        let (reply, done) = t
+            .call(self.node, &s.user, s.key, home, &req, self.now)
+            .map_err(VenusError::Transport)?;
+        self.now = done;
+        match reply {
+            ViceReply::Custodian {
+                subtree,
+                custodian,
+                replicas,
+            } => {
+                self.hints.insert(subtree, (custodian, replicas.clone()));
+                Ok((custodian, replicas))
+            }
+            ViceReply::Error(e) => Err(VenusError::Vice(e)),
+            _ => Err(VenusError::ProtocolMismatch("GetCustodian")),
+        }
+    }
+
+    /// Issues `req` to the appropriate server, following `NotCustodian`
+    /// hints. Read-only-eligible calls (`prefer_replica`) go to the
+    /// nearest replica; mutations go to the custodian.
+    fn call_vice(
+        &mut self,
+        t: &mut dyn ViceTransport,
+        req: &ViceRequest,
+        prefer_replica: bool,
+    ) -> Result<ViceReply, VenusError> {
+        let s = self.session()?;
+        let path = req.path().to_string();
+        for _ in 0..CUSTODIAN_RETRIES {
+            let (custodian, replicas) = self.resolve_custodian(t, &path)?;
+            // Candidate order: for read-eligible calls, nearest first and
+            // fail over down the list; mutations go to the custodian only
+            // (read-only replicas cannot apply them anyway).
+            let mut candidates = if prefer_replica && !replicas.is_empty() {
+                let mut all = vec![custodian];
+                all.extend(replicas.iter().copied());
+                let first = t.nearest(self.node, &all);
+                let mut ordered = vec![first];
+                ordered.extend(all.into_iter().filter(|c| *c != first));
+                ordered
+            } else {
+                vec![custodian]
+            };
+            candidates.dedup();
+
+            let mut last_unreachable = None;
+            let mut reply = None;
+            for target in candidates {
+                let (r, done) = t
+                    .call(self.node, &s.user, s.key, target, req, self.now)
+                    .map_err(VenusError::Transport)?;
+                self.now = done;
+                match r {
+                    // This machine is down: try the next replica — "single
+                    // point ... machine failures should not affect the
+                    // entire user community" (Section 2.2).
+                    ViceReply::Error(ViceError::Unreachable(srv)) => {
+                        last_unreachable = Some(srv);
+                    }
+                    other => {
+                        reply = Some(other);
+                        break;
+                    }
+                }
+            }
+            match reply {
+                Some(ViceReply::Error(ViceError::NotCustodian(hint))) => {
+                    // Stale hint: drop it and retry. If the server offered
+                    // a hint, seed it for the exact path's parent subtree.
+                    self.drop_hint_for(&path);
+                    if let Some(h) = hint {
+                        self.hints.insert(path.clone(), (h, Vec::new()));
+                    }
+                }
+                Some(other) => return Ok(other),
+                None => {
+                    return Err(VenusError::Vice(ViceError::Unreachable(
+                        last_unreachable.unwrap_or(custodian.0),
+                    )))
+                }
+            }
+        }
+        Err(VenusError::NoCustodian(path))
+    }
+
+    // ------------------------------------------------------------------
+    // Cache fill
+    // ------------------------------------------------------------------
+
+    /// Ensures the directories on the way to `vice_path` are cached
+    /// (client-side traversal mode): "Venus will translate a Vice pathname
+    /// into a file identifier by caching the intermediate directories from
+    /// Vice and traversing them" (Section 5.3).
+    fn walk_client_side(
+        &mut self,
+        t: &mut dyn ViceTransport,
+        vice_path: &str,
+    ) -> Result<(), VenusError> {
+        if self.traversal != TraversalMode::ClientSide {
+            return Ok(());
+        }
+        // Ancestors strictly between /vice and the final component.
+        let comps: Vec<&str> = vice_path.split('/').filter(|c| !c.is_empty()).collect();
+        let mut prefix = String::new();
+        for comp in &comps[..comps.len().saturating_sub(1)] {
+            prefix.push('/');
+            prefix.push_str(comp);
+            self.now += self.costs.ws_cpu_per_component;
+            if prefix == VICE_MOUNT {
+                continue;
+            }
+            let cached_valid = self
+                .cache
+                .peek(&prefix)
+                .map(|e| e.kind == cache::EntryKind::Directory && (e.valid || e.status.read_only))
+                .unwrap_or(false);
+            if cached_valid {
+                self.cache.get(&prefix);
+                continue;
+            }
+            // Fetch the directory's listing blob and cache it.
+            let req = ViceRequest::Fetch {
+                path: prefix.clone(),
+            };
+            match self.call_vice(t, &req, true)? {
+                ViceReply::Data { status, data } => {
+                    self.stats.fetches += 1;
+                    self.stats.bytes_fetched += data.len() as u64;
+                    self.charge_local_disk(data.len() as u64);
+                    self.cache
+                        .insert(&prefix, data, status, cache::EntryKind::Directory);
+                }
+                ViceReply::Error(e) => return Err(VenusError::Vice(e)),
+                ViceReply::Link(_) => {
+                    // A symlink mid-path inside Vice; the server resolves
+                    // these on the final operation, so just stop walking.
+                    return Ok(());
+                }
+                _ => return Err(VenusError::ProtocolMismatch("Fetch dir")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Makes sure a current copy of `vice_path` is in the cache, fetching
+    /// or validating as the mode requires. Returns the file contents.
+    fn ensure_cached(
+        &mut self,
+        t: &mut dyn ViceTransport,
+        vice_path: &str,
+    ) -> Result<Vec<u8>, VenusError> {
+        self.stats.vice_opens += 1;
+        self.walk_client_side(t, vice_path)?;
+
+        // A dirty (unflushed) copy is the newest version in existence:
+        // serve it locally — the custodian may not even know the file yet.
+        if self.dirty.contains_key(vice_path) {
+            if let Some(e) = self.cache.get(vice_path) {
+                let data = e.data.clone();
+                self.cache.count_hit();
+                self.charge_local_disk(data.len() as u64);
+                return Ok(data);
+            }
+        }
+
+        // Decide whether the cached copy may be used without a fetch.
+        let cached = self.cache.peek(vice_path).map(|e| {
+            (
+                e.valid,
+                e.status.read_only,
+                e.status.fid,
+                e.status.version,
+                e.data.len() as u64,
+            )
+        });
+        if let Some((valid, read_only, fid, version, size)) = cached {
+            // Read-only subtree copies "can never be invalid".
+            if read_only {
+                self.cache.count_hit();
+                self.charge_local_disk(size);
+                return Ok(self.cache.get(vice_path).expect("peeked").data.clone());
+            }
+            match self.validation {
+                ValidationMode::Callback if valid => {
+                    // Promise stands: zero server traffic.
+                    self.cache.count_hit();
+                    self.charge_local_disk(size);
+                    return Ok(self.cache.get(vice_path).expect("peeked").data.clone());
+                }
+                ValidationMode::Callback => {
+                    // Broken promise: must refetch below.
+                }
+                ValidationMode::CheckOnOpen => {
+                    // The prototype's dominant call: validate on every open.
+                    let req = ViceRequest::Validate {
+                        path: vice_path.to_string(),
+                        fid,
+                        version,
+                    };
+                    self.stats.validations += 1;
+                    match self.call_vice(t, &req, true)? {
+                        ViceReply::Validated { valid: true, .. } => {
+                            self.cache.revalidate(vice_path, None);
+                            self.cache.count_hit();
+                            self.charge_local_disk(size);
+                            return Ok(self.cache.get(vice_path).expect("peeked").data.clone());
+                        }
+                        ViceReply::Validated { valid: false, .. } => {
+                            // Stale: fall through to fetch.
+                        }
+                        ViceReply::Error(ViceError::NoSuchFile(_)) => {
+                            // Deleted behind our back.
+                            self.cache.remove(vice_path);
+                        }
+                        ViceReply::Error(e) => return Err(VenusError::Vice(e)),
+                        _ => return Err(VenusError::ProtocolMismatch("Validate")),
+                    }
+                }
+            }
+        }
+
+        // Whole-file fetch.
+        let req = ViceRequest::Fetch {
+            path: vice_path.to_string(),
+        };
+        match self.call_vice(t, &req, true)? {
+            ViceReply::Data { status, data } => {
+                self.cache.count_miss();
+                self.stats.fetches += 1;
+                self.stats.bytes_fetched += data.len() as u64;
+                // Writing the fetched file to the local cache disk, then
+                // reading it back for the application (Section 3.5.1: the
+                // cache is a directory in the local Unix file system, not
+                // memory — a miss pays the local disk twice).
+                self.charge_local_disk(data.len() as u64);
+                self.charge_local_disk(data.len() as u64);
+                let kind = if status.kind == EntryKind::Dir {
+                    cache::EntryKind::Directory
+                } else {
+                    cache::EntryKind::File
+                };
+                self.cache.insert(vice_path, data.clone(), status, kind);
+                Ok(data)
+            }
+            ViceReply::Link(target) => {
+                // A symlink inside Vice: follow it (target is a Vice path).
+                self.ensure_cached(t, &target)
+            }
+            ViceReply::Error(e) => Err(VenusError::Vice(e)),
+            _ => Err(VenusError::ProtocolMismatch("Fetch")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The workstation file interface (what intercepted syscalls invoke)
+    // ------------------------------------------------------------------
+
+    /// Opens a file for reading. Returns a handle.
+    pub fn open_read(
+        &mut self,
+        t: &mut dyn ViceTransport,
+        path: &str,
+    ) -> Result<u64, VenusError> {
+        self.charge_intercept();
+        let space = self.namespace.classify(path, true)?;
+        let (data, space) = match space {
+            Space::Local(p) => {
+                let data = self.namespace.local().read(&p)?;
+                self.charge_local_disk(data.len() as u64);
+                (data, Space::Local(p))
+            }
+            Space::Vice(vp) => {
+                let data = self.ensure_cached(t, &vp)?;
+                (data, Space::Vice(vp))
+            }
+        };
+        Ok(self.install_handle(space, data, false))
+    }
+
+    /// Opens (creating if necessary) a file for writing. The initial
+    /// content is the current file content, or empty for a new file.
+    pub fn open_write(
+        &mut self,
+        t: &mut dyn ViceTransport,
+        path: &str,
+    ) -> Result<u64, VenusError> {
+        self.charge_intercept();
+        let space = self.namespace.classify(path, true)?;
+        let (data, space) = match space {
+            Space::Local(p) => {
+                let data = self.namespace.local().read(&p).unwrap_or_default();
+                (data, Space::Local(p))
+            }
+            Space::Vice(vp) => {
+                let data = match self.ensure_cached(t, &vp) {
+                    Ok(d) => d,
+                    Err(VenusError::Vice(ViceError::NoSuchFile(_))) => Vec::new(),
+                    Err(e) => return Err(e),
+                };
+                (data, Space::Vice(vp))
+            }
+        };
+        Ok(self.install_handle(space, data, true))
+    }
+
+    fn install_handle(&mut self, space: Space, data: Vec<u8>, writable: bool) -> u64 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.open_files.insert(
+            h,
+            OpenFile {
+                space,
+                data,
+                dirty: false,
+                writable,
+            },
+        );
+        h
+    }
+
+    /// Reads the whole contents through an open handle. "After the file is
+    /// opened, individual read and write operations are directed to the
+    /// cached copy. Virtue does not communicate with Vice in performing
+    /// these operations" (Section 3.2).
+    pub fn read(&self, handle: u64) -> Result<&[u8], VenusError> {
+        self.open_files
+            .get(&handle)
+            .map(|f| f.data.as_slice())
+            .ok_or(VenusError::BadHandle(handle))
+    }
+
+    /// Replaces the contents through an open (writable) handle. No server
+    /// communication happens until close.
+    pub fn write(&mut self, handle: u64, data: Vec<u8>) -> Result<(), VenusError> {
+        let f = self
+            .open_files
+            .get_mut(&handle)
+            .ok_or(VenusError::BadHandle(handle))?;
+        if !f.writable {
+            return Err(VenusError::Vice(ViceError::PermissionDenied(
+                "handle opened read-only".to_string(),
+            )));
+        }
+        f.data = data;
+        f.dirty = true;
+        Ok(())
+    }
+
+    /// Appends bytes through an open handle.
+    pub fn append(&mut self, handle: u64, bytes: &[u8]) -> Result<(), VenusError> {
+        let f = self
+            .open_files
+            .get_mut(&handle)
+            .ok_or(VenusError::BadHandle(handle))?;
+        if !f.writable {
+            return Err(VenusError::Vice(ViceError::PermissionDenied(
+                "handle opened read-only".to_string(),
+            )));
+        }
+        f.data.extend_from_slice(bytes);
+        f.dirty = true;
+        Ok(())
+    }
+
+    /// Closes a handle. "When the file is closed, the cache copy is
+    /// transmitted to the appropriate custodian" — store-on-close
+    /// (Section 3.2), adopted "to simplify recovery from workstation
+    /// crashes" and to approximate timesharing visibility semantics.
+    pub fn close(&mut self, t: &mut dyn ViceTransport, handle: u64) -> Result<(), VenusError> {
+        self.charge_intercept();
+        let f = self
+            .open_files
+            .remove(&handle)
+            .ok_or(VenusError::BadHandle(handle))?;
+        if !f.dirty {
+            return Ok(());
+        }
+        match f.space {
+            Space::Local(p) => {
+                self.charge_local_disk(f.data.len() as u64);
+                let now_us = self.now.as_micros();
+                self.namespace
+                    .local_mut()
+                    .write(&p, 0, now_us, f.data)?;
+                Ok(())
+            }
+            Space::Vice(vp) => {
+                if let WritePolicy::Delayed(delay) = self.write_policy {
+                    // Deferred write-back: update the local cache copy and
+                    // schedule the flush; repeated closes coalesce.
+                    self.charge_local_disk(f.data.len() as u64);
+                    let status = match self.cache.peek(&vp) {
+                        Some(e) => {
+                            let mut st = e.status.clone();
+                            st.size = f.data.len() as u64;
+                            st.mtime = self.now.as_micros();
+                            st
+                        }
+                        None => provisional_status(&vp, f.data.len() as u64, self.now),
+                    };
+                    self.cache
+                        .insert(&vp, f.data, status, cache::EntryKind::File);
+                    let deadline = self.now + delay;
+                    self.dirty.entry(vp).or_insert(deadline);
+                    return Ok(());
+                }
+                self.store_back(t, &vp, f.data)
+            }
+        }
+    }
+
+    /// Transmits a whole file to its custodian and refreshes the cache
+    /// entry with the authoritative status.
+    fn store_back(
+        &mut self,
+        t: &mut dyn ViceTransport,
+        vp: &str,
+        data: Vec<u8>,
+    ) -> Result<(), VenusError> {
+        // Reading the cached copy off the local disk to transmit.
+        self.charge_local_disk(data.len() as u64);
+        let req = ViceRequest::Store {
+            path: vp.to_string(),
+            data: data.clone(),
+        };
+        match self.call_vice(t, &req, false)? {
+            ViceReply::Status(status) => {
+                self.stats.stores += 1;
+                self.stats.bytes_stored += data.len() as u64;
+                self.cache.update(vp, data, status);
+                Ok(())
+            }
+            ViceReply::Error(e) => Err(VenusError::Vice(e)),
+            _ => Err(VenusError::ProtocolMismatch("Store")),
+        }
+    }
+
+    /// Number of dirty files awaiting a deferred flush.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Flushes deferred writes whose deadline has passed (no-op under
+    /// store-on-close). Invoked before every operation by the system
+    /// layer, and explicitly by `flush_all`.
+    pub fn flush_due(&mut self, t: &mut dyn ViceTransport) -> Result<usize, VenusError> {
+        let now = self.now;
+        self.flush_matching(t, |deadline| deadline <= now)
+    }
+
+    /// Flushes every deferred write immediately (logout, shutdown).
+    pub fn flush_all(&mut self, t: &mut dyn ViceTransport) -> Result<usize, VenusError> {
+        self.flush_matching(t, |_| true)
+    }
+
+    fn flush_matching(
+        &mut self,
+        t: &mut dyn ViceTransport,
+        pred: impl Fn(SimTime) -> bool,
+    ) -> Result<usize, VenusError> {
+        let due: Vec<String> = self
+            .dirty
+            .iter()
+            .filter(|(_, &d)| pred(d))
+            .map(|(p, _)| p.clone())
+            .collect();
+        let mut flushed = 0;
+        for p in due {
+            let Some(entry) = self.cache.peek(&p) else {
+                self.dirty.remove(&p);
+                continue;
+            };
+            let data = entry.data.clone();
+            self.store_back(t, &p, data)?;
+            self.dirty.remove(&p);
+            flushed += 1;
+        }
+        Ok(flushed)
+    }
+
+    /// Simulates a workstation crash: every unflushed deferred write is
+    /// lost, and the cache is wiped (the paper's rationale for
+    /// store-on-close — "to simplify recovery from workstation crashes").
+    /// Returns the number of updates lost.
+    pub fn crash(&mut self) -> usize {
+        let lost = self.dirty.len();
+        self.dirty.clear();
+        self.cache.clear();
+        self.open_files.clear();
+        lost
+    }
+
+    /// `stat(2)`: local files answer locally; Vice files answer from a
+    /// valid cached status (callback mode) or with a GetStatus call.
+    pub fn stat(&mut self, t: &mut dyn ViceTransport, path: &str) -> Result<VStatus, VenusError> {
+        self.charge_intercept();
+        match self.namespace.classify(path, true)? {
+            Space::Local(p) => {
+                let a = self.namespace.local().stat(&p)?;
+                Ok(local_status(&p, &a))
+            }
+            Space::Vice(vp) => {
+                // A dirty copy's status is the newest in existence.
+                if self.dirty.contains_key(&vp) {
+                    if let Some(e) = self.cache.peek(&vp) {
+                        return Ok(e.status.clone());
+                    }
+                }
+                if self.validation == ValidationMode::Callback {
+                    if let Some(e) = self.cache.peek(&vp) {
+                        if e.valid || e.status.read_only {
+                            return Ok(e.status.clone());
+                        }
+                    }
+                }
+                let req = ViceRequest::GetStatus { path: vp };
+                match self.call_vice(t, &req, true)? {
+                    ViceReply::Status(s) => Ok(s),
+                    ViceReply::Error(e) => Err(VenusError::Vice(e)),
+                    _ => Err(VenusError::ProtocolMismatch("GetStatus")),
+                }
+            }
+        }
+    }
+
+    /// Lists a directory.
+    pub fn readdir(
+        &mut self,
+        t: &mut dyn ViceTransport,
+        path: &str,
+    ) -> Result<Vec<(String, EntryKind)>, VenusError> {
+        self.charge_intercept();
+        match self.namespace.classify(path, true)? {
+            Space::Local(p) => {
+                let entries = self.namespace.local().readdir(&p)?;
+                let local = self.namespace.local();
+                Ok(entries
+                    .into_iter()
+                    .map(|(name, ino)| {
+                        let kind = match local.attr_of(ino).expect("entry").ftype {
+                            itc_unixfs::FileType::Regular => EntryKind::File,
+                            itc_unixfs::FileType::Directory => EntryKind::Dir,
+                            itc_unixfs::FileType::Symlink => EntryKind::Symlink,
+                        };
+                        (name, kind)
+                    })
+                    .collect())
+            }
+            Space::Vice(vp) => {
+                let req = ViceRequest::ListDir { path: vp };
+                match self.call_vice(t, &req, true)? {
+                    ViceReply::Listing(l) => Ok(l),
+                    ViceReply::Error(e) => Err(VenusError::Vice(e)),
+                    _ => Err(VenusError::ProtocolMismatch("ListDir")),
+                }
+            }
+        }
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&mut self, t: &mut dyn ViceTransport, path: &str) -> Result<(), VenusError> {
+        self.charge_intercept();
+        match self.namespace.classify(path, true)? {
+            Space::Local(p) => {
+                let now_us = self.now.as_micros();
+                self.namespace
+                    .local_mut()
+                    .mkdir(&p, Mode::DIR_DEFAULT, 0, now_us)?;
+                Ok(())
+            }
+            Space::Vice(vp) => {
+                let req = ViceRequest::MakeDir { path: vp.clone() };
+                match self.call_vice(t, &req, false)? {
+                    ViceReply::Status(_) | ViceReply::Ok => {
+                        // Our cached copy of the parent listing is stale.
+                        if let Ok((parent, _)) = dirname_basename(&vp) {
+                            self.cache.invalidate(&parent);
+                        }
+                        Ok(())
+                    }
+                    ViceReply::Error(e) => Err(VenusError::Vice(e)),
+                    _ => Err(VenusError::ProtocolMismatch("MakeDir")),
+                }
+            }
+        }
+    }
+
+    /// Removes a file or symlink.
+    pub fn unlink(&mut self, t: &mut dyn ViceTransport, path: &str) -> Result<(), VenusError> {
+        self.charge_intercept();
+        match self.namespace.classify(path, false)? {
+            Space::Local(p) => {
+                let now_us = self.now.as_micros();
+                self.namespace.local_mut().unlink(&p, now_us)?;
+                Ok(())
+            }
+            Space::Vice(vp) => {
+                let req = ViceRequest::Remove { path: vp.clone() };
+                match self.call_vice(t, &req, false)? {
+                    ViceReply::Ok => {
+                        self.cache.remove(&vp);
+                        if let Ok((parent, _)) = dirname_basename(&vp) {
+                            self.cache.invalidate(&parent);
+                        }
+                        Ok(())
+                    }
+                    ViceReply::Error(e) => Err(VenusError::Vice(e)),
+                    _ => Err(VenusError::ProtocolMismatch("Remove")),
+                }
+            }
+        }
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&mut self, t: &mut dyn ViceTransport, path: &str) -> Result<(), VenusError> {
+        self.charge_intercept();
+        match self.namespace.classify(path, false)? {
+            Space::Local(p) => {
+                let now_us = self.now.as_micros();
+                self.namespace.local_mut().rmdir(&p, now_us)?;
+                Ok(())
+            }
+            Space::Vice(vp) => {
+                let req = ViceRequest::RemoveDir { path: vp.clone() };
+                match self.call_vice(t, &req, false)? {
+                    ViceReply::Ok => {
+                        self.cache.remove(&vp);
+                        Ok(())
+                    }
+                    ViceReply::Error(e) => Err(VenusError::Vice(e)),
+                    _ => Err(VenusError::ProtocolMismatch("RemoveDir")),
+                }
+            }
+        }
+    }
+
+    /// Renames within one space. (Cross-space renames are a copy in Unix
+    /// too — `mv` falls back to copy+unlink — and are not emulated here.)
+    pub fn rename(
+        &mut self,
+        t: &mut dyn ViceTransport,
+        from: &str,
+        to: &str,
+    ) -> Result<(), VenusError> {
+        self.charge_intercept();
+        let f = self.namespace.classify(from, false)?;
+        let d = self.namespace.classify(to, false)?;
+        match (f, d) {
+            (Space::Local(a), Space::Local(b)) => {
+                let now_us = self.now.as_micros();
+                self.namespace.local_mut().rename(&a, &b, now_us)?;
+                Ok(())
+            }
+            (Space::Vice(a), Space::Vice(b)) => {
+                let req = ViceRequest::Rename {
+                    from: a.clone(),
+                    to: b.clone(),
+                };
+                match self.call_vice(t, &req, false)? {
+                    ViceReply::Ok => {
+                        self.cache.remove(&a);
+                        self.cache.remove(&b);
+                        Ok(())
+                    }
+                    ViceReply::Error(e) => Err(VenusError::Vice(e)),
+                    _ => Err(VenusError::ProtocolMismatch("Rename")),
+                }
+            }
+            _ => Err(VenusError::Vice(ViceError::BadRequest(
+                "rename across local/shared boundary".to_string(),
+            ))),
+        }
+    }
+
+    /// Creates a symbolic link (in either space; Vice symlinks are a
+    /// revised-design feature, Section 5.3).
+    pub fn symlink(
+        &mut self,
+        t: &mut dyn ViceTransport,
+        path: &str,
+        target: &str,
+    ) -> Result<(), VenusError> {
+        self.charge_intercept();
+        match self.namespace.classify(path, false)? {
+            Space::Local(p) => {
+                let now_us = self.now.as_micros();
+                self.namespace.local_mut().symlink(&p, target, 0, now_us)?;
+                Ok(())
+            }
+            Space::Vice(vp) => {
+                let req = ViceRequest::MakeSymlink {
+                    path: vp,
+                    target: target.to_string(),
+                };
+                match self.call_vice(t, &req, false)? {
+                    ViceReply::Ok => Ok(()),
+                    ViceReply::Error(e) => Err(VenusError::Vice(e)),
+                    _ => Err(VenusError::ProtocolMismatch("MakeSymlink")),
+                }
+            }
+        }
+    }
+
+    /// Reads a directory's access list.
+    pub fn get_acl(
+        &mut self,
+        t: &mut dyn ViceTransport,
+        path: &str,
+    ) -> Result<AccessList, VenusError> {
+        self.charge_intercept();
+        match self.namespace.classify(path, true)? {
+            Space::Local(_) => Err(VenusError::Vice(ViceError::BadRequest(
+                "local files have no access lists".to_string(),
+            ))),
+            Space::Vice(vp) => {
+                let req = ViceRequest::GetAcl { path: vp };
+                match self.call_vice(t, &req, true)? {
+                    ViceReply::Acl(a) => Ok(a),
+                    ViceReply::Error(e) => Err(VenusError::Vice(e)),
+                    _ => Err(VenusError::ProtocolMismatch("GetAcl")),
+                }
+            }
+        }
+    }
+
+    /// Replaces a directory's access list.
+    pub fn set_acl(
+        &mut self,
+        t: &mut dyn ViceTransport,
+        path: &str,
+        acl: AccessList,
+    ) -> Result<(), VenusError> {
+        self.charge_intercept();
+        match self.namespace.classify(path, true)? {
+            Space::Local(_) => Err(VenusError::Vice(ViceError::BadRequest(
+                "local files have no access lists".to_string(),
+            ))),
+            Space::Vice(vp) => {
+                let req = ViceRequest::SetAcl { path: vp, acl };
+                match self.call_vice(t, &req, false)? {
+                    ViceReply::Ok => Ok(()),
+                    ViceReply::Error(e) => Err(VenusError::Vice(e)),
+                    _ => Err(VenusError::ProtocolMismatch("SetAcl")),
+                }
+            }
+        }
+    }
+
+    /// Acquires an advisory lock.
+    pub fn lock(
+        &mut self,
+        t: &mut dyn ViceTransport,
+        path: &str,
+        exclusive: bool,
+    ) -> Result<(), VenusError> {
+        self.charge_intercept();
+        match self.namespace.classify(path, true)? {
+            Space::Local(_) => Ok(()), // local files need no distributed locks
+            Space::Vice(vp) => {
+                let req = ViceRequest::SetLock {
+                    path: vp,
+                    exclusive,
+                };
+                match self.call_vice(t, &req, false)? {
+                    ViceReply::Ok => Ok(()),
+                    ViceReply::Error(e) => Err(VenusError::Vice(e)),
+                    _ => Err(VenusError::ProtocolMismatch("SetLock")),
+                }
+            }
+        }
+    }
+
+    /// Releases an advisory lock.
+    pub fn unlock(&mut self, t: &mut dyn ViceTransport, path: &str) -> Result<(), VenusError> {
+        self.charge_intercept();
+        match self.namespace.classify(path, true)? {
+            Space::Local(_) => Ok(()),
+            Space::Vice(vp) => {
+                let req = ViceRequest::ReleaseLock { path: vp };
+                match self.call_vice(t, &req, false)? {
+                    ViceReply::Ok => Ok(()),
+                    ViceReply::Error(e) => Err(VenusError::Vice(e)),
+                    _ => Err(VenusError::ProtocolMismatch("ReleaseLock")),
+                }
+            }
+        }
+    }
+
+    /// Convenience: open-read-close in one call.
+    pub fn fetch_file(
+        &mut self,
+        t: &mut dyn ViceTransport,
+        path: &str,
+    ) -> Result<Vec<u8>, VenusError> {
+        let h = self.open_read(t, path)?;
+        let data = self.read(h)?.to_vec();
+        self.close(t, h)?;
+        Ok(data)
+    }
+
+    /// Convenience: open-write-close in one call.
+    pub fn store_file(
+        &mut self,
+        t: &mut dyn ViceTransport,
+        path: &str,
+        data: Vec<u8>,
+    ) -> Result<(), VenusError> {
+        let h = self.open_write(t, path)?;
+        self.write(h, data)?;
+        self.close(t, h)
+    }
+}
+
+/// Adapter so `current_user` can borrow out of the Option<Session>.
+trait SessionExt {
+    fn as_deref_user(&self) -> Option<&str>;
+}
+
+impl SessionExt for Option<Session> {
+    fn as_deref_user(&self) -> Option<&str> {
+        self.as_ref().map(|s| s.user.as_str())
+    }
+}
+
+/// A placeholder status for a file created locally under the delayed
+/// write policy, before the custodian has ever seen it.
+fn provisional_status(path: &str, size: u64, now: SimTime) -> VStatus {
+    VStatus {
+        path: path.to_string(),
+        fid: 0, // unknown until the first flush
+        kind: EntryKind::File,
+        size,
+        version: 0,
+        mtime: now.as_micros(),
+        mode: 0o644,
+        owner: 0,
+        read_only: false,
+    }
+}
+
+fn local_status(path: &str, a: &itc_unixfs::InodeAttr) -> VStatus {
+    VStatus {
+        path: path.to_string(),
+        fid: a.ino.0,
+        kind: match a.ftype {
+            itc_unixfs::FileType::Regular => EntryKind::File,
+            itc_unixfs::FileType::Directory => EntryKind::Dir,
+            itc_unixfs::FileType::Symlink => EntryKind::Symlink,
+        },
+        size: a.size,
+        version: a.version,
+        mtime: a.mtime,
+        mode: a.mode.0,
+        owner: a.uid,
+        read_only: false,
+    }
+}

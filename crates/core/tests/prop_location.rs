@@ -1,0 +1,108 @@
+//! Property tests for the location database: longest-prefix lookup must
+//! agree with a naive reference scan, and mutations must behave.
+
+use itc_core::location::LocationDb;
+use itc_core::proto::ServerId;
+use proptest::prelude::*;
+
+/// A small universe of subtree roots with genuine prefix relationships.
+fn subtree(idx: u8) -> String {
+    match idx % 7 {
+        0 => "/vice".to_string(),
+        1 => "/vice/usr".to_string(),
+        2 => "/vice/usr/alice".to_string(),
+        3 => "/vice/usr/alice/private".to_string(),
+        4 => "/vice/usr/bob".to_string(),
+        5 => "/vice/sys".to_string(),
+        _ => "/vice/sys/sun".to_string(),
+    }
+}
+
+fn query(idx: u8) -> String {
+    match idx % 9 {
+        0 => "/vice/usr/alice/paper.tex".to_string(),
+        1 => "/vice/usr/alice/private/key".to_string(),
+        2 => "/vice/usr/alicexyz/f".to_string(), // boundary trap
+        3 => "/vice/usr/bob/src/main.c".to_string(),
+        4 => "/vice/sys/sun/bin/cc".to_string(),
+        5 => "/vice/sys".to_string(),
+        6 => "/vice".to_string(),
+        7 => "/elsewhere/f".to_string(),
+        _ => "/vice/usr".to_string(),
+    }
+}
+
+/// Naive reference: scan all entries, keep the longest whose root is a
+/// component-boundary prefix.
+fn naive_lookup(entries: &[(String, u32)], path: &str) -> Option<u32> {
+    entries
+        .iter()
+        .filter(|(root, _)| path == root.as_str() || path.starts_with(&format!("{root}/")))
+        .max_by_key(|(root, _)| root.len())
+        .map(|(_, s)| *s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lookup_matches_naive_scan(
+        assignments in proptest::collection::vec((0u8..7, 0u32..10), 1..14),
+        queries in proptest::collection::vec(0u8..9, 1..12),
+    ) {
+        let mut db = LocationDb::new();
+        // The reference keeps last-write-wins per root, as assign() does.
+        let mut reference: Vec<(String, u32)> = Vec::new();
+        for (root_idx, server) in &assignments {
+            let root = subtree(*root_idx);
+            db.assign(&root, ServerId(*server));
+            reference.retain(|(r, _)| r != &root);
+            reference.push((root, *server));
+        }
+        for q in queries {
+            let path = query(q);
+            let got = db.custodian_of(&path).map(|s| s.0);
+            let expect = naive_lookup(&reference, &path);
+            prop_assert_eq!(got, expect, "path {}", path);
+        }
+    }
+
+    #[test]
+    fn version_changes_iff_db_mutates(
+        roots in proptest::collection::vec(0u8..7, 1..10),
+    ) {
+        let mut db = LocationDb::new();
+        let mut v = db.version();
+        for r in roots {
+            db.assign(&subtree(r), ServerId(0));
+            prop_assert!(db.version() > v);
+            v = db.version();
+            // Lookups never mutate.
+            let _ = db.custodian_of(&query(r));
+            prop_assert_eq!(db.version(), v);
+        }
+    }
+
+    #[test]
+    fn reassign_preserves_entry_count(
+        seed in proptest::collection::vec((0u8..7, 0u32..5), 2..10),
+        moves in proptest::collection::vec((0u8..7, 0u32..5), 1..6),
+    ) {
+        let mut db = LocationDb::new();
+        for (r, s) in &seed {
+            db.assign(&subtree(*r), ServerId(*s));
+        }
+        let n = db.len();
+        for (r, s) in &moves {
+            let root = subtree(*r);
+            let existed = db.custodian_of(&root).is_some()
+                && db.entries().any(|(e, _)| e == root);
+            let moved = db.reassign(&root, ServerId(*s));
+            prop_assert_eq!(moved.is_some(), existed);
+            prop_assert_eq!(db.len(), n, "reassign must never add or drop entries");
+            if moved.is_some() {
+                prop_assert_eq!(db.custodian_of(&root), Some(ServerId(*s)));
+            }
+        }
+    }
+}

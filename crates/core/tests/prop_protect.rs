@@ -1,0 +1,228 @@
+//! Property-based tests for the protection machinery: CPS computation,
+//! ACL algebra, and the lock table against reference models.
+
+use itc_core::protect::{AccessList, ProtectionDomain, Rights};
+use itc_core::server::{LockKind, LockTable};
+use itc_rpc::NodeId;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+// ---------------------------------------------------------------------
+// CPS: the transitive closure must match a naive fixpoint.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum DomainOp {
+    AddGroup(u8),
+    AddMember { group: u8, member: u8 },
+}
+
+fn domain_ops() -> impl Strategy<Value = Vec<DomainOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..12).prop_map(DomainOp::AddGroup),
+            (0u8..12, 0u8..16).prop_map(|(group, member)| DomainOp::AddMember { group, member }),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cps_matches_naive_fixpoint(ops in domain_ops()) {
+        let mut d = ProtectionDomain::new();
+        d.add_user("u", "pw").unwrap();
+        // A naive membership edge list: member -> group.
+        let mut edges: Vec<(String, String)> = Vec::new();
+        let mut groups: BTreeSet<String> = BTreeSet::new();
+
+        for op in ops {
+            match op {
+                DomainOp::AddGroup(g) => {
+                    let name = format!("g{g}");
+                    if d.add_group(&name).is_ok() {
+                        groups.insert(name);
+                    }
+                }
+                DomainOp::AddMember { group, member } => {
+                    let gname = format!("g{group}");
+                    let mname = if member == 0 {
+                        "u".to_string()
+                    } else {
+                        format!("g{}", member % 12)
+                    };
+                    if d.add_member(&gname, &mname).is_ok() {
+                        edges.push((mname, gname));
+                    }
+                }
+            }
+        }
+
+        // Naive fixpoint from "u".
+        let mut reach: BTreeSet<String> = BTreeSet::new();
+        reach.insert("u".to_string());
+        loop {
+            let before = reach.len();
+            for (m, g) in &edges {
+                if reach.contains(m) {
+                    reach.insert(g.clone());
+                }
+            }
+            if reach.len() == before {
+                break;
+            }
+        }
+
+        let cps: BTreeSet<String> = d.cps("u").into_iter().collect();
+        prop_assert_eq!(cps, reach);
+    }
+
+    #[test]
+    fn acl_effective_rights_is_monotone_in_cps(
+        grants in proptest::collection::vec((0u8..8, 0u8..128), 0..10),
+        denies in proptest::collection::vec((0u8..8, 0u8..128), 0..4),
+        cps_small in proptest::collection::btree_set(0u8..8, 0..4),
+        extra in 0u8..8,
+    ) {
+        let mut acl = AccessList::new();
+        for (p, r) in &grants {
+            acl.grant(&format!("p{p}"), Rights(r & 0x7f));
+        }
+        for (p, r) in &denies {
+            acl.deny(&format!("p{p}"), Rights(r & 0x7f));
+        }
+        let small: Vec<String> = cps_small.iter().map(|p| format!("p{p}")).collect();
+        let mut big = small.clone();
+        big.push(format!("p{extra}"));
+
+        let small_rights = acl.effective_rights(small.iter().map(String::as_str));
+        let big_rights = acl.effective_rights(big.iter().map(String::as_str));
+
+        // Positive rights are monotone; negative rights may shrink the
+        // result. What must ALWAYS hold: the big CPS's positive union
+        // covers the small one's, and denial only ever removes bits that
+        // some member of the CPS denies.
+        let small_plus: u8 = small.iter().filter_map(|n| acl.positive_for(n)).fold(0, |a, r| a | r.0);
+        let big_plus: u8 = big.iter().filter_map(|n| acl.positive_for(n)).fold(0, |a, r| a | r.0);
+        prop_assert_eq!(big_plus & small_plus, small_plus);
+        // Effective ⊆ positive union.
+        prop_assert_eq!(small_rights.0 & !small_plus, 0);
+        prop_assert_eq!(big_rights.0 & !big_plus, 0);
+    }
+
+    #[test]
+    fn acl_wire_round_trip(
+        grants in proptest::collection::vec(("[a-z]{1,8}", 0u8..128), 0..12),
+        denies in proptest::collection::vec(("[a-z]{1,8}", 0u8..128), 0..6),
+    ) {
+        let mut acl = AccessList::new();
+        for (p, r) in &grants {
+            acl.grant(p, Rights(r & 0x7f));
+        }
+        for (p, r) in &denies {
+            acl.deny(p, Rights(r & 0x7f));
+        }
+        let bytes = acl.encode(itc_rpc::WireWriter::new()).finish();
+        let mut rd = itc_rpc::WireReader::new(&bytes);
+        let back = AccessList::decode(&mut rd).unwrap();
+        rd.done().unwrap();
+        prop_assert_eq!(back, acl);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lock table vs a reference model.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum LockOp {
+    Acquire { path: u8, holder: u8, exclusive: bool },
+    Release { path: u8, holder: u8 },
+}
+
+fn lock_ops() -> impl Strategy<Value = Vec<LockOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..3, 0u8..4, any::<bool>())
+                .prop_map(|(path, holder, exclusive)| LockOp::Acquire { path, holder, exclusive }),
+            (0u8..3, 0u8..4).prop_map(|(path, holder)| LockOp::Release { path, holder }),
+        ],
+        1..60,
+    )
+}
+
+#[derive(Debug, Default, Clone)]
+struct ModelEntry {
+    readers: BTreeSet<u8>,
+    writer: Option<u8>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lock_table_matches_reference_model(ops in lock_ops()) {
+        let mut table = LockTable::new();
+        let mut model: BTreeMap<u8, ModelEntry> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                LockOp::Acquire { path, holder, exclusive } => {
+                    let e = model.entry(path).or_default();
+                    let expect = if exclusive {
+                        match e.writer {
+                            Some(w) => w == holder,
+                            None => e.readers.iter().all(|&r| r == holder),
+                        }
+                    } else {
+                        match e.writer {
+                            Some(w) => w == holder,
+                            None => true,
+                        }
+                    };
+                    let kind = if exclusive { LockKind::Exclusive } else { LockKind::Shared };
+                    let got = table.acquire(
+                        &format!("/p{path}"),
+                        &format!("u{holder}"),
+                        NodeId(u32::from(holder)),
+                        kind,
+                    );
+                    prop_assert_eq!(got, expect, "acquire {:?}", (path, holder, exclusive));
+                    if got {
+                        if exclusive {
+                            if e.writer.is_none() {
+                                e.readers.remove(&holder);
+                                e.writer = Some(holder);
+                            }
+                        } else if e.writer.is_none() {
+                            e.readers.insert(holder);
+                        }
+                    }
+                }
+                LockOp::Release { path, holder } => {
+                    table.release(
+                        &format!("/p{path}"),
+                        &format!("u{holder}"),
+                        NodeId(u32::from(holder)),
+                    );
+                    if let Some(e) = model.get_mut(&path) {
+                        e.readers.remove(&holder);
+                        if e.writer == Some(holder) {
+                            e.writer = None;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Invariant: the table never tracks more paths than the model has
+        // live entries for.
+        let live = model
+            .values()
+            .filter(|e| e.writer.is_some() || !e.readers.is_empty())
+            .count();
+        prop_assert_eq!(table.locked_paths(), live);
+    }
+}

@@ -1,0 +1,211 @@
+//! A sequenced, authenticated, encrypted message channel over a session key.
+//!
+//! Once the handshake completes, "all further communication on the
+//! connection is encrypted" (Section 3.4). The channel layer adds what raw
+//! [`crate::mode::seal`] does not: direction separation (a message sealed by
+//! the client cannot be reflected back to it as a server message) and strict
+//! sequence numbering (replayed or reordered messages are rejected).
+
+use crate::mode::{open, seal, SealError};
+use crate::xtea::Key;
+
+/// Which end of the connection this channel endpoint is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The workstation (Virtue) end.
+    Client,
+    /// The Vice end.
+    Server,
+}
+
+/// Errors surfaced when opening a received message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelError {
+    /// Decryption or MAC verification failed.
+    Crypto(SealError),
+    /// The sequence number was not the one expected: replay, reorder, or
+    /// drop.
+    BadSequence { expected: u64, got: u64 },
+    /// The direction tag did not match: a reflected message.
+    WrongDirection,
+    /// The decrypted payload had the wrong shape.
+    Malformed,
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::Crypto(e) => write!(f, "channel crypto failure: {e}"),
+            ChannelError::BadSequence { expected, got } => {
+                write!(f, "bad sequence number: expected {expected}, got {got}")
+            }
+            ChannelError::WrongDirection => write!(f, "message reflected from wrong direction"),
+            ChannelError::Malformed => write!(f, "malformed channel payload"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// One endpoint of an established secure connection.
+#[derive(Debug)]
+pub struct SecureChannel {
+    key: Key,
+    role: Role,
+    send_seq: u64,
+    recv_seq: u64,
+}
+
+const DIR_CLIENT_TO_SERVER: u8 = 0xC5;
+const DIR_SERVER_TO_CLIENT: u8 = 0x5C;
+
+impl SecureChannel {
+    /// Creates an endpoint from the handshake's session key.
+    pub fn new(session_key: Key, role: Role) -> SecureChannel {
+        SecureChannel {
+            key: session_key,
+            role,
+            send_seq: 0,
+            recv_seq: 0,
+        }
+    }
+
+    /// Number of messages sent so far.
+    pub fn sent(&self) -> u64 {
+        self.send_seq
+    }
+
+    /// Seals `payload` for transmission.
+    pub fn seal_msg(&mut self, payload: &[u8]) -> Vec<u8> {
+        let dir = match self.role {
+            Role::Client => DIR_CLIENT_TO_SERVER,
+            Role::Server => DIR_SERVER_TO_CLIENT,
+        };
+        let mut body = Vec::with_capacity(9 + payload.len());
+        body.push(dir);
+        body.extend_from_slice(&self.send_seq.to_be_bytes());
+        body.extend_from_slice(payload);
+        // Seed the IV with direction and sequence so no two messages share
+        // an IV.
+        let sealed = seal(self.key, (u64::from(dir) << 56) | self.send_seq, &body);
+        self.send_seq += 1;
+        sealed
+    }
+
+    /// Opens a received message, enforcing direction and sequence.
+    pub fn open_msg(&mut self, sealed: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        let body = open(self.key, sealed).map_err(ChannelError::Crypto)?;
+        if body.len() < 9 {
+            return Err(ChannelError::Malformed);
+        }
+        let expected_dir = match self.role {
+            Role::Client => DIR_SERVER_TO_CLIENT,
+            Role::Server => DIR_CLIENT_TO_SERVER,
+        };
+        if body[0] != expected_dir {
+            return Err(ChannelError::WrongDirection);
+        }
+        let seq = u64::from_be_bytes(body[1..9].try_into().expect("checked length"));
+        if seq != self.recv_seq {
+            return Err(ChannelError::BadSequence {
+                expected: self.recv_seq,
+                got: seq,
+            });
+        }
+        self.recv_seq += 1;
+        Ok(body[9..].to_vec())
+    }
+}
+
+/// Convenience: a connected client/server channel pair over one session key.
+pub fn pair(session_key: Key) -> (SecureChannel, SecureChannel) {
+    (
+        SecureChannel::new(session_key, Role::Client),
+        SecureChannel::new(session_key, Role::Server),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: Key = Key([3, 1, 4, 1]);
+
+    #[test]
+    fn messages_flow_both_ways() {
+        let (mut c, mut s) = pair(KEY);
+        let m1 = c.seal_msg(b"Fetch /vice/usr/satya/paper.tex");
+        assert_eq!(s.open_msg(&m1).unwrap(), b"Fetch /vice/usr/satya/paper.tex");
+        let r1 = s.seal_msg(b"here are 12k bytes");
+        assert_eq!(c.open_msg(&r1).unwrap(), b"here are 12k bytes");
+    }
+
+    #[test]
+    fn replay_is_rejected() {
+        let (mut c, mut s) = pair(KEY);
+        let m = c.seal_msg(b"StoreFile");
+        s.open_msg(&m).unwrap();
+        assert!(matches!(
+            s.open_msg(&m),
+            Err(ChannelError::BadSequence { expected: 1, got: 0 })
+        ));
+    }
+
+    #[test]
+    fn reorder_is_rejected() {
+        let (mut c, mut s) = pair(KEY);
+        let m0 = c.seal_msg(b"first");
+        let m1 = c.seal_msg(b"second");
+        assert!(matches!(
+            s.open_msg(&m1),
+            Err(ChannelError::BadSequence { expected: 0, got: 1 })
+        ));
+        // The in-order message still works afterwards.
+        assert_eq!(s.open_msg(&m0).unwrap(), b"first");
+    }
+
+    #[test]
+    fn reflection_is_rejected() {
+        let (mut c, _s) = pair(KEY);
+        let m = c.seal_msg(b"echo?");
+        // An attacker bounces the client's own message back at it.
+        assert_eq!(c.open_msg(&m).err(), Some(ChannelError::WrongDirection));
+    }
+
+    #[test]
+    fn cross_session_messages_rejected() {
+        let (mut c1, _) = pair(Key([1, 1, 1, 1]));
+        let (_, mut s2) = pair(Key([2, 2, 2, 2]));
+        let m = c1.seal_msg(b"hi");
+        assert!(matches!(s2.open_msg(&m), Err(ChannelError::Crypto(_))));
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let (mut c, mut s) = pair(KEY);
+        let mut m = c.seal_msg(b"balance = 10");
+        let mid = m.len() / 2;
+        m[mid] ^= 0x01;
+        assert!(matches!(s.open_msg(&m), Err(ChannelError::Crypto(_))));
+    }
+
+    #[test]
+    fn long_conversation_stays_in_sync() {
+        let (mut c, mut s) = pair(KEY);
+        for i in 0..200u32 {
+            let req = c.seal_msg(&i.to_be_bytes());
+            assert_eq!(s.open_msg(&req).unwrap(), i.to_be_bytes());
+            let rsp = s.seal_msg(&(i * 2).to_be_bytes());
+            assert_eq!(c.open_msg(&rsp).unwrap(), (i * 2).to_be_bytes());
+        }
+        assert_eq!(c.sent(), 200);
+        assert_eq!(s.sent(), 200);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let (mut c, mut s) = pair(KEY);
+        let m = c.seal_msg(b"");
+        assert_eq!(s.open_msg(&m).unwrap(), Vec::<u8>::new());
+    }
+}

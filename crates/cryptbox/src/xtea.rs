@@ -1,0 +1,197 @@
+//! The XTEA block cipher (Needham & Wheeler, 1997): 64-bit blocks, 128-bit
+//! keys, 32 Feistel cycles.
+//!
+//! Chosen as the stand-in for the paper's DES hardware because it is tiny,
+//! well-specified, and implementable from the published description without
+//! external dependencies. See the crate-level warning: not for real use.
+
+/// A 128-bit cipher key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key(pub [u32; 4]);
+
+impl Key {
+    /// Builds a key from 16 bytes (big-endian words).
+    pub fn from_bytes(b: &[u8; 16]) -> Key {
+        let mut w = [0u32; 4];
+        for (i, chunk) in b.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        Key(w)
+    }
+
+    /// Serializes the key to 16 bytes (big-endian words).
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for (i, w) in self.0.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// XORs two keys — used by the handshake to mix nonces into a session
+    /// key.
+    pub fn xor(self, other: Key) -> Key {
+        Key([
+            self.0[0] ^ other.0[0],
+            self.0[1] ^ other.0[1],
+            self.0[2] ^ other.0[2],
+            self.0[3] ^ other.0[3],
+        ])
+    }
+}
+
+impl std::fmt::Debug for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Keys are secrets: never print the material itself.
+        write!(f, "Key(fingerprint={:08x})", fingerprint_words(self.0))
+    }
+}
+
+fn fingerprint_words(w: [u32; 4]) -> u32 {
+    // A non-reversible mix for display purposes only.
+    let mut h = 0x811c_9dc5u32;
+    for x in w {
+        for b in x.to_be_bytes() {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    }
+    h
+}
+
+const DELTA: u32 = 0x9E37_79B9;
+const CYCLES: u32 = 32;
+
+/// Encrypts one 64-bit block in place.
+pub fn encrypt_block(key: Key, block: &mut [u32; 2]) {
+    let [mut v0, mut v1] = *block;
+    let k = key.0;
+    let mut sum = 0u32;
+    for _ in 0..CYCLES {
+        v0 = v0.wrapping_add(
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(k[(sum & 3) as usize])),
+        );
+        sum = sum.wrapping_add(DELTA);
+        v1 = v1.wrapping_add(
+            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                ^ (sum.wrapping_add(k[((sum >> 11) & 3) as usize])),
+        );
+    }
+    *block = [v0, v1];
+}
+
+/// Decrypts one 64-bit block in place.
+pub fn decrypt_block(key: Key, block: &mut [u32; 2]) {
+    let [mut v0, mut v1] = *block;
+    let k = key.0;
+    let mut sum = DELTA.wrapping_mul(CYCLES);
+    for _ in 0..CYCLES {
+        v1 = v1.wrapping_sub(
+            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                ^ (sum.wrapping_add(k[((sum >> 11) & 3) as usize])),
+        );
+        sum = sum.wrapping_sub(DELTA);
+        v0 = v0.wrapping_sub(
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(k[(sum & 3) as usize])),
+        );
+    }
+    *block = [v0, v1];
+}
+
+/// Encrypts 8 bytes (big-endian word pair).
+pub fn encrypt_bytes8(key: Key, bytes: &mut [u8; 8]) {
+    let mut block = [
+        u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]),
+        u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+    ];
+    encrypt_block(key, &mut block);
+    bytes[..4].copy_from_slice(&block[0].to_be_bytes());
+    bytes[4..].copy_from_slice(&block[1].to_be_bytes());
+}
+
+/// Decrypts 8 bytes (big-endian word pair).
+pub fn decrypt_bytes8(key: Key, bytes: &mut [u8; 8]) {
+    let mut block = [
+        u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]),
+        u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+    ];
+    decrypt_block(key, &mut block);
+    bytes[..4].copy_from_slice(&block[0].to_be_bytes());
+    bytes[4..].copy_from_slice(&block[1].to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: Key = Key([0x0123_4567, 0x89ab_cdef, 0xfedc_ba98, 0x7654_3210]);
+
+    #[test]
+    fn round_trips() {
+        let mut block = [0xdead_beef, 0x0bad_f00d];
+        let original = block;
+        encrypt_block(KEY, &mut block);
+        assert_ne!(block, original, "encryption must change the block");
+        decrypt_block(KEY, &mut block);
+        assert_eq!(block, original);
+    }
+
+    #[test]
+    fn wrong_key_does_not_decrypt() {
+        let mut block = [1, 2];
+        encrypt_block(KEY, &mut block);
+        decrypt_block(Key([0, 0, 0, 1]), &mut block);
+        assert_ne!(block, [1, 2]);
+    }
+
+    #[test]
+    fn known_answer_vectors() {
+        // Published XTEA test vectors (Needham/Wheeler reference
+        // implementation, 32 cycles): this implementation must agree with
+        // every other correct XTEA.
+        let key = Key([0x0001_0203, 0x0405_0607, 0x0809_0a0b, 0x0c0d_0e0f]);
+        let mut block = [0x4142_4344u32, 0x4546_4748]; // "ABCDEFGH"
+        encrypt_block(key, &mut block);
+        assert_eq!(block, [0x497d_f3d0, 0x7261_2cb5]);
+        decrypt_block(key, &mut block);
+        assert_eq!(block, [0x4142_4344, 0x4546_4748]);
+
+        let mut zero = [0u32, 0u32];
+        encrypt_block(Key([0; 4]), &mut zero);
+        assert_eq!(zero, [0xdee9_d4d8, 0xf713_1ed9]);
+        decrypt_block(Key([0; 4]), &mut zero);
+        assert_eq!(zero, [0, 0]);
+    }
+
+    #[test]
+    fn byte_interface_round_trips() {
+        let mut b = *b"ITC-1985";
+        let orig = b;
+        encrypt_bytes8(KEY, &mut b);
+        assert_ne!(b, orig);
+        decrypt_bytes8(KEY, &mut b);
+        assert_eq!(b, orig);
+    }
+
+    #[test]
+    fn key_bytes_round_trip() {
+        let k = Key([1, 2, 3, 0xffff_ffff]);
+        assert_eq!(Key::from_bytes(&k.to_bytes()), k);
+    }
+
+    #[test]
+    fn key_debug_does_not_leak_material() {
+        let k = Key([0x5ec2_e75e, 2, 3, 4]);
+        let s = format!("{k:?}");
+        assert!(s.contains("fingerprint"));
+        assert!(!s.contains("5ec2e75e") && !s.contains("5EC2E75E"));
+    }
+
+    #[test]
+    fn xor_mixes_keys() {
+        let a = Key([1, 2, 3, 4]);
+        let b = Key([4, 3, 2, 1]);
+        assert_eq!(a.xor(b).0, [5, 1, 1, 5]);
+        assert_eq!(a.xor(a).0, [0; 4]);
+    }
+}

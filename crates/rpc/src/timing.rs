@@ -1,0 +1,374 @@
+//! The virtual-time charge model for RPC traffic.
+//!
+//! A call's latency is assembled from the pieces the paper identifies:
+//! client-side encryption, network latency (per bridge hop) and transfer
+//! time, queueing at the server CPU — "it is quite clear from our
+//! measurements that the server CPU is the performance bottleneck in our
+//! prototype" (Section 5.2) — then the server disk where a fetch or store
+//! actually moves data, and the reply path home.
+//!
+//! Two of the paper's ablations are parameters here:
+//!
+//! * [`ServerStructure`] — the prototype's process-per-client design pays a
+//!   heavyweight context switch on every call and an IPC hop to the
+//!   dedicated lock-server process; the revised single-process LWP design
+//!   pays neither (Section 3.5.2).
+//! * [`EncryptionMode`] — software encryption charges CPU per byte on both
+//!   ends ("software encryption is too slow to be viable", Section 5.1);
+//!   hardware encryption charges a small fixed cost per message.
+
+use itc_sim::costs::EncryptionMode;
+use itc_sim::{Costs, Resource, ServerStructure, SimTime};
+
+use crate::net::{Network, NodeId};
+
+/// Everything the kernel needs to know about one call.
+#[derive(Debug, Clone)]
+pub struct CallSpec {
+    /// Call kind label (for statistics): "fetch", "store", "validate", ...
+    pub kind: &'static str,
+    /// Request size on the wire, including any whole-file payload on store.
+    pub request_bytes: u64,
+    /// Reply size on the wire, including any whole-file payload on fetch.
+    pub reply_bytes: u64,
+    /// Handler CPU beyond the fixed per-call dispatch (pathname traversal,
+    /// protection checks, status gathering...).
+    pub server_cpu: SimTime,
+    /// Bytes moved through the server disk (0 = purely in-memory call).
+    pub disk_bytes: u64,
+    /// Whether this call consults the lock server (pays an IPC hop in the
+    /// process-per-client structure).
+    pub lock_ipc: bool,
+}
+
+impl CallSpec {
+    /// A small control-only call (no payload, no disk).
+    pub fn control(kind: &'static str, server_cpu: SimTime) -> CallSpec {
+        CallSpec {
+            kind,
+            request_bytes: 128,
+            reply_bytes: 128,
+            server_cpu,
+            disk_bytes: 0,
+            lock_ipc: false,
+        }
+    }
+}
+
+/// Outcome of a timed round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundTrip {
+    /// When the reply is fully decrypted at the client.
+    pub completed_at: SimTime,
+    /// When the request reached the server (before CPU queueing).
+    pub request_arrived: SimTime,
+    /// Total elapsed time as seen by the caller.
+    pub elapsed: SimTime,
+}
+
+/// The timing kernel: cost table plus the two structural knobs.
+#[derive(Debug, Clone)]
+pub struct TimingKernel {
+    costs: Costs,
+    structure: ServerStructure,
+    encryption: EncryptionMode,
+}
+
+impl TimingKernel {
+    /// Creates a kernel.
+    pub fn new(costs: Costs, structure: ServerStructure, encryption: EncryptionMode) -> TimingKernel {
+        TimingKernel {
+            costs,
+            structure,
+            encryption,
+        }
+    }
+
+    /// The cost table.
+    pub fn costs(&self) -> &Costs {
+        &self.costs
+    }
+
+    /// The configured server structure.
+    pub fn structure(&self) -> ServerStructure {
+        self.structure
+    }
+
+    /// The configured encryption mode.
+    pub fn encryption(&self) -> EncryptionMode {
+        self.encryption
+    }
+
+    /// Charges a full RPC round trip starting at `t0` from `from` to the
+    /// server at `to` whose CPU and disk are the given resources.
+    #[allow(clippy::too_many_arguments)] // mirrors the call's real shape
+    pub fn round_trip(
+        &self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+        cpu: &Resource,
+        disk: &Resource,
+        t0: SimTime,
+        spec: &CallSpec,
+    ) -> RoundTrip {
+        let c = &self.costs;
+        let hops = net.hops(from, to);
+        let lat = c.net_latency(hops);
+
+        // Client encrypts the request.
+        let sent = t0 + c.crypt_cost(self.encryption, spec.request_bytes);
+        // Network delivers it.
+        let arrived = sent + lat + c.net_transfer(spec.request_bytes);
+
+        // Server CPU demand: dispatch + decrypt request + handler work +
+        // encrypt reply + structural overheads.
+        let mut demand = c.srv_cpu_per_call
+            + c.crypt_cost(self.encryption, spec.request_bytes)
+            + spec.server_cpu
+            + c.crypt_cost(self.encryption, spec.reply_bytes);
+        if self.structure == ServerStructure::ProcessPerClient {
+            demand += c.srv_cpu_context_switch;
+            if spec.lock_ipc {
+                demand += c.srv_cpu_lock_ipc;
+            }
+        }
+        let cpu_done = cpu.acquire(arrived, demand);
+
+        // Disk, if the call moves file data.
+        let disk_done = if spec.disk_bytes > 0 {
+            disk.acquire(cpu_done, c.disk_transfer(spec.disk_bytes))
+        } else {
+            cpu_done
+        };
+
+        // Reply home; client decrypts.
+        let completed = disk_done
+            + lat
+            + c.net_transfer(spec.reply_bytes)
+            + c.crypt_cost(self.encryption, spec.reply_bytes);
+
+        RoundTrip {
+            completed_at: completed,
+            request_arrived: arrived,
+            elapsed: completed - t0,
+        }
+    }
+
+    /// Charges a one-way message (used for callback breaks, which need no
+    /// reply before the server proceeds): returns its arrival time at `to`.
+    pub fn one_way(
+        &self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+        t0: SimTime,
+        bytes: u64,
+    ) -> SimTime {
+        let c = &self.costs;
+        t0 + c.crypt_cost(self.encryption, bytes)
+            + c.net_latency(net.hops(from, to))
+            + c.net_transfer(bytes)
+    }
+
+    /// Charges the three-message mutual authentication handshake; returns
+    /// the time at which the client may issue its first call.
+    pub fn handshake(
+        &self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+        cpu: &Resource,
+        t0: SimTime,
+    ) -> SimTime {
+        let c = &self.costs;
+        let lat = c.net_latency(net.hops(from, to));
+        let msg = c.net_transfer(96); // handshake messages are small
+
+        // Message 1: client prepares and sends its challenge.
+        let a1 = t0 + c.crypt_handshake + lat + msg;
+        // Server verifies, answers, and challenges back (message 2).
+        let s1 = cpu.acquire(a1, c.crypt_handshake);
+        let a2 = s1 + lat + msg;
+        // Client verifies the server and answers (message 3).
+        let c2 = a2 + c.crypt_handshake;
+        let a3 = c2 + lat + msg;
+        // Server verifies the final answer; the client considers the
+        // binding usable once message 3 is on the wire, but its first call
+        // will queue behind this verification on the server CPU.
+        let _ = cpu.acquire(a3, c.crypt_handshake / 2);
+        a3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itc_sim::costs::EncryptionMode;
+
+    fn setup() -> (Network, NodeId, NodeId, NodeId) {
+        let mut net = Network::new();
+        let c0 = net.add_cluster();
+        let c1 = net.add_cluster();
+        let ws = net.add_node(c0);
+        let local_srv = net.add_node(c0);
+        let remote_srv = net.add_node(c1);
+        (net, ws, local_srv, remote_srv)
+    }
+
+    fn kernel(structure: ServerStructure) -> TimingKernel {
+        TimingKernel::new(Costs::prototype_1985(), structure, EncryptionMode::Hardware)
+    }
+
+    #[test]
+    fn cross_cluster_calls_are_slower() {
+        let (net, ws, local, remote) = setup();
+        let k = kernel(ServerStructure::SingleProcessLwp);
+        let cpu_a = Resource::new("cpu-a");
+        let disk_a = Resource::new("disk-a");
+        let cpu_b = Resource::new("cpu-b");
+        let disk_b = Resource::new("disk-b");
+        let spec = CallSpec::control("validate", SimTime::from_millis(10));
+        let near = k.round_trip(&net, ws, local, &cpu_a, &disk_a, SimTime::ZERO, &spec);
+        let far = k.round_trip(&net, ws, remote, &cpu_b, &disk_b, SimTime::ZERO, &spec);
+        // Two extra hops each way.
+        let c = Costs::prototype_1985();
+        assert_eq!(
+            far.elapsed - near.elapsed,
+            c.net_latency_per_hop * 4,
+            "near={} far={}",
+            near.elapsed,
+            far.elapsed
+        );
+    }
+
+    #[test]
+    fn per_client_process_structure_costs_more_cpu() {
+        let (net, ws, local, _) = setup();
+        let spec = CallSpec {
+            lock_ipc: true,
+            ..CallSpec::control("lock", SimTime::ZERO)
+        };
+        let proto = kernel(ServerStructure::ProcessPerClient);
+        let cpu1 = Resource::new("cpu");
+        let disk1 = Resource::new("disk");
+        let t_proto = proto
+            .round_trip(&net, ws, local, &cpu1, &disk1, SimTime::ZERO, &spec)
+            .elapsed;
+
+        let revised = kernel(ServerStructure::SingleProcessLwp);
+        let cpu2 = Resource::new("cpu");
+        let disk2 = Resource::new("disk");
+        let t_rev = revised
+            .round_trip(&net, ws, local, &cpu2, &disk2, SimTime::ZERO, &spec)
+            .elapsed;
+
+        let c = Costs::prototype_1985();
+        assert_eq!(
+            t_proto - t_rev,
+            c.srv_cpu_context_switch + c.srv_cpu_lock_ipc
+        );
+        assert!(cpu1.busy_total() > cpu2.busy_total());
+    }
+
+    #[test]
+    fn software_encryption_dominates_large_transfers() {
+        let (net, ws, local, _) = setup();
+        let spec = CallSpec {
+            kind: "fetch",
+            request_bytes: 128,
+            reply_bytes: 1 << 20, // 1 MiB file
+            server_cpu: SimTime::ZERO,
+            disk_bytes: 1 << 20,
+            lock_ipc: false,
+        };
+        let sw = TimingKernel::new(
+            Costs::prototype_1985(),
+            ServerStructure::SingleProcessLwp,
+            EncryptionMode::Software,
+        );
+        let hw = kernel(ServerStructure::SingleProcessLwp);
+
+        let cpu1 = Resource::new("cpu");
+        let disk1 = Resource::new("disk");
+        let t_sw = sw
+            .round_trip(&net, ws, local, &cpu1, &disk1, SimTime::ZERO, &spec)
+            .elapsed;
+        let cpu2 = Resource::new("cpu");
+        let disk2 = Resource::new("disk");
+        let t_hw = hw
+            .round_trip(&net, ws, local, &cpu2, &disk2, SimTime::ZERO, &spec)
+            .elapsed;
+        // 2 µs/byte over ~2 MiB of end-to-end crypto work is seconds of
+        // added latency.
+        assert!(
+            t_sw > t_hw + SimTime::from_secs(2),
+            "sw={t_sw} hw={t_hw}"
+        );
+    }
+
+    #[test]
+    fn concurrent_clients_queue_on_server_cpu() {
+        let (net, ws, local, _) = setup();
+        let k = kernel(ServerStructure::SingleProcessLwp);
+        let cpu = Resource::new("cpu");
+        let disk = Resource::new("disk");
+        let spec = CallSpec::control("getstatus", SimTime::from_millis(100));
+        // Two calls issued at the same instant: the second queues.
+        let r1 = k.round_trip(&net, ws, local, &cpu, &disk, SimTime::ZERO, &spec);
+        let r2 = k.round_trip(&net, ws, local, &cpu, &disk, SimTime::ZERO, &spec);
+        assert!(r2.completed_at > r1.completed_at);
+        let rep = cpu.report(r2.completed_at);
+        assert!(rep.mean_queue_delay > SimTime::ZERO);
+    }
+
+    #[test]
+    fn disk_charged_only_when_data_moves() {
+        let (net, ws, local, _) = setup();
+        let k = kernel(ServerStructure::SingleProcessLwp);
+        let cpu = Resource::new("cpu");
+        let disk = Resource::new("disk");
+        let control = CallSpec::control("validate", SimTime::ZERO);
+        k.round_trip(&net, ws, local, &cpu, &disk, SimTime::ZERO, &control);
+        assert_eq!(disk.busy_total(), SimTime::ZERO);
+        let fetch = CallSpec {
+            kind: "fetch",
+            request_bytes: 128,
+            reply_bytes: 60_000,
+            server_cpu: SimTime::ZERO,
+            disk_bytes: 60_000,
+            lock_ipc: false,
+        };
+        k.round_trip(&net, ws, local, &cpu, &disk, SimTime::from_secs(1), &fetch);
+        assert_eq!(
+            disk.busy_total(),
+            Costs::prototype_1985().disk_transfer(60_000)
+        );
+    }
+
+    #[test]
+    fn handshake_takes_three_message_times() {
+        let (net, ws, local, remote) = setup();
+        let k = kernel(ServerStructure::SingleProcessLwp);
+        let cpu = Resource::new("cpu");
+        let near = k.handshake(&net, ws, local, &cpu, SimTime::ZERO);
+        let cpu2 = Resource::new("cpu");
+        let far = k.handshake(&net, ws, remote, &cpu2, SimTime::ZERO);
+        // Three crossings, two hops each.
+        let c = Costs::prototype_1985();
+        assert_eq!(far - near, c.net_latency_per_hop * 6);
+        assert!(near > SimTime::from_millis(100), "handshake is not free");
+    }
+
+    #[test]
+    fn one_way_message_time() {
+        let (net, ws, local, _) = setup();
+        let k = kernel(ServerStructure::SingleProcessLwp);
+        let t = k.one_way(&net, local, ws, SimTime::ZERO, 128);
+        let c = Costs::prototype_1985();
+        assert_eq!(
+            t,
+            c.crypt_cost(EncryptionMode::Hardware, 128) + c.net_latency(0) + c.net_transfer(128)
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Minimal serialization for Vice calls.
+//!
+//! Every request and reply is genuinely encoded to bytes here before being
+//! sealed by the secure channel — the simulation moves real, encrypted,
+//! authenticated bytes. The format is length-prefixed and positional: the
+//! caller must read fields in the order they were written (as with Sun XDR
+//! or the original RPC2 marshalling).
+
+/// Errors from decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes while reading a field.
+    Truncated,
+    /// A string field held invalid UTF-8.
+    BadString,
+    /// Trailing bytes remained after the last expected field.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadString => write!(f, "invalid UTF-8 in string field"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serializes fields into a byte buffer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> WireWriter {
+        WireWriter::default()
+    }
+
+    /// Appends a u8.
+    pub fn u8(mut self, v: u8) -> Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a u32 (big-endian).
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a u64 (big-endian).
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a bool as one byte.
+    pub fn boolean(self, v: bool) -> Self {
+        self.u8(v as u8)
+    }
+
+    /// Appends a length-prefixed string.
+    pub fn string(self, v: &str) -> Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Appends a length-prefixed byte blob (whole-file payloads ride here).
+    pub fn bytes(mut self, v: &[u8]) -> Self {
+        self.buf.extend_from_slice(&(v.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Finishes, yielding the encoded message.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Deserializes fields from a byte buffer, in writing order.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps a received message.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a u8.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a u32.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a u64.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads a bool.
+    pub fn boolean(&mut self) -> Result<bool, WireError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads a length-prefixed string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let b = self.bytes()?;
+        String::from_utf8(b).map_err(|_| WireError::BadString)
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Asserts the message is fully consumed.
+    pub fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.buf.len() - self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let msg = WireWriter::new()
+            .u8(7)
+            .u32(0xdead_beef)
+            .u64(u64::MAX)
+            .boolean(true)
+            .string("fetch /vice/usr/x")
+            .bytes(&[1, 2, 3])
+            .finish();
+        let mut r = WireReader::new(&msg);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert!(r.boolean().unwrap());
+        assert_eq!(r.string().unwrap(), "fetch /vice/usr/x");
+        assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let msg = WireWriter::new().u64(1).finish();
+        let mut r = WireReader::new(&msg[..4]);
+        assert_eq!(r.u64(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let msg = WireWriter::new().u8(1).u8(2).finish();
+        let mut r = WireReader::new(&msg);
+        let _ = r.u8().unwrap();
+        assert_eq!(r.done(), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_utf8_detected() {
+        let msg = WireWriter::new().bytes(&[0xff, 0xfe]).finish();
+        let mut r = WireReader::new(&msg);
+        assert_eq!(r.string(), Err(WireError::BadString));
+    }
+
+    #[test]
+    fn lying_length_prefix_detected() {
+        let mut msg = WireWriter::new().bytes(&[1, 2, 3]).finish();
+        // Claim 100 bytes but provide 3.
+        msg[..4].copy_from_slice(&100u32.to_be_bytes());
+        let mut r = WireReader::new(&msg);
+        assert_eq!(r.bytes(), Err(WireError::Truncated));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(s in "\\PC{0,40}", blob in proptest::collection::vec(any::<u8>(), 0..256), a in any::<u32>(), b in any::<u64>()) {
+            let msg = WireWriter::new().u32(a).string(&s).bytes(&blob).u64(b).finish();
+            let mut r = WireReader::new(&msg);
+            prop_assert_eq!(r.u32().unwrap(), a);
+            prop_assert_eq!(r.string().unwrap(), s);
+            prop_assert_eq!(r.bytes().unwrap(), blob);
+            prop_assert_eq!(r.u64().unwrap(), b);
+            r.done().unwrap();
+        }
+    }
+}

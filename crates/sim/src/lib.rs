@@ -1,0 +1,35 @@
+//! Virtual-time simulation substrate for the ITC distributed file system
+//! reproduction.
+//!
+//! The 1985 paper measured a deployed prototype: 120 workstations, 6 servers,
+//! real users. This crate replaces the physical testbed with a deterministic
+//! virtual-time engine. Protocol code (caching, validation, protection,
+//! transfer) runs for real; only *time* is simulated. Three ideas carry the
+//! whole design:
+//!
+//! * [`Clock`] — a shared virtual clock in microseconds. Nodes advance it as
+//!   work is "performed"; nothing ever sleeps.
+//! * [`Resource`] — a FIFO service center (a server CPU, a disk, a network
+//!   link). A request arriving at time `t` with service demand `s` begins at
+//!   `max(t, earliest_available)` and completes `s` later. This single-queue
+//!   model yields contention, queueing delay and utilization — the quantities
+//!   the paper reports — without coroutines or an event calendar.
+//! * [`Costs`] — every timing constant in one struct, so each ablation in the
+//!   paper (software vs hardware encryption, server-side vs client-side
+//!   pathname traversal, process-per-client vs LWP server) is a parameter
+//!   change rather than a code fork.
+//!
+//! Determinism: all randomness flows through [`SimRng`], seeded explicitly.
+//! Running the same experiment twice produces bit-identical results.
+
+pub mod clock;
+pub mod costs;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{Clock, SimTime};
+pub use costs::{Costs, ServerStructure, TraversalMode, ValidationMode};
+pub use resource::{Resource, UtilizationReport};
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, Percentiles, RunningStats, TimeBuckets};

@@ -1,0 +1,232 @@
+//! Seeded randomness and the distributions the workload models need.
+//!
+//! Everything random in an experiment flows through one [`SimRng`] seeded at
+//! the top of the run, so results are reproducible bit-for-bit. The
+//! distribution sampling (exponential, log-normal, bounded Pareto,
+//! geometric) is implemented here directly rather than pulling in
+//! `rand_distr`: the formulas are a few lines each and keeping them local
+//! makes the workload model self-contained and auditable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random source for simulations.
+#[derive(Debug)]
+pub struct SimRng {
+    rng: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seeded(seed: u64) -> SimRng {
+        SimRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Splits off an independent generator; used to give each simulated user
+    /// a private stream so adding users does not perturb existing ones.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seeded(self.rng.next_u64())
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Picks a uniformly random element of `items`. Panics on empty input.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.range(0, items.len() as u64) as usize]
+    }
+
+    /// Samples an index according to `weights` (need not be normalized).
+    /// Panics if weights are empty or sum to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut x = self.unit() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Exponential with the given mean, via inverse-CDF.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.unit(); // (0, 1]: avoids ln(0)
+        -mean * u.ln()
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.unit();
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normal with the given parameters of the underlying normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// Bounded Pareto on `[lo, hi]` with shape `alpha` — the heavy-tailed
+    /// distribution used for file sizes.
+    pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
+        assert!(lo > 0.0 && hi > lo && alpha > 0.0);
+        let u = self.unit();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        // Inverse CDF of the bounded Pareto.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+    }
+
+    /// Geometric: number of Bernoulli(p) failures before the first success.
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0);
+        if p >= 1.0 {
+            return 0;
+        }
+        let u = 1.0 - self.unit();
+        (u.ln() / (1.0 - p).ln()).floor() as u64
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range(0, i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Raw 64 random bits (for key material in tests and examples).
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Fills a byte slice with random data.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.rng.fill_bytes(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seeded(42);
+        let mut b = SimRng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_later_draws() {
+        // Forking early must give the same child stream regardless of what
+        // the parent does afterwards.
+        let mut p1 = SimRng::seeded(7);
+        let mut c1 = p1.fork();
+        let _ = p1.next_u64();
+
+        let mut p2 = SimRng::seeded(7);
+        let mut c2 = p2.fork();
+        for _ in 0..50 {
+            let _ = p2.unit();
+        }
+        for _ in 0..20 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = SimRng::seeded(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean was {mean}");
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let mut r = SimRng::seeded(2);
+        for _ in 0..10_000 {
+            let x = r.bounded_pareto(1.1, 512.0, 4_000_000.0);
+            assert!((512.0..=4_000_000.0).contains(&x), "out of bounds: {x}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed_but_mostly_small() {
+        let mut r = SimRng::seeded(3);
+        let n = 20_000;
+        let small = (0..n)
+            .filter(|_| r.bounded_pareto(1.1, 512.0, 4_000_000.0) < 100_000.0)
+            .count();
+        // The vast majority of samples should be far below the cap.
+        assert!(small as f64 / n as f64 > 0.9);
+    }
+
+    #[test]
+    fn weighted_index_matches_weights() {
+        let mut r = SimRng::seeded(4);
+        let weights = [0.65, 0.27, 0.04, 0.02, 0.02];
+        let mut counts = [0usize; 5];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[r.weighted_index(&weights)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let observed = counts[i] as f64 / n as f64;
+            assert!(
+                (observed - w).abs() < 0.01,
+                "weight {i}: expected {w}, observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seeded(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::seeded(6);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle of 100 elements left them sorted");
+    }
+
+    #[test]
+    fn geometric_mean_is_close() {
+        let mut r = SimRng::seeded(8);
+        let p: f64 = 0.25;
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| r.geometric(p) as f64).sum::<f64>() / n as f64;
+        let expected = (1.0 - p) / p; // 3.0
+        assert!((mean - expected).abs() < 0.1, "mean was {mean}");
+    }
+}

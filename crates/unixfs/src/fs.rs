@@ -1,0 +1,911 @@
+//! The file system proper: an inode table plus the operations over it.
+
+use crate::error::FsError;
+use crate::inode::{FileType, Ino, Inode, InodeAttr, Mode, NodeData};
+use crate::path::{components, dirname_basename, is_within, join, normalize};
+use std::collections::HashMap;
+
+/// Maximum symlink expansions during one resolution, as in Unix `ELOOP`.
+const SYMLINK_LIMIT: u32 = 40;
+
+/// Result of a successful path resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolved {
+    /// The inode the path denotes.
+    pub ino: Ino,
+    /// Number of directory components walked, including symlink expansions.
+    /// The cost model charges per-component CPU for exactly this number —
+    /// it is how the server-side vs client-side pathname traversal ablation
+    /// (E7) measures work.
+    pub components_walked: u32,
+}
+
+/// An in-memory Unix-like file system.
+///
+/// `Clone` performs a deep copy; the volume layer uses this for read-only
+/// clones (the paper's copy-on-write is a cost-model concern, not a
+/// correctness one — see `itc-core`'s volume module).
+#[derive(Debug, Clone)]
+pub struct FileSystem {
+    inodes: HashMap<u64, Inode>,
+    next_ino: u64,
+    root: Ino,
+    data_bytes: u64,
+}
+
+impl Default for FileSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FileSystem {
+    /// Creates a file system containing only an empty root directory.
+    pub fn new() -> FileSystem {
+        let root = Ino(1);
+        let mut inodes = HashMap::new();
+        inodes.insert(root.0, Inode::new_dir(root, Mode::DIR_DEFAULT, 0, 0));
+        FileSystem {
+            inodes,
+            next_ino: 2,
+            root,
+            data_bytes: 0,
+        }
+    }
+
+    /// The root directory's inode number.
+    pub fn root(&self) -> Ino {
+        self.root
+    }
+
+    /// Total bytes of regular-file data stored.
+    pub fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    /// Number of inodes (files + directories + symlinks, including root).
+    pub fn inode_count(&self) -> usize {
+        self.inodes.len()
+    }
+
+    fn alloc_ino(&mut self) -> Ino {
+        let ino = Ino(self.next_ino);
+        self.next_ino += 1;
+        ino
+    }
+
+    fn node(&self, ino: Ino) -> &Inode {
+        self.inodes.get(&ino.0).expect("dangling inode reference")
+    }
+
+    fn node_mut(&mut self, ino: Ino) -> &mut Inode {
+        self.inodes
+            .get_mut(&ino.0)
+            .expect("dangling inode reference")
+    }
+
+    /// Attributes by inode number, if it exists.
+    pub fn attr_of(&self, ino: Ino) -> Option<&InodeAttr> {
+        self.inodes.get(&ino.0).map(|n| &n.attr)
+    }
+
+    // ------------------------------------------------------------------
+    // Resolution
+    // ------------------------------------------------------------------
+
+    /// Resolves `path` to an inode, following intermediate symlinks always
+    /// and the final component's symlink only when `follow_final`.
+    pub fn resolve(&self, path: &str, follow_final: bool) -> Result<Resolved, FsError> {
+        let norm = normalize(path)?;
+        let mut pending: Vec<String> = components(&norm)?
+            .into_iter()
+            .rev()
+            .map(str::to_string)
+            .collect();
+        let mut cur = self.root;
+        let mut cur_path = String::from("/");
+        let mut walked = 0u32;
+        let mut expansions = 0u32;
+
+        while let Some(name) = pending.pop() {
+            let dir = self.node(cur);
+            let entries = dir
+                .as_dir()
+                .ok_or_else(|| FsError::NotADirectory(cur_path.clone()))?;
+            let &child = entries
+                .get(&name)
+                .ok_or_else(|| FsError::NotFound(format!("{}{name}", slashed(&cur_path))))?;
+            walked += 1;
+            let child_node = self.node(child);
+            let is_last = pending.is_empty();
+            match (&child_node.data, is_last, follow_final) {
+                (NodeData::Symlink(target), last, follow) if !last || follow => {
+                    expansions += 1;
+                    if expansions > SYMLINK_LIMIT {
+                        return Err(FsError::SymlinkLoop(norm));
+                    }
+                    // Re-root resolution at the joined target, keeping any
+                    // components not yet consumed.
+                    let joined = join(&cur_path, target)?;
+                    let mut new_pending: Vec<String> = components(&joined)?
+                        .into_iter()
+                        .rev()
+                        .map(str::to_string)
+                        .collect();
+                    // `pending` is already reversed; targets go underneath.
+                    let rest = std::mem::take(&mut pending);
+                    pending = rest;
+                    for c in new_pending.drain(..) {
+                        pending.push(c);
+                    }
+                    cur = self.root;
+                    cur_path = String::from("/");
+                }
+                (_, true, _) => {
+                    return Ok(Resolved {
+                        ino: child,
+                        components_walked: walked,
+                    });
+                }
+                (NodeData::Directory(_), false, _) => {
+                    cur_path = format!("{}{name}", slashed(&cur_path));
+                    cur = child;
+                }
+                (_, false, _) => {
+                    return Err(FsError::NotADirectory(format!(
+                        "{}{name}",
+                        slashed(&cur_path)
+                    )));
+                }
+            }
+        }
+        // Path was "/" (or normalized to it).
+        Ok(Resolved {
+            ino: cur,
+            components_walked: walked,
+        })
+    }
+
+    fn resolve_parent(&self, path: &str) -> Result<(Ino, String), FsError> {
+        let norm = normalize(path)?;
+        let (parent, name) = dirname_basename(&norm)?;
+        let r = self.resolve(&parent, true)?;
+        if self.node(r.ino).as_dir().is_none() {
+            return Err(FsError::NotADirectory(parent));
+        }
+        Ok((r.ino, name))
+    }
+
+    /// True when `path` resolves (following symlinks).
+    pub fn exists(&self, path: &str) -> bool {
+        self.resolve(path, true).is_ok()
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata
+    // ------------------------------------------------------------------
+
+    /// `stat(2)`: attributes, following symlinks.
+    pub fn stat(&self, path: &str) -> Result<InodeAttr, FsError> {
+        let r = self.resolve(path, true)?;
+        Ok(self.node(r.ino).attr.clone())
+    }
+
+    /// `lstat(2)`: attributes of the link itself.
+    pub fn lstat(&self, path: &str) -> Result<InodeAttr, FsError> {
+        let r = self.resolve(path, false)?;
+        Ok(self.node(r.ino).attr.clone())
+    }
+
+    /// Changes permission bits.
+    pub fn set_mode(&mut self, path: &str, mode: Mode, now: u64) -> Result<(), FsError> {
+        let r = self.resolve(path, true)?;
+        let n = self.node_mut(r.ino);
+        n.attr.mode = mode;
+        n.attr.mtime = now;
+        Ok(())
+    }
+
+    /// Changes the owner uid.
+    pub fn set_uid(&mut self, path: &str, uid: u32) -> Result<(), FsError> {
+        let r = self.resolve(path, true)?;
+        self.node_mut(r.ino).attr.uid = uid;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Directories
+    // ------------------------------------------------------------------
+
+    /// Creates a directory; parent must exist.
+    pub fn mkdir(&mut self, path: &str, mode: Mode, uid: u32, now: u64) -> Result<Ino, FsError> {
+        let (parent, name) = self.resolve_parent(path)?;
+        if self.node(parent).as_dir().expect("checked").contains_key(&name) {
+            return Err(FsError::AlreadyExists(path.to_string()));
+        }
+        let ino = self.alloc_ino();
+        self.inodes.insert(ino.0, Inode::new_dir(ino, mode, uid, now));
+        let p = self.node_mut(parent);
+        p.as_dir_mut().expect("checked").insert(name, ino);
+        p.attr.nlink += 1;
+        p.attr.mtime = now;
+        p.attr.version += 1;
+        p.attr.size += 1;
+        Ok(ino)
+    }
+
+    /// Creates a directory and any missing ancestors.
+    pub fn mkdir_p(&mut self, path: &str, mode: Mode, uid: u32, now: u64) -> Result<Ino, FsError> {
+        let norm = normalize(path)?;
+        let parts = components(&norm)?;
+        let mut cur = String::new();
+        let mut last = self.root;
+        for part in parts {
+            cur.push('/');
+            cur.push_str(part);
+            last = match self.resolve(&cur, true) {
+                Ok(r) => {
+                    if self.node(r.ino).as_dir().is_none() {
+                        return Err(FsError::NotADirectory(cur));
+                    }
+                    r.ino
+                }
+                Err(FsError::NotFound(_)) => self.mkdir(&cur, mode, uid, now)?,
+                Err(e) => return Err(e),
+            };
+        }
+        Ok(last)
+    }
+
+    /// Lists a directory: `(name, ino)` pairs in name order.
+    pub fn readdir(&self, path: &str) -> Result<Vec<(String, Ino)>, FsError> {
+        let r = self.resolve(path, true)?;
+        let n = self.node(r.ino);
+        let entries = n
+            .as_dir()
+            .ok_or_else(|| FsError::NotADirectory(path.to_string()))?;
+        Ok(entries.iter().map(|(k, &v)| (k.clone(), v)).collect())
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&mut self, path: &str, now: u64) -> Result<(), FsError> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let &ino = self
+            .node(parent)
+            .as_dir()
+            .expect("checked")
+            .get(&name)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        let victim = self.node(ino);
+        match &victim.data {
+            NodeData::Directory(m) if m.is_empty() => {}
+            NodeData::Directory(_) => return Err(FsError::NotEmpty(path.to_string())),
+            _ => return Err(FsError::NotADirectory(path.to_string())),
+        }
+        self.inodes.remove(&ino.0);
+        let p = self.node_mut(parent);
+        p.as_dir_mut().expect("checked").remove(&name);
+        p.attr.nlink -= 1;
+        p.attr.mtime = now;
+        p.attr.version += 1;
+        p.attr.size -= 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Regular files
+    // ------------------------------------------------------------------
+
+    /// Creates a regular file with the given contents. Fails if the name
+    /// exists.
+    pub fn create(
+        &mut self,
+        path: &str,
+        mode: Mode,
+        uid: u32,
+        now: u64,
+        data: Vec<u8>,
+    ) -> Result<Ino, FsError> {
+        let (parent, name) = self.resolve_parent(path)?;
+        if self.node(parent).as_dir().expect("checked").contains_key(&name) {
+            return Err(FsError::AlreadyExists(path.to_string()));
+        }
+        let ino = self.alloc_ino();
+        self.data_bytes += data.len() as u64;
+        self.inodes
+            .insert(ino.0, Inode::new_file(ino, mode, uid, now, data));
+        let p = self.node_mut(parent);
+        p.as_dir_mut().expect("checked").insert(name, ino);
+        p.attr.mtime = now;
+        p.attr.version += 1;
+        p.attr.size += 1;
+        Ok(ino)
+    }
+
+    /// Replaces a file's contents entirely (the whole-file store
+    /// operation), creating it if absent.
+    pub fn write(
+        &mut self,
+        path: &str,
+        uid: u32,
+        now: u64,
+        data: Vec<u8>,
+    ) -> Result<Ino, FsError> {
+        match self.resolve(path, true) {
+            Ok(r) => {
+                let n = self.node_mut(r.ino);
+                match &mut n.data {
+                    NodeData::Regular(old) => {
+                        let old_len = old.len() as u64;
+                        let new_len = data.len() as u64;
+                        *old = data;
+                        n.attr.size = new_len;
+                        n.attr.mtime = now;
+                        n.attr.version += 1;
+                        self.data_bytes = self.data_bytes - old_len + new_len;
+                        Ok(r.ino)
+                    }
+                    _ => Err(FsError::IsADirectory(path.to_string())),
+                }
+            }
+            Err(FsError::NotFound(_)) => self.create(path, Mode::FILE_DEFAULT, uid, now, data),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Reads a file's full contents (the whole-file fetch operation).
+    pub fn read(&self, path: &str) -> Result<Vec<u8>, FsError> {
+        let r = self.resolve(path, true)?;
+        self.node(r.ino)
+            .as_file()
+            .cloned()
+            .ok_or_else(|| FsError::IsADirectory(path.to_string()))
+    }
+
+    /// Reads by inode number.
+    pub fn read_ino(&self, ino: Ino) -> Result<Vec<u8>, FsError> {
+        self.inodes
+            .get(&ino.0)
+            .ok_or_else(|| FsError::NotFound(format!("ino {}", ino.0)))?
+            .as_file()
+            .cloned()
+            .ok_or_else(|| FsError::IsADirectory(format!("ino {}", ino.0)))
+    }
+
+    /// Replaces contents by inode number.
+    pub fn write_ino(&mut self, ino: Ino, now: u64, data: Vec<u8>) -> Result<(), FsError> {
+        let n = self
+            .inodes
+            .get_mut(&ino.0)
+            .ok_or_else(|| FsError::NotFound(format!("ino {}", ino.0)))?;
+        match &mut n.data {
+            NodeData::Regular(old) => {
+                let old_len = old.len() as u64;
+                let new_len = data.len() as u64;
+                *old = data;
+                n.attr.size = new_len;
+                n.attr.mtime = now;
+                n.attr.version += 1;
+                self.data_bytes = self.data_bytes - old_len + new_len;
+                Ok(())
+            }
+            _ => Err(FsError::IsADirectory(format!("ino {}", ino.0))),
+        }
+    }
+
+    /// Removes a file or symlink.
+    pub fn unlink(&mut self, path: &str, now: u64) -> Result<(), FsError> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let &ino = self
+            .node(parent)
+            .as_dir()
+            .expect("checked")
+            .get(&name)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        if self.node(ino).as_dir().is_some() {
+            return Err(FsError::IsADirectory(path.to_string()));
+        }
+        if let NodeData::Regular(d) = &self.node(ino).data {
+            self.data_bytes -= d.len() as u64;
+        }
+        self.inodes.remove(&ino.0);
+        let p = self.node_mut(parent);
+        p.as_dir_mut().expect("checked").remove(&name);
+        p.attr.mtime = now;
+        p.attr.version += 1;
+        p.attr.size -= 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Symlinks
+    // ------------------------------------------------------------------
+
+    /// Creates a symbolic link at `path` pointing to `target`.
+    pub fn symlink(
+        &mut self,
+        path: &str,
+        target: &str,
+        uid: u32,
+        now: u64,
+    ) -> Result<Ino, FsError> {
+        let (parent, name) = self.resolve_parent(path)?;
+        if self.node(parent).as_dir().expect("checked").contains_key(&name) {
+            return Err(FsError::AlreadyExists(path.to_string()));
+        }
+        let ino = self.alloc_ino();
+        self.inodes
+            .insert(ino.0, Inode::new_symlink(ino, uid, now, target.to_string()));
+        let p = self.node_mut(parent);
+        p.as_dir_mut().expect("checked").insert(name, ino);
+        p.attr.mtime = now;
+        p.attr.version += 1;
+        p.attr.size += 1;
+        Ok(ino)
+    }
+
+    /// Reads a symlink's target without following it.
+    pub fn readlink(&self, path: &str) -> Result<String, FsError> {
+        let r = self.resolve(path, false)?;
+        match &self.node(r.ino).data {
+            NodeData::Symlink(t) => Ok(t.clone()),
+            _ => Err(FsError::NotASymlink(path.to_string())),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rename
+    // ------------------------------------------------------------------
+
+    /// Renames a file, symlink, or directory (the prototype could not
+    /// rename directories in Vice — Section 5.1 calls this "particularly
+    /// irksome"; the revised design fixes it, and so does this substrate).
+    ///
+    /// An existing non-directory target is replaced, as in `rename(2)`.
+    pub fn rename(&mut self, from: &str, to: &str, now: u64) -> Result<(), FsError> {
+        let from_norm = normalize(from)?;
+        let to_norm = normalize(to)?;
+        if from_norm == to_norm {
+            return Ok(());
+        }
+        // Moving a directory into its own subtree would orphan it.
+        let moving = self.resolve(&from_norm, false)?;
+        if self.node(moving.ino).as_dir().is_some() && is_within(&from_norm, &to_norm) {
+            return Err(FsError::RenameIntoSelf(to_norm));
+        }
+        let (from_parent, from_name) = self.resolve_parent(&from_norm)?;
+        let (to_parent, to_name) = self.resolve_parent(&to_norm)?;
+
+        // Replace semantics for an existing target.
+        if let Some(&existing) = self.node(to_parent).as_dir().expect("checked").get(&to_name) {
+            let existing_node = self.node(existing);
+            match &existing_node.data {
+                NodeData::Directory(m) if !m.is_empty() => {
+                    return Err(FsError::NotEmpty(to_norm));
+                }
+                NodeData::Directory(_) => {
+                    if self.node(moving.ino).as_dir().is_none() {
+                        return Err(FsError::IsADirectory(to_norm));
+                    }
+                    self.rmdir(&to_norm, now)?;
+                }
+                NodeData::Regular(d) => {
+                    if self.node(moving.ino).as_dir().is_some() {
+                        return Err(FsError::NotADirectory(to_norm));
+                    }
+                    self.data_bytes -= d.len() as u64;
+                    self.inodes.remove(&existing.0);
+                    let tp = self.node_mut(to_parent);
+                    tp.as_dir_mut().expect("checked").remove(&to_name);
+                    tp.attr.size -= 1;
+                }
+                NodeData::Symlink(_) => {
+                    self.inodes.remove(&existing.0);
+                    let tp = self.node_mut(to_parent);
+                    tp.as_dir_mut().expect("checked").remove(&to_name);
+                    tp.attr.size -= 1;
+                }
+            }
+        }
+
+        let is_dir = self.node(moving.ino).as_dir().is_some();
+        let fp = self.node_mut(from_parent);
+        fp.as_dir_mut().expect("checked").remove(&from_name);
+        fp.attr.mtime = now;
+        fp.attr.version += 1;
+        fp.attr.size -= 1;
+        if is_dir {
+            fp.attr.nlink -= 1;
+        }
+        let tp = self.node_mut(to_parent);
+        tp.as_dir_mut().expect("checked").insert(to_name, moving.ino);
+        tp.attr.mtime = now;
+        tp.attr.version += 1;
+        tp.attr.size += 1;
+        if is_dir {
+            tp.attr.nlink += 1;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Subtree utilities (used by the volume layer)
+    // ------------------------------------------------------------------
+
+    /// Walks the subtree at `path`, calling `visit(path, attr)` for every
+    /// inode in it (including `path` itself), in depth-first name order.
+    pub fn walk<F: FnMut(&str, &InodeAttr)>(&self, path: &str, visit: &mut F) -> Result<(), FsError> {
+        let norm = normalize(path)?;
+        let r = self.resolve(&norm, true)?;
+        let node = self.node(r.ino);
+        visit(&norm, &node.attr);
+        if let Some(entries) = node.as_dir() {
+            let names: Vec<String> = entries.keys().cloned().collect();
+            for name in names {
+                let child = format!("{}{name}", slashed(&norm));
+                self.walk(&child, visit)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Total regular-file bytes under `path`.
+    pub fn subtree_bytes(&self, path: &str) -> Result<u64, FsError> {
+        let mut total = 0u64;
+        self.walk(path, &mut |_, attr| {
+            if attr.ftype == FileType::Regular {
+                total += attr.size;
+            }
+        })?;
+        Ok(total)
+    }
+
+    /// Number of inodes under `path` (inclusive).
+    pub fn subtree_count(&self, path: &str) -> Result<u64, FsError> {
+        let mut n = 0u64;
+        self.walk(path, &mut |_, _| n += 1)?;
+        Ok(n)
+    }
+
+    /// Copies the subtree rooted at `src` in `src_fs` to `dst` in `self`
+    /// (which must not exist). Used for volume moves and clones.
+    pub fn graft(
+        &mut self,
+        src_fs: &FileSystem,
+        src: &str,
+        dst: &str,
+        now: u64,
+    ) -> Result<(), FsError> {
+        let src_norm = normalize(src)?;
+        let r = src_fs.resolve(&src_norm, false)?;
+        let node = src_fs.node(r.ino);
+        match &node.data {
+            NodeData::Directory(entries) => {
+                self.mkdir(dst, node.attr.mode, node.attr.uid, now)?;
+                for name in entries.keys() {
+                    let s = format!("{}{name}", slashed(&src_norm));
+                    let d = format!("{}{name}", slashed(&normalize(dst)?));
+                    self.graft(src_fs, &s, &d, now)?;
+                }
+            }
+            NodeData::Regular(data) => {
+                self.create(dst, node.attr.mode, node.attr.uid, now, data.clone())?;
+                // Preserve the version so validation survives the move.
+                let ino = self.resolve(dst, false)?.ino;
+                let dst_node = self.node_mut(ino);
+                dst_node.attr.version = node.attr.version;
+                dst_node.attr.mtime = node.attr.mtime;
+            }
+            NodeData::Symlink(target) => {
+                self.symlink(dst, target, node.attr.uid, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes the subtree at `path` entirely.
+    pub fn remove_subtree(&mut self, path: &str, now: u64) -> Result<(), FsError> {
+        let norm = normalize(path)?;
+        let r = self.resolve(&norm, false)?;
+        if self.node(r.ino).as_dir().is_some() {
+            let names: Vec<String> = self
+                .node(r.ino)
+                .as_dir()
+                .expect("checked")
+                .keys()
+                .cloned()
+                .collect();
+            for name in names {
+                self.remove_subtree(&format!("{}{name}", slashed(&norm)), now)?;
+            }
+            self.rmdir(&norm, now)
+        } else {
+            self.unlink(&norm, now)
+        }
+    }
+}
+
+fn slashed(p: &str) -> String {
+    if p == "/" {
+        "/".to_string()
+    } else {
+        format!("{p}/")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> FileSystem {
+        let mut fs = FileSystem::new();
+        fs.mkdir("/usr", Mode::DIR_DEFAULT, 0, 1).unwrap();
+        fs.mkdir("/usr/satya", Mode::DIR_DEFAULT, 100, 2).unwrap();
+        fs.create(
+            "/usr/satya/paper.tex",
+            Mode::FILE_DEFAULT,
+            100,
+            3,
+            b"scale is the dominant design influence".to_vec(),
+        )
+        .unwrap();
+        fs
+    }
+
+    #[test]
+    fn create_read_write_unlink() {
+        let mut fs = fixture();
+        assert_eq!(
+            fs.read("/usr/satya/paper.tex").unwrap(),
+            b"scale is the dominant design influence"
+        );
+        let v0 = fs.stat("/usr/satya/paper.tex").unwrap().version;
+        fs.write("/usr/satya/paper.tex", 100, 4, b"v2".to_vec())
+            .unwrap();
+        assert_eq!(fs.read("/usr/satya/paper.tex").unwrap(), b"v2");
+        let st = fs.stat("/usr/satya/paper.tex").unwrap();
+        assert_eq!(st.version, v0 + 1);
+        assert_eq!(st.size, 2);
+        assert_eq!(st.mtime, 4);
+        fs.unlink("/usr/satya/paper.tex", 5).unwrap();
+        assert!(!fs.exists("/usr/satya/paper.tex"));
+        assert_eq!(fs.data_bytes(), 0);
+    }
+
+    #[test]
+    fn data_bytes_tracks_contents() {
+        let mut fs = FileSystem::new();
+        fs.create("/a", Mode::FILE_DEFAULT, 0, 0, vec![0u8; 100])
+            .unwrap();
+        fs.create("/b", Mode::FILE_DEFAULT, 0, 0, vec![0u8; 50])
+            .unwrap();
+        assert_eq!(fs.data_bytes(), 150);
+        fs.write("/a", 0, 1, vec![0u8; 10]).unwrap();
+        assert_eq!(fs.data_bytes(), 60);
+        fs.unlink("/b", 2).unwrap();
+        assert_eq!(fs.data_bytes(), 10);
+    }
+
+    #[test]
+    fn mkdir_requires_parent() {
+        let mut fs = FileSystem::new();
+        assert!(matches!(
+            fs.mkdir("/a/b", Mode::DIR_DEFAULT, 0, 0),
+            Err(FsError::NotFound(_))
+        ));
+        fs.mkdir_p("/a/b/c", Mode::DIR_DEFAULT, 0, 0).unwrap();
+        assert!(fs.exists("/a/b/c"));
+        // mkdir_p over an existing tree is fine.
+        fs.mkdir_p("/a/b", Mode::DIR_DEFAULT, 0, 0).unwrap();
+    }
+
+    #[test]
+    fn duplicate_creation_fails() {
+        let mut fs = fixture();
+        assert!(matches!(
+            fs.create("/usr/satya/paper.tex", Mode::FILE_DEFAULT, 0, 9, vec![]),
+            Err(FsError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            fs.mkdir("/usr", Mode::DIR_DEFAULT, 0, 9),
+            Err(FsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn rmdir_only_empty() {
+        let mut fs = fixture();
+        assert!(matches!(
+            fs.rmdir("/usr/satya", 9),
+            Err(FsError::NotEmpty(_))
+        ));
+        fs.unlink("/usr/satya/paper.tex", 9).unwrap();
+        fs.rmdir("/usr/satya", 10).unwrap();
+        assert!(!fs.exists("/usr/satya"));
+    }
+
+    #[test]
+    fn readdir_is_sorted() {
+        let mut fs = FileSystem::new();
+        for name in ["zeta", "alpha", "mid"] {
+            fs.create(&format!("/{name}"), Mode::FILE_DEFAULT, 0, 0, vec![])
+                .unwrap();
+        }
+        let names: Vec<String> = fs.readdir("/").unwrap().into_iter().map(|e| e.0).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn symlink_resolution_follows_chains() {
+        let mut fs = fixture();
+        fs.symlink("/paper", "/usr/satya/paper.tex", 0, 5).unwrap();
+        fs.symlink("/indirect", "/paper", 0, 6).unwrap();
+        assert_eq!(
+            fs.read("/indirect").unwrap(),
+            b"scale is the dominant design influence"
+        );
+        assert_eq!(fs.readlink("/indirect").unwrap(), "/paper");
+        // lstat sees the link; stat sees the file.
+        assert_eq!(fs.lstat("/indirect").unwrap().ftype, FileType::Symlink);
+        assert_eq!(fs.stat("/indirect").unwrap().ftype, FileType::Regular);
+    }
+
+    #[test]
+    fn relative_symlinks_resolve_from_their_directory() {
+        let mut fs = fixture();
+        fs.symlink("/usr/satya/alias.tex", "paper.tex", 100, 5)
+            .unwrap();
+        assert_eq!(
+            fs.read("/usr/satya/alias.tex").unwrap(),
+            b"scale is the dominant design influence"
+        );
+        fs.symlink("/usr/up", "../usr/satya", 0, 6).unwrap();
+        assert!(fs.read("/usr/up/paper.tex").is_ok());
+    }
+
+    #[test]
+    fn symlink_through_intermediate_components() {
+        // The heterogeneity pattern: /bin -> /vice/unix/sun/bin, then
+        // /bin/cc resolves inside the target directory.
+        let mut fs = FileSystem::new();
+        fs.mkdir_p("/vice/unix/sun/bin", Mode::DIR_DEFAULT, 0, 0)
+            .unwrap();
+        fs.create(
+            "/vice/unix/sun/bin/cc",
+            Mode(0o755),
+            0,
+            0,
+            b"sun compiler".to_vec(),
+        )
+        .unwrap();
+        fs.symlink("/bin", "/vice/unix/sun/bin", 0, 1).unwrap();
+        assert_eq!(fs.read("/bin/cc").unwrap(), b"sun compiler");
+    }
+
+    #[test]
+    fn symlink_loops_detected() {
+        let mut fs = FileSystem::new();
+        fs.symlink("/a", "/b", 0, 0).unwrap();
+        fs.symlink("/b", "/a", 0, 0).unwrap();
+        assert!(matches!(fs.read("/a"), Err(FsError::SymlinkLoop(_))));
+    }
+
+    #[test]
+    fn rename_file_and_replace() {
+        let mut fs = fixture();
+        fs.create("/usr/satya/old.txt", Mode::FILE_DEFAULT, 100, 4, b"x".to_vec())
+            .unwrap();
+        fs.rename("/usr/satya/old.txt", "/usr/satya/new.txt", 5)
+            .unwrap();
+        assert!(!fs.exists("/usr/satya/old.txt"));
+        assert_eq!(fs.read("/usr/satya/new.txt").unwrap(), b"x");
+        // Replace an existing file.
+        fs.rename("/usr/satya/new.txt", "/usr/satya/paper.tex", 6)
+            .unwrap();
+        assert_eq!(fs.read("/usr/satya/paper.tex").unwrap(), b"x");
+        assert_eq!(fs.data_bytes(), 1);
+    }
+
+    #[test]
+    fn rename_directory_across_parents() {
+        let mut fs = fixture();
+        fs.mkdir("/tmp", Mode::DIR_DEFAULT, 0, 5).unwrap();
+        fs.rename("/usr/satya", "/tmp/satya", 6).unwrap();
+        assert!(fs.exists("/tmp/satya/paper.tex"));
+        assert!(!fs.exists("/usr/satya"));
+        // nlink bookkeeping moved with it.
+        assert_eq!(fs.stat("/tmp").unwrap().nlink, 3);
+        assert_eq!(fs.stat("/usr").unwrap().nlink, 2);
+    }
+
+    #[test]
+    fn rename_into_own_subtree_rejected() {
+        let mut fs = fixture();
+        assert!(matches!(
+            fs.rename("/usr", "/usr/satya/usr", 9),
+            Err(FsError::RenameIntoSelf(_))
+        ));
+    }
+
+    #[test]
+    fn rename_same_path_is_noop() {
+        let mut fs = fixture();
+        fs.rename("/usr/satya/paper.tex", "/usr/satya/paper.tex", 9)
+            .unwrap();
+        assert!(fs.exists("/usr/satya/paper.tex"));
+    }
+
+    #[test]
+    fn walk_and_subtree_accounting() {
+        let fs = fixture();
+        let mut seen = Vec::new();
+        fs.walk("/usr", &mut |p, _| seen.push(p.to_string())).unwrap();
+        assert_eq!(seen, vec!["/usr", "/usr/satya", "/usr/satya/paper.tex"]);
+        assert_eq!(fs.subtree_count("/usr").unwrap(), 3);
+        assert_eq!(fs.subtree_bytes("/usr").unwrap(), 38);
+    }
+
+    #[test]
+    fn graft_copies_subtree_preserving_versions() {
+        let mut src = fixture();
+        src.write("/usr/satya/paper.tex", 100, 9, b"rev".to_vec())
+            .unwrap();
+        src.symlink("/usr/satya/link", "paper.tex", 100, 9).unwrap();
+        let v = src.stat("/usr/satya/paper.tex").unwrap().version;
+
+        let mut dst = FileSystem::new();
+        dst.graft(&src, "/usr/satya", "/satya", 50).unwrap();
+        assert_eq!(dst.read("/satya/paper.tex").unwrap(), b"rev");
+        assert_eq!(dst.stat("/satya/paper.tex").unwrap().version, v);
+        assert_eq!(dst.readlink("/satya/link").unwrap(), "paper.tex");
+    }
+
+    #[test]
+    fn remove_subtree_clears_everything() {
+        let mut fs = fixture();
+        fs.create("/usr/satya/b.txt", Mode::FILE_DEFAULT, 0, 4, vec![1, 2, 3])
+            .unwrap();
+        fs.remove_subtree("/usr", 9).unwrap();
+        assert!(!fs.exists("/usr"));
+        assert_eq!(fs.data_bytes(), 0);
+        assert_eq!(fs.inode_count(), 1); // just root
+    }
+
+    #[test]
+    fn components_walked_counts_symlink_expansion() {
+        let mut fs = FileSystem::new();
+        fs.mkdir_p("/vice/sun/bin", Mode::DIR_DEFAULT, 0, 0).unwrap();
+        fs.create("/vice/sun/bin/cc", Mode(0o755), 0, 0, vec![]).unwrap();
+        fs.symlink("/bin", "/vice/sun/bin", 0, 0).unwrap();
+        let direct = fs.resolve("/vice/sun/bin/cc", true).unwrap();
+        assert_eq!(direct.components_walked, 4);
+        let via_link = fs.resolve("/bin/cc", true).unwrap();
+        // /bin (1) + /vice/sun/bin re-walk (3) + cc (1).
+        assert_eq!(via_link.components_walked, 5);
+    }
+
+    #[test]
+    fn resolve_errors_are_specific() {
+        let fs = fixture();
+        assert!(matches!(
+            fs.resolve("/usr/satya/paper.tex/deeper", true),
+            Err(FsError::NotADirectory(_))
+        ));
+        assert!(matches!(
+            fs.resolve("/usr/ghost", true),
+            Err(FsError::NotFound(_))
+        ));
+        assert!(matches!(
+            fs.resolve("not/absolute", true),
+            Err(FsError::InvalidPath(_))
+        ));
+    }
+
+    #[test]
+    fn root_resolves_to_itself() {
+        let fs = FileSystem::new();
+        let r = fs.resolve("/", true).unwrap();
+        assert_eq!(r.ino, fs.root());
+        assert_eq!(r.components_walked, 0);
+    }
+}

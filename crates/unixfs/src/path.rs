@@ -1,0 +1,134 @@
+//! Path manipulation helpers.
+//!
+//! Paths are plain `&str` in Unix style: absolute, `/`-separated. `.` and
+//! `..` are understood by [`normalize`]; the resolver works on normalized
+//! component lists.
+
+use crate::error::FsError;
+
+/// Splits an absolute path into components, rejecting empty components and
+/// relative paths. `"/"` yields an empty vector.
+pub fn components(path: &str) -> Result<Vec<&str>, FsError> {
+    if !path.starts_with('/') {
+        return Err(FsError::InvalidPath(path.to_string()));
+    }
+    let mut out = Vec::new();
+    for part in path.split('/').skip(1) {
+        if part.is_empty() {
+            // Allow a single trailing slash ("/a/b/" == "/a/b"), reject
+            // interior empty components ("//").
+            continue;
+        }
+        out.push(part);
+    }
+    Ok(out)
+}
+
+/// Lexically normalizes an absolute path: resolves `.` and `..`, collapses
+/// slashes. `..` at the root stays at the root (as in Unix).
+pub fn normalize(path: &str) -> Result<String, FsError> {
+    let parts = components(path)?;
+    let mut stack: Vec<&str> = Vec::new();
+    for p in parts {
+        match p {
+            "." => {}
+            ".." => {
+                stack.pop();
+            }
+            other => stack.push(other),
+        }
+    }
+    if stack.is_empty() {
+        Ok("/".to_string())
+    } else {
+        Ok(format!("/{}", stack.join("/")))
+    }
+}
+
+/// Splits a path into `(parent, basename)`. The root has no basename.
+pub fn dirname_basename(path: &str) -> Result<(String, String), FsError> {
+    let parts = components(path)?;
+    let Some((last, init)) = parts.split_last() else {
+        return Err(FsError::InvalidPath(format!("{path} (root has no name)")));
+    };
+    let parent = if init.is_empty() {
+        "/".to_string()
+    } else {
+        format!("/{}", init.join("/"))
+    };
+    Ok((parent, (*last).to_string()))
+}
+
+/// Joins a base path and a (possibly relative) link target, then
+/// normalizes. Absolute targets replace the base entirely.
+pub fn join(base_dir: &str, target: &str) -> Result<String, FsError> {
+    if target.starts_with('/') {
+        normalize(target)
+    } else if base_dir == "/" {
+        normalize(&format!("/{target}"))
+    } else {
+        normalize(&format!("{base_dir}/{target}"))
+    }
+}
+
+/// True if `inner` equals `outer` or lies beneath it. Both must be
+/// normalized absolute paths.
+pub fn is_within(outer: &str, inner: &str) -> bool {
+    if outer == "/" {
+        return true;
+    }
+    inner == outer || inner.starts_with(&format!("{outer}/"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_basic() {
+        assert_eq!(components("/").unwrap(), Vec::<&str>::new());
+        assert_eq!(components("/a/b/c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(components("/a/b/").unwrap(), vec!["a", "b"]);
+        assert!(components("relative").is_err());
+        assert!(components("").is_err());
+    }
+
+    #[test]
+    fn normalize_dots() {
+        assert_eq!(normalize("/a/./b").unwrap(), "/a/b");
+        assert_eq!(normalize("/a/b/../c").unwrap(), "/a/c");
+        assert_eq!(normalize("/../..").unwrap(), "/");
+        assert_eq!(normalize("/a//b").unwrap(), "/a/b");
+        assert_eq!(normalize("/").unwrap(), "/");
+    }
+
+    #[test]
+    fn dirname_basename_splits() {
+        assert_eq!(
+            dirname_basename("/a/b/c").unwrap(),
+            ("/a/b".to_string(), "c".to_string())
+        );
+        assert_eq!(
+            dirname_basename("/top").unwrap(),
+            ("/".to_string(), "top".to_string())
+        );
+        assert!(dirname_basename("/").is_err());
+    }
+
+    #[test]
+    fn join_relative_and_absolute() {
+        assert_eq!(join("/a/b", "c").unwrap(), "/a/b/c");
+        assert_eq!(join("/a/b", "../c").unwrap(), "/a/c");
+        assert_eq!(join("/a/b", "/vice/bin").unwrap(), "/vice/bin");
+        assert_eq!(join("/", "x").unwrap(), "/x");
+    }
+
+    #[test]
+    fn is_within_boundaries() {
+        assert!(is_within("/vice", "/vice"));
+        assert!(is_within("/vice", "/vice/usr/x"));
+        assert!(!is_within("/vice", "/vicette"));
+        assert!(!is_within("/vice", "/tmp"));
+        assert!(is_within("/", "/anything"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the file system substrate: a random sequence of
+//! operations is applied both to the [`itc_unixfs::FileSystem`] and to a
+//! trivial model (a map from path to contents), and the two must agree.
+
+use itc_unixfs::{FileSystem, FsError, Mode};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8, Vec<u8>),
+    Write(u8, Vec<u8>),
+    Unlink(u8),
+    Read(u8),
+    Stat(u8),
+    Rename(u8, u8),
+}
+
+/// Ten candidate file names inside a fixed directory.
+fn name(i: u8) -> String {
+    format!("/dir/f{}", i % 10)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(i, d)| Op::Create(i, d)),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(i, d)| Op::Write(i, d)),
+        any::<u8>().prop_map(Op::Unlink),
+        any::<u8>().prop_map(Op::Read),
+        any::<u8>().prop_map(Op::Stat),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fs_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut fs = FileSystem::new();
+        fs.mkdir("/dir", Mode::DIR_DEFAULT, 0, 0).unwrap();
+        let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        let mut t = 1u64;
+
+        for op in ops {
+            t += 1;
+            match op {
+                Op::Create(i, data) => {
+                    let p = name(i);
+                    let r = fs.create(&p, Mode::FILE_DEFAULT, 0, t, data.clone());
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(p) {
+                        prop_assert!(r.is_ok());
+                        e.insert(data);
+                    } else {
+                        prop_assert!(matches!(r, Err(FsError::AlreadyExists(_))));
+                    }
+                }
+                Op::Write(i, data) => {
+                    let p = name(i);
+                    // write() upserts.
+                    fs.write(&p, 0, t, data.clone()).unwrap();
+                    model.insert(p, data);
+                }
+                Op::Unlink(i) => {
+                    let p = name(i);
+                    let r = fs.unlink(&p, t);
+                    if model.remove(&p).is_some() {
+                        prop_assert!(r.is_ok());
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                Op::Read(i) => {
+                    let p = name(i);
+                    match model.get(&p) {
+                        Some(d) => prop_assert_eq!(&fs.read(&p).unwrap(), d),
+                        None => prop_assert!(fs.read(&p).is_err()),
+                    }
+                }
+                Op::Stat(i) => {
+                    let p = name(i);
+                    match model.get(&p) {
+                        Some(d) => {
+                            let st = fs.stat(&p).unwrap();
+                            prop_assert_eq!(st.size, d.len() as u64);
+                        }
+                        None => prop_assert!(fs.stat(&p).is_err()),
+                    }
+                }
+                Op::Rename(a, b) => {
+                    let (pa, pb) = (name(a), name(b));
+                    let r = fs.rename(&pa, &pb, t);
+                    if pa == pb {
+                        // No-op regardless of existence when source exists;
+                        // error when it does not.
+                        if model.contains_key(&pa) {
+                            prop_assert!(r.is_ok());
+                        }
+                        continue;
+                    }
+                    if let Some(d) = model.get(&pa).cloned() {
+                        prop_assert!(r.is_ok(), "rename {pa} -> {pb}: {r:?}");
+                        model.remove(&pa);
+                        model.insert(pb, d);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+            }
+
+            // Global invariant: byte accounting matches the model.
+            let expect: u64 = model.values().map(|v| v.len() as u64).sum();
+            prop_assert_eq!(fs.data_bytes(), expect);
+        }
+
+        // Final state: directory listing matches the model's key set.
+        let listed: Vec<String> = fs
+            .readdir("/dir")
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| format!("/dir/{n}"))
+            .collect();
+        let expected: Vec<String> = model.keys().cloned().collect();
+        prop_assert_eq!(listed, expected);
+    }
+
+    #[test]
+    fn versions_only_increase(writes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..20)) {
+        let mut fs = FileSystem::new();
+        fs.create("/f", Mode::FILE_DEFAULT, 0, 0, vec![]).unwrap();
+        let mut last = fs.stat("/f").unwrap().version;
+        for (i, data) in writes.into_iter().enumerate() {
+            fs.write("/f", 0, i as u64 + 1, data).unwrap();
+            let v = fs.stat("/f").unwrap().version;
+            prop_assert!(v > last, "version must strictly increase on write");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn normalize_is_idempotent(raw in "(/[a-z.]{1,8}){1,6}/?") {
+        let once = itc_unixfs::normalize(&raw).unwrap();
+        let twice = itc_unixfs::normalize(&once).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+}

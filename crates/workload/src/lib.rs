@@ -1,0 +1,35 @@
+//! Synthetic workloads for the ITC distributed file system reproduction.
+//!
+//! The paper leans on two workload facts established by the authors' own
+//! prior studies: file sizes are small and heavy-tailed ("over 99% of the
+//! files in use on a typical CMU timesharing system fall within" a few
+//! megabytes, Section 2.2, citing reference 12 of the paper), and files fall into "a small
+//! number of easily-identifiable classes, based on their access and
+//! modification patterns" (Section 4, citing the synthetic driver of reference 13).
+//! This crate is our stand-in for those studies:
+//!
+//! * [`sizes`] — per-class file-size distributions and the CDF used by
+//!   experiment E13.
+//! * [`tree`] — the ~70-file source tree of "an actual Unix application"
+//!   that the Section 5.2 benchmark operates on.
+//! * [`andrew`] — the five-phase benchmark itself (MakeDir, Copy, ScanDir,
+//!   ReadAll, Make), runnable against local or shared storage.
+//! * [`user`] — a parameterized model of one user's minute-to-minute file
+//!   activity, in the spirit of the synthetic driver.
+//! * [`day`] — an 8-hour multi-user day: every user runs concurrently
+//!   (interleaved by virtual time) against one [`itc_core::ItcSystem`],
+//!   with a configurable midday load surge. This reproduces the "actual
+//!   use" conditions behind the hit-ratio, call-mix and utilization
+//!   numbers of Section 5.2.
+
+pub mod andrew;
+pub mod day;
+pub mod sizes;
+pub mod tree;
+pub mod user;
+
+pub use andrew::{AndrewBenchmark, BenchmarkReport, PhaseTimes, TreeLocation};
+pub use day::{DayConfig, DayReport};
+pub use sizes::{FileClass, FileSizeModel};
+pub use tree::{SourceTree, TreeSpec};
+pub use user::{UserConfig, UserSession};

@@ -1,0 +1,204 @@
+//! File classes and size distributions.
+//!
+//! Section 4: "files in a typical file system can be grouped into a small
+//! number of easily-identifiable classes, based on their access and
+//! modification patterns. For example, files containing the binaries of
+//! system programs are frequently read but rarely written. On the other
+//! hand temporary files containing intermediate output of compiler phases
+//! are typically read at most once after they are written."
+//!
+//! Sizes follow a bounded Pareto per class, calibrated so that the global
+//! population reproduces the Section 2.2 claim ("over 99% of the files ...
+//! fall within" a few megabytes) that justifies whole-file transfer.
+
+use itc_sim::SimRng;
+
+/// The access-pattern classes of Section 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileClass {
+    /// System program binaries: frequently read, rarely written, shared by
+    /// everyone, ideal for read-only replication.
+    SystemBinary,
+    /// Compiler intermediates and editor scratch: written once, read at
+    /// most once, never shared — they belong in the local name space.
+    Temporary,
+    /// Program sources: read often, written in bursts by one user.
+    Source,
+    /// Documents (papers, mail folders): read and appended by their owner.
+    Document,
+}
+
+impl FileClass {
+    /// All classes, for iteration.
+    pub const ALL: [FileClass; 4] = [
+        FileClass::SystemBinary,
+        FileClass::Temporary,
+        FileClass::Source,
+        FileClass::Document,
+    ];
+
+    /// Probability that an open of this class of file is a write.
+    pub fn write_fraction(self) -> f64 {
+        match self {
+            FileClass::SystemBinary => 0.0,
+            FileClass::Temporary => 0.5, // written once, read once
+            FileClass::Source => 0.06,
+            FileClass::Document => 0.08,
+        }
+    }
+
+    /// Whether the class belongs in the shared name space at all.
+    pub fn shared(self) -> bool {
+        !matches!(self, FileClass::Temporary)
+    }
+}
+
+/// Per-class bounded-Pareto size parameters.
+#[derive(Debug, Clone, Copy)]
+struct ParetoParams {
+    alpha: f64,
+    lo: f64,
+    hi: f64,
+}
+
+/// The file-size model.
+#[derive(Debug, Clone)]
+pub struct FileSizeModel {
+    binary: ParetoParams,
+    temporary: ParetoParams,
+    source: ParetoParams,
+    document: ParetoParams,
+}
+
+impl Default for FileSizeModel {
+    fn default() -> Self {
+        Self::cmu_1984()
+    }
+}
+
+impl FileSizeModel {
+    /// Parameters approximating the 1984 CMU population of the paper's reference 12: most
+    /// files are a few KB; binaries reach hundreds of KB; nothing in
+    /// ordinary use exceeds 4 MB.
+    pub fn cmu_1984() -> FileSizeModel {
+        FileSizeModel {
+            binary: ParetoParams {
+                alpha: 1.0,
+                lo: 8_192.0,
+                hi: 1_048_576.0,
+            },
+            temporary: ParetoParams {
+                alpha: 1.3,
+                lo: 512.0,
+                hi: 262_144.0,
+            },
+            source: ParetoParams {
+                alpha: 1.2,
+                lo: 1_024.0,
+                hi: 524_288.0,
+            },
+            document: ParetoParams {
+                alpha: 1.1,
+                lo: 1_024.0,
+                hi: 4_194_304.0,
+            },
+        }
+    }
+
+    fn params(&self, class: FileClass) -> ParetoParams {
+        match class {
+            FileClass::SystemBinary => self.binary,
+            FileClass::Temporary => self.temporary,
+            FileClass::Source => self.source,
+            FileClass::Document => self.document,
+        }
+    }
+
+    /// Samples a file size in bytes for the given class.
+    pub fn sample(&self, class: FileClass, rng: &mut SimRng) -> u64 {
+        let p = self.params(class);
+        rng.bounded_pareto(p.alpha, p.lo, p.hi) as u64
+    }
+
+    /// Samples a size from the overall population (class weights roughly
+    /// as a 1984 timesharing disk: many sources and documents, some
+    /// temporaries, few binaries).
+    pub fn sample_population(&self, rng: &mut SimRng) -> u64 {
+        const WEIGHTS: [f64; 4] = [0.08, 0.22, 0.45, 0.25];
+        let class = FileClass::ALL[rng.weighted_index(&WEIGHTS)];
+        self.sample(class, rng)
+    }
+
+    /// Empirical CDF of the population at the given byte thresholds,
+    /// estimated from `n` samples (experiment E13).
+    pub fn population_cdf(&self, thresholds: &[u64], n: usize, seed: u64) -> Vec<(u64, f64)> {
+        let mut rng = SimRng::seeded(seed);
+        let mut sizes: Vec<u64> = (0..n).map(|_| self.sample_population(&mut rng)).collect();
+        sizes.sort_unstable();
+        thresholds
+            .iter()
+            .map(|&t| {
+                let below = sizes.partition_point(|&s| s <= t);
+                (t, below as f64 / sizes.len() as f64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_properties() {
+        assert_eq!(FileClass::SystemBinary.write_fraction(), 0.0);
+        assert!(FileClass::Temporary.write_fraction() > 0.4);
+        assert!(!FileClass::Temporary.shared());
+        assert!(FileClass::Source.shared());
+    }
+
+    #[test]
+    fn samples_respect_class_bounds() {
+        let m = FileSizeModel::cmu_1984();
+        let mut rng = SimRng::seeded(7);
+        for _ in 0..5_000 {
+            let s = m.sample(FileClass::Source, &mut rng);
+            assert!((1_024..=524_288).contains(&s), "source size {s}");
+            let b = m.sample(FileClass::SystemBinary, &mut rng);
+            assert!((8_192..=1_048_576).contains(&b), "binary size {b}");
+        }
+    }
+
+    #[test]
+    fn population_matches_the_99_percent_claim() {
+        // Section 2.2: the whole-file design is viable because over 99% of
+        // files fall within a few megabytes.
+        let m = FileSizeModel::cmu_1984();
+        let cdf = m.population_cdf(&[4 << 20], 50_000, 42);
+        assert!(
+            cdf[0].1 > 0.99,
+            "fraction below 4MB was {:.4}",
+            cdf[0].1
+        );
+        // And the median is small — a few KB.
+        let cdf = m.population_cdf(&[16_384], 50_000, 42);
+        assert!(cdf[0].1 > 0.5, "median should be under 16KB");
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let m = FileSizeModel::cmu_1984();
+        let cdf = m.population_cdf(&[1_024, 10_240, 102_400, 1_048_576], 20_000, 1);
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = FileSizeModel::cmu_1984();
+        let a = m.population_cdf(&[65_536], 1_000, 9);
+        let b = m.population_cdf(&[65_536], 1_000, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,162 @@
+//! The benchmark's source tree.
+//!
+//! Section 5.2: "This benchmark operates on about 70 files corresponding to
+//! the source code of an actual Unix application." We generate a
+//! deterministic C-project-shaped tree: a handful of subdirectories,
+//! `.c`/`.h` sources with realistic sizes, and a Makefile — about 70 files
+//! and ~1.5 MB in total.
+
+use itc_sim::SimRng;
+
+/// Parameters for tree generation.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeSpec {
+    /// Number of subdirectories.
+    pub dirs: usize,
+    /// Number of files.
+    pub files: usize,
+    /// Seed for sizes and layout.
+    pub seed: u64,
+}
+
+impl Default for TreeSpec {
+    fn default() -> Self {
+        // The paper's ~70-file application.
+        TreeSpec {
+            dirs: 5,
+            files: 70,
+            seed: 1985,
+        }
+    }
+}
+
+/// A generated source tree: directories and files with contents.
+#[derive(Debug, Clone)]
+pub struct SourceTree {
+    /// Relative directory paths (no leading slash), parents before
+    /// children.
+    pub dirs: Vec<String>,
+    /// `(relative path, contents)`, file's directory guaranteed to be in
+    /// `dirs` (or the root).
+    pub files: Vec<(String, Vec<u8>)>,
+}
+
+impl SourceTree {
+    /// Generates the tree for a spec.
+    pub fn generate(spec: TreeSpec) -> SourceTree {
+        let mut rng = SimRng::seeded(spec.seed);
+        let mut dirs = Vec::new();
+        for d in 0..spec.dirs {
+            dirs.push(format!("sub{d:02}"));
+        }
+
+        let mut files = Vec::new();
+        for i in 0..spec.files {
+            let (name, size) = if i == 0 {
+                ("Makefile".to_string(), 2_000 + rng.range(0, 1_000))
+            } else if i % 3 == 0 {
+                (
+                    format!("hdr{i:02}.h"),
+                    500 + rng.bounded_pareto(1.3, 300.0, 8_000.0) as u64,
+                )
+            } else {
+                (
+                    format!("src{i:02}.c"),
+                    rng.bounded_pareto(1.1, 2_000.0, 120_000.0) as u64,
+                )
+            };
+            // Spread files over root + subdirectories.
+            let dir = if i % (spec.dirs + 1) == 0 || dirs.is_empty() {
+                String::new()
+            } else {
+                format!("{}/", dirs[i % dirs.len()])
+            };
+            let path = format!("{dir}{name}");
+            files.push((path, synth_source(&mut rng, size as usize)));
+        }
+        SourceTree { dirs, files }
+    }
+
+    /// Total bytes across all files.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|(_, d)| d.len() as u64).sum()
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// The `.c` files (the ones the Make phase compiles).
+    pub fn compilation_units(&self) -> impl Iterator<Item = &(String, Vec<u8>)> {
+        self.files.iter().filter(|(p, _)| p.ends_with(".c"))
+    }
+}
+
+/// Synthesizes source-looking bytes of roughly the requested length (the
+/// contents matter only in that they are real bytes that really get
+/// encrypted, transferred, cached and stored).
+fn synth_source(rng: &mut SimRng, size: usize) -> Vec<u8> {
+    const LINES: [&str; 6] = [
+        "static int cache_validate(struct fid *f, long version)\n",
+        "{\n    if (f->version != version)\n        return STALE;\n",
+        "    return VALID;\n}\n",
+        "/* contact the custodian only on open and close */\n",
+        "int venus_fetch(const char *path, char *buf, int len);\n",
+        "#define WHOLE_FILE_TRANSFER 1\n",
+    ];
+    let mut out = Vec::with_capacity(size + 64);
+    while out.len() < size {
+        out.extend_from_slice(rng.choose(&LINES).as_bytes());
+    }
+    out.truncate(size.max(1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_paper_shape() {
+        let t = SourceTree::generate(TreeSpec::default());
+        assert_eq!(t.file_count(), 70);
+        assert_eq!(t.dirs.len(), 5);
+        let total = t.total_bytes();
+        assert!(
+            (250_000..4_000_000).contains(&total),
+            "total {total} bytes out of expected range"
+        );
+        // A healthy majority are compilation units.
+        let c = t.compilation_units().count();
+        assert!(c >= 40, "{c} .c files");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SourceTree::generate(TreeSpec::default());
+        let b = SourceTree::generate(TreeSpec::default());
+        assert_eq!(a.files, b.files);
+    }
+
+    #[test]
+    fn paths_are_well_formed() {
+        let t = SourceTree::generate(TreeSpec::default());
+        for (p, data) in &t.files {
+            assert!(!p.starts_with('/'), "{p}");
+            assert!(!p.is_empty());
+            assert!(!data.is_empty());
+            if let Some((dir, _)) = p.rsplit_once('/') {
+                assert!(t.dirs.iter().any(|d| d == dir), "unknown dir {dir}");
+            }
+        }
+    }
+
+    #[test]
+    fn contents_look_like_source() {
+        let t = SourceTree::generate(TreeSpec::default());
+        let (_, data) = &t.files[1];
+        let text = String::from_utf8_lossy(data);
+        assert!(text.contains("custodian") || text.contains("cache") || text.contains("venus"));
+    }
+}

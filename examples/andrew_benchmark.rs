@@ -1,0 +1,77 @@
+//! The five-phase benchmark of Section 5.2, run three ways: all-local,
+//! all-remote against an unloaded server in the same cluster, and
+//! all-remote against a server across the backbone.
+//!
+//! ```text
+//! cargo run --release --example andrew_benchmark
+//! ```
+
+use itc_afs::core::config::SystemConfig;
+use itc_afs::core::system::ItcSystem;
+use itc_afs::workload::{AndrewBenchmark, PhaseTimes, TreeLocation};
+
+fn print_row(label: &str, p: &PhaseTimes) {
+    println!(
+        "{label:<22} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} | {:>9.1}",
+        p.make_dir.as_secs_f64(),
+        p.copy.as_secs_f64(),
+        p.scan_dir.as_secs_f64(),
+        p.read_all.as_secs_f64(),
+        p.make.as_secs_f64(),
+        p.total().as_secs_f64(),
+    );
+}
+
+fn fresh(volume_cluster: Option<u32>) -> ItcSystem {
+    let mut sys = ItcSystem::build(SystemConfig::prototype(2, 2));
+    sys.add_user("bench", "pw").unwrap();
+    if let Some(c) = volume_cluster {
+        sys.create_user_volume("bench", c).unwrap();
+    }
+    sys.login(0, "bench", "pw").unwrap(); // ws 0 lives in cluster 0
+    sys
+}
+
+fn main() {
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>9} {:>9} | {:>9}",
+        "configuration (secs)", "MakeDir", "Copy", "ScanDir", "ReadAll", "Make", "TOTAL"
+    );
+
+    // All files local.
+    let mut sys = fresh(None);
+    let local = AndrewBenchmark::new(
+        TreeLocation::Local("/local/src".into()),
+        TreeLocation::Local("/local/obj".into()),
+    );
+    local.install_source(&mut sys, 0).unwrap();
+    let local_t = local.run(&mut sys, 0).unwrap().phases;
+    print_row("local disk", &local_t);
+
+    // All files from the same-cluster server, cold cache.
+    let mut sys = fresh(Some(0));
+    let near = AndrewBenchmark::new(
+        TreeLocation::Vice("/vice/usr/bench/src".into()),
+        TreeLocation::Vice("/vice/usr/bench/obj".into()),
+    );
+    near.install_source(&mut sys, 0).unwrap();
+    let near_t = near.run(&mut sys, 0).unwrap().phases;
+    print_row("vice, same cluster", &near_t);
+
+    // All files from a server two bridge hops away.
+    let mut sys = fresh(Some(1));
+    let far = AndrewBenchmark::new(
+        TreeLocation::Vice("/vice/usr/bench/src".into()),
+        TreeLocation::Vice("/vice/usr/bench/obj".into()),
+    );
+    far.install_source(&mut sys, 0).unwrap();
+    let far_t = far.run(&mut sys, 0).unwrap().phases;
+    print_row("vice, cross cluster", &far_t);
+
+    println!();
+    println!(
+        "remote penalty: same cluster {:+.0}%, cross cluster {:+.0}%  (paper: ~+80%)",
+        (near_t.total().as_secs_f64() / local_t.total().as_secs_f64() - 1.0) * 100.0,
+        (far_t.total().as_secs_f64() / local_t.total().as_secs_f64() - 1.0) * 100.0,
+    );
+}

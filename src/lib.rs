@@ -1,0 +1,24 @@
+//! Facade crate for the ITC distributed file system reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests can `use itc_afs::...`. See the individual crates for
+//! the real documentation:
+//!
+//! * [`core`] (`itc-core`) — Vice servers, Venus cache manager, protocol,
+//!   protection, volumes, location database, cluster assembly.
+//! * [`sim`] (`itc-sim`) — virtual clock, resources, cost model.
+//! * [`unixfs`] (`itc-unixfs`) — in-memory Unix-like file system substrate.
+//! * [`cryptbox`] (`itc-cryptbox`) — cipher, handshake, secure channels.
+//! * [`rpc`] (`itc-rpc`) — secure RPC with whole-file side-effect transfer.
+//! * [`workload`] (`itc-workload`) — synthetic users and the 5-phase
+//!   benchmark.
+//! * [`baseline`] (`itc-baseline`) — rival architectures (remote-open,
+//!   page-caching) for the Section 6 comparison.
+
+pub use itc_baseline as baseline;
+pub use itc_core as core;
+pub use itc_cryptbox as cryptbox;
+pub use itc_rpc as rpc;
+pub use itc_sim as sim;
+pub use itc_unixfs as unixfs;
+pub use itc_workload as workload;

@@ -1,0 +1,131 @@
+//! Consistency semantics: Section 3.6's action consistency ("a workstation
+//! which fetches a file at the same time that another workstation is
+//! storing it, will either receive the old version or the new one, but
+//! never a partially modified version") and the store-on-close visibility
+//! model, in both validation modes.
+
+use itc_afs::core::config::SystemConfig;
+use itc_afs::core::system::ItcSystem;
+use itc_afs::sim::{SimTime, ValidationMode};
+
+fn two_users(validation: ValidationMode) -> ItcSystem {
+    let cfg = SystemConfig {
+        validation,
+        ..SystemConfig::prototype(1, 3)
+    };
+    let mut sys = ItcSystem::build(cfg);
+    sys.add_user("a", "pw").unwrap();
+    sys.add_user("b", "pw").unwrap();
+    sys.login(0, "a", "pw").unwrap();
+    sys.login(1, "b", "pw").unwrap();
+    sys.mkdir_p(0, "/vice/usr/shared").unwrap();
+    sys
+}
+
+#[test]
+fn fetch_never_sees_a_torn_file() {
+    for mode in [ValidationMode::CheckOnOpen, ValidationMode::Callback] {
+        let mut sys = two_users(mode);
+        let old = vec![b'O'; 100_000];
+        let new = vec![b'N'; 120_000];
+        sys.store(0, "/vice/usr/shared/f", old.clone()).unwrap();
+
+        // Interleave many stores and fetches; every fetch must be exactly
+        // the old or exactly the new contents.
+        for round in 0..10 {
+            let data = if round % 2 == 0 { new.clone() } else { old.clone() };
+            sys.store(0, "/vice/usr/shared/f", data).unwrap();
+            let got = sys.fetch(1, "/vice/usr/shared/f").unwrap();
+            let all_same = got.windows(2).all(|w| w[0] == w[1]);
+            assert!(all_same, "torn file observed in {mode:?}");
+            assert!(got.len() == old.len() || got.len() == new.len());
+        }
+    }
+}
+
+#[test]
+fn store_on_close_gives_timesharing_visibility() {
+    for mode in [ValidationMode::CheckOnOpen, ValidationMode::Callback] {
+        let mut sys = two_users(mode);
+        sys.store(0, "/vice/usr/shared/note", b"v1".to_vec()).unwrap();
+        assert_eq!(sys.fetch(1, "/vice/usr/shared/note").unwrap(), b"v1");
+        sys.store(0, "/vice/usr/shared/note", b"v2".to_vec()).unwrap();
+        // "changes by one user are immediately visible to all other users"
+        assert_eq!(
+            sys.fetch(1, "/vice/usr/shared/note").unwrap(),
+            b"v2",
+            "stale read in {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn callback_mode_sees_updates_without_polling() {
+    let mut sys = two_users(ValidationMode::Callback);
+    sys.store(0, "/vice/usr/shared/f", b"v1".to_vec()).unwrap();
+    let _ = sys.fetch(1, "/vice/usr/shared/f").unwrap();
+
+    // ws1's copy is promise-protected: repeated opens are free.
+    let calls = sys.metrics().total_calls();
+    for _ in 0..5 {
+        assert_eq!(sys.fetch(1, "/vice/usr/shared/f").unwrap(), b"v1");
+    }
+    assert_eq!(sys.metrics().total_calls(), calls);
+
+    // ws0 updates; the break arrives; ws1's next open refetches.
+    sys.store(0, "/vice/usr/shared/f", b"v2".to_vec()).unwrap();
+    assert_eq!(sys.fetch(1, "/vice/usr/shared/f").unwrap(), b"v2");
+}
+
+#[test]
+fn callback_breaks_do_not_disturb_the_writer() {
+    let mut sys = two_users(ValidationMode::Callback);
+    sys.store(0, "/vice/usr/shared/f", b"v1".to_vec()).unwrap();
+    let _ = sys.fetch(1, "/vice/usr/shared/f").unwrap();
+    sys.store(0, "/vice/usr/shared/f", b"v2".to_vec()).unwrap();
+    // The writer's own cached copy remains valid (it IS the new version).
+    let calls = sys.metrics().total_calls();
+    assert_eq!(sys.fetch(0, "/vice/usr/shared/f").unwrap(), b"v2");
+    assert_eq!(sys.metrics().total_calls(), calls, "writer should hit its own cache");
+}
+
+#[test]
+fn deletion_propagates_to_other_caches() {
+    for mode in [ValidationMode::CheckOnOpen, ValidationMode::Callback] {
+        let mut sys = two_users(mode);
+        sys.store(0, "/vice/usr/shared/gone", b"x".to_vec()).unwrap();
+        let _ = sys.fetch(1, "/vice/usr/shared/gone").unwrap();
+        sys.unlink(0, "/vice/usr/shared/gone").unwrap();
+        assert!(
+            sys.fetch(1, "/vice/usr/shared/gone").is_err(),
+            "deleted file still readable in {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn version_counters_strictly_increase_across_writers() {
+    let mut sys = two_users(ValidationMode::CheckOnOpen);
+    sys.store(0, "/vice/usr/shared/f", b"1".to_vec()).unwrap();
+    let mut last = sys.stat(0, "/vice/usr/shared/f").unwrap().version;
+    for i in 0..6 {
+        let writer = i % 2;
+        sys.store(writer, "/vice/usr/shared/f", vec![i as u8 + 2]).unwrap();
+        let v = sys.stat(1 - writer, "/vice/usr/shared/f").unwrap().version;
+        assert!(v > last, "version did not advance: {v} after {last}");
+        last = v;
+    }
+}
+
+#[test]
+fn virtual_time_always_moves_forward() {
+    let mut sys = two_users(ValidationMode::CheckOnOpen);
+    let mut prev = SimTime::ZERO;
+    for i in 0..20 {
+        sys.store(0, "/vice/usr/shared/t", vec![i]).unwrap();
+        let now = sys.now();
+        assert!(now >= prev);
+        prev = now;
+    }
+    assert!(prev > SimTime::ZERO);
+}

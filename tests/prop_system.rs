@@ -1,0 +1,127 @@
+//! Property-based integration tests: random multi-workstation operation
+//! sequences against a flat model of expected shared-file contents. The
+//! system must agree with the model after every operation — regardless of
+//! validation mode, traversal mode, or which workstation performs each
+//! step.
+
+use itc_afs::core::config::SystemConfig;
+use itc_afs::core::system::ItcSystem;
+use itc_afs::sim::{SimTime, TraversalMode, ValidationMode};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Store { ws: u8, file: u8, payload: u8, len: u16 },
+    Fetch { ws: u8, file: u8 },
+    Stat { ws: u8, file: u8 },
+    Remove { ws: u8, file: u8 },
+    Advance { secs: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u8>(), any::<u8>(), any::<u8>(), 1u16..2_000).prop_map(|(ws, file, payload, len)| Op::Store { ws, file, payload, len }),
+        4 => (any::<u8>(), any::<u8>()).prop_map(|(ws, file)| Op::Fetch { ws, file }),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(ws, file)| Op::Stat { ws, file }),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(ws, file)| Op::Remove { ws, file }),
+        1 => (1u16..600).prop_map(|secs| Op::Advance { secs }),
+    ]
+}
+
+fn path_of(file: u8) -> String {
+    format!("/vice/usr/shared/f{}", file % 6)
+}
+
+fn run_config(validation: ValidationMode, traversal: TraversalMode, ops: &[Op]) {
+    let cfg = SystemConfig {
+        validation,
+        traversal,
+        ..SystemConfig::prototype(2, 2)
+    };
+    let mut sys = ItcSystem::build(cfg);
+    let ws_count = sys.workstation_count();
+    for w in 0..ws_count {
+        let name = format!("u{w}");
+        sys.add_user(&name, "pw").unwrap();
+        sys.login(w, &name, "pw").unwrap();
+    }
+    sys.mkdir_p(0, "/vice/usr/shared").unwrap();
+
+    let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Store { ws, file, payload, len } => {
+                let ws = *ws as usize % ws_count;
+                let p = path_of(*file);
+                let data = vec![*payload; *len as usize];
+                sys.store(ws, &p, data.clone()).unwrap();
+                model.insert(p, data);
+            }
+            Op::Fetch { ws, file } => {
+                let ws = *ws as usize % ws_count;
+                let p = path_of(*file);
+                match model.get(&p) {
+                    Some(expect) => {
+                        let got = sys.fetch(ws, &p).unwrap();
+                        assert_eq!(&got, expect, "wrong contents for {p} at ws{ws}");
+                    }
+                    None => assert!(sys.fetch(ws, &p).is_err(), "{p} should not exist"),
+                }
+            }
+            Op::Stat { ws, file } => {
+                let ws = *ws as usize % ws_count;
+                let p = path_of(*file);
+                match model.get(&p) {
+                    Some(expect) => {
+                        let st = sys.stat(ws, &p).unwrap();
+                        assert_eq!(st.size, expect.len() as u64, "wrong size for {p}");
+                    }
+                    None => assert!(sys.stat(ws, &p).is_err()),
+                }
+            }
+            Op::Remove { ws, file } => {
+                let ws = *ws as usize % ws_count;
+                let p = path_of(*file);
+                let r = sys.unlink(ws, &p);
+                if model.remove(&p).is_some() {
+                    assert!(r.is_ok(), "remove {p} failed: {r:?}");
+                } else {
+                    assert!(r.is_err());
+                }
+            }
+            Op::Advance { secs } => {
+                let target = sys.now() + SimTime::from_secs(u64::from(*secs));
+                for w in 0..ws_count {
+                    sys.advance_ws(w, target);
+                }
+            }
+        }
+    }
+
+    // Final sweep: every workstation agrees with the model on every file.
+    for w in 0..ws_count {
+        for (p, expect) in &model {
+            assert_eq!(&sys.fetch(w, p).unwrap(), expect, "final sweep {p} at ws{w}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prototype_config_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_config(ValidationMode::CheckOnOpen, TraversalMode::ServerSide, &ops);
+    }
+
+    #[test]
+    fn revised_config_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_config(ValidationMode::Callback, TraversalMode::ClientSide, &ops);
+    }
+
+    #[test]
+    fn mixed_config_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..30)) {
+        run_config(ValidationMode::Callback, TraversalMode::ServerSide, &ops);
+    }
+}
