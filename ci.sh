@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 verification, fully offline (the main workspace has no external
+# dependencies). Run from the repository root.
+#
+#   ./ci.sh            offline build + full workspace test suite
+#   ./ci.sh network    additionally run the optional proptest/criterion
+#                      suite in extras/ (needs crates.io access)
+set -eu
+
+echo "== build (offline) =="
+cargo build --release --offline
+
+echo "== tests (offline) =="
+cargo test -q --workspace --offline
+
+if [ "${1:-}" = "network" ]; then
+    echo "== optional: property-based suite (networked) =="
+    (cd extras/proptest-suite && cargo test -q && cargo bench --no-run)
+fi
+
+echo "ci.sh: all green"

@@ -57,6 +57,7 @@ const ER_LOOP: u8 = 12;
 const ER_RENAMESELF: u8 = 13;
 const ER_BADREQ: u8 = 14;
 const ER_UNREACHABLE: u8 = 15;
+const ER_TIMEDOUT: u8 = 16;
 
 /// Encodes a request to bytes.
 pub fn encode_request(req: &ViceRequest) -> Vec<u8> {
@@ -186,6 +187,7 @@ fn encode_error(w: WireWriter, e: &ViceError) -> WireWriter {
         ViceError::RenameIntoSelf(p) => w.u8(ER_RENAMESELF).string(p),
         ViceError::BadRequest(m) => w.u8(ER_BADREQ).string(m),
         ViceError::Unreachable(s) => w.u8(ER_UNREACHABLE).u32(*s),
+        ViceError::TimedOut(s) => w.u8(ER_TIMEDOUT).u32(*s),
     }
 }
 
@@ -211,6 +213,7 @@ fn decode_error(r: &mut WireReader<'_>) -> Result<ViceError, WireError> {
         ER_RENAMESELF => ViceError::RenameIntoSelf(r.string()?),
         ER_BADREQ => ViceError::BadRequest(r.string()?),
         ER_UNREACHABLE => ViceError::Unreachable(r.u32()?),
+        ER_TIMEDOUT => ViceError::TimedOut(r.u32()?),
         _ => return Err(WireError::Truncated),
     })
 }
@@ -402,6 +405,7 @@ mod tests {
             ViceReply::Error(ViceError::PermissionDenied("/vice/y".into())),
             ViceReply::Error(ViceError::QuotaExceeded("/vice/usr/s".into())),
             ViceReply::Error(ViceError::Unreachable(4)),
+            ViceReply::Error(ViceError::TimedOut(2)),
         ]
     }
 

@@ -109,6 +109,12 @@ pub enum ViceError {
     /// partitioned network). Synthesized client-side, never sent on the
     /// wire by a server.
     Unreachable(u32),
+    /// Every attempt at the call timed out even though the server was
+    /// thought to be up (lost requests or replies). Synthesized
+    /// client-side after retry exhaustion, never sent on the wire by a
+    /// server. Distinct from [`ViceError::Unreachable`]: the binding still
+    /// exists and the server may answer the next call.
+    TimedOut(u32),
 }
 
 impl std::fmt::Display for ViceError {
@@ -130,6 +136,7 @@ impl std::fmt::Display for ViceError {
             ViceError::RenameIntoSelf(p) => write!(f, "rename into own subtree: {p}"),
             ViceError::BadRequest(m) => write!(f, "bad request: {m}"),
             ViceError::Unreachable(s) => write!(f, "server {s} unreachable"),
+            ViceError::TimedOut(s) => write!(f, "call to server {s} timed out"),
         }
     }
 }
@@ -266,6 +273,33 @@ impl ViceRequest {
             ViceRequest::ReadLink { .. } => "readlink",
             ViceRequest::SetLock { .. } => "setlock",
             ViceRequest::ReleaseLock { .. } => "releaselock",
+        }
+    }
+
+    /// True for requests that change server state visible to other
+    /// workstations. Mutations get idempotency tokens and a server-side
+    /// replay cache so a retried call (lost reply) is answered from the
+    /// cache instead of being applied twice; reads are naturally
+    /// idempotent and are also eligible for replica failover.
+    pub fn is_mutation(&self) -> bool {
+        match self {
+            ViceRequest::Store { .. }
+            | ViceRequest::Remove { .. }
+            | ViceRequest::SetMode { .. }
+            | ViceRequest::MakeDir { .. }
+            | ViceRequest::RemoveDir { .. }
+            | ViceRequest::Rename { .. }
+            | ViceRequest::SetAcl { .. }
+            | ViceRequest::MakeSymlink { .. }
+            | ViceRequest::SetLock { .. }
+            | ViceRequest::ReleaseLock { .. } => true,
+            ViceRequest::GetCustodian { .. }
+            | ViceRequest::Fetch { .. }
+            | ViceRequest::GetStatus { .. }
+            | ViceRequest::Validate { .. }
+            | ViceRequest::ListDir { .. }
+            | ViceRequest::GetAcl { .. }
+            | ViceRequest::ReadLink { .. } => false,
         }
     }
 

@@ -58,6 +58,14 @@ pub struct Server {
     pending_breaks: Vec<(NodeId, CallbackBreak)>,
     next_volume_id: u32,
     online: bool,
+    /// Incarnation counter, bumped on every crash. Venus compares this to
+    /// the epoch it last saw to detect that the server lost its callback
+    /// state while the workstation wasn't looking.
+    epoch: u64,
+    /// Replies to recently applied mutations, keyed by the caller's
+    /// workstation and idempotency token. A retried mutation whose reply
+    /// was lost is answered from here instead of being applied twice.
+    replay: HashMap<(NodeId, u64), ViceReply>,
 }
 
 impl Server {
@@ -85,6 +93,8 @@ impl Server {
             pending_breaks: Vec::new(),
             next_volume_id: id.0 * 10_000,
             online: true,
+            epoch: 0,
+            replay: HashMap::new(),
         }
     }
 
@@ -97,6 +107,48 @@ impl Server {
     /// Takes the whole server down or brings it back.
     pub fn set_online(&mut self, online: bool) {
         self.online = online;
+    }
+
+    /// Simulates a machine crash: the server goes down and all in-memory
+    /// state dies with it — callback promises (Section 3.2: callback state
+    /// is soft and must be reconstructible), the mutation replay cache,
+    /// advisory locks, and undelivered callback breaks. Files and
+    /// directories live on disk (volumes) and survive. The incarnation
+    /// epoch is bumped so workstations discover the loss on next contact
+    /// and revalidate their caches.
+    pub fn crash(&mut self) {
+        self.online = false;
+        self.epoch += 1;
+        self.callbacks.clear();
+        self.replay.clear();
+        self.locks = LockTable::new();
+        self.pending_breaks.clear();
+    }
+
+    /// Brings a crashed server back up (empty-handed: recovery consists of
+    /// clients revalidating, not of the server restoring promises).
+    pub fn restart(&mut self) {
+        self.online = true;
+    }
+
+    /// The server's incarnation epoch (crash count).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Looks up a remembered reply for a retried mutation.
+    pub fn replay_lookup(&self, from: NodeId, token: u64) -> Option<&ViceReply> {
+        self.replay.get(&(from, token))
+    }
+
+    /// Remembers the reply to an applied mutation for future replays.
+    pub fn replay_record(&mut self, from: NodeId, token: u64, reply: ViceReply) {
+        self.replay.insert((from, token), reply);
+    }
+
+    /// Number of remembered mutation replies (for tests).
+    pub fn replay_entries(&self) -> usize {
+        self.replay.len()
     }
 
     /// Server id.

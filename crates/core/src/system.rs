@@ -35,8 +35,8 @@ use crate::venus::{Space, Venus, VenusError, ViceTransport, WorkstationType};
 use crate::volume::{Volume, VolumeId};
 use itc_cryptbox::{derive_key, Key};
 use itc_rpc::binding::{establish, Binding};
-use itc_rpc::{CallSpec, Network, NodeId, TimingKernel};
-use itc_sim::{Clock, SimRng, SimTime};
+use itc_rpc::{CallSpec, CallStats, Network, NodeId, RetryPolicy, TimingKernel};
+use itc_sim::{Clock, FaultPlan, FaultStats, MessageFault, SimRng, SimTime};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -108,6 +108,11 @@ pub struct ItcSystem {
     next_volume: u32,
     surrogates: HashMap<WsId, Surrogate>,
     monitor: Option<TrafficMonitor>,
+    faults: Option<FaultPlan>,
+    retry: RetryPolicy,
+    retry_rng: SimRng,
+    call_stats: CallStats,
+    next_token: u64,
 }
 
 impl ItcSystem {
@@ -173,6 +178,13 @@ impl ItcSystem {
             domain,
             pserver,
             bindings: HashMap::new(),
+            faults: None,
+            retry: RetryPolicy::standard(config.costs.rpc_timeout),
+            // Jitter stream seeded independently of the main rng: backoff
+            // draws must not perturb handshake nonce generation.
+            retry_rng: SimRng::seeded(config.seed ^ 0x9e37_79b9_7f4a_7c15),
+            call_stats: CallStats::default(),
+            next_token: 0,
             config,
             next_volume: 1,
             surrogates: HashMap::new(),
@@ -665,6 +677,11 @@ impl ItcSystem {
                 rng,
                 home: home_map,
                 monitor,
+                faults,
+                retry,
+                retry_rng,
+                call_stats,
+                next_token,
                 ..
             } = self;
             let mut pending = Vec::new();
@@ -679,6 +696,11 @@ impl ItcSystem {
                 rng,
                 home: home_map,
                 pending: &mut pending,
+                faults,
+                retry,
+                retry_rng,
+                call_stats,
+                next_token,
             };
             t.ensure_binding(node, user, key, home, at)
         };
@@ -730,6 +752,11 @@ impl ItcSystem {
             rng,
             home,
             monitor,
+            faults,
+            retry,
+            retry_rng,
+            call_stats,
+            next_token,
             ..
         } = self;
         let mut pending = Vec::new();
@@ -744,6 +771,11 @@ impl ItcSystem {
             rng,
             home,
             pending: &mut pending,
+            faults,
+            retry,
+            retry_rng,
+            call_stats,
+            next_token,
         };
         let venus = &mut clients[ws];
         // Deferred writes whose deadline has passed flush before the next
@@ -901,6 +933,71 @@ impl ItcSystem {
     /// "temporary loss of service to small groups of users" only).
     pub fn set_server_online(&mut self, id: ServerId, online: bool) {
         self.servers[id.0 as usize].set_online(online);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and recovery
+    // ------------------------------------------------------------------
+
+    /// Installs a deterministic fault plan. Message faults apply to every
+    /// subsequent Vice call; scheduled crashes/restarts fire as virtual
+    /// time passes them.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Counters of faults the installed plan has injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(FaultPlan::stats).unwrap_or_default()
+    }
+
+    /// Counters of what the RPC retry machinery did across all calls.
+    pub fn call_stats(&self) -> CallStats {
+        self.call_stats
+    }
+
+    /// Replaces the retry/backoff policy for subsequent calls.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The retry/backoff policy in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Crashes a server immediately: it goes offline and loses all
+    /// in-memory state (callback promises, replay cache, locks), exactly
+    /// what a reboot of the real machine would lose.
+    pub fn crash_server(&mut self, id: ServerId) {
+        self.servers[id.0 as usize].crash();
+    }
+
+    /// Brings a crashed server back up, empty-handed: clients rediscover
+    /// the new epoch on their next genuine exchange and revalidate.
+    pub fn restart_server(&mut self, id: ServerId) {
+        self.servers[id.0 as usize].restart();
+    }
+
+    /// A server's restart epoch (bumped by every crash).
+    pub fn server_epoch(&self, id: ServerId) -> u64 {
+        self.servers[id.0 as usize].epoch()
+    }
+
+    /// Applies any scheduled crashes/restarts due at the current virtual
+    /// time. The transport also polls the schedule before every call, so
+    /// this is only needed when a test advances time without traffic and
+    /// wants to observe server state directly.
+    pub fn run_fault_schedule(&mut self) {
+        let now = self.clock.now();
+        if let Some(f) = self.faults.as_mut() {
+            for s in f.due_crashes(now) {
+                self.servers[s as usize].crash();
+            }
+            for s in f.due_restarts(now) {
+                self.servers[s as usize].restart();
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1094,6 +1191,11 @@ struct SystemTransport<'a> {
     rng: &'a mut SimRng,
     home: &'a HashMap<NodeId, ServerId>,
     pending: &'a mut Vec<PendingBreak>,
+    faults: &'a mut Option<FaultPlan>,
+    retry: &'a RetryPolicy,
+    retry_rng: &'a mut SimRng,
+    call_stats: &'a mut CallStats,
+    next_token: &'a mut u64,
 }
 
 impl SystemTransport<'_> {
@@ -1129,6 +1231,20 @@ impl SystemTransport<'_> {
         self.clock.advance_to(ready);
         Ok(ready)
     }
+
+    /// Fires any scheduled crashes/restarts due at `now`. Crashes apply
+    /// before restarts, so a crash and a later restart both passed between
+    /// two calls leave the server up but with a bumped epoch.
+    fn apply_lifecycle(&mut self, now: SimTime) {
+        if let Some(f) = self.faults.as_mut() {
+            for s in f.due_crashes(now) {
+                self.servers[s as usize].crash();
+            }
+            for s in f.due_restarts(now) {
+                self.servers[s as usize].restart();
+            }
+        }
+    }
 }
 
 impl ViceTransport for SystemTransport<'_> {
@@ -1144,6 +1260,9 @@ impl ViceTransport for SystemTransport<'_> {
         if server.0 as usize >= self.servers.len() {
             return Err(format!("unknown server {}", server.0));
         }
+        // Scheduled crashes/restarts that have come due take effect before
+        // anything else sees the server.
+        self.apply_lifecycle(at);
         // A down server: the client burns the RPC timeout and synthesizes
         // an Unreachable error so Venus can fail over to a replica.
         if !self.servers[server.0 as usize].is_online() {
@@ -1151,75 +1270,174 @@ impl ViceTransport for SystemTransport<'_> {
             self.clock.advance_to(done);
             return Ok((ViceReply::Error(ViceError::Unreachable(server.0)), done));
         }
-        let at = self.ensure_binding(ws, user, key, server, at)?;
+        let mut at = self.ensure_binding(ws, user, key, server, at)?;
 
-        // Functional path: encode, seal, open, dispatch, seal, open — every
-        // byte genuinely crosses the secure channel.
+        // Frame the request with a per-call idempotency token. Every retry
+        // of this logical call carries the same token, so a mutation whose
+        // *reply* was lost is answered from the server's replay cache on
+        // retry instead of being applied twice.
+        *self.next_token += 1;
+        let token = *self.next_token;
         let req_bytes = encode_request(req);
-        let cost_slot: RefCell<(CallCost, &'static str)> =
-            RefCell::new((CallCost::default(), req.kind()));
-        let costs = self.kernel.costs().clone();
+        let mut framed = Vec::with_capacity(8 + req_bytes.len());
+        framed.extend_from_slice(&token.to_be_bytes());
+        framed.extend_from_slice(&req_bytes);
 
-        let binding = self
-            .bindings
-            .get_mut(&(ws, server))
-            .expect("ensured above");
-        let srv = &mut self.servers[server.0 as usize];
-        let reply_bytes = binding
-            .round_trip(&req_bytes, |auth_user, opened| {
-                let reply = match decode_request(opened) {
-                    Ok(decoded) => {
-                        // Identity comes from the binding, never the
-                        // request.
-                        let (reply, cost) = srv.handle(auth_user, ws, &decoded, at, &costs);
-                        cost_slot.borrow_mut().0 = cost;
+        let policy = *self.retry;
+        let costs = self.kernel.costs().clone();
+        let kind = req.kind();
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            self.call_stats.attempts += 1;
+            if attempt > 1 {
+                self.call_stats.retries += 1;
+            }
+            // Backoff waits may have carried us past a scheduled crash.
+            self.apply_lifecycle(at);
+            if !self.servers[server.0 as usize].is_online() {
+                let done = at + policy.timeout;
+                self.clock.advance_to(done);
+                return Ok((ViceReply::Error(ViceError::Unreachable(server.0)), done));
+            }
+
+            // Request leg. The client always seals (its sequence number
+            // advances); the network decides the fate of the sealed bytes.
+            let req_fate = match self.faults.as_mut() {
+                Some(f) => f.request_fault(server.0),
+                None => MessageFault::Deliver,
+            };
+            let binding = self
+                .bindings
+                .get_mut(&(ws, server))
+                .expect("ensured above");
+            let sealed_req = binding.client_seal(&framed);
+            let mut extra = SimTime::ZERO;
+            match req_fate {
+                MessageFault::Drop => {
+                    self.call_stats.timeouts += 1;
+                    at = at + policy.timeout;
+                    if attempt >= policy.max_attempts {
+                        self.call_stats.failures += 1;
+                        self.clock.advance_to(at);
+                        return Ok((ViceReply::Error(ViceError::TimedOut(server.0)), at));
+                    }
+                    at = at + policy.backoff(attempt, self.retry_rng);
+                    continue;
+                }
+                MessageFault::Delay(d) => extra = extra + d,
+                MessageFault::Deliver | MessageFault::Duplicate => {}
+            }
+            let opened = binding.server_open(&sealed_req).map_err(|e| e.to_string())?;
+
+            // Server dispatch. Identity comes from the binding, never the
+            // request.
+            let auth_user = binding.server_user().to_string();
+            let (token_bytes, body) = opened.split_at(8);
+            let token_echo = u64::from_be_bytes(token_bytes.try_into().expect("framed above"));
+            let srv = &mut self.servers[server.0 as usize];
+            let mut cost = CallCost::default();
+            let reply = match decode_request(body) {
+                Ok(decoded) => {
+                    if let Some(cached) = decoded
+                        .is_mutation()
+                        .then(|| srv.replay_lookup(ws, token_echo))
+                        .flatten()
+                    {
+                        // A retry of a mutation the server already applied:
+                        // answer from the replay cache, do not re-apply.
+                        cached.clone()
+                    } else {
+                        let (reply, c) = srv.handle(&auth_user, ws, &decoded, at, &costs);
+                        cost = c;
+                        if decoded.is_mutation() {
+                            srv.replay_record(ws, token_echo, reply.clone());
+                        }
                         reply
                     }
-                    Err(e) => ViceReply::Error(ViceError::BadRequest(e.to_string())),
-                };
-                encode_reply(&reply)
-            })
-            .map_err(|e| e.to_string())?;
-        let reply = decode_reply(&reply_bytes).map_err(|e| e.to_string())?;
+                }
+                Err(e) => ViceReply::Error(ViceError::BadRequest(e.to_string())),
+            };
+            let reply_plain = encode_reply(&reply);
+            let sealed_reply = binding.server_seal(&reply_plain);
 
-        // Traffic monitoring (Section 3.6): attribute the call to the
-        // covering custodianship subtree and the caller's cluster.
-        if let Some(m) = self.monitor.as_mut() {
-            if let Some((subtree, _)) = self.servers[0].location().lookup(req.path()) {
-                let origin = self.network.cluster_of(ws);
-                let subtree = subtree.to_string();
-                m.record(&subtree, origin.0);
+            // Reply leg.
+            let reply_fate = match self.faults.as_mut() {
+                Some(f) => f.reply_fault(server.0),
+                None => MessageFault::Deliver,
+            };
+            match reply_fate {
+                MessageFault::Drop => {
+                    // The server did the work (and remembered the reply);
+                    // the client never hears back.
+                    self.call_stats.timeouts += 1;
+                    at = at + policy.timeout;
+                    if attempt >= policy.max_attempts {
+                        self.call_stats.failures += 1;
+                        self.clock.advance_to(at);
+                        return Ok((ViceReply::Error(ViceError::TimedOut(server.0)), at));
+                    }
+                    at = at + policy.backoff(attempt, self.retry_rng);
+                    continue;
+                }
+                MessageFault::Delay(d) => extra = extra + d,
+                MessageFault::Deliver | MessageFault::Duplicate => {}
             }
-        }
+            let reply_clear = binding.client_open(&sealed_reply).map_err(|e| e.to_string())?;
+            if reply_fate == MessageFault::Duplicate {
+                // Second copy of the same sealed reply: the channel's
+                // sequence check discards it.
+                if binding.client_open(&sealed_reply).is_err() {
+                    self.call_stats.duplicates_ignored += 1;
+                }
+            }
+            let reply = decode_reply(&reply_clear).map_err(|e| e.to_string())?;
 
-        // Timing path.
-        let (cost, kind) = cost_slot.into_inner();
-        let spec = CallSpec {
-            kind,
-            request_bytes: req_bytes.len() as u64 + 40, // sealing overhead
-            reply_bytes: reply_bytes.len() as u64 + 40,
-            server_cpu: cost.server_cpu,
-            disk_bytes: cost.disk_bytes,
-            lock_ipc: cost.lock_ipc,
-        };
-        let srv = &self.servers[server.0 as usize];
-        let rt = self
-            .kernel
-            .round_trip(self.network, ws, srv.node(), srv.cpu(), srv.disk(), at, &spec);
-        srv.record_call(kind, spec.request_bytes, spec.reply_bytes, rt.elapsed);
-        self.clock.advance_to(rt.completed_at);
+            // Traffic monitoring (Section 3.6): attribute the call to the
+            // covering custodianship subtree and the caller's cluster.
+            if let Some(m) = self.monitor.as_mut() {
+                if let Some((subtree, _)) = self.servers[0].location().lookup(req.path()) {
+                    let origin = self.network.cluster_of(ws);
+                    let subtree = subtree.to_string();
+                    m.record(&subtree, origin.0);
+                }
+            }
 
-        // Collect any callback breaks this call generated.
-        let srv = &mut self.servers[server.0 as usize];
-        for (to_ws, brk) in srv.drain_breaks() {
-            self.pending.push(PendingBreak {
-                from_server: server,
-                to_ws,
-                path: brk.path,
-                sent_at: rt.completed_at,
-            });
+            // Timing path.
+            let spec = CallSpec {
+                kind,
+                request_bytes: req_bytes.len() as u64 + 40, // token + sealing overhead
+                reply_bytes: reply_plain.len() as u64 + 40,
+                server_cpu: cost.server_cpu,
+                disk_bytes: cost.disk_bytes,
+                lock_ipc: cost.lock_ipc,
+            };
+            let srv = &self.servers[server.0 as usize];
+            let rt = self
+                .kernel
+                .round_trip(self.network, ws, srv.node(), srv.cpu(), srv.disk(), at, &spec);
+            srv.record_call(kind, spec.request_bytes, spec.reply_bytes, rt.elapsed);
+            let done = rt.completed_at + extra;
+            self.clock.advance_to(done);
+
+            // Collect any callback breaks this call generated.
+            let srv = &mut self.servers[server.0 as usize];
+            for (to_ws, brk) in srv.drain_breaks() {
+                self.pending.push(PendingBreak {
+                    from_server: server,
+                    to_ws,
+                    path: brk.path,
+                    sent_at: done,
+                });
+            }
+            return Ok((reply, done));
         }
-        Ok((reply, rt.completed_at))
+    }
+
+    fn epoch_of(&self, server: ServerId) -> u64 {
+        self.servers
+            .get(server.0 as usize)
+            .map_or(0, Server::epoch)
     }
 
     fn nearest(&self, ws: NodeId, candidates: &[ServerId]) -> ServerId {

@@ -183,6 +183,24 @@ impl Cache {
         }
     }
 
+    /// Marks every entry invalid except read-only copies (which "can never
+    /// be invalid") and the paths `keep` accepts (locally-dirty files,
+    /// whose cached copy is newer than anything a server holds). Used when
+    /// Venus discovers a server restarted: its callback promises died with
+    /// it, so every copy that relied on one must be revalidated on next
+    /// use. Returns how many entries were invalidated.
+    pub fn invalidate_suspect(&mut self, keep: impl Fn(&str) -> bool) -> usize {
+        let mut n = 0;
+        for (path, e) in self.entries.iter_mut() {
+            if e.valid && !e.status.read_only && !keep(path) {
+                e.valid = false;
+                self.stats.invalidations += 1;
+                n += 1;
+            }
+        }
+        n
+    }
+
     /// Marks an entry valid again (after a successful validation) and
     /// optionally refreshes its status.
     pub fn revalidate(&mut self, path: &str, status: Option<VStatus>) {

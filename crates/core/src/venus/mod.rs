@@ -61,6 +61,12 @@ pub enum VenusError {
     ProtocolMismatch(&'static str),
     /// Custodian resolution failed repeatedly.
     NoCustodian(String),
+    /// A mutation could not be applied: the custodian is down or kept
+    /// timing out, and no read-only replica may apply it. The workstation
+    /// is in degraded mode for this subtree — reads from cache still work,
+    /// but updates must wait for the custodian (Section 2.2 accepts this:
+    /// replication covers read-only subtrees only).
+    Degraded(ViceError),
 }
 
 impl std::fmt::Display for VenusError {
@@ -73,6 +79,7 @@ impl std::fmt::Display for VenusError {
             VenusError::BadHandle(h) => write!(f, "bad file handle {h}"),
             VenusError::ProtocolMismatch(m) => write!(f, "protocol mismatch: {m}"),
             VenusError::NoCustodian(p) => write!(f, "no custodian found for {p}"),
+            VenusError::Degraded(e) => write!(f, "degraded mode, mutation not applied: {e}"),
         }
     }
 }
@@ -113,6 +120,14 @@ pub trait ViceTransport {
     /// The server in this workstation's own cluster — the default target
     /// for location queries.
     fn home_server(&self, ws: NodeId) -> ServerId;
+
+    /// The server's current incarnation epoch (crash count). Venus compares
+    /// this against the epoch it last observed to detect that a server
+    /// crashed — losing its callback promises — while the workstation
+    /// wasn't looking. Transports without crash modeling use the default.
+    fn epoch_of(&self, _server: ServerId) -> u64 {
+        0
+    }
 }
 
 /// Per-Venus operation counters (the cache's own hit/miss stats live in
@@ -167,6 +182,9 @@ pub struct Venus {
     write_policy: WritePolicy,
     /// Dirty Vice paths awaiting a deferred flush: path -> flush deadline.
     dirty: HashMap<String, SimTime>,
+    /// Last observed incarnation epoch per server; a bump means the server
+    /// crashed (losing callback promises) since we last talked to it.
+    server_epochs: HashMap<ServerId, u64>,
 }
 
 const CUSTODIAN_RETRIES: u32 = 3;
@@ -220,6 +238,7 @@ impl Venus {
             stats: VenusStats::default(),
             write_policy,
             dirty: HashMap::new(),
+            server_epochs: HashMap::new(),
         }
     }
 
@@ -298,6 +317,30 @@ impl Venus {
         self.session.clone().ok_or(VenusError::NotLoggedIn)
     }
 
+    /// Called after a genuine exchange with `server`: if its incarnation
+    /// epoch advanced since we last saw it, the server crashed and its
+    /// callback promises for this workstation are gone. Every cached copy
+    /// that relied on a promise becomes suspect and must be revalidated
+    /// (re-fetched) before its next use. Read-only copies "can never be
+    /// invalid" and locally-dirty files are newer than anything the server
+    /// holds, so both are kept.
+    ///
+    /// Discovery is contact-driven: while a server is down nothing can
+    /// mutate its files, so cached copies remain safe to serve; the
+    /// staleness window opens only once the restarted server starts
+    /// applying other workstations' updates, and closes at this
+    /// workstation's first exchange with it.
+    fn note_epoch(&mut self, t: &dyn ViceTransport, server: ServerId) {
+        let cur = t.epoch_of(server);
+        if let Some(prev) = self.server_epochs.insert(server, cur) {
+            if cur > prev {
+                let dirty = std::mem::take(&mut self.dirty);
+                self.cache.invalidate_suspect(|p| dirty.contains_key(p));
+                self.dirty = dirty;
+            }
+        }
+    }
+
     fn charge_intercept(&mut self) {
         self.now += self.costs.ws_cpu_intercept;
     }
@@ -352,6 +395,7 @@ impl Venus {
                 custodian,
                 replicas,
             } => {
+                self.note_epoch(&*t, home);
                 self.hints.insert(subtree, (custodian, replicas.clone()));
                 Ok((custodian, replicas))
             }
@@ -388,7 +432,7 @@ impl Venus {
             };
             candidates.dedup();
 
-            let mut last_unreachable = None;
+            let mut last_failure: Option<ViceError> = None;
             let mut reply = None;
             for target in candidates {
                 let (r, done) = t
@@ -400,9 +444,18 @@ impl Venus {
                     // point ... machine failures should not affect the
                     // entire user community" (Section 2.2).
                     ViceReply::Error(ViceError::Unreachable(srv)) => {
-                        last_unreachable = Some(srv);
+                        last_failure = Some(ViceError::Unreachable(srv));
+                    }
+                    // The machine is thought to be up but every attempt at
+                    // the call timed out (lost traffic): a replica may
+                    // still answer a read.
+                    ViceReply::Error(ViceError::TimedOut(srv)) => {
+                        last_failure = Some(ViceError::TimedOut(srv));
                     }
                     other => {
+                        // A genuine exchange with this server: notice if it
+                        // restarted behind our back.
+                        self.note_epoch(&*t, target);
                         reply = Some(other);
                         break;
                     }
@@ -419,9 +472,16 @@ impl Venus {
                 }
                 Some(other) => return Ok(other),
                 None => {
-                    return Err(VenusError::Vice(ViceError::Unreachable(
-                        last_unreachable.unwrap_or(custodian.0),
-                    )))
+                    let cause =
+                        last_failure.unwrap_or(ViceError::Unreachable(custodian.0));
+                    // Reads surface the failure as-is; mutations get the
+                    // distinguishable degraded-mode error — the caller's
+                    // data was NOT applied anywhere.
+                    return Err(if req.is_mutation() {
+                        VenusError::Degraded(cause)
+                    } else {
+                        VenusError::Vice(cause)
+                    });
                 }
             }
         }

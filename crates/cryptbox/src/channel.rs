@@ -3,8 +3,13 @@
 //! Once the handshake completes, "all further communication on the
 //! connection is encrypted" (Section 3.4). The channel layer adds what raw
 //! [`crate::mode::seal`] does not: direction separation (a message sealed by
-//! the client cannot be reflected back to it as a server message) and strict
-//! sequence numbering (replayed or reordered messages are rejected).
+//! the client cannot be reflected back to it as a server message) and
+//! monotonic sequence numbering: a message whose sequence number is behind
+//! the receiver's window — a replay, a duplicate delivery, or a stale
+//! reordering — is rejected. Gaps are tolerated, because the network may
+//! drop messages while the sender's sequence moves on; a retransmitted
+//! *call* therefore arrives with a fresh sequence number and is accepted,
+//! while the idempotency layer above (not this one) makes the retry safe.
 
 use crate::mode::{open, seal, SealError};
 use crate::xtea::Key;
@@ -23,8 +28,8 @@ pub enum Role {
 pub enum ChannelError {
     /// Decryption or MAC verification failed.
     Crypto(SealError),
-    /// The sequence number was not the one expected: replay, reorder, or
-    /// drop.
+    /// The sequence number fell behind the receive window: a replay, a
+    /// duplicate delivery, or a stale reordered message.
     BadSequence { expected: u64, got: u64 },
     /// The direction tag did not match: a reflected message.
     WrongDirection,
@@ -106,13 +111,16 @@ impl SecureChannel {
             return Err(ChannelError::WrongDirection);
         }
         let seq = u64::from_be_bytes(body[1..9].try_into().expect("checked length"));
-        if seq != self.recv_seq {
+        // Accept any sequence number at or ahead of the window: a gap means
+        // earlier messages were lost in the network, which is legal. Only a
+        // message *behind* the window — a replay or duplicate — is rejected.
+        if seq < self.recv_seq {
             return Err(ChannelError::BadSequence {
                 expected: self.recv_seq,
                 got: seq,
             });
         }
-        self.recv_seq += 1;
+        self.recv_seq = seq + 1;
         Ok(body[9..].to_vec())
     }
 }
@@ -152,16 +160,32 @@ mod tests {
     }
 
     #[test]
-    fn reorder_is_rejected() {
+    fn gap_is_tolerated_but_stale_message_is_rejected() {
         let (mut c, mut s) = pair(KEY);
         let m0 = c.seal_msg(b"first");
         let m1 = c.seal_msg(b"second");
+        // m0 is "lost" in the network; m1 arrives first. The receiver cannot
+        // distinguish a drop from a reorder, so it must accept the gap.
+        assert_eq!(s.open_msg(&m1).unwrap(), b"second");
+        // The straggler m0 is now behind the window and is rejected.
         assert!(matches!(
-            s.open_msg(&m1),
-            Err(ChannelError::BadSequence { expected: 0, got: 1 })
+            s.open_msg(&m0),
+            Err(ChannelError::BadSequence { expected: 2, got: 0 })
         ));
-        // The in-order message still works afterwards.
-        assert_eq!(s.open_msg(&m0).unwrap(), b"first");
+    }
+
+    #[test]
+    fn retransmission_after_drop_is_accepted() {
+        let (mut c, mut s) = pair(KEY);
+        // First attempt at a call is sealed but never delivered.
+        let _lost = c.seal_msg(b"Store /f");
+        // The retry is re-sealed with the next sequence number and must be
+        // accepted even though the server never saw the first attempt.
+        let retry = c.seal_msg(b"Store /f");
+        assert_eq!(s.open_msg(&retry).unwrap(), b"Store /f");
+        // The conversation continues normally afterwards.
+        let next = c.seal_msg(b"Fetch /g");
+        assert_eq!(s.open_msg(&next).unwrap(), b"Fetch /g");
     }
 
     #[test]

@@ -136,9 +136,22 @@ pub fn open(key: Key, sealed: &[u8]) -> Result<Vec<u8>, SealError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     const KEY: Key = Key([11, 22, 33, 44]);
+
+    /// Minimal local PRNG for deterministic randomized tests (this crate
+    /// has no dependencies, by design).
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn rand_bytes(state: &mut u64, len: usize) -> Vec<u8> {
+        (0..len).map(|_| splitmix64(state) as u8).collect()
+    }
 
     #[test]
     fn round_trips_various_lengths() {
@@ -197,24 +210,33 @@ mod tests {
         assert!(longest_zero_run < 16);
     }
 
-    proptest! {
-        #[test]
-        fn prop_round_trip(msg in proptest::collection::vec(any::<u8>(), 0..512), seed in any::<u64>()) {
+    /// Deterministic port of the former proptest round-trip suite: random
+    /// messages and IV seeds must open to exactly what was sealed.
+    #[test]
+    fn randomized_round_trip() {
+        let mut st = 0x6d6f_6465_5f72_7472u64;
+        for _ in 0..256 {
+            let len = (splitmix64(&mut st) % 512) as usize;
+            let msg = rand_bytes(&mut st, len);
+            let seed = splitmix64(&mut st);
             let sealed = seal(KEY, seed, &msg);
-            prop_assert_eq!(open(KEY, &sealed).unwrap(), msg);
+            assert_eq!(open(KEY, &sealed).unwrap(), msg);
         }
+    }
 
-        #[test]
-        fn prop_bit_flip_detected(
-            msg in proptest::collection::vec(any::<u8>(), 1..128),
-            pos_frac in 0.0f64..1.0,
-            bit in 0u8..8,
-        ) {
+    /// Flipping a random bit at a random position is always detected.
+    #[test]
+    fn randomized_bit_flip_detected() {
+        let mut st = 0x6d6f_6465_5f66_6c70u64;
+        for _ in 0..256 {
+            let len = 1 + (splitmix64(&mut st) % 127) as usize;
+            let msg = rand_bytes(&mut st, len);
             let sealed = seal(KEY, 42, &msg);
-            let pos = ((sealed.len() - 1) as f64 * pos_frac) as usize;
+            let pos = (splitmix64(&mut st) % sealed.len() as u64) as usize;
+            let bit = splitmix64(&mut st) % 8;
             let mut bad = sealed.clone();
             bad[pos] ^= 1 << bit;
-            prop_assert!(open(KEY, &bad).is_err());
+            assert!(open(KEY, &bad).is_err(), "pos {pos} bit {bit} undetected");
         }
     }
 }

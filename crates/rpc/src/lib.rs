@@ -23,17 +23,24 @@
 //!   (the bottleneck resource identified in Section 5.2), disk, and the
 //!   reply path. The server-structure ablation (process-per-client vs
 //!   single-process LWP, Section 3.5.2) lives here.
+//! * [`retry`] — per-call timeout, bounded exponential backoff with seeded
+//!   jitter, and the call-level counters the fault experiments assert on.
+//!   The paper's RPC package retransmitted over an unreliable datagram
+//!   network; the reproduction retries whole calls and keeps them safe with
+//!   idempotency tokens replayed from a server-side cache.
 //! * [`stats`] — per-server call histograms, reproducing the Section 5.2
 //!   call-mix measurement.
 
 pub mod binding;
 pub mod net;
+pub mod retry;
 pub mod stats;
 pub mod timing;
 pub mod wire;
 
 pub use binding::{establish, Binding, BindingError};
 pub use net::{ClusterId, Network, NodeId};
+pub use retry::{CallStats, RetryPolicy};
 pub use stats::RpcStats;
 pub use timing::{CallSpec, RoundTrip, TimingKernel};
 pub use wire::{WireError, WireReader, WireWriter};

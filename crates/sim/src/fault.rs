@@ -1,0 +1,350 @@
+//! Deterministic fault injection.
+//!
+//! The 1985 paper's prototype ran on a real campus network where messages
+//! were lost, servers crashed, and Venus had to keep workstations usable
+//! anyway (Section 3.1: *"A user could, if he so desired, continue work in
+//! the presence of... failures"*). This module gives the simulation the same
+//! adversities on demand, driven entirely by a seeded [`SimRng`] so that a
+//! given fault plan produces bit-identical failures — and therefore
+//! bit-identical retries, failovers, and recoveries — on every run.
+//!
+//! A [`FaultPlan`] answers two kinds of question for the transport layer:
+//!
+//! * **Message faults** — should this request or reply be dropped,
+//!   duplicated, or delayed? Decided probabilistically per message, or
+//!   scripted precisely via [`FaultPlan::inject_once`] (the FIFO of one-shot
+//!   faults is what the fault tests use to stage exact scenarios like "the
+//!   reply to the *next* Store to server 1 is lost").
+//! * **Server lifecycle** — has a crash or restart been scheduled at or
+//!   before the current virtual time? The *owner* of the servers polls
+//!   [`FaultPlan::due_crashes`] / [`FaultPlan::due_restarts`] and applies
+//!   the state changes; crashing a simulated Vice server loses its
+//!   in-memory state (callback promises, replay cache, locks) exactly as a
+//!   reboot of the real machine would.
+//!
+//! The plan also keeps [`FaultStats`] so tests can assert exactly how many
+//! faults fired.
+
+use crate::clock::SimTime;
+use crate::rng::SimRng;
+use std::collections::VecDeque;
+
+/// What the (simulated) network did to one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageFault {
+    /// Delivered normally.
+    Deliver,
+    /// Lost in transit; the caller sees only its timeout.
+    Drop,
+    /// Delivered twice (meaningful for replies: the client sees the same
+    /// sealed reply again, which the channel layer must reject).
+    Duplicate,
+    /// Delivered after an extra delay.
+    Delay(SimTime),
+}
+
+/// A one-shot fault staged against a specific server's next message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptedFault {
+    /// Drop the next request sent to the server.
+    DropRequest,
+    /// Drop the next reply the server sends.
+    DropReply,
+    /// Duplicate the next reply the server sends.
+    DuplicateReply,
+    /// Delay the next reply by the given amount.
+    DelayReply(SimTime),
+}
+
+/// Counters of faults actually injected.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Requests lost before reaching a server.
+    pub requests_dropped: u64,
+    /// Replies lost on the way back.
+    pub replies_dropped: u64,
+    /// Replies delivered twice.
+    pub replies_duplicated: u64,
+    /// Messages delivered late.
+    pub delays_injected: u64,
+}
+
+impl FaultStats {
+    /// Total message faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.requests_dropped + self.replies_dropped + self.replies_duplicated + self.delays_injected
+    }
+}
+
+/// A scheduled server lifecycle event.
+#[derive(Debug, Clone, Copy)]
+struct Lifecycle {
+    server: u32,
+    at: SimTime,
+    fired: bool,
+}
+
+/// A deterministic plan of message faults and server crashes.
+#[derive(Debug)]
+pub struct FaultPlan {
+    rng: SimRng,
+    drop_request: f64,
+    drop_reply: f64,
+    duplicate_reply: f64,
+    delay_prob: f64,
+    delay_extra: SimTime,
+    scripted: Vec<(u32, VecDeque<ScriptedFault>)>,
+    crashes: Vec<Lifecycle>,
+    restarts: Vec<Lifecycle>,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// A plan with no probabilistic faults; scenarios are added with the
+    /// builder methods and [`FaultPlan::inject_once`].
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            rng: SimRng::seeded(seed),
+            drop_request: 0.0,
+            drop_reply: 0.0,
+            duplicate_reply: 0.0,
+            delay_prob: 0.0,
+            delay_extra: SimTime::ZERO,
+            scripted: Vec::new(),
+            crashes: Vec::new(),
+            restarts: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Sets the probability that any request is lost in transit.
+    pub fn drop_request_prob(mut self, p: f64) -> Self {
+        self.drop_request = p;
+        self
+    }
+
+    /// Sets the probability that any reply is lost in transit.
+    pub fn drop_reply_prob(mut self, p: f64) -> Self {
+        self.drop_reply = p;
+        self
+    }
+
+    /// Sets the probability that any reply is delivered twice.
+    pub fn duplicate_reply_prob(mut self, p: f64) -> Self {
+        self.duplicate_reply = p;
+        self
+    }
+
+    /// Sets the probability that a message is delayed, and by how much.
+    pub fn delay(mut self, p: f64, extra: SimTime) -> Self {
+        self.delay_prob = p;
+        self.delay_extra = extra;
+        self
+    }
+
+    /// Stages a one-shot fault against `server`. Faults staged against the
+    /// same server fire in FIFO order, one per matching message.
+    pub fn inject_once(&mut self, server: u32, fault: ScriptedFault) {
+        if let Some((_, q)) = self.scripted.iter_mut().find(|(s, _)| *s == server) {
+            q.push_back(fault);
+        } else {
+            let mut q = VecDeque::new();
+            q.push_back(fault);
+            self.scripted.push((server, q));
+        }
+    }
+
+    /// Schedules `server` to crash at virtual time `at`, losing all
+    /// in-memory state (the owner applies the crash via [`Self::due_crashes`]).
+    pub fn schedule_crash(&mut self, server: u32, at: SimTime) {
+        self.crashes.push(Lifecycle { server, at, fired: false });
+    }
+
+    /// Schedules `server` to come back up at virtual time `at`.
+    pub fn schedule_restart(&mut self, server: u32, at: SimTime) {
+        self.restarts.push(Lifecycle { server, at, fired: false });
+    }
+
+    /// Crash events due at or before `now` that have not fired yet.
+    pub fn due_crashes(&mut self, now: SimTime) -> Vec<u32> {
+        Self::drain_due(&mut self.crashes, now)
+    }
+
+    /// Restart events due at or before `now` that have not fired yet.
+    pub fn due_restarts(&mut self, now: SimTime) -> Vec<u32> {
+        Self::drain_due(&mut self.restarts, now)
+    }
+
+    fn drain_due(events: &mut Vec<Lifecycle>, now: SimTime) -> Vec<u32> {
+        let mut due: Vec<(SimTime, u32)> = events
+            .iter_mut()
+            .filter(|e| !e.fired && e.at <= now)
+            .map(|e| {
+                e.fired = true;
+                (e.at, e.server)
+            })
+            .collect();
+        due.sort_by_key(|(at, server)| (*at, *server));
+        due.into_iter().map(|(_, server)| server).collect()
+    }
+
+    fn pop_scripted(&mut self, server: u32, matches: impl Fn(ScriptedFault) -> bool) -> Option<ScriptedFault> {
+        let (_, q) = self.scripted.iter_mut().find(|(s, _)| *s == server)?;
+        match q.front() {
+            Some(&f) if matches(f) => q.pop_front(),
+            _ => None,
+        }
+    }
+
+    /// Decides the fate of a request headed for `server`.
+    pub fn request_fault(&mut self, server: u32) -> MessageFault {
+        if let Some(f) = self.pop_scripted(server, |f| matches!(f, ScriptedFault::DropRequest)) {
+            debug_assert_eq!(f, ScriptedFault::DropRequest);
+            self.stats.requests_dropped += 1;
+            return MessageFault::Drop;
+        }
+        if self.drop_request > 0.0 && self.rng.chance(self.drop_request) {
+            self.stats.requests_dropped += 1;
+            return MessageFault::Drop;
+        }
+        if self.delay_prob > 0.0 && self.rng.chance(self.delay_prob) {
+            self.stats.delays_injected += 1;
+            return MessageFault::Delay(self.delay_extra);
+        }
+        MessageFault::Deliver
+    }
+
+    /// Decides the fate of a reply sent by `server`.
+    pub fn reply_fault(&mut self, server: u32) -> MessageFault {
+        if let Some(f) = self.pop_scripted(server, |f| {
+            matches!(
+                f,
+                ScriptedFault::DropReply | ScriptedFault::DuplicateReply | ScriptedFault::DelayReply(_)
+            )
+        }) {
+            return match f {
+                ScriptedFault::DropReply => {
+                    self.stats.replies_dropped += 1;
+                    MessageFault::Drop
+                }
+                ScriptedFault::DuplicateReply => {
+                    self.stats.replies_duplicated += 1;
+                    MessageFault::Duplicate
+                }
+                ScriptedFault::DelayReply(extra) => {
+                    self.stats.delays_injected += 1;
+                    MessageFault::Delay(extra)
+                }
+                ScriptedFault::DropRequest => unreachable!("filtered by matcher"),
+            };
+        }
+        if self.drop_reply > 0.0 && self.rng.chance(self.drop_reply) {
+            self.stats.replies_dropped += 1;
+            return MessageFault::Drop;
+        }
+        if self.duplicate_reply > 0.0 && self.rng.chance(self.duplicate_reply) {
+            self.stats.replies_duplicated += 1;
+            return MessageFault::Duplicate;
+        }
+        if self.delay_prob > 0.0 && self.rng.chance(self.delay_prob) {
+            self.stats.delays_injected += 1;
+            return MessageFault::Delay(self.delay_extra);
+        }
+        MessageFault::Deliver
+    }
+
+    /// Counters of faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The jitter source for retry backoff, forked from the plan's own
+    /// seeded stream so transport retries stay deterministic per plan.
+    pub fn fork_rng(&mut self) -> SimRng {
+        self.rng.fork()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plan_never_faults() {
+        let mut p = FaultPlan::new(7);
+        for _ in 0..100 {
+            assert_eq!(p.request_fault(0), MessageFault::Deliver);
+            assert_eq!(p.reply_fault(0), MessageFault::Deliver);
+        }
+        assert_eq!(p.stats().total(), 0);
+    }
+
+    #[test]
+    fn scripted_faults_fire_once_in_fifo_order() {
+        let mut p = FaultPlan::new(7);
+        p.inject_once(1, ScriptedFault::DropReply);
+        p.inject_once(1, ScriptedFault::DuplicateReply);
+        // Other servers are unaffected.
+        assert_eq!(p.reply_fault(0), MessageFault::Deliver);
+        assert_eq!(p.reply_fault(1), MessageFault::Drop);
+        assert_eq!(p.reply_fault(1), MessageFault::Duplicate);
+        assert_eq!(p.reply_fault(1), MessageFault::Deliver);
+        assert_eq!(p.stats().replies_dropped, 1);
+        assert_eq!(p.stats().replies_duplicated, 1);
+    }
+
+    #[test]
+    fn scripted_request_and_reply_queues_interleave() {
+        // A DropRequest at the queue head must not be consumed by a reply
+        // fault query, and vice versa.
+        let mut p = FaultPlan::new(7);
+        p.inject_once(2, ScriptedFault::DropRequest);
+        assert_eq!(p.reply_fault(2), MessageFault::Deliver);
+        assert_eq!(p.request_fault(2), MessageFault::Drop);
+        assert_eq!(p.request_fault(2), MessageFault::Deliver);
+    }
+
+    #[test]
+    fn probabilistic_faults_are_deterministic_per_seed() {
+        let run = |seed: u64| -> (Vec<MessageFault>, FaultStats) {
+            let mut p = FaultPlan::new(seed)
+                .drop_request_prob(0.2)
+                .drop_reply_prob(0.1)
+                .duplicate_reply_prob(0.1);
+            let mut seq = Vec::new();
+            for i in 0..200 {
+                seq.push(p.request_fault(i % 3));
+                seq.push(p.reply_fault(i % 3));
+            }
+            (seq, p.stats())
+        };
+        let (a, sa) = run(42);
+        let (b, sb) = run(42);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert!(sa.requests_dropped > 0 && sa.replies_dropped > 0);
+        let (c, _) = run(43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lifecycle_events_fire_once_in_time_order() {
+        let mut p = FaultPlan::new(1);
+        p.schedule_crash(2, SimTime::from_secs(50));
+        p.schedule_crash(1, SimTime::from_secs(10));
+        p.schedule_restart(1, SimTime::from_secs(60));
+        assert!(p.due_crashes(SimTime::from_secs(5)).is_empty());
+        assert_eq!(p.due_crashes(SimTime::from_secs(55)), vec![1, 2]);
+        assert!(p.due_crashes(SimTime::from_secs(100)).is_empty());
+        assert!(p.due_restarts(SimTime::from_secs(59)).is_empty());
+        assert_eq!(p.due_restarts(SimTime::from_secs(60)), vec![1]);
+        assert!(p.due_restarts(SimTime::from_secs(61)).is_empty());
+    }
+
+    #[test]
+    fn delay_faults_carry_the_extra_time() {
+        let mut p = FaultPlan::new(3).delay(1.0, SimTime::from_millis(250));
+        assert_eq!(p.request_fault(0), MessageFault::Delay(SimTime::from_millis(250)));
+        assert_eq!(p.stats().delays_injected, 1);
+    }
+}

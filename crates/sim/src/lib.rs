@@ -20,16 +20,22 @@
 //!   change rather than a code fork.
 //!
 //! Determinism: all randomness flows through [`SimRng`], seeded explicitly.
-//! Running the same experiment twice produces bit-identical results.
+//! Running the same experiment twice produces bit-identical results. That
+//! extends to failure: [`FaultPlan`] injects message drops, duplicates,
+//! delays, and server crash/restart schedules from its own seeded stream,
+//! so fault scenarios — and the retries and recoveries they provoke — are
+//! bit-reproducible too.
 
 pub mod clock;
 pub mod costs;
+pub mod fault;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 
 pub use clock::{Clock, SimTime};
 pub use costs::{Costs, ServerStructure, TraversalMode, ValidationMode};
+pub use fault::{FaultPlan, FaultStats, MessageFault, ScriptedFault};
 pub use resource::{Resource, UtilizationReport};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Percentiles, RunningStats, TimeBuckets};

@@ -2,43 +2,87 @@
 //!
 //! Everything random in an experiment flows through one [`SimRng`] seeded at
 //! the top of the run, so results are reproducible bit-for-bit. The
-//! distribution sampling (exponential, log-normal, bounded Pareto,
-//! geometric) is implemented here directly rather than pulling in
-//! `rand_distr`: the formulas are a few lines each and keeping them local
-//! makes the workload model self-contained and auditable.
+//! generator itself is a self-contained xoshiro256** seeded through
+//! SplitMix64 — no external crates, so the whole suite builds and runs
+//! hermetically — and the distribution sampling (exponential, log-normal,
+//! bounded Pareto, geometric) is implemented here directly rather than
+//! pulling in `rand_distr`: the formulas are a few lines each and keeping
+//! them local makes the workload model self-contained and auditable.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// SplitMix64: expands a 64-bit seed into well-mixed state words. This is
+/// the reference seeding procedure recommended for the xoshiro family.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
-/// A deterministic random source for simulations.
+/// A deterministic random source for simulations (xoshiro256**).
 #[derive(Debug)]
 pub struct SimRng {
-    rng: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seeded(seed: u64) -> SimRng {
+        let mut sm = seed;
         SimRng {
-            rng: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
     /// Splits off an independent generator; used to give each simulated user
     /// a private stream so adding users does not perturb existing ones.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seeded(self.rng.next_u64())
+        SimRng::seeded(self.next_u64())
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Raw 64 random bits (xoshiro256** output function).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` from the top 53 bits.
     pub fn unit(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`. Uses rejection
+    /// sampling, so the result is exactly uniform (no modulo bias).
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.rng.gen_range(lo..hi)
+        let span = hi - lo;
+        if span == 1 {
+            return lo;
+        }
+        // Largest multiple of `span` that fits in u64: values at or above
+        // it would bias the low residues, so redraw.
+        let zone = u64::MAX - u64::MAX % span;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return lo + v % span;
+            }
+        }
     }
 
     /// Bernoulli trial with probability `p` of `true`.
@@ -114,14 +158,12 @@ impl SimRng {
         }
     }
 
-    /// Raw 64 random bits (for key material in tests and examples).
-    pub fn next_u64(&mut self) -> u64 {
-        self.rng.next_u64()
-    }
-
     /// Fills a byte slice with random data.
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.rng.fill_bytes(buf);
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 }
 
@@ -136,6 +178,14 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seeded(42);
+        let mut b = SimRng::seeded(43);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
     }
 
     #[test]
@@ -154,6 +204,43 @@ mod tests {
         for _ in 0..20 {
             assert_eq!(c1.next_u64(), c2.next_u64());
         }
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut r = SimRng::seeded(9);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u), "unit out of range: {u}");
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = SimRng::seeded(10);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[r.range(0, 7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Offset ranges respect their bounds.
+        for _ in 0..1_000 {
+            let v = r.range(100, 103);
+            assert!((100..103).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SimRng::seeded(11);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        // Deterministic for the same seed.
+        let mut r2 = SimRng::seeded(11);
+        let mut buf2 = [0u8; 13];
+        r2.fill_bytes(&mut buf2);
+        assert_eq!(buf, buf2);
     }
 
     #[test]

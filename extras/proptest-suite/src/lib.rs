@@ -1,0 +1,3 @@
+//! Host package for the registry-dependent test and benchmark suites; the
+//! code under test lives in the main workspace. See Cargo.toml for why
+//! this package is excluded from the hermetic workspace.

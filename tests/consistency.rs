@@ -6,7 +6,7 @@
 
 use itc_afs::core::config::SystemConfig;
 use itc_afs::core::system::ItcSystem;
-use itc_afs::sim::{SimTime, ValidationMode};
+use itc_afs::sim::{FaultPlan, ScriptedFault, SimTime, ValidationMode};
 
 fn two_users(validation: ValidationMode) -> ItcSystem {
     let cfg = SystemConfig {
@@ -128,4 +128,38 @@ fn virtual_time_always_moves_forward() {
         prev = now;
     }
     assert!(prev > SimTime::ZERO);
+}
+
+#[test]
+fn fetch_racing_a_retried_store_sees_old_or_new_never_torn() {
+    // Action consistency must survive message loss: a store whose reply is
+    // dropped is retried under the same idempotency token, and a reader
+    // racing it must see exactly the old or exactly the new version, with
+    // the version counter advancing exactly once.
+    for mode in [ValidationMode::CheckOnOpen, ValidationMode::Callback] {
+        let mut sys = two_users(mode);
+        let old = vec![b'O'; 80_000];
+        let new = vec![b'N'; 90_000];
+        sys.store(0, "/vice/usr/shared/race", old.clone()).unwrap();
+        let before = sys.stat(0, "/vice/usr/shared/race").unwrap().version;
+
+        let mut plan = FaultPlan::new(0xc0_1d5e_ed);
+        plan.inject_once(0, ScriptedFault::DropReply);
+        sys.install_faults(plan);
+
+        sys.store(0, "/vice/usr/shared/race", new.clone()).unwrap();
+        let got = sys.fetch(1, "/vice/usr/shared/race").unwrap();
+
+        assert!(
+            got == old || got == new,
+            "torn or mixed file observed in {mode:?}: {} bytes",
+            got.len()
+        );
+        assert_eq!(
+            sys.stat(1, "/vice/usr/shared/race").unwrap().version,
+            before + 1,
+            "retried store must bump the version exactly once in {mode:?}"
+        );
+        assert!(sys.call_stats().retries >= 1, "the drop was never retried");
+    }
 }
