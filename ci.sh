@@ -7,6 +7,12 @@
 #                      suite in extras/ (needs crates.io access)
 set -eu
 
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy (offline, deny warnings) =="
+cargo clippy --workspace --offline -- -D warnings
+
 echo "== build (offline) =="
 cargo build --release --offline
 

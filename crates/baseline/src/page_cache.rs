@@ -87,9 +87,10 @@ impl PageCacheFs {
         let c = &self.costs;
         let lat = c.net_latency(self.hops);
         let arrived = self.now + lat + c.net_transfer(128);
-        let cpu_done = self
-            .cpu
-            .acquire(arrived, c.srv_cpu_per_call + c.srv_block_cpu(payload.max(1)));
+        let cpu_done = self.cpu.acquire(
+            arrived,
+            c.srv_cpu_per_call + c.srv_block_cpu(payload.max(1)),
+        );
         let disk_done = if disk_bytes > 0 {
             self.disk.acquire(cpu_done, c.disk_transfer(disk_bytes))
         } else {

@@ -19,9 +19,7 @@ pub struct PhaseReport {
 impl PhaseReport {
     /// Total duration.
     pub fn total(&self) -> SimTime {
-        self.phases
-            .iter()
-            .fold(SimTime::ZERO, |acc, &p| acc + p)
+        self.phases.iter().fold(SimTime::ZERO, |acc, &p| acc + p)
     }
 }
 
@@ -118,12 +116,10 @@ mod tests {
         let costs = Costs::prototype_1985();
 
         let mut whole = WholeFileFs::new(SystemConfig::prototype(1, 1), false);
-        let whole_report =
-            run_phases(&mut whole, &costs, |c, p, d| c.preload(p, d)).unwrap();
+        let whole_report = run_phases(&mut whole, &costs, |c, p, d| c.preload(p, d)).unwrap();
 
         let mut remote = RemoteOpenFs::new(costs.clone(), 0);
-        let remote_report =
-            run_phases(&mut remote, &costs, |c, p, d| c.preload(p, d)).unwrap();
+        let remote_report = run_phases(&mut remote, &costs, |c, p, d| c.preload(p, d)).unwrap();
 
         assert!(
             remote_report.total() > whole_report.total(),
@@ -164,7 +160,10 @@ mod tests {
             "calls: whole {whole_calls}, page {page_calls}, remote {remote_calls}"
         );
         assert!(whole_cpu < page_cpu, "whole {whole_cpu} vs page {page_cpu}");
-        assert!(page_cpu < remote_cpu, "page {page_cpu} vs remote {remote_cpu}");
+        assert!(
+            page_cpu < remote_cpu,
+            "page {page_cpu} vs remote {remote_cpu}"
+        );
     }
 
     #[test]
@@ -176,6 +175,9 @@ mod tests {
         for (i, p) in r.phases.iter().enumerate() {
             assert!(*p > SimTime::ZERO, "phase {i} was zero");
         }
-        assert_eq!(r.total(), r.phases.iter().fold(SimTime::ZERO, |a, &b| a + b));
+        assert_eq!(
+            r.total(),
+            r.phases.iter().fold(SimTime::ZERO, |a, &b| a + b)
+        );
     }
 }

@@ -25,7 +25,8 @@ impl WholeFileFs {
         let mut sys = ItcSystem::build(config);
         sys.add_user("bench", "pw").expect("fresh system");
         let vol_cluster = if remote_cluster { 1 } else { 0 };
-        sys.create_user_volume("bench", vol_cluster).expect("fresh system");
+        sys.create_user_volume("bench", vol_cluster)
+            .expect("fresh system");
         sys.login(0, "bench", "pw").expect("fresh user");
         WholeFileFs {
             sys,

@@ -18,11 +18,20 @@ pub fn run(scale: Scale) -> Report {
         "average cache hit ratio of over 80% during actual use",
     )
     .headers(vec!["metric", "value"]);
-    r.row(vec!["workstations".to_string(), sys.workstation_count().to_string()]);
+    r.row(vec![
+        "workstations".to_string(),
+        sys.workstation_count().to_string(),
+    ]);
     r.row(vec!["user operations".to_string(), day.ops.to_string()]);
-    r.row(vec!["vice file opens".to_string(), m.venus.vice_opens.to_string()]);
+    r.row(vec![
+        "vice file opens".to_string(),
+        m.venus.vice_opens.to_string(),
+    ]);
     r.row(vec!["cache hits".to_string(), m.cache.hits.to_string()]);
-    r.row(vec!["cache misses (fetches)".to_string(), m.cache.misses.to_string()]);
+    r.row(vec![
+        "cache misses (fetches)".to_string(),
+        m.cache.misses.to_string(),
+    ]);
     r.row(vec!["hit ratio".to_string(), pct(m.hit_ratio())]);
     r.note(format!(
         "measured {} vs paper 'over 80%'",

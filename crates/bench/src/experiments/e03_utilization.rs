@@ -68,7 +68,10 @@ mod tests {
         let peak = r.cell_f64("server0", 2).unwrap();
         let disk = r.cell_f64("server0", 3).unwrap();
         assert!(cpu > disk, "cpu {cpu}% should exceed disk {disk}%");
-        assert!(peak > cpu * 1.5, "peak {peak}% should far exceed mean {cpu}%");
+        assert!(
+            peak > cpu * 1.5,
+            "peak {peak}% should far exceed mean {cpu}%"
+        );
         assert!(cpu > 5.0, "server should be doing real work, got {cpu}%");
     }
 }

@@ -80,7 +80,10 @@ mod tests {
         );
         let coo_val = r.cell_f64("check-on-open", 2).unwrap();
         let cb_val = r.cell_f64("callback", 2).unwrap();
-        assert!(cb_val < coo_val * 0.2, "callback validates {cb_val} vs {coo_val}");
+        assert!(
+            cb_val < coo_val * 0.2,
+            "callback validates {cb_val} vs {coo_val}"
+        );
         // Callback mode holds server state; check-on-open holds none.
         let coo_state = r.cell_f64("check-on-open", 5).unwrap();
         let cb_state = r.cell_f64("callback", 5).unwrap();

@@ -37,7 +37,11 @@ pub fn run(scale: Scale) -> Report {
         "Server structure: process-per-client (prototype) vs single-process LWP (revised)",
         "context switching between per-client processes causes significant degradation",
     )
-    .headers(vec!["structure", "server cpu util", "mean call latency (s)"]);
+    .headers(vec![
+        "structure",
+        "server cpu util",
+        "mean call latency (s)",
+    ]);
     for (structure, m, lat, _) in &rows {
         let label = match structure {
             ServerStructure::ProcessPerClient => "process-per-client",

@@ -22,7 +22,8 @@ fn storm(replicated: bool, scale: Scale) -> (SimTime, Vec<u64>) {
     let mut paths = Vec::new();
     for i in 0..binaries {
         let p = format!("/vice/unix/sun/bin/prog{i:02}");
-        sys.admin_install_file(&p, vec![0x7f; 60_000]).expect("install");
+        sys.admin_install_file(&p, vec![0x7f; 60_000])
+            .expect("install");
         paths.push(p);
     }
     if replicated {

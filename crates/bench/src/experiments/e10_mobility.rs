@@ -40,7 +40,8 @@ pub fn run(scale: Scale) -> Report {
         .map(|i| format!("/vice/usr/satya/doc/f{i:02}.txt"))
         .collect();
     for f in &files {
-        sys.admin_install_file(f, vec![b'x'; 120_000]).expect("install");
+        sys.admin_install_file(f, vec![b'x'; 120_000])
+            .expect("install");
     }
 
     let home = sys.workstation_in_cluster(0);
@@ -66,7 +67,10 @@ pub fn run(scale: Scale) -> Report {
     .headers(vec!["session", "elapsed"]);
     r.row(vec!["home, cold cache".to_string(), secs(home_cold)]);
     r.row(vec!["home, warm cache".to_string(), secs(home_warm)]);
-    r.row(vec!["away, cold cache (just moved)".to_string(), secs(away_cold)]);
+    r.row(vec![
+        "away, cold cache (just moved)".to_string(),
+        secs(away_cold),
+    ]);
     r.row(vec!["away, warm cache".to_string(), secs(away_warm)]);
     r.note(format!(
         "moving costs {:.1}x the warm session once (cache fill), then settles to {:.2}x \
@@ -95,6 +99,9 @@ mod tests {
         assert!(away_cold > home_warm * 1.5, "{away_cold} vs {home_warm}");
         // ...then a small steady penalty from cross-cluster hops.
         assert!(away_warm > home_warm);
-        assert!(away_warm < home_cold, "steady-state away should beat any cold start");
+        assert!(
+            away_warm < home_cold,
+            "steady-state away should beat any cold start"
+        );
     }
 }

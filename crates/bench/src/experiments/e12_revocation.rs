@@ -23,9 +23,17 @@ fn revoke_latencies(clusters: u32) -> (SimTime, SimTime) {
 
     let mut acl = AccessList::new();
     acl.grant("admin", Rights::ALL);
-    acl.grant("staff", Rights::READ | Rights::WRITE | Rights::INSERT | Rights::LOOKUP);
-    sys.create_volume("proj", "/vice/proj", itc_core::proto::ServerId(0), acl.clone())
-        .expect("fresh");
+    acl.grant(
+        "staff",
+        Rights::READ | Rights::WRITE | Rights::INSERT | Rights::LOOKUP,
+    );
+    sys.create_volume(
+        "proj",
+        "/vice/proj",
+        itc_core::proto::ServerId(0),
+        acl.clone(),
+    )
+    .expect("fresh");
     sys.login(0, "admin", "pw").expect("login");
 
     // Path A: negative rights — one SetAcl call to the single custodian.
@@ -54,11 +62,7 @@ pub fn run(scale: Scale) -> Report {
         "Revocation latency: negative rights vs replicated group removal",
         "negative rights revoke at one site immediately; group removal updates every replica",
     )
-    .headers(vec![
-        "servers",
-        "negative rights (s)",
-        "group removal (s)",
-    ]);
+    .headers(vec!["servers", "negative rights (s)", "group removal (s)"]);
     for &n in sweeps {
         let (neg, grp) = revoke_latencies(n);
         r.row(vec![
@@ -100,9 +104,17 @@ mod tests {
         sys.add_member("staff", "mallory").unwrap();
         let mut acl = AccessList::new();
         acl.grant("admin", Rights::ALL);
-        acl.grant("staff", Rights::READ | Rights::WRITE | Rights::INSERT | Rights::LOOKUP);
-        sys.create_volume("proj", "/vice/proj", itc_core::proto::ServerId(0), acl.clone())
-            .unwrap();
+        acl.grant(
+            "staff",
+            Rights::READ | Rights::WRITE | Rights::INSERT | Rights::LOOKUP,
+        );
+        sys.create_volume(
+            "proj",
+            "/vice/proj",
+            itc_core::proto::ServerId(0),
+            acl.clone(),
+        )
+        .unwrap();
         sys.login(0, "admin", "pw").unwrap();
         sys.login(1, "mallory", "pw").unwrap();
         sys.store(1, "/vice/proj/f", b"ok".to_vec()).unwrap();

@@ -17,10 +17,7 @@ fn measure(users: u32, servers: u32, files_per_user: u32) -> (usize, u64, u64) {
     db.assign("/vice", ServerId(0));
     db.assign("/vice/unix", ServerId(0));
     for u in 0..users {
-        db.assign(
-            &format!("/vice/usr/user{u:05}"),
-            ServerId(u % servers),
-        );
+        db.assign(&format!("/vice/usr/user{u:05}"), ServerId(u % servers));
     }
     let per_subtree_bytes = db.approx_bytes();
     // A per-file database needs one entry per file: path (~34 bytes) plus

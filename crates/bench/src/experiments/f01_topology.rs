@@ -22,15 +22,12 @@ pub fn run(_scale: Scale) -> Report {
         open_acl(),
     )
     .expect("fresh");
-    sys.create_volume(
-        "far",
-        "/vice/far",
-        itc_core::proto::ServerId(1),
-        open_acl(),
-    )
-    .expect("fresh");
-    sys.admin_install_file("/vice/near/f", vec![1; 50_000]).expect("install");
-    sys.admin_install_file("/vice/far/f", vec![1; 50_000]).expect("install");
+    sys.create_volume("far", "/vice/far", itc_core::proto::ServerId(1), open_acl())
+        .expect("fresh");
+    sys.admin_install_file("/vice/near/f", vec![1; 50_000])
+        .expect("install");
+    sys.admin_install_file("/vice/far/f", vec![1; 50_000])
+        .expect("install");
 
     let ws = sys.workstation_in_cluster(0);
     sys.login(ws, "u", "pw").expect("login");

@@ -53,8 +53,8 @@ pub mod config;
 pub mod location;
 pub mod metrics;
 pub mod monitor;
-pub mod proto;
 pub mod protect;
+pub mod proto;
 pub mod server;
 pub mod surrogate;
 pub mod system;
@@ -62,5 +62,5 @@ pub mod venus;
 pub mod volume;
 
 pub use config::SystemConfig;
-pub use proto::{ViceError, ViceReply, ViceRequest, VStatus};
+pub use proto::{VStatus, ViceError, ViceReply, ViceRequest};
 pub use system::ItcSystem;

@@ -143,7 +143,10 @@ mod tests {
     #[test]
     fn longest_prefix_wins() {
         let db = db();
-        assert_eq!(db.custodian_of("/vice/usr/satya/paper.tex"), Some(ServerId(1)));
+        assert_eq!(
+            db.custodian_of("/vice/usr/satya/paper.tex"),
+            Some(ServerId(1))
+        );
         assert_eq!(
             db.custodian_of("/vice/usr/satya/private/key"),
             Some(ServerId(2))

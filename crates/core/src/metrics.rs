@@ -90,4 +90,5 @@ pub(crate) fn merge_venus(into: &mut VenusStats, s: VenusStats) {
     into.validations += s.validations;
     into.bytes_fetched += s.bytes_fetched;
     into.bytes_stored += s.bytes_stored;
+    into.local_reads += s.local_reads;
 }

@@ -71,10 +71,7 @@ impl TrafficMonitor {
     /// Fraction of all observed calls that crossed clusters, given the
     /// custodian of each subtree (cluster id == server id in the standard
     /// topology).
-    pub fn cross_cluster_fraction(
-        &self,
-        custodian_of: impl Fn(&str) -> Option<ServerId>,
-    ) -> f64 {
+    pub fn cross_cluster_fraction(&self, custodian_of: impl Fn(&str) -> Option<ServerId>) -> f64 {
         let mut cross = 0u64;
         let mut total = 0u64;
         for ((subtree, origin), &n) in &self.counts {
@@ -115,9 +112,7 @@ impl TrafficMonitor {
                 continue;
             };
             let total: u64 = origins.iter().map(|(_, n)| n).sum();
-            let Some(&(winner, winning_calls)) =
-                origins.iter().max_by_key(|(_, n)| *n)
-            else {
+            let Some(&(winner, winning_calls)) = origins.iter().max_by_key(|(_, n)| *n) else {
                 continue;
             };
             // Only recommend when the winning cluster truly dominates
@@ -198,9 +193,7 @@ mod tests {
         for _ in 0..100 {
             m.record("/vice", 1);
         }
-        assert!(m
-            .recommendations(custodians, |s| s != "/vice")
-            .is_empty());
+        assert!(m.recommendations(custodians, |s| s != "/vice").is_empty());
     }
 
     #[test]

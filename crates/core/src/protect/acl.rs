@@ -256,7 +256,10 @@ mod tests {
         acl.grant("satya", Rights::ALL);
         acl.grant("faculty", Rights::READ_ONLY);
         assert_eq!(acl.effective_rights(["satya"]), Rights::ALL);
-        assert_eq!(acl.effective_rights(["howard", "faculty"]), Rights::READ_ONLY);
+        assert_eq!(
+            acl.effective_rights(["howard", "faculty"]),
+            Rights::READ_ONLY
+        );
         assert_eq!(acl.effective_rights(["stranger"]), Rights::NONE);
     }
 
@@ -276,7 +279,10 @@ mod tests {
     fn negative_rights_subtract() {
         let mut acl = AccessList::new();
         acl.grant("faculty", Rights::ALL);
-        acl.deny("mallory", Rights::WRITE | Rights::INSERT | Rights::DELETE | Rights::ADMINISTER);
+        acl.deny(
+            "mallory",
+            Rights::WRITE | Rights::INSERT | Rights::DELETE | Rights::ADMINISTER,
+        );
         // Mallory is faculty, but his negative entry wins on those bits.
         let eff = acl.effective_rights(["mallory", "faculty"]);
         assert_eq!(eff, Rights::READ | Rights::LOOKUP | Rights::LOCK);
@@ -290,7 +296,10 @@ mod tests {
         acl.grant("staff", Rights::ALL);
         acl.deny("suspended", Rights::ALL);
         // The user is in both groups; denial wins entirely.
-        assert_eq!(acl.effective_rights(["u", "staff", "suspended"]), Rights::NONE);
+        assert_eq!(
+            acl.effective_rights(["u", "staff", "suspended"]),
+            Rights::NONE
+        );
     }
 
     #[test]

@@ -284,10 +284,7 @@ mod tests {
         let d = campus();
         let k = d.auth_key("satya").unwrap();
         assert_eq!(k, itc_cryptbox::derive_key("pw-satya", "satya"));
-        assert!(matches!(
-            d.auth_key("itc"),
-            Err(DomainError::NotAUser(_))
-        ));
+        assert!(matches!(d.auth_key("itc"), Err(DomainError::NotAUser(_))));
         assert!(matches!(d.auth_key("nobody"), Err(DomainError::Unknown(_))));
     }
 

@@ -358,23 +358,65 @@ mod tests {
         acl.grant("satya", Rights::ALL);
         acl.deny("mallory", Rights::WRITE);
         vec![
-            ViceRequest::GetCustodian { path: "/vice/a".into() },
-            ViceRequest::Fetch { path: "/vice/a".into() },
-            ViceRequest::Store { path: "/vice/a".into(), data: vec![1, 2, 3] },
-            ViceRequest::Remove { path: "/vice/a".into() },
-            ViceRequest::GetStatus { path: "/vice/a".into() },
-            ViceRequest::SetMode { path: "/vice/a".into(), mode: 0o755 },
-            ViceRequest::Validate { path: "/vice/a".into(), fid: 3, version: 9 },
-            ViceRequest::MakeDir { path: "/vice/d".into() },
-            ViceRequest::RemoveDir { path: "/vice/d".into() },
-            ViceRequest::Rename { from: "/vice/a".into(), to: "/vice/b".into() },
-            ViceRequest::ListDir { path: "/vice".into() },
-            ViceRequest::GetAcl { path: "/vice/d".into() },
-            ViceRequest::SetAcl { path: "/vice/d".into(), acl },
-            ViceRequest::MakeSymlink { path: "/vice/l".into(), target: "/vice/a".into() },
-            ViceRequest::ReadLink { path: "/vice/l".into() },
-            ViceRequest::SetLock { path: "/vice/a".into(), exclusive: true },
-            ViceRequest::ReleaseLock { path: "/vice/a".into() },
+            ViceRequest::GetCustodian {
+                path: "/vice/a".into(),
+            },
+            ViceRequest::Fetch {
+                path: "/vice/a".into(),
+            },
+            ViceRequest::Store {
+                path: "/vice/a".into(),
+                data: vec![1, 2, 3],
+            },
+            ViceRequest::Remove {
+                path: "/vice/a".into(),
+            },
+            ViceRequest::GetStatus {
+                path: "/vice/a".into(),
+            },
+            ViceRequest::SetMode {
+                path: "/vice/a".into(),
+                mode: 0o755,
+            },
+            ViceRequest::Validate {
+                path: "/vice/a".into(),
+                fid: 3,
+                version: 9,
+            },
+            ViceRequest::MakeDir {
+                path: "/vice/d".into(),
+            },
+            ViceRequest::RemoveDir {
+                path: "/vice/d".into(),
+            },
+            ViceRequest::Rename {
+                from: "/vice/a".into(),
+                to: "/vice/b".into(),
+            },
+            ViceRequest::ListDir {
+                path: "/vice".into(),
+            },
+            ViceRequest::GetAcl {
+                path: "/vice/d".into(),
+            },
+            ViceRequest::SetAcl {
+                path: "/vice/d".into(),
+                acl,
+            },
+            ViceRequest::MakeSymlink {
+                path: "/vice/l".into(),
+                target: "/vice/a".into(),
+            },
+            ViceRequest::ReadLink {
+                path: "/vice/l".into(),
+            },
+            ViceRequest::SetLock {
+                path: "/vice/a".into(),
+                exclusive: true,
+            },
+            ViceRequest::ReleaseLock {
+                path: "/vice/a".into(),
+            },
         ]
     }
 
@@ -384,7 +426,10 @@ mod tests {
         vec![
             ViceReply::Ok,
             ViceReply::Status(sample_status()),
-            ViceReply::Data { status: sample_status(), data: vec![9; 100] },
+            ViceReply::Data {
+                status: sample_status(),
+                data: vec![9; 100],
+            },
             ViceReply::Listing(vec![
                 ("a.txt".into(), EntryKind::File),
                 ("sub".into(), EntryKind::Dir),
@@ -396,8 +441,14 @@ mod tests {
                 custodian: ServerId(3),
                 replicas: vec![ServerId(0), ServerId(5)],
             },
-            ViceReply::Validated { valid: true, status: None },
-            ViceReply::Validated { valid: false, status: Some(sample_status()) },
+            ViceReply::Validated {
+                valid: true,
+                status: None,
+            },
+            ViceReply::Validated {
+                valid: false,
+                status: Some(sample_status()),
+            },
             ViceReply::Link("/vice/target".into()),
             ViceReply::Error(ViceError::NoSuchFile("/vice/x".into())),
             ViceReply::Error(ViceError::NotCustodian(Some(ServerId(2)))),
@@ -449,13 +500,28 @@ mod tests {
 
     #[test]
     fn request_kinds_and_paths() {
-        assert_eq!(ViceRequest::Fetch { path: "/v/x".into() }.kind(), "fetch");
         assert_eq!(
-            ViceRequest::Validate { path: "/v/x".into(), fid: 1, version: 1 }.kind(),
+            ViceRequest::Fetch {
+                path: "/v/x".into()
+            }
+            .kind(),
+            "fetch"
+        );
+        assert_eq!(
+            ViceRequest::Validate {
+                path: "/v/x".into(),
+                fid: 1,
+                version: 1
+            }
+            .kind(),
             "validate"
         );
         assert_eq!(
-            ViceRequest::Rename { from: "/v/a".into(), to: "/v/b".into() }.path(),
+            ViceRequest::Rename {
+                from: "/v/a".into(),
+                to: "/v/b".into()
+            }
+            .path(),
             "/v/a"
         );
     }

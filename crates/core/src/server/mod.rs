@@ -17,17 +17,36 @@ mod locks;
 pub use locks::{LockKind, LockTable};
 
 use crate::location::LocationDb;
+use crate::protect::{AccessList, ProtectionDomain, Rights};
 use crate::proto::{
     CallbackBreak, EntryKind, ServerId, VStatus, ViceError, ViceReply, ViceRequest,
 };
-use crate::protect::{AccessList, ProtectionDomain, Rights};
 use crate::volume::{Volume, VolumeError, VolumeId};
 use itc_rpc::{NodeId, RpcStats};
 use itc_sim::{Costs, Resource, SimTime, TraversalMode, ValidationMode};
 use itc_unixfs::{FileType, FsError};
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
+
+/// A request parked on the server's explicit queue, awaiting dispatch by
+/// the event scheduler. The body is still wire bytes: decoding happens at
+/// service time, exactly where a real server would parse the datagram it
+/// dequeued.
+#[derive(Debug)]
+pub struct QueuedRequest {
+    /// Authenticated caller (identity comes from the binding, never the
+    /// request).
+    pub user: String,
+    /// The caller's network node.
+    pub from: NodeId,
+    /// Idempotency token framed ahead of the request body.
+    pub token: u64,
+    /// Undecoded request body.
+    pub body: Vec<u8>,
+    /// When the request arrived at this server.
+    pub arrived: SimTime,
+}
 
 /// Cost components of one handled call, consumed by the timing kernel.
 #[derive(Debug, Clone, Copy, Default)]
@@ -66,6 +85,12 @@ pub struct Server {
     /// workstation and idempotency token. A retried mutation whose reply
     /// was lost is answered from here instead of being applied twice.
     replay: HashMap<(NodeId, u64), ViceReply>,
+    /// Requests that have arrived but not yet been dispatched. The event
+    /// scheduler enqueues on request arrival and dequeues on service
+    /// dispatch, so queue depth is an observable of the simulation.
+    queue: VecDeque<QueuedRequest>,
+    /// Largest queue depth ever observed.
+    queue_high_water: usize,
 }
 
 impl Server {
@@ -95,7 +120,31 @@ impl Server {
             online: true,
             epoch: 0,
             replay: HashMap::new(),
+            queue: VecDeque::new(),
+            queue_high_water: 0,
         }
+    }
+
+    /// Parks an arrived request on the explicit queue until the event
+    /// scheduler dispatches it.
+    pub fn enqueue_request(&mut self, req: QueuedRequest) {
+        self.queue.push_back(req);
+        self.queue_high_water = self.queue_high_water.max(self.queue.len());
+    }
+
+    /// Takes the oldest queued request for service.
+    pub fn dequeue_request(&mut self) -> Option<QueuedRequest> {
+        self.queue.pop_front()
+    }
+
+    /// Requests currently awaiting dispatch.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Largest request-queue depth ever observed.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water
     }
 
     /// Whether the machine is up (the availability goal of Section 2.2:
@@ -123,6 +172,7 @@ impl Server {
         self.replay.clear();
         self.locks = LockTable::new();
         self.pending_breaks.clear();
+        self.queue.clear();
     }
 
     /// Brings a crashed server back up (empty-handed: recovery consists of
@@ -230,11 +280,7 @@ impl Server {
                     let bv = &self.volumes[b];
                     let longer = v.mount().len() > bv.mount().len();
                     let same = v.mount().len() == bv.mount().len();
-                    longer
-                        || (same
-                            && want_write
-                            && bv.is_read_only()
-                            && !v.is_read_only())
+                    longer || (same && want_write && bv.is_read_only() && !v.is_read_only())
                 }
             };
             if better {
@@ -329,10 +375,10 @@ impl Server {
 
     fn status_of(vol: &Volume, internal: &str) -> Result<VStatus, ViceError> {
         let vice_path = vol.vice_path(internal);
-        let fs = vol.fs_read().map_err(|e| Self::map_vol_err(&vice_path, e))?;
-        let attr = fs
-            .lstat(internal)
-            .map_err(|e| map_fs_err(&vice_path, e))?;
+        let fs = vol
+            .fs_read()
+            .map_err(|e| Self::map_vol_err(&vice_path, e))?;
+        let attr = fs.lstat(internal).map_err(|e| map_fs_err(&vice_path, e))?;
         Ok(VStatus {
             path: vice_path,
             fid: attr.ino.0,
@@ -540,7 +586,11 @@ impl Server {
                     Err(e) => return ViceReply::Error(Self::map_vol_err(path, e)),
                 };
                 let exists = vol.fs().exists(&internal);
-                let needed = if exists { Rights::WRITE } else { Rights::INSERT };
+                let needed = if exists {
+                    Rights::WRITE
+                } else {
+                    Rights::INSERT
+                };
                 if let Err(e) = self.check_rights(user, &acl, needed, path) {
                     return ViceReply::Error(e);
                 }
@@ -569,14 +619,22 @@ impl Server {
                 }
             }
 
-            ViceRequest::Remove { path } => {
-                self.mutate_entry(user, from, vol_idx, path, Rights::DELETE, costs, cost, now, |vol, internal, t| {
+            ViceRequest::Remove { path } => self.mutate_entry(
+                user,
+                from,
+                vol_idx,
+                path,
+                Rights::DELETE,
+                costs,
+                cost,
+                now,
+                |vol, internal, t| {
                     vol.fs_mut()
                         .map_err(|e| (internal.to_string(), e))?
                         .unlink(internal, t)
                         .map_err(|e| (internal.to_string(), VolumeError::Fs(e)))
-                })
-            }
+                },
+            ),
 
             ViceRequest::GetStatus { path } => {
                 cost.server_cpu += costs.srv_cpu_getstatus;
@@ -603,14 +661,22 @@ impl Server {
                 }
             }
 
-            ViceRequest::SetMode { path, mode } => {
-                self.mutate_entry(user, from, vol_idx, path, Rights::WRITE, costs, cost, now, |vol, internal, t| {
+            ViceRequest::SetMode { path, mode } => self.mutate_entry(
+                user,
+                from,
+                vol_idx,
+                path,
+                Rights::WRITE,
+                costs,
+                cost,
+                now,
+                |vol, internal, t| {
                     vol.fs_mut()
                         .map_err(|e| (internal.to_string(), e))?
                         .set_mode(internal, itc_unixfs::Mode(*mode), t)
                         .map_err(|e| (internal.to_string(), VolumeError::Fs(e)))
-                })
-            }
+                },
+            ),
 
             ViceRequest::Validate { path, fid, version } => {
                 cost.server_cpu += costs.srv_cpu_validate;
@@ -685,18 +751,25 @@ impl Server {
                 }
             }
 
-            ViceRequest::RemoveDir { path } => {
-                self.mutate_entry(user, from, vol_idx, path, Rights::DELETE, costs, cost, now, |vol, internal, t| {
+            ViceRequest::RemoveDir { path } => self.mutate_entry(
+                user,
+                from,
+                vol_idx,
+                path,
+                Rights::DELETE,
+                costs,
+                cost,
+                now,
+                |vol, internal, t| {
                     vol.rmdir(internal, t)
                         .map_err(|e| (internal.to_string(), e))
-                })
-            }
+                },
+            ),
 
             ViceRequest::Rename { from: src, to: dst } => {
                 let vol = &self.volumes[vol_idx];
                 // Renames must stay within one volume (as in AFS proper).
-                let (Some(si), Some(di)) = (vol.internal_path(src), vol.internal_path(dst))
-                else {
+                let (Some(si), Some(di)) = (vol.internal_path(src), vol.internal_path(dst)) else {
                     return ViceReply::Error(ViceError::BadRequest(
                         "rename must stay within one volume".to_string(),
                     ));
@@ -926,9 +999,7 @@ fn link_target_to_vice(vol: &Volume, link_vice_path: &str, target: &str) -> Stri
         vol.vice_path(target)
     } else {
         match itc_unixfs::dirname_basename(link_vice_path) {
-            Ok((dir, _)) => {
-                itc_unixfs::join(&dir, target).unwrap_or_else(|_| target.to_string())
-            }
+            Ok((dir, _)) => itc_unixfs::join(&dir, target).unwrap_or_else(|_| target.to_string()),
             Err(_) => target.to_string(),
         }
     }

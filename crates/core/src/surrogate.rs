@@ -64,7 +64,10 @@ impl Surrogate {
 
     /// A PC's statistics.
     pub fn stats_of(&self, pc: PcId) -> Option<PcStats> {
-        self.pcs.iter().find(|(id, _, _)| *id == pc).map(|(_, s, _)| *s)
+        self.pcs
+            .iter()
+            .find(|(id, _, _)| *id == pc)
+            .map(|(_, s, _)| *s)
     }
 
     /// A PC's local virtual time.

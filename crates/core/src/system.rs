@@ -1,7 +1,15 @@
-//! Assembly of the full system: clusters of servers and workstations, the
-//! shared clock, authenticated bindings, callback delivery, and the
-//! administrative operations (users, volumes, replication) that the paper
-//! assigns to operators rather than to the file system interface.
+//! Assembly of the full system, decomposed into layers:
+//!
+//! * [`topology`](self::topology) — clusters, the bridged network, servers,
+//!   and node wiring;
+//! * [`transport`](self::transport) — the event-driven RPC transport: every
+//!   Vice call is a chain of scheduler events (request departs → arrives →
+//!   queues → is served → reply departs → arrives), sharing one calendar
+//!   with retry timeouts, scheduled crashes, and callback deliveries;
+//! * [`ops`](self::ops) — the workstation system-call surface (sessions,
+//!   file operations, surrogates);
+//! * [`admin`](self::admin) — operator actions (users, volumes,
+//!   replication, fault plans, monitoring, metrics).
 //!
 //! [`ItcSystem`] is the façade experiments and examples drive. Its
 //! file-operation methods mirror the workstation system-call layer: each
@@ -16,30 +24,33 @@
 //! workstation are strictly sequential); server CPUs and disks are shared
 //! FIFO resources, so concurrent clients contend there. The global
 //! [`Clock`] tracks the high-water mark for utilization windows. Callback
-//! breaks are delivered functionally at the moment the store completes;
-//! their network cost is charged, but a lagging workstation's local clock
-//! is not dragged forward (breaks are asynchronous notifications).
+//! breaks are scheduled as calendar events when the triggering store
+//! completes and applied functionally at the end of the operation; their
+//! network cost is charged, but a lagging workstation's local clock is not
+//! dragged forward (breaks are asynchronous notifications).
+
+mod admin;
+mod ops;
+#[cfg(test)]
+mod tests;
+mod topology;
+mod transport;
 
 use crate::config::SystemConfig;
-use crate::location::LocationDb;
-use crate::metrics::{merge_cache, merge_venus, ServerMetrics, SystemMetrics};
-use crate::proto::{
-    decode_reply, decode_request, encode_reply, encode_request, EntryKind, ServerId, VStatus,
-    ViceError, ViceReply, ViceRequest,
-};
-use crate::protect::{AccessList, ProtectionDomain, ProtectionServer, Rights};
-use crate::server::{CallCost, Server};
 use crate::monitor::TrafficMonitor;
-use crate::surrogate::{PcId, Surrogate};
-use crate::venus::{Space, Venus, VenusError, ViceTransport, WorkstationType};
-use crate::volume::{Volume, VolumeId};
-use itc_cryptbox::{derive_key, Key};
-use itc_rpc::binding::{establish, Binding};
-use itc_rpc::{CallSpec, CallStats, Network, NodeId, RetryPolicy, TimingKernel};
-use itc_sim::{Clock, FaultPlan, FaultStats, MessageFault, SimRng, SimTime};
+use crate::protect::{AccessList, ProtectionDomain, ProtectionServer, Rights};
+use crate::proto::ServerId;
+use crate::server::Server;
+use crate::surrogate::Surrogate;
+use crate::venus::{Venus, VenusError};
+use itc_rpc::TimingKernel;
+use itc_sim::{Clock, SimTime};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+
+use self::topology::Topology;
+use self::transport::{EventCore, NetEvent, PendingBreak, SystemTransport};
 
 /// Index of a workstation within the system.
 pub type WsId = usize;
@@ -79,40 +90,20 @@ impl From<VenusError> for SystemError {
     }
 }
 
-/// A callback break awaiting delivery, tagged with its origin server and
-/// send time.
-#[derive(Debug)]
-struct PendingBreak {
-    from_server: ServerId,
-    to_ws: NodeId,
-    path: String,
-    sent_at: SimTime,
-}
-
 /// The assembled system.
 #[derive(Debug)]
 pub struct ItcSystem {
     config: SystemConfig,
-    network: Network,
+    topo: Topology,
+    clients: Vec<Venus>,
     clock: Rc<Clock>,
     kernel: TimingKernel,
-    servers: Vec<Server>,
-    clients: Vec<Venus>,
-    ws_nodes: Vec<NodeId>,
-    node_to_ws: HashMap<NodeId, WsId>,
-    home: HashMap<NodeId, ServerId>,
     domain: Rc<RefCell<ProtectionDomain>>,
     pserver: ProtectionServer,
-    bindings: HashMap<(NodeId, ServerId), Binding>,
-    rng: SimRng,
+    core: EventCore,
     next_volume: u32,
     surrogates: HashMap<WsId, Surrogate>,
     monitor: Option<TrafficMonitor>,
-    faults: Option<FaultPlan>,
-    retry: RetryPolicy,
-    retry_rng: SimRng,
-    call_stats: CallStats,
-    next_token: u64,
 }
 
 impl ItcSystem {
@@ -121,70 +112,19 @@ impl ItcSystem {
     /// root volume mounted at `/vice` on server 0, and the standard
     /// `/vice/usr`, `/vice/unix/<arch>/{bin,lib}` skeleton.
     pub fn build(config: SystemConfig) -> ItcSystem {
-        let mut network = Network::new();
         let domain = Rc::new(RefCell::new(ProtectionDomain::new()));
-        let mut servers = Vec::new();
-        let mut clients = Vec::new();
-        let mut ws_nodes = Vec::new();
-        let mut node_to_ws = HashMap::new();
-        let mut home = HashMap::new();
-
-        for c in 0..config.clusters {
-            let cluster = network.add_cluster();
-            let srv_node = network.add_node(cluster);
-            let sid = ServerId(c);
-            servers.push(Server::new(
-                sid,
-                srv_node,
-                Rc::clone(&domain),
-                config.validation,
-                config.traversal,
-            ));
-            for w in 0..config.workstations_per_cluster {
-                let node = network.add_node(cluster);
-                let ws_type = if (c + w) % 2 == 0 {
-                    WorkstationType::Sun
-                } else {
-                    WorkstationType::Vax
-                };
-                let venus = Venus::with_write_policy(
-                    node,
-                    ws_type,
-                    config.cache,
-                    config.validation,
-                    config.traversal,
-                    config.costs.clone(),
-                    config.write_policy,
-                );
-                node_to_ws.insert(node, clients.len());
-                ws_nodes.push(node);
-                home.insert(node, sid);
-                clients.push(venus);
-            }
-        }
-
+        let (topo, clients) = Topology::build(&config, &domain);
         let pserver = ProtectionServer::new(Rc::clone(&domain), config.clusters);
         let kernel = TimingKernel::new(config.costs.clone(), config.structure, config.encryption);
+        let core = EventCore::new(config.seed, config.costs.rpc_timeout);
         let mut sys = ItcSystem {
-            rng: SimRng::seeded(config.seed),
-            kernel,
-            network,
-            clock: Clock::new(),
-            servers,
+            topo,
             clients,
-            ws_nodes,
-            node_to_ws,
-            home,
+            clock: Clock::new(),
+            kernel,
             domain,
             pserver,
-            bindings: HashMap::new(),
-            faults: None,
-            retry: RetryPolicy::standard(config.costs.rpc_timeout),
-            // Jitter stream seeded independently of the main rng: backoff
-            // draws must not perturb handshake nonce generation.
-            retry_rng: SimRng::seeded(config.seed ^ 0x9e37_79b9_7f4a_7c15),
-            call_stats: CallStats::default(),
-            next_token: 0,
+            core,
             config,
             next_volume: 1,
             surrogates: HashMap::new(),
@@ -225,7 +165,7 @@ impl ItcSystem {
 
     /// Number of servers (== clusters).
     pub fn server_count(&self) -> usize {
-        self.servers.len()
+        self.topo.servers.len()
     }
 
     /// The first workstation of the given cluster.
@@ -267,1552 +207,93 @@ impl ItcSystem {
 
     /// Direct read access to a server.
     pub fn server(&self, id: ServerId) -> &Server {
-        &self.servers[id.0 as usize]
+        self.topo.server(id)
     }
 
     /// Total calls of a kind served across all servers.
     pub fn total_server_calls_of(&self, kind: &str) -> u64 {
-        self.servers.iter().map(|s| s.stats().calls_of(kind)).sum()
-    }
-
-    /// Snapshot of all measurements, with utilization computed over
-    /// `[0, now]`.
-    pub fn metrics(&self) -> SystemMetrics {
-        let at = self.clock.now();
-        let mut call_mix = itc_sim::Counter::new();
-        let servers = self
+        self.topo
             .servers
             .iter()
-            .map(|s| {
-                let calls = s.stats().histogram();
-                call_mix.merge(&calls);
-                ServerMetrics {
-                    cpu: s.cpu().report(at),
-                    disk: s.disk().report(at),
-                    calls,
-                    callback_promises: s.callback_promises(),
-                }
-            })
-            .collect();
-        let mut cache = crate::venus::CacheStats::default();
-        let mut venus = crate::venus::VenusStats::default();
-        for c in &self.clients {
-            merge_cache(&mut cache, c.cache().stats());
-            merge_venus(&mut venus, c.stats());
-        }
-        SystemMetrics {
-            at,
-            servers,
-            call_mix,
-            cache,
-            venus,
-        }
+            .map(|s| s.stats().calls_of(kind))
+            .sum()
     }
 
     // ------------------------------------------------------------------
-    // Administration: users and groups
+    // Core plumbing shared by the operation layers
     // ------------------------------------------------------------------
 
-    /// Registers a user, replicating the protection database to every
-    /// server (charged to their CPUs).
-    pub fn add_user(&mut self, name: &str, password: &str) -> Result<(), SystemError> {
-        self.pserver
-            .add_user(name, password)
-            .map_err(|e| SystemError::Domain(e.to_string()))?;
-        self.charge_protection_replication();
-        Ok(())
-    }
-
-    /// Creates a group.
-    pub fn add_group(&mut self, name: &str) -> Result<(), SystemError> {
-        self.pserver
-            .add_group(name)
-            .map_err(|e| SystemError::Domain(e.to_string()))?;
-        self.charge_protection_replication();
-        Ok(())
-    }
-
-    /// Adds a member (user or group) to a group.
-    pub fn add_member(&mut self, group: &str, member: &str) -> Result<(), SystemError> {
-        self.pserver
-            .add_member(group, member)
-            .map_err(|e| SystemError::Domain(e.to_string()))?;
-        self.charge_protection_replication();
-        Ok(())
-    }
-
-    /// Removes a member from a group.
-    pub fn remove_member(&mut self, group: &str, member: &str) -> Result<(), SystemError> {
-        self.pserver
-            .remove_member(group, member)
-            .map_err(|e| SystemError::Domain(e.to_string()))?;
-        self.charge_protection_replication();
-        Ok(())
-    }
-
-    /// The slow revocation path (experiment E12): strips `user` from every
-    /// group and waits for the update to reach every replica. Returns the
-    /// virtual time at which the last replica applied it.
-    pub fn revoke_via_groups(&mut self, user: &str) -> SimTime {
-        let start = self.clock.now();
-        let (_job, _removed) = self.pserver.revoke_all_memberships(user);
-        let done = self.charge_protection_replication_from(start);
-        self.clock.advance_to(done);
-        done
-    }
-
-    /// Charges one protection-database update message to every server,
-    /// starting now. Returns the completion time of the slowest replica.
-    fn charge_protection_replication(&mut self) -> SimTime {
-        let start = self.clock.now();
-        let done = self.charge_protection_replication_from(start);
-        self.clock.advance_to(done);
-        done
-    }
-
-    fn charge_protection_replication_from(&mut self, start: SimTime) -> SimTime {
-        let costs = self.kernel.costs().clone();
-        // The protection server lives alongside server 0 and "coordinates
-        // the updating of the database at all sites" — pushing to one
-        // replica at a time and waiting for each acknowledgment, which is
-        // why Section 3.4 calls this path "unacceptably slow in
-        // emergencies" and why negative rights exist.
-        let origin = self.servers[0].node();
-        let mut t = start;
-        for s in &self.servers {
-            let lat = costs.net_latency(self.network.hops(origin, s.node()));
-            let arrive = t + lat + costs.net_transfer(256);
-            let applied = s.cpu().acquire(arrive, costs.srv_cpu_per_call);
-            // Acknowledgment returns before the next site is contacted.
-            t = applied + lat;
-        }
-        t
-    }
-
-    // ------------------------------------------------------------------
-    // Administration: volumes and location
-    // ------------------------------------------------------------------
-
-    fn alloc_volume_id(&mut self) -> VolumeId {
-        let id = VolumeId(self.next_volume);
-        self.next_volume += 1;
-        id
-    }
-
-    /// Creates a volume mounted at `mount` on `server`, creating a stub
-    /// directory at the mount point in the enclosing volume (the
-    /// prototype's "location database ... represented by stub directories",
-    /// Section 3.5.2) and registering the custodianship in every server's
-    /// location database replica.
-    pub fn create_volume(
-        &mut self,
-        name: &str,
-        mount: &str,
-        server: ServerId,
-        root_acl: AccessList,
-    ) -> Result<VolumeId, SystemError> {
-        if server.0 as usize >= self.servers.len() {
-            return Err(SystemError::BadId(format!("server {}", server.0)));
-        }
-        // Stub directory in the enclosing volume (if any).
-        if mount != "/vice" {
-            self.admin_mkdir_p(mount)?;
-        }
-        let id = self.alloc_volume_id();
-        let vol = Volume::new(id, name, mount, root_acl);
-        self.servers[server.0 as usize].add_volume(vol);
-        for s in &mut self.servers {
-            s.location_mut().assign(mount, server);
-        }
-        Ok(id)
-    }
-
-    /// Convenience: a user's home volume at `/vice/usr/<user>` in the
-    /// given cluster's server, owner-all + anyuser-read ACL, as the paper
-    /// describes for "file subtrees of individual users".
-    pub fn create_user_volume(
-        &mut self,
-        user: &str,
-        cluster: u32,
-    ) -> Result<VolumeId, SystemError> {
-        let mut acl = AccessList::new();
-        acl.grant(user, Rights::ALL);
-        acl.grant("anyuser", Rights::READ_ONLY);
-        self.create_volume(
-            &format!("user.{user}"),
-            &format!("/vice/usr/{user}"),
-            ServerId(cluster),
-            acl,
+    /// Splits the system into the transport (borrowing the topology, event
+    /// core, kernel, clock, monitor, and protection domain) and the Venus
+    /// instances — the borrow shape that lets one Venus drive the
+    /// transport while the others stay reachable for callback delivery.
+    pub(crate) fn split(&mut self) -> (SystemTransport<'_>, &mut Vec<Venus>) {
+        let ItcSystem {
+            topo,
+            clients,
+            clock,
+            kernel,
+            domain,
+            monitor,
+            core,
+            ..
+        } = self;
+        (
+            SystemTransport {
+                topo,
+                core,
+                kernel,
+                clock,
+                monitor,
+                domain,
+            },
+            clients,
         )
     }
 
-    /// Moves the volume mounted at `mount` to another server, updating
-    /// every location-database replica. The files are "unavailable during
-    /// the change" (Section 3.1); the returned time is when the move
-    /// completed.
-    pub fn move_volume(&mut self, mount: &str, to: ServerId) -> Result<SimTime, SystemError> {
-        let from = self
-            .location_of(mount)
-            .ok_or_else(|| SystemError::Volume(format!("no volume at {mount}")))?;
-        if from == to {
-            return Ok(self.clock.now());
-        }
-        let vid = self.servers[from.0 as usize]
-            .volumes()
-            .iter()
-            .find(|v| v.mount() == mount && !v.is_read_only())
-            .map(Volume::id)
-            .ok_or_else(|| SystemError::Volume(format!("no writable volume at {mount}")))?;
-        let vol = self.servers[from.0 as usize]
-            .take_volume(vid)
-            .expect("found above");
-
-        // Time: ship the volume's bytes across the network and update every
-        // location replica.
-        let costs = self.kernel.costs().clone();
-        let bytes = vol.used_bytes();
-        let start = self.clock.now();
-        let hops = self
-            .network
-            .hops(self.servers[from.0 as usize].node(), self.servers[to.0 as usize].node());
-        let shipped = start + costs.net_latency(hops) + costs.net_transfer(bytes);
-        let done = self.servers[to.0 as usize]
-            .disk()
-            .acquire(shipped, costs.disk_transfer(bytes));
-        self.servers[to.0 as usize].add_volume(vol);
-        for s in &mut self.servers {
-            s.location_mut().reassign(mount, to);
-        }
-        let repl_done = self.charge_protection_replication_from(done);
-        self.clock.advance_to(repl_done);
-        Ok(repl_done)
-    }
-
-    /// Clones the volume at `mount` and installs the read-only replica on
-    /// each of `sites`, registering them in every location replica — the
-    /// Section 3.2 mechanism for system binaries. Re-running it refreshes
-    /// existing replicas atomically (the "orderly release").
-    pub fn replicate_readonly(
-        &mut self,
-        mount: &str,
-        sites: &[ServerId],
-    ) -> Result<(), SystemError> {
-        let owner = self
-            .location_of(mount)
-            .ok_or_else(|| SystemError::Volume(format!("no volume at {mount}")))?;
-        let src_id = self.servers[owner.0 as usize]
-            .volumes()
-            .iter()
-            .find(|v| v.mount() == mount && !v.is_read_only())
-            .map(Volume::id)
-            .ok_or_else(|| SystemError::Volume(format!("no writable volume at {mount}")))?;
-
-        for &site in sites {
-            if site == owner {
-                continue;
-            }
-            let clone_id = self.alloc_volume_id();
-            let src_server = &mut self.servers[owner.0 as usize];
-            let clone = src_server
-                .volume_mut(src_id)
-                .expect("source volume")
-                .clone_readonly(clone_id);
-
-            // Replace an existing replica of this mount, else install.
-            let dst = &mut self.servers[site.0 as usize];
-            let existing = dst
-                .volumes()
-                .iter()
-                .find(|v| v.mount() == mount && v.is_read_only())
-                .map(Volume::id);
-            if let Some(old) = existing {
-                dst.take_volume(old);
-            }
-            dst.add_volume(clone);
-            for s in &mut self.servers {
-                s.location_mut().add_replica(mount, site);
-            }
-        }
-        Ok(())
-    }
-
-    /// The custodian of `path` per the (replicated) location database.
-    pub fn location_of(&self, path: &str) -> Option<ServerId> {
-        self.servers[0].location().custodian_of(path)
-    }
-
-    /// A reference to the location database replica of server 0 (all
-    /// replicas are identical) for size measurements (E14).
-    pub fn location_db(&self) -> &LocationDb {
-        self.servers[0].location()
-    }
-
-    // ------------------------------------------------------------------
-    // Administration: direct (untimed) content manipulation
-    // ------------------------------------------------------------------
-
-    /// Creates directories along `vice_path` directly in the covering
-    /// volumes — an operator action outside the measured workload (used to
-    /// provision skeleton directories and preload workload trees).
-    pub fn admin_mkdir_p(&mut self, vice_path: &str) -> Result<(), SystemError> {
-        let comps: Vec<String> = vice_path
-            .split('/')
-            .filter(|c| !c.is_empty())
-            .map(str::to_string)
-            .collect();
-        let mut prefix = String::new();
-        for comp in comps {
-            prefix.push('/');
-            prefix.push_str(&comp);
-            if prefix == "/vice" {
-                continue;
-            }
-            let Some(owner) = self.location_of(&prefix) else {
-                return Err(SystemError::Volume(format!("no custodian for {prefix}")));
-            };
-            let srv = &mut self.servers[owner.0 as usize];
-            // Find the hosting writable volume.
-            let Some(vol) = srv
-                .volumes()
-                .iter()
-                .filter(|v| v.covers(&prefix) && !v.is_read_only())
-                .max_by_key(|v| v.mount().len())
-                .map(Volume::id)
-            else {
-                return Err(SystemError::Volume(format!("no volume hosts {prefix}")));
-            };
-            let vol = srv.volume_mut(vol).expect("just found");
-            let internal = vol.internal_path(&prefix).expect("covers");
-            if internal != "/" && !vol.fs().exists(&internal) {
-                vol.mkdir_inherit(&internal, 0, 0)
-                    .map_err(|e| SystemError::Volume(e.to_string()))?;
-            }
-        }
-        Ok(())
-    }
-
-    /// Installs a file directly in Vice (operator provisioning, e.g.
-    /// populating `/vice/unix/sun/bin` with system binaries before a run).
-    pub fn admin_install_file(
-        &mut self,
-        vice_path: &str,
-        data: Vec<u8>,
-    ) -> Result<(), SystemError> {
-        let (dir, _) = itc_unixfs::dirname_basename(vice_path)
-            .map_err(|e| SystemError::Volume(e.to_string()))?;
-        self.admin_mkdir_p(&dir)?;
-        let owner = self
-            .location_of(vice_path)
-            .ok_or_else(|| SystemError::Volume(format!("no custodian for {vice_path}")))?;
-        let srv = &mut self.servers[owner.0 as usize];
-        let vol_id = srv
-            .volumes()
-            .iter()
-            .filter(|v| v.covers(vice_path) && !v.is_read_only())
-            .max_by_key(|v| v.mount().len())
-            .map(Volume::id)
-            .ok_or_else(|| SystemError::Volume(format!("no volume hosts {vice_path}")))?;
-        let vol = srv.volume_mut(vol_id).expect("just found");
-        let internal = vol.internal_path(vice_path).expect("covers");
-        vol.store(&internal, 0, 0, data)
-            .map_err(|e| SystemError::Volume(e.to_string()))?;
-        Ok(())
-    }
-
-    /// Sets a quota on the volume mounted at `mount`.
-    pub fn set_volume_quota(&mut self, mount: &str, bytes: Option<u64>) -> Result<(), SystemError> {
-        let owner = self
-            .location_of(mount)
-            .ok_or_else(|| SystemError::Volume(format!("no volume at {mount}")))?;
-        let srv = &mut self.servers[owner.0 as usize];
-        let vid = srv
-            .volumes()
-            .iter()
-            .find(|v| v.mount() == mount && !v.is_read_only())
-            .map(Volume::id)
-            .ok_or_else(|| SystemError::Volume(format!("no writable volume at {mount}")))?;
-        srv.volume_mut(vid).expect("found").set_quota(bytes);
-        Ok(())
-    }
-
-    /// Takes the volume at `mount` offline or online.
-    pub fn set_volume_online(&mut self, mount: &str, online: bool) -> Result<(), SystemError> {
-        let owner = self
-            .location_of(mount)
-            .ok_or_else(|| SystemError::Volume(format!("no volume at {mount}")))?;
-        let srv = &mut self.servers[owner.0 as usize];
-        let vid = srv
-            .volumes()
-            .iter()
-            .find(|v| v.mount() == mount && !v.is_read_only())
-            .map(Volume::id)
-            .ok_or_else(|| SystemError::Volume(format!("no writable volume at {mount}")))?;
-        srv.volume_mut(vid).expect("found").set_online(online);
-        Ok(())
-    }
-
-    // ------------------------------------------------------------------
-    // Sessions
-    // ------------------------------------------------------------------
-
-    /// Logs `user` in at workstation `ws`: derives the key from the
-    /// password exactly as the real Venus would and verifies it against
-    /// Vice by establishing the first authenticated binding. A wrong
-    /// password fails here, during the mutual handshake.
-    pub fn login(&mut self, ws: WsId, user: &str, password: &str) -> Result<(), SystemError> {
-        let key = derive_key(password, user);
-        self.clients[ws].set_session(user, key);
-        // Establish (and thereby verify) the binding to the home server.
-        let node = self.ws_nodes[ws];
-        let home = self.home[&node];
-        let at = self.clients[ws].now();
-        let outcome = {
-            let ItcSystem {
-                servers,
-                network,
-                kernel,
-                clock,
-                bindings,
-                domain,
-                rng,
-                home: home_map,
-                monitor,
-                faults,
-                retry,
-                retry_rng,
-                call_stats,
-                next_token,
-                ..
-            } = self;
-            let mut pending = Vec::new();
-            let mut t = SystemTransport {
-                servers,
-                monitor,
-                network,
-                kernel,
-                clock,
-                bindings,
-                domain,
-                rng,
-                home: home_map,
-                pending: &mut pending,
-                faults,
-                retry,
-                retry_rng,
-                call_stats,
-                next_token,
-            };
-            t.ensure_binding(node, user, key, home, at)
-        };
-        match outcome {
-            Ok(ready) => {
-                self.clients[ws].advance_to(ready);
-                self.clock.advance_to(ready);
-                Ok(())
-            }
-            Err(e) => {
-                self.clients[ws].clear_session();
-                Err(SystemError::AuthFailed(e))
-            }
-        }
-    }
-
-    /// Ends the session at a workstation, flushing any deferred writes
-    /// first (an orderly logout must not strand the user's edits). The
-    /// cache stays — it belongs to the machine.
-    pub fn logout(&mut self, ws: WsId) {
-        if self.clients[ws].dirty_count() > 0 {
-            // Best effort: a failure here (e.g. quota) leaves the entries
-            // dirty, exactly as a real Venus would.
-            let _ = self.with_venus(ws, |v, t| v.flush_all(t));
-        }
-        let node = self.ws_nodes[ws];
-        self.clients[ws].clear_session();
-        // Bindings are per-user connections: drop them.
-        self.bindings.retain(|(n, _), _| *n != node);
-    }
-
-    // ------------------------------------------------------------------
-    // File operations (the workstation system-call surface)
-    // ------------------------------------------------------------------
-
-    fn with_venus<R>(
+    /// Runs one workstation operation: flushes due deferred writes, applies
+    /// `f` with the event-driven transport, advances the global clock, and
+    /// delivers any callback breaks the exchange scheduled.
+    pub(crate) fn with_venus<R>(
         &mut self,
         ws: WsId,
         f: impl FnOnce(&mut Venus, &mut SystemTransport<'_>) -> Result<R, VenusError>,
     ) -> Result<R, SystemError> {
-        let ItcSystem {
-            servers,
-            clients,
-            network,
-            kernel,
-            clock,
-            bindings,
-            domain,
-            rng,
-            home,
-            monitor,
-            faults,
-            retry,
-            retry_rng,
-            call_stats,
-            next_token,
-            ..
-        } = self;
-        let mut pending = Vec::new();
-        let mut transport = SystemTransport {
-            servers,
-            monitor,
-            network,
-            kernel,
-            clock,
-            bindings,
-            domain,
-            rng,
-            home,
-            pending: &mut pending,
-            faults,
-            retry,
-            retry_rng,
-            call_stats,
-            next_token,
+        let result = {
+            let (mut transport, clients) = self.split();
+            let venus = &mut clients[ws];
+            // Deferred writes whose deadline has passed flush before the
+            // next operation proceeds.
+            venus
+                .flush_due(&mut transport)
+                .and_then(|_| f(venus, &mut transport))
         };
-        let venus = &mut clients[ws];
-        // Deferred writes whose deadline has passed flush before the next
-        // operation proceeds.
-        let result = venus
-            .flush_due(&mut transport)
-            .and_then(|_| f(venus, &mut transport));
-        clock.advance_to(venus.now());
-        // Deliver callback breaks to the other workstations.
-        let kernel = &self.kernel;
-        for b in pending {
-            let Some(&target_ws) = self.node_to_ws.get(&b.to_ws) else {
-                continue;
-            };
-            let from_node = self.servers[b.from_server.0 as usize].node();
-            let _arrival = kernel.one_way(&self.network, from_node, b.to_ws, b.sent_at, 160);
-            self.clients[target_ws].on_callback_break(&b.path);
-        }
+        self.clock.advance_to(self.clients[ws].now());
+        self.deliver_pending_breaks();
         result.map_err(SystemError::Venus)
     }
 
-    /// Opens a file for reading; returns a handle.
-    pub fn open_read(&mut self, ws: WsId, path: &str) -> Result<u64, SystemError> {
-        self.with_venus(ws, |v, t| v.open_read(t, path))
-    }
-
-    /// Opens (creating) a file for writing; returns a handle.
-    pub fn open_write(&mut self, ws: WsId, path: &str) -> Result<u64, SystemError> {
-        self.with_venus(ws, |v, t| v.open_write(t, path))
-    }
-
-    /// Reads through a handle (no server traffic).
-    pub fn read(&self, ws: WsId, handle: u64) -> Result<Vec<u8>, SystemError> {
-        self.clients[ws]
-            .read(handle)
-            .map(<[u8]>::to_vec)
-            .map_err(SystemError::Venus)
-    }
-
-    /// Writes through a handle (no server traffic until close).
-    pub fn write(&mut self, ws: WsId, handle: u64, data: Vec<u8>) -> Result<(), SystemError> {
-        self.clients[ws].write(handle, data).map_err(SystemError::Venus)
-    }
-
-    /// Closes a handle, storing back to Vice if it was modified.
-    pub fn close(&mut self, ws: WsId, handle: u64) -> Result<(), SystemError> {
-        self.with_venus(ws, |v, t| v.close(t, handle))
-    }
-
-    /// Whole-file read convenience.
-    pub fn fetch(&mut self, ws: WsId, path: &str) -> Result<Vec<u8>, SystemError> {
-        self.with_venus(ws, |v, t| v.fetch_file(t, path))
-    }
-
-    /// Whole-file write convenience.
-    pub fn store(&mut self, ws: WsId, path: &str, data: Vec<u8>) -> Result<(), SystemError> {
-        self.with_venus(ws, |v, t| v.store_file(t, path, data))
-    }
-
-    /// `stat(2)`.
-    pub fn stat(&mut self, ws: WsId, path: &str) -> Result<VStatus, SystemError> {
-        self.with_venus(ws, |v, t| v.stat(t, path))
-    }
-
-    /// Directory listing.
-    pub fn readdir(
-        &mut self,
-        ws: WsId,
-        path: &str,
-    ) -> Result<Vec<(String, EntryKind)>, SystemError> {
-        self.with_venus(ws, |v, t| v.readdir(t, path))
-    }
-
-    /// Creates a directory.
-    pub fn mkdir(&mut self, ws: WsId, path: &str) -> Result<(), SystemError> {
-        self.with_venus(ws, |v, t| v.mkdir(t, path))
-    }
-
-    /// Creates a directory and any missing ancestors (client-driven: one
-    /// MakeDir per missing level).
-    pub fn mkdir_p(&mut self, ws: WsId, path: &str) -> Result<(), SystemError> {
-        let comps: Vec<String> = path
-            .split('/')
-            .filter(|c| !c.is_empty())
-            .map(str::to_string)
-            .collect();
-        let mut prefix = String::new();
-        for comp in comps {
-            prefix.push('/');
-            prefix.push_str(&comp);
-            if prefix == "/vice" {
-                continue;
-            }
-            match self.mkdir(ws, &prefix) {
-                Ok(())
-                | Err(SystemError::Venus(VenusError::Vice(ViceError::AlreadyExists(_)))) => {}
-                Err(e) => return Err(e),
+    /// Applies every callback break the last exchange produced — both
+    /// those popped from the calendar mid-pump and those still queued —
+    /// to the target workstations' caches. Delivery is functional and
+    /// immediate: the network cost was charged when the break was
+    /// scheduled, but a lagging workstation's clock is not dragged
+    /// forward.
+    fn deliver_pending_breaks(&mut self) {
+        let mut breaks = std::mem::take(&mut self.core.pending);
+        for f in self
+            .core
+            .sched
+            .drain_where(|e| matches!(e, NetEvent::BreakDeliver { .. }))
+        {
+            if let NetEvent::BreakDeliver { to_ws, path } = f.ev {
+                breaks.push(PendingBreak { to_ws, path });
             }
         }
-        Ok(())
-    }
-
-    /// Removes a file or symlink.
-    pub fn unlink(&mut self, ws: WsId, path: &str) -> Result<(), SystemError> {
-        self.with_venus(ws, |v, t| v.unlink(t, path))
-    }
-
-    /// Removes an empty directory.
-    pub fn rmdir(&mut self, ws: WsId, path: &str) -> Result<(), SystemError> {
-        self.with_venus(ws, |v, t| v.rmdir(t, path))
-    }
-
-    /// Renames within one space.
-    pub fn rename(&mut self, ws: WsId, from: &str, to: &str) -> Result<(), SystemError> {
-        self.with_venus(ws, |v, t| v.rename(t, from, to))
-    }
-
-    /// Creates a symbolic link.
-    pub fn symlink(&mut self, ws: WsId, path: &str, target: &str) -> Result<(), SystemError> {
-        self.with_venus(ws, |v, t| v.symlink(t, path, target))
-    }
-
-    /// Reads a directory's access list.
-    pub fn get_acl(&mut self, ws: WsId, path: &str) -> Result<AccessList, SystemError> {
-        self.with_venus(ws, |v, t| v.get_acl(t, path))
-    }
-
-    /// Replaces a directory's access list (requires ADMINISTER rights).
-    pub fn set_acl(&mut self, ws: WsId, path: &str, acl: AccessList) -> Result<(), SystemError> {
-        self.with_venus(ws, |v, t| v.set_acl(t, path, acl))
-    }
-
-    /// Acquires an advisory lock.
-    pub fn lock(&mut self, ws: WsId, path: &str, exclusive: bool) -> Result<(), SystemError> {
-        self.with_venus(ws, |v, t| v.lock(t, path, exclusive))
-    }
-
-    /// Releases an advisory lock.
-    pub fn unlock(&mut self, ws: WsId, path: &str) -> Result<(), SystemError> {
-        self.with_venus(ws, |v, t| v.unlock(t, path))
-    }
-
-    /// Classifies a path at a workstation without performing any I/O
-    /// (exposes the Figure 3-2 name-space logic for examples/tests).
-    pub fn classify(&self, ws: WsId, path: &str) -> Result<Space, SystemError> {
-        self.clients[ws]
-            .namespace()
-            .classify(path, true)
-            .map_err(|e| SystemError::Venus(VenusError::Local(e)))
-    }
-}
-
-impl ItcSystem {
-    /// Takes an entire server machine down or up (the availability goal:
-    /// "temporary loss of service to small groups of users" only).
-    pub fn set_server_online(&mut self, id: ServerId, online: bool) {
-        self.servers[id.0 as usize].set_online(online);
-    }
-
-    // ------------------------------------------------------------------
-    // Fault injection and recovery
-    // ------------------------------------------------------------------
-
-    /// Installs a deterministic fault plan. Message faults apply to every
-    /// subsequent Vice call; scheduled crashes/restarts fire as virtual
-    /// time passes them.
-    pub fn install_faults(&mut self, plan: FaultPlan) {
-        self.faults = Some(plan);
-    }
-
-    /// Counters of faults the installed plan has injected so far.
-    pub fn fault_stats(&self) -> FaultStats {
-        self.faults.as_ref().map(FaultPlan::stats).unwrap_or_default()
-    }
-
-    /// Counters of what the RPC retry machinery did across all calls.
-    pub fn call_stats(&self) -> CallStats {
-        self.call_stats
-    }
-
-    /// Replaces the retry/backoff policy for subsequent calls.
-    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
-        self.retry = policy;
-    }
-
-    /// The retry/backoff policy in force.
-    pub fn retry_policy(&self) -> RetryPolicy {
-        self.retry
-    }
-
-    /// Crashes a server immediately: it goes offline and loses all
-    /// in-memory state (callback promises, replay cache, locks), exactly
-    /// what a reboot of the real machine would lose.
-    pub fn crash_server(&mut self, id: ServerId) {
-        self.servers[id.0 as usize].crash();
-    }
-
-    /// Brings a crashed server back up, empty-handed: clients rediscover
-    /// the new epoch on their next genuine exchange and revalidate.
-    pub fn restart_server(&mut self, id: ServerId) {
-        self.servers[id.0 as usize].restart();
-    }
-
-    /// A server's restart epoch (bumped by every crash).
-    pub fn server_epoch(&self, id: ServerId) -> u64 {
-        self.servers[id.0 as usize].epoch()
-    }
-
-    /// Applies any scheduled crashes/restarts due at the current virtual
-    /// time. The transport also polls the schedule before every call, so
-    /// this is only needed when a test advances time without traffic and
-    /// wants to observe server state directly.
-    pub fn run_fault_schedule(&mut self) {
-        let now = self.clock.now();
-        if let Some(f) = self.faults.as_mut() {
-            for s in f.due_crashes(now) {
-                self.servers[s as usize].crash();
-            }
-            for s in f.due_restarts(now) {
-                self.servers[s as usize].restart();
+        for b in breaks {
+            if let Some(&ws) = self.topo.node_to_ws.get(&b.to_ws) {
+                self.clients[ws].on_callback_break(&b.path);
             }
         }
-    }
-
-    // ------------------------------------------------------------------
-    // Monitoring and rebalancing (Section 3.6)
-    // ------------------------------------------------------------------
-
-    /// Starts recording per-subtree, per-origin-cluster traffic.
-    pub fn enable_monitoring(&mut self) {
-        if self.monitor.is_none() {
-            self.monitor = Some(TrafficMonitor::new());
-        }
-    }
-
-    /// The monitor, if enabled.
-    pub fn monitor(&self) -> Option<&TrafficMonitor> {
-        self.monitor.as_ref()
-    }
-
-    /// Fraction of monitored calls that crossed a bridge to a custodian in
-    /// another cluster.
-    pub fn cross_cluster_fraction(&self) -> f64 {
-        match &self.monitor {
-            Some(m) => {
-                let loc = self.servers[0].location();
-                m.cross_cluster_fraction(|s| loc.custodian_of(s))
-            }
-            None => 0.0,
-        }
-    }
-
-    /// Volume-move recommendations from the monitor (the paper insists "a
-    /// human operator will initiate the actual reassignment" — callers
-    /// apply them with [`ItcSystem::move_volume`]).
-    pub fn rebalancing_recommendations(&self) -> Vec<crate::monitor::MoveRecommendation> {
-        match &self.monitor {
-            Some(m) => {
-                let loc = self.servers[0].location();
-                m.recommendations(|s| loc.custodian_of(s), |s| s != "/vice")
-            }
-            None => Vec::new(),
-        }
-    }
-
-    /// Clears monitor observations (new measurement epoch).
-    pub fn reset_monitoring(&mut self) {
-        if let Some(m) = self.monitor.as_mut() {
-            m.reset();
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Write-back policy (E16)
-    // ------------------------------------------------------------------
-
-    /// Flushes all deferred writes at a workstation immediately.
-    pub fn flush_workstation(&mut self, ws: WsId) -> Result<usize, SystemError> {
-        self.with_venus(ws, |v, t| v.flush_all(t))
-    }
-
-    /// Crashes a workstation: unflushed deferred writes are lost and the
-    /// cache is wiped. Returns the number of lost updates. (Under
-    /// store-on-close this is always zero — the paper's point.)
-    pub fn crash_workstation(&mut self, ws: WsId) -> usize {
-        let node = self.ws_nodes[ws];
-        self.bindings.retain(|(n, _), _| *n != node);
-        let lost = self.clients[ws].crash();
-        self.clients[ws].clear_session();
-        lost
-    }
-
-    /// Dirty (unflushed) files at a workstation.
-    pub fn dirty_count(&self, ws: WsId) -> usize {
-        self.clients[ws].dirty_count()
-    }
-
-    // ------------------------------------------------------------------
-    // Surrogate service for low-function workstations (Section 3.3)
-    // ------------------------------------------------------------------
-
-    /// Enables the surrogate server on a host workstation. The host must
-    /// be logged in; it authenticates to Vice on the PCs' behalf.
-    pub fn enable_surrogate(&mut self, host: WsId) -> Result<(), SystemError> {
-        if self.clients[host].current_user().is_none() {
-            return Err(SystemError::BadId(format!(
-                "workstation {host} has no session to lend to PCs"
-            )));
-        }
-        self.surrogates.entry(host).or_default();
-        Ok(())
-    }
-
-    /// Attaches a PC to a host's surrogate; returns its id.
-    pub fn attach_pc(&mut self, host: WsId) -> Result<PcId, SystemError> {
-        self.surrogates
-            .get_mut(&host)
-            .map(Surrogate::attach_pc)
-            .ok_or_else(|| SystemError::BadId(format!("no surrogate on workstation {host}")))
-    }
-
-    /// The surrogate state of a host (for metrics/tests).
-    pub fn surrogate(&self, host: WsId) -> Option<&Surrogate> {
-        self.surrogates.get(&host)
-    }
-
-    /// Runs one PC request through the surrogate: cheap-LAN hop in, a
-    /// service charge on the host, the host's own Venus (so all PCs share
-    /// the host's cache), and the cheap-LAN hop back.
-    fn pc_call<R>(
-        &mut self,
-        host: WsId,
-        pc: PcId,
-        request_bytes: u64,
-        op: impl FnOnce(&mut ItcSystem) -> Result<R, SystemError>,
-        reply_bytes: impl FnOnce(&R) -> u64,
-    ) -> Result<R, SystemError> {
-        let costs = self.config.costs.clone();
-        let sur = self
-            .surrogates
-            .get(&host)
-            .ok_or_else(|| SystemError::BadId(format!("no surrogate on workstation {host}")))?;
-        let t_pc = sur
-            .pc_time(pc)
-            .ok_or_else(|| SystemError::BadId(format!("unknown pc {}", pc.0)))?;
-
-        // Request crosses the cheap LAN and queues behind the host's
-        // current work.
-        let arrival =
-            t_pc.max(self.ws_time(host)) + costs.pc_net_latency + costs.pc_transfer(request_bytes);
-        self.advance_ws(host, arrival + costs.surrogate_cpu_per_call);
-
-        let result = op(self)?;
-        let out = reply_bytes(&result);
-        let done = self.ws_time(host) + costs.pc_net_latency + costs.pc_transfer(out);
-        self.surrogates
-            .get_mut(&host)
-            .expect("checked above")
-            .record(pc, request_bytes, out, done)
-            .map_err(SystemError::BadId)?;
-        Ok(result)
-    }
-
-    /// PC whole-file read through the surrogate.
-    pub fn pc_fetch(&mut self, host: WsId, pc: PcId, path: &str) -> Result<Vec<u8>, SystemError> {
-        self.pc_call(host, pc, 128, |sys| sys.fetch(host, path), |d| d.len() as u64)
-    }
-
-    /// PC whole-file write through the surrogate.
-    pub fn pc_store(
-        &mut self,
-        host: WsId,
-        pc: PcId,
-        path: &str,
-        data: Vec<u8>,
-    ) -> Result<(), SystemError> {
-        let len = data.len() as u64;
-        self.pc_call(host, pc, 128 + len, |sys| sys.store(host, path, data), |_| 64)
-    }
-
-    /// PC stat through the surrogate.
-    pub fn pc_stat(&mut self, host: WsId, pc: PcId, path: &str) -> Result<VStatus, SystemError> {
-        self.pc_call(host, pc, 128, |sys| sys.stat(host, path), |_| 128)
-    }
-
-    /// PC directory listing through the surrogate.
-    pub fn pc_readdir(
-        &mut self,
-        host: WsId,
-        pc: PcId,
-        path: &str,
-    ) -> Result<Vec<(String, EntryKind)>, SystemError> {
-        self.pc_call(
-            host,
-            pc,
-            128,
-            |sys| sys.readdir(host, path),
-            |l| 32 * l.len() as u64 + 16,
-        )
-    }
-}
-
-/// The transport the system hands to Venus: real bindings over the
-/// simulated network, with timing charged through the kernel.
-struct SystemTransport<'a> {
-    servers: &'a mut Vec<Server>,
-    monitor: &'a mut Option<TrafficMonitor>,
-    network: &'a Network,
-    kernel: &'a TimingKernel,
-    clock: &'a Clock,
-    bindings: &'a mut HashMap<(NodeId, ServerId), Binding>,
-    domain: &'a RefCell<ProtectionDomain>,
-    rng: &'a mut SimRng,
-    home: &'a HashMap<NodeId, ServerId>,
-    pending: &'a mut Vec<PendingBreak>,
-    faults: &'a mut Option<FaultPlan>,
-    retry: &'a RetryPolicy,
-    retry_rng: &'a mut SimRng,
-    call_stats: &'a mut CallStats,
-    next_token: &'a mut u64,
-}
-
-impl SystemTransport<'_> {
-    /// Ensures an authenticated binding exists, running (and charging) the
-    /// mutual handshake on first contact. Returns the time at which the
-    /// binding is usable.
-    fn ensure_binding(
-        &mut self,
-        ws: NodeId,
-        user: &str,
-        client_key: Key,
-        server: ServerId,
-        at: SimTime,
-    ) -> Result<SimTime, String> {
-        if self.bindings.contains_key(&(ws, server)) {
-            return Ok(at);
-        }
-        let srv = &self.servers[server.0 as usize];
-        // Vice looks the user's key up in its protection database; an
-        // unknown user cannot bind at all.
-        let server_key = self
-            .domain
-            .borrow()
-            .auth_key(user)
-            .map_err(|e| e.to_string())?;
-        let nonces = (self.rng.next_u64(), self.rng.next_u64());
-        let binding = establish(user, ws, srv.node(), client_key, server_key, nonces)
-            .map_err(|e| e.to_string())?;
-        let ready = self
-            .kernel
-            .handshake(self.network, ws, srv.node(), srv.cpu(), at);
-        self.bindings.insert((ws, server), binding);
-        self.clock.advance_to(ready);
-        Ok(ready)
-    }
-
-    /// Fires any scheduled crashes/restarts due at `now`. Crashes apply
-    /// before restarts, so a crash and a later restart both passed between
-    /// two calls leave the server up but with a bumped epoch.
-    fn apply_lifecycle(&mut self, now: SimTime) {
-        if let Some(f) = self.faults.as_mut() {
-            for s in f.due_crashes(now) {
-                self.servers[s as usize].crash();
-            }
-            for s in f.due_restarts(now) {
-                self.servers[s as usize].restart();
-            }
-        }
-    }
-}
-
-impl ViceTransport for SystemTransport<'_> {
-    fn call(
-        &mut self,
-        ws: NodeId,
-        user: &str,
-        key: Key,
-        server: ServerId,
-        req: &ViceRequest,
-        at: SimTime,
-    ) -> Result<(ViceReply, SimTime), String> {
-        if server.0 as usize >= self.servers.len() {
-            return Err(format!("unknown server {}", server.0));
-        }
-        // Scheduled crashes/restarts that have come due take effect before
-        // anything else sees the server.
-        self.apply_lifecycle(at);
-        // A down server: the client burns the RPC timeout and synthesizes
-        // an Unreachable error so Venus can fail over to a replica.
-        if !self.servers[server.0 as usize].is_online() {
-            let done = at + self.kernel.costs().rpc_timeout;
-            self.clock.advance_to(done);
-            return Ok((ViceReply::Error(ViceError::Unreachable(server.0)), done));
-        }
-        let mut at = self.ensure_binding(ws, user, key, server, at)?;
-
-        // Frame the request with a per-call idempotency token. Every retry
-        // of this logical call carries the same token, so a mutation whose
-        // *reply* was lost is answered from the server's replay cache on
-        // retry instead of being applied twice.
-        *self.next_token += 1;
-        let token = *self.next_token;
-        let req_bytes = encode_request(req);
-        let mut framed = Vec::with_capacity(8 + req_bytes.len());
-        framed.extend_from_slice(&token.to_be_bytes());
-        framed.extend_from_slice(&req_bytes);
-
-        let policy = *self.retry;
-        let costs = self.kernel.costs().clone();
-        let kind = req.kind();
-        let mut attempt: u32 = 0;
-        loop {
-            attempt += 1;
-            self.call_stats.attempts += 1;
-            if attempt > 1 {
-                self.call_stats.retries += 1;
-            }
-            // Backoff waits may have carried us past a scheduled crash.
-            self.apply_lifecycle(at);
-            if !self.servers[server.0 as usize].is_online() {
-                let done = at + policy.timeout;
-                self.clock.advance_to(done);
-                return Ok((ViceReply::Error(ViceError::Unreachable(server.0)), done));
-            }
-
-            // Request leg. The client always seals (its sequence number
-            // advances); the network decides the fate of the sealed bytes.
-            let req_fate = match self.faults.as_mut() {
-                Some(f) => f.request_fault(server.0),
-                None => MessageFault::Deliver,
-            };
-            let binding = self
-                .bindings
-                .get_mut(&(ws, server))
-                .expect("ensured above");
-            let sealed_req = binding.client_seal(&framed);
-            let mut extra = SimTime::ZERO;
-            match req_fate {
-                MessageFault::Drop => {
-                    self.call_stats.timeouts += 1;
-                    at = at + policy.timeout;
-                    if attempt >= policy.max_attempts {
-                        self.call_stats.failures += 1;
-                        self.clock.advance_to(at);
-                        return Ok((ViceReply::Error(ViceError::TimedOut(server.0)), at));
-                    }
-                    at = at + policy.backoff(attempt, self.retry_rng);
-                    continue;
-                }
-                MessageFault::Delay(d) => extra = extra + d,
-                MessageFault::Deliver | MessageFault::Duplicate => {}
-            }
-            let opened = binding.server_open(&sealed_req).map_err(|e| e.to_string())?;
-
-            // Server dispatch. Identity comes from the binding, never the
-            // request.
-            let auth_user = binding.server_user().to_string();
-            let (token_bytes, body) = opened.split_at(8);
-            let token_echo = u64::from_be_bytes(token_bytes.try_into().expect("framed above"));
-            let srv = &mut self.servers[server.0 as usize];
-            let mut cost = CallCost::default();
-            let reply = match decode_request(body) {
-                Ok(decoded) => {
-                    if let Some(cached) = decoded
-                        .is_mutation()
-                        .then(|| srv.replay_lookup(ws, token_echo))
-                        .flatten()
-                    {
-                        // A retry of a mutation the server already applied:
-                        // answer from the replay cache, do not re-apply.
-                        cached.clone()
-                    } else {
-                        let (reply, c) = srv.handle(&auth_user, ws, &decoded, at, &costs);
-                        cost = c;
-                        if decoded.is_mutation() {
-                            srv.replay_record(ws, token_echo, reply.clone());
-                        }
-                        reply
-                    }
-                }
-                Err(e) => ViceReply::Error(ViceError::BadRequest(e.to_string())),
-            };
-            let reply_plain = encode_reply(&reply);
-            let sealed_reply = binding.server_seal(&reply_plain);
-
-            // Reply leg.
-            let reply_fate = match self.faults.as_mut() {
-                Some(f) => f.reply_fault(server.0),
-                None => MessageFault::Deliver,
-            };
-            match reply_fate {
-                MessageFault::Drop => {
-                    // The server did the work (and remembered the reply);
-                    // the client never hears back.
-                    self.call_stats.timeouts += 1;
-                    at = at + policy.timeout;
-                    if attempt >= policy.max_attempts {
-                        self.call_stats.failures += 1;
-                        self.clock.advance_to(at);
-                        return Ok((ViceReply::Error(ViceError::TimedOut(server.0)), at));
-                    }
-                    at = at + policy.backoff(attempt, self.retry_rng);
-                    continue;
-                }
-                MessageFault::Delay(d) => extra = extra + d,
-                MessageFault::Deliver | MessageFault::Duplicate => {}
-            }
-            let reply_clear = binding.client_open(&sealed_reply).map_err(|e| e.to_string())?;
-            if reply_fate == MessageFault::Duplicate {
-                // Second copy of the same sealed reply: the channel's
-                // sequence check discards it.
-                if binding.client_open(&sealed_reply).is_err() {
-                    self.call_stats.duplicates_ignored += 1;
-                }
-            }
-            let reply = decode_reply(&reply_clear).map_err(|e| e.to_string())?;
-
-            // Traffic monitoring (Section 3.6): attribute the call to the
-            // covering custodianship subtree and the caller's cluster.
-            if let Some(m) = self.monitor.as_mut() {
-                if let Some((subtree, _)) = self.servers[0].location().lookup(req.path()) {
-                    let origin = self.network.cluster_of(ws);
-                    let subtree = subtree.to_string();
-                    m.record(&subtree, origin.0);
-                }
-            }
-
-            // Timing path.
-            let spec = CallSpec {
-                kind,
-                request_bytes: req_bytes.len() as u64 + 40, // token + sealing overhead
-                reply_bytes: reply_plain.len() as u64 + 40,
-                server_cpu: cost.server_cpu,
-                disk_bytes: cost.disk_bytes,
-                lock_ipc: cost.lock_ipc,
-            };
-            let srv = &self.servers[server.0 as usize];
-            let rt = self
-                .kernel
-                .round_trip(self.network, ws, srv.node(), srv.cpu(), srv.disk(), at, &spec);
-            srv.record_call(kind, spec.request_bytes, spec.reply_bytes, rt.elapsed);
-            let done = rt.completed_at + extra;
-            self.clock.advance_to(done);
-
-            // Collect any callback breaks this call generated.
-            let srv = &mut self.servers[server.0 as usize];
-            for (to_ws, brk) in srv.drain_breaks() {
-                self.pending.push(PendingBreak {
-                    from_server: server,
-                    to_ws,
-                    path: brk.path,
-                    sent_at: done,
-                });
-            }
-            return Ok((reply, done));
-        }
-    }
-
-    fn epoch_of(&self, server: ServerId) -> u64 {
-        self.servers
-            .get(server.0 as usize)
-            .map_or(0, Server::epoch)
-    }
-
-    fn nearest(&self, ws: NodeId, candidates: &[ServerId]) -> ServerId {
-        *candidates
-            .iter()
-            .min_by_key(|s| {
-                let node = self.servers[s.0 as usize].node();
-                (self.network.hops(ws, node), s.0)
-            })
-            .expect("candidates non-empty")
-    }
-
-    fn home_server(&self, ws: NodeId) -> ServerId {
-        self.home[&ws]
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn sys() -> ItcSystem {
-        let mut s = ItcSystem::build(SystemConfig::prototype(2, 2));
-        s.add_user("satya", "pw-satya").unwrap();
-        s.add_user("howard", "pw-howard").unwrap();
-        s
-    }
-
-    #[test]
-    fn build_creates_topology_and_skeleton() {
-        let s = sys();
-        assert_eq!(s.server_count(), 2);
-        assert_eq!(s.workstation_count(), 4);
-        assert_eq!(s.location_of("/vice/anything"), Some(ServerId(0)));
-        assert_eq!(s.workstation_in_cluster(1), 2);
-    }
-
-    #[test]
-    fn store_then_fetch_round_trips() {
-        let mut s = sys();
-        s.login(0, "satya", "pw-satya").unwrap();
-        s.mkdir_p(0, "/vice/usr/satya").unwrap();
-        s.store(0, "/vice/usr/satya/f.txt", b"hello vice".to_vec())
-            .unwrap();
-        assert_eq!(s.fetch(0, "/vice/usr/satya/f.txt").unwrap(), b"hello vice");
-        // Time moved forward.
-        assert!(s.now() > SimTime::ZERO);
-    }
-
-    #[test]
-    fn wrong_password_fails_login() {
-        let mut s = sys();
-        let err = s.login(0, "satya", "wrong").unwrap_err();
-        assert!(matches!(err, SystemError::AuthFailed(_)));
-        // And no session remains.
-        assert!(s.venus(0).current_user().is_none());
-    }
-
-    #[test]
-    fn unknown_user_fails_login() {
-        let mut s = sys();
-        assert!(matches!(
-            s.login(0, "ghost", "pw"),
-            Err(SystemError::AuthFailed(_))
-        ));
-    }
-
-    #[test]
-    fn sharing_is_visible_across_workstations() {
-        let mut s = sys();
-        s.login(0, "satya", "pw-satya").unwrap();
-        s.login(2, "howard", "pw-howard").unwrap(); // other cluster
-        s.mkdir_p(0, "/vice/usr/shared").unwrap();
-        s.store(0, "/vice/usr/shared/note", b"v1".to_vec()).unwrap();
-        assert_eq!(s.fetch(2, "/vice/usr/shared/note").unwrap(), b"v1");
-        // An update by howard is seen by satya (timesharing semantics).
-        s.store(2, "/vice/usr/shared/note", b"v2".to_vec()).unwrap();
-        assert_eq!(s.fetch(0, "/vice/usr/shared/note").unwrap(), b"v2");
-    }
-
-    #[test]
-    fn user_volume_routes_to_its_cluster_server() {
-        let mut s = sys();
-        s.create_user_volume("satya", 1).unwrap();
-        assert_eq!(s.location_of("/vice/usr/satya/x"), Some(ServerId(1)));
-        s.login(0, "satya", "pw-satya").unwrap();
-        s.store(0, "/vice/usr/satya/f", b"data".to_vec()).unwrap();
-        // The file physically lives on server 1.
-        assert!(s.server(ServerId(1)).stats().calls_of("store") >= 1);
-        assert_eq!(s.server(ServerId(0)).stats().calls_of("store"), 0);
-    }
-
-    #[test]
-    fn permissions_enforced_against_authenticated_user() {
-        let mut s = sys();
-        s.create_user_volume("satya", 0).unwrap();
-        s.login(0, "satya", "pw-satya").unwrap();
-        s.login(1, "howard", "pw-howard").unwrap();
-        s.store(0, "/vice/usr/satya/secret", b"mine".to_vec())
-            .unwrap();
-        // howard can read (anyuser has READ) but not write.
-        assert_eq!(s.fetch(1, "/vice/usr/satya/secret").unwrap(), b"mine");
-        let err = s
-            .store(1, "/vice/usr/satya/secret", b"overwrite".to_vec())
-            .unwrap_err();
-        assert!(
-            matches!(
-                err,
-                SystemError::Venus(VenusError::Vice(ViceError::PermissionDenied(_)))
-            ),
-            "{err:?}"
-        );
-    }
-
-    #[test]
-    fn second_open_hits_cache_in_prototype_mode() {
-        let mut s = sys();
-        s.login(0, "satya", "pw-satya").unwrap();
-        s.mkdir_p(0, "/vice/usr/satya").unwrap();
-        s.store(0, "/vice/usr/satya/f", vec![7; 1000]).unwrap();
-        let fetches_before = s.total_server_calls_of("fetch");
-        let validates_before = s.total_server_calls_of("validate");
-        let _ = s.fetch(0, "/vice/usr/satya/f").unwrap();
-        // Check-on-open: no fetch, but one validation.
-        assert_eq!(s.total_server_calls_of("fetch"), fetches_before);
-        assert_eq!(s.total_server_calls_of("validate"), validates_before + 1);
-        assert!(s.venus(0).cache().stats().hits >= 1);
-    }
-
-    #[test]
-    fn callback_mode_hits_without_any_traffic() {
-        let mut s = ItcSystem::build(SystemConfig::revised(1, 2));
-        s.add_user("u", "pw").unwrap();
-        s.login(0, "u", "pw").unwrap();
-        s.mkdir_p(0, "/vice/usr/u").unwrap();
-        s.store(0, "/vice/usr/u/f", vec![1; 100]).unwrap();
-        let _ = s.fetch(0, "/vice/usr/u/f").unwrap();
-        let total_before = s.metrics().total_calls();
-        let _ = s.fetch(0, "/vice/usr/u/f").unwrap();
-        // Valid promise: the second open generated zero server calls.
-        assert_eq!(s.metrics().total_calls(), total_before);
-    }
-
-    #[test]
-    fn callback_break_invalidates_other_caches() {
-        let mut s = ItcSystem::build(SystemConfig::revised(1, 2));
-        s.add_user("a", "pw").unwrap();
-        s.add_user("b", "pw").unwrap();
-        s.login(0, "a", "pw").unwrap();
-        s.login(1, "b", "pw").unwrap();
-        s.mkdir_p(0, "/vice/usr/shared").unwrap();
-        s.store(0, "/vice/usr/shared/f", b"v1".to_vec()).unwrap();
-        // b caches it.
-        assert_eq!(s.fetch(1, "/vice/usr/shared/f").unwrap(), b"v1");
-        // a updates: b's promise must break.
-        s.store(0, "/vice/usr/shared/f", b"v2".to_vec()).unwrap();
-        let entry_valid = s.venus(1).cache().peek("/vice/usr/shared/f").unwrap().valid;
-        assert!(!entry_valid, "callback break should have invalidated b's copy");
-        // And b's next open refetches the new contents.
-        assert_eq!(s.fetch(1, "/vice/usr/shared/f").unwrap(), b"v2");
-    }
-
-    #[test]
-    fn logout_drops_bindings_but_keeps_cache() {
-        let mut s = sys();
-        s.login(0, "satya", "pw-satya").unwrap();
-        s.mkdir_p(0, "/vice/usr/satya").unwrap();
-        s.store(0, "/vice/usr/satya/f", b"x".to_vec()).unwrap();
-        s.logout(0);
-        assert!(s.venus(0).current_user().is_none());
-        assert!(s.venus(0).cache().peek("/vice/usr/satya/f").is_some());
-        // Operations now fail.
-        assert!(matches!(
-            s.fetch(0, "/vice/usr/satya/f"),
-            Err(SystemError::Venus(VenusError::NotLoggedIn))
-        ));
-        // A new login works again.
-        s.login(0, "howard", "pw-howard").unwrap();
-        assert_eq!(s.fetch(0, "/vice/usr/satya/f").unwrap(), b"x");
-    }
-
-    #[test]
-    fn quota_is_enforced_through_the_full_stack() {
-        let mut s = sys();
-        s.create_user_volume("satya", 0).unwrap();
-        s.set_volume_quota("/vice/usr/satya", Some(1000)).unwrap();
-        s.login(0, "satya", "pw-satya").unwrap();
-        s.store(0, "/vice/usr/satya/a", vec![0; 800]).unwrap();
-        let err = s.store(0, "/vice/usr/satya/b", vec![0; 300]).unwrap_err();
-        assert!(matches!(
-            err,
-            SystemError::Venus(VenusError::Vice(ViceError::QuotaExceeded(_)))
-        ));
-    }
-
-    #[test]
-    fn offline_volume_surfaces_to_clients() {
-        let mut s = sys();
-        s.create_user_volume("satya", 0).unwrap();
-        s.login(0, "satya", "pw-satya").unwrap();
-        s.store(0, "/vice/usr/satya/f", b"x".to_vec()).unwrap();
-        s.set_volume_online("/vice/usr/satya", false).unwrap();
-        // A fresh workstation (cold cache) cannot read it.
-        s.login(1, "howard", "pw-howard").unwrap();
-        let err = s.fetch(1, "/vice/usr/satya/f").unwrap_err();
-        assert!(matches!(
-            err,
-            SystemError::Venus(VenusError::Vice(ViceError::VolumeOffline(_)))
-        ));
-        s.set_volume_online("/vice/usr/satya", true).unwrap();
-        assert_eq!(s.fetch(1, "/vice/usr/satya/f").unwrap(), b"x");
-    }
-
-    #[test]
-    fn cross_cluster_access_works_with_hints() {
-        let mut s = sys();
-        s.create_user_volume("satya", 1).unwrap();
-        s.login(0, "satya", "pw-satya").unwrap(); // cluster 0 ws
-        s.store(0, "/vice/usr/satya/f", b"far".to_vec()).unwrap();
-        assert_eq!(s.fetch(0, "/vice/usr/satya/f").unwrap(), b"far");
-        // The home server answered a location query at least once.
-        assert!(s.server(ServerId(0)).stats().calls_of("getcustodian") >= 1);
-    }
-
-    #[test]
-    fn revocation_via_negative_rights_vs_groups() {
-        let mut s = sys();
-        s.add_group("team").unwrap();
-        s.add_member("team", "howard").unwrap();
-        // A volume whose ACL grants the team write access, and satya admin.
-        let mut acl = AccessList::new();
-        acl.grant("satya", Rights::ALL);
-        acl.grant("team", Rights::READ | Rights::WRITE | Rights::INSERT | Rights::LOOKUP);
-        s.create_volume("proj", "/vice/proj", ServerId(0), acl.clone())
-            .unwrap();
-        s.login(0, "satya", "pw-satya").unwrap();
-        s.login(1, "howard", "pw-howard").unwrap();
-        s.store(1, "/vice/proj/data", b"by howard".to_vec()).unwrap();
-
-        // Rapid revocation: negative rights on the single custodian.
-        let mut revoked = acl.clone();
-        revoked.deny("howard", Rights::ALL);
-        s.set_acl(0, "/vice/proj", revoked).unwrap();
-        let err = s.store(1, "/vice/proj/data", b"again".to_vec()).unwrap_err();
-        assert!(matches!(
-            err,
-            SystemError::Venus(VenusError::Vice(ViceError::PermissionDenied(_)))
-        ));
-
-        // Slow revocation: group removal propagates to all replicas.
-        let before = s.now();
-        let done = s.revoke_via_groups("howard");
-        assert!(done >= before);
-        assert!(!s
-            .pserver
-            .cps("howard")
-            .contains(&"team".to_string()));
-    }
-
-    #[test]
-    fn readonly_replication_serves_reads_locally() {
-        let mut s = sys();
-        // System binaries on server 0, replicated to server 1.
-        s.admin_install_file("/vice/unix/sun/bin/cc", vec![9; 4000])
-            .unwrap();
-        s.replicate_readonly("/vice", &[ServerId(1)]).unwrap();
-        s.login(2, "satya", "pw-satya").unwrap(); // cluster 1 workstation
-        let data = s.fetch(2, "/vice/unix/sun/bin/cc").unwrap();
-        assert_eq!(data.len(), 4000);
-        // The fetch was served by the cluster-1 replica, not server 0.
-        assert!(s.server(ServerId(1)).stats().calls_of("fetch") >= 1);
-        assert_eq!(s.server(ServerId(0)).stats().calls_of("fetch"), 0);
-    }
-
-    #[test]
-    fn volume_move_keeps_data_and_updates_location() {
-        let mut s = sys();
-        s.create_user_volume("satya", 0).unwrap();
-        s.login(0, "satya", "pw-satya").unwrap();
-        s.store(0, "/vice/usr/satya/f", b"before move".to_vec())
-            .unwrap();
-        s.move_volume("/vice/usr/satya", ServerId(1)).unwrap();
-        assert_eq!(s.location_of("/vice/usr/satya/f"), Some(ServerId(1)));
-        // A cold client reads it from the new home.
-        s.login(2, "howard", "pw-howard").unwrap();
-        assert_eq!(s.fetch(2, "/vice/usr/satya/f").unwrap(), b"before move");
-    }
-
-    #[test]
-    fn heterogeneous_bin_paths_resolve_per_workstation() {
-        let mut s = sys();
-        s.admin_install_file("/vice/unix/sun/bin/cc", b"sun cc".to_vec())
-            .unwrap();
-        s.admin_install_file("/vice/unix/vax/bin/cc", b"vax cc".to_vec())
-            .unwrap();
-        s.login(0, "satya", "pw-satya").unwrap(); // ws 0: Sun
-        s.login(1, "howard", "pw-howard").unwrap(); // ws 1: Vax
-        assert_eq!(s.fetch(0, "/bin/cc").unwrap(), b"sun cc");
-        assert_eq!(s.fetch(1, "/bin/cc").unwrap(), b"vax cc");
-    }
-
-    #[test]
-    fn local_files_never_touch_servers() {
-        let mut s = sys();
-        s.login(0, "satya", "pw-satya").unwrap();
-        let calls_before = s.metrics().total_calls();
-        s.store(0, "/tmp/scratch", b"temporary".to_vec()).unwrap();
-        assert_eq!(s.fetch(0, "/tmp/scratch").unwrap(), b"temporary");
-        assert_eq!(s.metrics().total_calls(), calls_before);
-    }
-
-    #[test]
-    fn surrogate_serves_pcs_through_the_host_cache() {
-        let mut s = sys();
-        s.login(0, "satya", "pw-satya").unwrap();
-        s.mkdir_p(0, "/vice/usr/satya").unwrap();
-        s.store(0, "/vice/usr/satya/report", vec![9; 40_000]).unwrap();
-
-        s.enable_surrogate(0).unwrap();
-        let pc1 = s.attach_pc(0).unwrap();
-        let pc2 = s.attach_pc(0).unwrap();
-
-        // First PC read: served from the host's cache (the host just
-        // stored the file), so no new fetch reaches Vice.
-        let fetches = s.total_server_calls_of("fetch");
-        let data = s.pc_fetch(0, pc1, "/vice/usr/satya/report").unwrap();
-        assert_eq!(data.len(), 40_000);
-        assert_eq!(s.total_server_calls_of("fetch"), fetches);
-
-        // The second PC shares the same cache.
-        let data2 = s.pc_fetch(0, pc2, "/vice/usr/satya/report").unwrap();
-        assert_eq!(data2.len(), 40_000);
-        assert_eq!(s.total_server_calls_of("fetch"), fetches);
-
-        // A PC write lands in Vice and is visible campus-wide.
-        s.pc_store(0, pc1, "/vice/usr/satya/from-pc", b"dos file".to_vec())
-            .unwrap();
-        s.login(2, "howard", "pw-howard").unwrap();
-        assert_eq!(s.fetch(2, "/vice/usr/satya/from-pc").unwrap(), b"dos file");
-
-        // Accounting and timing happened.
-        let st = s.surrogate(0).unwrap().stats_of(pc1).unwrap();
-        assert_eq!(st.requests, 2);
-        assert!(st.bytes_out >= 40_000);
-        assert!(s.surrogate(0).unwrap().pc_time(pc1).unwrap() > SimTime::ZERO);
-        // The cheap LAN is slow: 40 KB took over a second of transfer.
-        let t1 = s.surrogate(0).unwrap().pc_time(pc1).unwrap();
-        assert!(t1 > SimTime::from_secs(1), "{t1}");
-    }
-
-    #[test]
-    fn surrogate_requires_a_session_and_valid_pc() {
-        let mut s = sys();
-        assert!(s.enable_surrogate(0).is_err(), "no session yet");
-        s.login(0, "satya", "pw-satya").unwrap();
-        s.enable_surrogate(0).unwrap();
-        assert!(matches!(s.attach_pc(1), Err(SystemError::BadId(_))));
-        let err = s.pc_fetch(0, PcId(77), "/vice/usr").unwrap_err();
-        assert!(matches!(err, SystemError::BadId(_)));
-    }
-
-    #[test]
-    fn locks_are_exclusive_across_workstations() {
-        let mut s = sys();
-        s.login(0, "satya", "pw-satya").unwrap();
-        s.login(1, "howard", "pw-howard").unwrap();
-        s.mkdir_p(0, "/vice/usr/shared").unwrap();
-        s.store(0, "/vice/usr/shared/f", b"x".to_vec()).unwrap();
-        s.lock(0, "/vice/usr/shared/f", true).unwrap();
-        let err = s.lock(1, "/vice/usr/shared/f", true).unwrap_err();
-        assert!(matches!(
-            err,
-            SystemError::Venus(VenusError::Vice(ViceError::LockConflict(_)))
-        ));
-        s.unlock(0, "/vice/usr/shared/f").unwrap();
-        s.lock(1, "/vice/usr/shared/f", true).unwrap();
     }
 }

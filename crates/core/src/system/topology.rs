@@ -1,0 +1,104 @@
+//! Physical layout of the system: clusters, the bridged network, servers,
+//! and workstation nodes.
+//!
+//! [`Topology`] owns everything whose *position* matters — the network
+//! graph, the Vice servers, and the node-id bookkeeping that maps
+//! workstations to their clusters and home servers. Venus instances live
+//! next to it (in [`crate::system::ItcSystem`]) rather than inside it so
+//! the transport can borrow the topology mutably while a Venus is active.
+
+use crate::config::SystemConfig;
+use crate::protect::ProtectionDomain;
+use crate::proto::ServerId;
+use crate::server::Server;
+use crate::system::WsId;
+use crate::venus::{Venus, WorkstationType};
+use itc_rpc::{Network, NodeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The wired-up hardware of the campus: network, servers, and the node
+/// identity maps.
+#[derive(Debug)]
+pub(crate) struct Topology {
+    /// The bridged cluster network.
+    pub network: Network,
+    /// One Vice server per cluster.
+    pub servers: Vec<Server>,
+    /// Workstation node ids, indexed by [`WsId`].
+    pub ws_nodes: Vec<NodeId>,
+    /// Reverse map from node id to workstation index.
+    pub node_to_ws: HashMap<NodeId, WsId>,
+    /// Each workstation node's home (same-cluster) server.
+    pub home: HashMap<NodeId, ServerId>,
+}
+
+impl Topology {
+    /// Builds the network, servers, and workstations the configuration
+    /// calls for: one cluster server per cluster and the configured number
+    /// of workstations per cluster, alternating Sun and Vax. Returns the
+    /// topology and the Venus instances (one per workstation, in
+    /// [`WsId`] order).
+    pub fn build(
+        config: &SystemConfig,
+        domain: &Rc<RefCell<ProtectionDomain>>,
+    ) -> (Topology, Vec<Venus>) {
+        let mut network = Network::new();
+        let mut servers = Vec::new();
+        let mut clients = Vec::new();
+        let mut ws_nodes = Vec::new();
+        let mut node_to_ws = HashMap::new();
+        let mut home = HashMap::new();
+
+        for c in 0..config.clusters {
+            let cluster = network.add_cluster();
+            let srv_node = network.add_node(cluster);
+            let sid = ServerId(c);
+            servers.push(Server::new(
+                sid,
+                srv_node,
+                Rc::clone(domain),
+                config.validation,
+                config.traversal,
+            ));
+            for w in 0..config.workstations_per_cluster {
+                let node = network.add_node(cluster);
+                let ws_type = if (c + w) % 2 == 0 {
+                    WorkstationType::Sun
+                } else {
+                    WorkstationType::Vax
+                };
+                let venus = Venus::with_write_policy(
+                    node,
+                    ws_type,
+                    config.cache,
+                    config.validation,
+                    config.traversal,
+                    config.costs.clone(),
+                    config.write_policy,
+                );
+                node_to_ws.insert(node, clients.len());
+                ws_nodes.push(node);
+                home.insert(node, sid);
+                clients.push(venus);
+            }
+        }
+
+        (
+            Topology {
+                network,
+                servers,
+                ws_nodes,
+                node_to_ws,
+                home,
+            },
+            clients,
+        )
+    }
+
+    /// The server with the given id.
+    pub fn server(&self, id: ServerId) -> &Server {
+        &self.servers[id.0 as usize]
+    }
+}

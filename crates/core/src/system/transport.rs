@@ -1,0 +1,597 @@
+//! The event-driven RPC transport.
+//!
+//! A Vice call used to be one synchronous function that computed every
+//! timestamp inline. Here it is a chain of scheduler events — the request
+//! departs, arrives, queues at the server, is served, and the reply departs
+//! and arrives — drained from the [`Scheduler`] in virtual-time order.
+//! Retry timeouts, scheduled server crashes/restarts, and callback-break
+//! deliveries live on the same calendar, so their interleavings with
+//! message traffic are explicit.
+//!
+//! ## Equivalence with the synchronous transport
+//!
+//! The pipeline is engineered to reproduce the synchronous path bit for
+//! bit: every rng draw (fault decisions, backoff jitter, handshake nonces),
+//! every sealing/opening of the authenticated channel, and every
+//! [`Resource`](itc_sim::Resource) acquisition happens with the same
+//! arguments in the same global order — merely distributed across events.
+//! Two deliberate carry-overs from the synchronous model:
+//!
+//! * the server handler is shown the *attempt start* time (its work is
+//!   conceptually scheduled when the client issued the call), and
+//! * server online/offline state is only consulted when an attempt is
+//!   sent, never mid-chain — a crash firing while a request is in flight
+//!   does not retroactively kill the exchange, exactly as the polled
+//!   implementation behaved.
+
+use crate::monitor::TrafficMonitor;
+use crate::protect::ProtectionDomain;
+use crate::proto::{
+    decode_reply, decode_request, encode_reply, encode_request, ServerId, ViceError, ViceReply,
+    ViceRequest,
+};
+use crate::server::{CallCost, QueuedRequest, Server};
+use crate::system::topology::Topology;
+use crate::venus::ViceTransport;
+use itc_cryptbox::Key;
+use itc_rpc::binding::{establish, Binding};
+use itc_rpc::{CallSpec, CallStats, NodeId, RetryPolicy, TimingKernel};
+use itc_sim::{Clock, EventClass, FaultPlan, MessageFault, Scheduler, SimRng, SimTime};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// A callback break that has been popped from the calendar but not yet
+/// applied to its target workstation's cache.
+#[derive(Debug)]
+pub(crate) struct PendingBreak {
+    /// Node of the workstation whose cached copy is stale.
+    pub to_ws: NodeId,
+    /// The invalidated Vice path.
+    pub path: String,
+}
+
+/// Everything a network exchange can schedule. Call-chain events carry no
+/// call identifier: the synchronous façade keeps exactly one logical call
+/// in flight, pumping the calendar until that call resolves.
+#[derive(Debug)]
+pub(crate) enum NetEvent {
+    /// The client (re)sends the framed request: fault draw, sealing, and
+    /// the request leg onto the wire.
+    AttemptSend,
+    /// The client's retransmission timer for the current attempt expires.
+    TimeoutFire,
+    /// The request reaches the server and joins its explicit queue.
+    RequestArrive,
+    /// The server dequeues, decodes, and executes the request, charging
+    /// its CPU (and disk, if data moves).
+    ServiceDispatch,
+    /// The sealed reply leaves the server.
+    ReplyDepart,
+    /// The reply reaches the client, which opens and decodes it.
+    ReplyArrive,
+    /// A callback break reaches its target workstation.
+    BreakDeliver {
+        /// The target workstation's node.
+        to_ws: NodeId,
+        /// The invalidated Vice path.
+        path: String,
+    },
+    /// A scheduled server crash from fault plan generation `gen`.
+    Crash { server: u32, gen: u64 },
+    /// A scheduled server restart from fault plan generation `gen`.
+    Restart { server: u32, gen: u64 },
+}
+
+/// The event machinery and RPC bookkeeping shared by every call: the
+/// calendar, authenticated bindings, fault plan, retry policy, and the
+/// deterministic rng streams.
+#[derive(Debug)]
+pub(crate) struct EventCore {
+    /// The deterministic event calendar.
+    pub sched: Scheduler<NetEvent>,
+    /// Authenticated per-(workstation, server) channels.
+    pub bindings: HashMap<(NodeId, ServerId), Binding>,
+    /// Nonce stream for binding handshakes.
+    pub rng: SimRng,
+    /// The installed fault plan, if any.
+    pub faults: Option<FaultPlan>,
+    /// Bumped each time a plan is installed; lifecycle events from an
+    /// earlier plan are recognized as stale and ignored.
+    pub plan_gen: u64,
+    /// The retry/backoff policy in force.
+    pub retry: RetryPolicy,
+    /// Jitter stream for retry backoff, independent of the nonce stream.
+    pub retry_rng: SimRng,
+    /// Counters of what the retry machinery did.
+    pub call_stats: CallStats,
+    /// Idempotency-token allocator.
+    pub next_token: u64,
+    /// Callback breaks popped mid-pump, awaiting delivery at op end.
+    pub pending: Vec<PendingBreak>,
+}
+
+impl EventCore {
+    /// Fresh machinery for a system seeded with `seed`, whose default
+    /// retry timeout is `rpc_timeout`.
+    pub fn new(seed: u64, rpc_timeout: SimTime) -> EventCore {
+        EventCore {
+            // Tie-break stream independent of both the nonce and jitter
+            // streams: scheduling an event must not perturb either.
+            sched: Scheduler::seeded(seed ^ 0x0e5e_77ed_0c4a_1e4d),
+            bindings: HashMap::new(),
+            rng: SimRng::seeded(seed),
+            faults: None,
+            plan_gen: 0,
+            retry: RetryPolicy::standard(rpc_timeout),
+            // Jitter stream seeded independently of the main rng: backoff
+            // draws must not perturb handshake nonce generation.
+            retry_rng: SimRng::seeded(seed ^ 0x9e37_79b9_7f4a_7c15),
+            call_stats: CallStats::default(),
+            next_token: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Installs a fault plan: its crash/restart schedule is entered into
+    /// the calendar (crashes sort before restarts at the same instant) and
+    /// its message faults govern every subsequent call.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.plan_gen += 1;
+        let gen = self.plan_gen;
+        for (server, at) in plan.crash_schedule() {
+            self.sched
+                .schedule_class(at, EventClass::Crash, NetEvent::Crash { server, gen });
+        }
+        for (server, at) in plan.restart_schedule() {
+            self.sched
+                .schedule_class(at, EventClass::Restart, NetEvent::Restart { server, gen });
+        }
+        self.faults = Some(plan);
+    }
+}
+
+/// Per-call state threaded through the event chain.
+struct CallInFlight<'r> {
+    /// Calling workstation's node.
+    ws: NodeId,
+    /// Target server.
+    server: ServerId,
+    /// The request being issued (borrowed from Venus for the whole call).
+    req: &'r ViceRequest,
+    /// Token-framed request plaintext, sealed anew on every attempt.
+    framed: Vec<u8>,
+    /// Request size on the wire (encoded length + sealing overhead).
+    req_wire: u64,
+    /// Attempt counter (1-based once the first send fires).
+    attempt: u32,
+    /// When the current attempt was sent.
+    attempt_start: SimTime,
+    /// Fault-injected delay accumulated by the current attempt.
+    extra: SimTime,
+    /// Sealed request in flight between send and arrival.
+    sealed_req: Option<Vec<u8>>,
+    /// Sealed reply in flight between service and arrival.
+    sealed_reply: Option<Vec<u8>>,
+    /// Reply size on the wire.
+    reply_wire: u64,
+    /// Caller-visible latency of the successful attempt (excludes
+    /// fault-injected delay, matching what the server observes).
+    elapsed: SimTime,
+    /// Whether the reply was duplicated by the network.
+    duplicate: bool,
+    /// Set when the call resolves; ends the pump.
+    result: Option<(ViceReply, SimTime)>,
+}
+
+/// The transport the system hands to Venus: real bindings over the
+/// simulated network, with every leg of every call routed through the
+/// event calendar.
+pub(crate) struct SystemTransport<'a> {
+    pub topo: &'a mut Topology,
+    pub core: &'a mut EventCore,
+    pub kernel: &'a TimingKernel,
+    pub clock: &'a Clock,
+    pub monitor: &'a mut Option<TrafficMonitor>,
+    pub domain: &'a RefCell<ProtectionDomain>,
+}
+
+impl SystemTransport<'_> {
+    /// Ensures an authenticated binding exists, running (and charging) the
+    /// mutual handshake on first contact. Returns the time at which the
+    /// binding is usable.
+    pub fn ensure_binding(
+        &mut self,
+        ws: NodeId,
+        user: &str,
+        client_key: Key,
+        server: ServerId,
+        at: SimTime,
+    ) -> Result<SimTime, String> {
+        if self.core.bindings.contains_key(&(ws, server)) {
+            return Ok(at);
+        }
+        let srv = &self.topo.servers[server.0 as usize];
+        // Vice looks the user's key up in its protection database; an
+        // unknown user cannot bind at all.
+        let server_key = self
+            .domain
+            .borrow()
+            .auth_key(user)
+            .map_err(|e| e.to_string())?;
+        let nonces = (self.core.rng.next_u64(), self.core.rng.next_u64());
+        let binding = establish(user, ws, srv.node(), client_key, server_key, nonces)
+            .map_err(|e| e.to_string())?;
+        let ready = self
+            .kernel
+            .handshake(&self.topo.network, ws, srv.node(), srv.cpu(), at);
+        self.core.bindings.insert((ws, server), binding);
+        self.clock.advance_to(ready);
+        Ok(ready)
+    }
+
+    /// Fires every calendar event due at or before `upto` while no call is
+    /// in flight: scheduled crashes/restarts take effect and matured
+    /// callback breaks queue for delivery.
+    fn pump_idle(&mut self, upto: SimTime) {
+        while let Some(f) = self.core.sched.pop_due(upto) {
+            self.system_event(f.ev);
+        }
+    }
+
+    /// Applies a non-call event.
+    fn system_event(&mut self, ev: NetEvent) {
+        match ev {
+            NetEvent::Crash { server, gen } => {
+                if gen == self.core.plan_gen {
+                    self.topo.servers[server as usize].crash();
+                }
+            }
+            NetEvent::Restart { server, gen } => {
+                if gen == self.core.plan_gen {
+                    self.topo.servers[server as usize].restart();
+                }
+            }
+            NetEvent::BreakDeliver { to_ws, path } => {
+                self.core.pending.push(PendingBreak { to_ws, path });
+            }
+            _ => unreachable!("call-chain event with no call in flight"),
+        }
+    }
+
+    /// Executes one calendar event against the in-flight call.
+    fn dispatch(
+        &mut self,
+        call: &mut CallInFlight<'_>,
+        at: SimTime,
+        ev: NetEvent,
+    ) -> Result<(), String> {
+        let server = call.server;
+        let sid = server.0 as usize;
+        match ev {
+            NetEvent::Crash { .. } | NetEvent::Restart { .. } | NetEvent::BreakDeliver { .. } => {
+                self.system_event(ev);
+            }
+
+            NetEvent::AttemptSend => {
+                call.attempt += 1;
+                self.core.call_stats.attempts += 1;
+                if call.attempt > 1 {
+                    self.core.call_stats.retries += 1;
+                }
+                call.attempt_start = at;
+                call.extra = SimTime::ZERO;
+                call.duplicate = false;
+                // Lifecycle events due by now have already fired from the
+                // calendar; if the server is down the client burns the
+                // retry timeout and reports it unreachable.
+                if !self.topo.servers[sid].is_online() {
+                    let done = at + self.core.retry.timeout;
+                    self.clock.advance_to(done);
+                    call.result = Some((ViceReply::Error(ViceError::Unreachable(server.0)), done));
+                    return Ok(());
+                }
+                let fate = match self.core.faults.as_mut() {
+                    Some(f) => f.request_fault(server.0),
+                    None => MessageFault::Deliver,
+                };
+                // The client always seals (its sequence number advances);
+                // the network decides the fate of the sealed bytes.
+                let binding = self
+                    .core
+                    .bindings
+                    .get_mut(&(call.ws, server))
+                    .expect("bound before the first attempt");
+                let sealed = binding.client_seal(&call.framed);
+                match fate {
+                    MessageFault::Drop => {
+                        self.core.call_stats.timeouts += 1;
+                        self.core
+                            .sched
+                            .schedule(at + self.core.retry.timeout, NetEvent::TimeoutFire);
+                    }
+                    fate => {
+                        if let MessageFault::Delay(d) = fate {
+                            call.extra += d;
+                        }
+                        call.sealed_req = Some(sealed);
+                        let arrived = self.kernel.request_leg(
+                            &self.topo.network,
+                            call.ws,
+                            self.topo.servers[sid].node(),
+                            at,
+                            call.req_wire,
+                        );
+                        self.core.sched.schedule(arrived, NetEvent::RequestArrive);
+                    }
+                }
+            }
+
+            NetEvent::TimeoutFire => {
+                if call.attempt >= self.core.retry.max_attempts {
+                    self.core.call_stats.failures += 1;
+                    self.clock.advance_to(at);
+                    call.result = Some((ViceReply::Error(ViceError::TimedOut(server.0)), at));
+                } else {
+                    let wait = self
+                        .core
+                        .retry
+                        .backoff(call.attempt, &mut self.core.retry_rng);
+                    self.core.sched.schedule(at + wait, NetEvent::AttemptSend);
+                }
+            }
+
+            NetEvent::RequestArrive => {
+                let sealed = call.sealed_req.take().expect("request leg carries bytes");
+                let binding = self
+                    .core
+                    .bindings
+                    .get_mut(&(call.ws, server))
+                    .expect("bound");
+                let opened = binding.server_open(&sealed).map_err(|e| e.to_string())?;
+                // Identity comes from the binding, never the request.
+                let auth_user = binding.server_user().to_string();
+                let (token_bytes, body) = opened.split_at(8);
+                let token = u64::from_be_bytes(token_bytes.try_into().expect("framed by call()"));
+                self.topo.servers[sid].enqueue_request(QueuedRequest {
+                    user: auth_user,
+                    from: call.ws,
+                    token,
+                    body: body.to_vec(),
+                    arrived: at,
+                });
+                self.core.sched.schedule(at, NetEvent::ServiceDispatch);
+            }
+
+            NetEvent::ServiceDispatch => {
+                let qr = self.topo.servers[sid]
+                    .dequeue_request()
+                    .expect("enqueued on arrival");
+                let costs = self.kernel.costs().clone();
+                let srv = &mut self.topo.servers[sid];
+                let mut cost = CallCost::default();
+                let reply = match decode_request(&qr.body) {
+                    Ok(decoded) => {
+                        if let Some(cached) = decoded
+                            .is_mutation()
+                            .then(|| srv.replay_lookup(qr.from, qr.token))
+                            .flatten()
+                        {
+                            // A retry of a mutation the server already
+                            // applied: answer from the replay cache, do not
+                            // re-apply.
+                            cached.clone()
+                        } else {
+                            // Handlers see the attempt's start time, as the
+                            // synchronous transport always showed them.
+                            let (reply, c) =
+                                srv.handle(&qr.user, qr.from, &decoded, call.attempt_start, &costs);
+                            cost = c;
+                            if decoded.is_mutation() {
+                                srv.replay_record(qr.from, qr.token, reply.clone());
+                            }
+                            reply
+                        }
+                    }
+                    Err(e) => ViceReply::Error(ViceError::BadRequest(e.to_string())),
+                };
+                let reply_plain = encode_reply(&reply);
+                call.reply_wire = reply_plain.len() as u64 + 40;
+                let binding = self
+                    .core
+                    .bindings
+                    .get_mut(&(call.ws, server))
+                    .expect("bound");
+                let sealed_reply = binding.server_seal(&reply_plain);
+                let fate = match self.core.faults.as_mut() {
+                    Some(f) => f.reply_fault(server.0),
+                    None => MessageFault::Deliver,
+                };
+                match fate {
+                    MessageFault::Drop => {
+                        // The server did the work (and remembered the
+                        // reply); the client never hears back, and no
+                        // CPU/disk time is charged for the aborted leg.
+                        self.core.call_stats.timeouts += 1;
+                        self.core.sched.schedule(
+                            call.attempt_start + self.core.retry.timeout,
+                            NetEvent::TimeoutFire,
+                        );
+                    }
+                    fate => {
+                        if let MessageFault::Delay(d) = fate {
+                            call.extra += d;
+                        }
+                        call.duplicate = fate == MessageFault::Duplicate;
+                        call.sealed_reply = Some(sealed_reply);
+                        let spec = CallSpec {
+                            kind: call.req.kind(),
+                            request_bytes: call.req_wire,
+                            reply_bytes: call.reply_wire,
+                            server_cpu: cost.server_cpu,
+                            disk_bytes: cost.disk_bytes,
+                            lock_ipc: cost.lock_ipc,
+                        };
+                        let srv = &self.topo.servers[sid];
+                        let served = self.kernel.service(srv.cpu(), srv.disk(), at, &spec);
+                        self.core.sched.schedule(served, NetEvent::ReplyDepart);
+                    }
+                }
+            }
+
+            NetEvent::ReplyDepart => {
+                let srv = &self.topo.servers[sid];
+                let completed = self.kernel.reply_leg(
+                    &self.topo.network,
+                    srv.node(),
+                    call.ws,
+                    at,
+                    call.reply_wire,
+                );
+                call.elapsed = completed - call.attempt_start;
+                self.core
+                    .sched
+                    .schedule(completed + call.extra, NetEvent::ReplyArrive);
+            }
+
+            NetEvent::ReplyArrive => {
+                let sealed = call.sealed_reply.take().expect("reply leg carries bytes");
+                let binding = self
+                    .core
+                    .bindings
+                    .get_mut(&(call.ws, server))
+                    .expect("bound");
+                let reply_clear = binding.client_open(&sealed).map_err(|e| e.to_string())?;
+                // Second copy of the same sealed reply: the channel's
+                // sequence check discards it.
+                if call.duplicate && binding.client_open(&sealed).is_err() {
+                    self.core.call_stats.duplicates_ignored += 1;
+                }
+                let reply = decode_reply(&reply_clear).map_err(|e| e.to_string())?;
+
+                // Traffic monitoring (Section 3.6): attribute the call to
+                // the covering custodianship subtree and caller's cluster.
+                if let Some(m) = self.monitor.as_mut() {
+                    if let Some((subtree, _)) =
+                        self.topo.servers[0].location().lookup(call.req.path())
+                    {
+                        let origin = self.topo.network.cluster_of(call.ws);
+                        let subtree = subtree.to_string();
+                        m.record(&subtree, origin.0);
+                    }
+                }
+                self.topo.servers[sid].record_call(
+                    call.req.kind(),
+                    call.req_wire,
+                    call.reply_wire,
+                    call.elapsed,
+                );
+                self.clock.advance_to(at);
+
+                // Callback breaks this call generated enter the calendar;
+                // delivery is applied by the system after the operation.
+                let from_node = self.topo.servers[sid].node();
+                let breaks = self.topo.servers[sid].drain_breaks();
+                for (to_ws, brk) in breaks {
+                    let arrival =
+                        self.kernel
+                            .one_way(&self.topo.network, from_node, to_ws, at, 160);
+                    self.core.sched.schedule(
+                        arrival,
+                        NetEvent::BreakDeliver {
+                            to_ws,
+                            path: brk.path,
+                        },
+                    );
+                }
+                call.result = Some((reply, at));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ViceTransport for SystemTransport<'_> {
+    fn call(
+        &mut self,
+        ws: NodeId,
+        user: &str,
+        key: Key,
+        server: ServerId,
+        req: &ViceRequest,
+        at: SimTime,
+    ) -> Result<(ViceReply, SimTime), String> {
+        if server.0 as usize >= self.topo.servers.len() {
+            return Err(format!("unknown server {}", server.0));
+        }
+        // Scheduled crashes/restarts that have come due take effect before
+        // anything else sees the server.
+        self.pump_idle(at);
+        // A down server: the client burns the RPC timeout and synthesizes
+        // an Unreachable error so Venus can fail over to a replica.
+        if !self.topo.servers[server.0 as usize].is_online() {
+            let done = at + self.kernel.costs().rpc_timeout;
+            self.clock.advance_to(done);
+            return Ok((ViceReply::Error(ViceError::Unreachable(server.0)), done));
+        }
+        let at = self.ensure_binding(ws, user, key, server, at)?;
+
+        // Frame the request with a per-call idempotency token. Every retry
+        // of this logical call carries the same token, so a mutation whose
+        // *reply* was lost is answered from the server's replay cache on
+        // retry instead of being applied twice.
+        self.core.next_token += 1;
+        let token = self.core.next_token;
+        let req_bytes = encode_request(req);
+        let mut framed = Vec::with_capacity(8 + req_bytes.len());
+        framed.extend_from_slice(&token.to_be_bytes());
+        framed.extend_from_slice(&req_bytes);
+
+        let mut call = CallInFlight {
+            ws,
+            server,
+            req,
+            req_wire: req_bytes.len() as u64 + 40, // token + sealing overhead
+            framed,
+            attempt: 0,
+            attempt_start: at,
+            extra: SimTime::ZERO,
+            sealed_req: None,
+            sealed_reply: None,
+            reply_wire: 0,
+            elapsed: SimTime::ZERO,
+            duplicate: false,
+            result: None,
+        };
+        self.core.sched.schedule(at, NetEvent::AttemptSend);
+        while call.result.is_none() {
+            let f = self
+                .core
+                .sched
+                .pop()
+                .expect("an in-flight call keeps the calendar non-empty");
+            self.dispatch(&mut call, f.at, f.ev)?;
+        }
+        Ok(call.result.take().expect("pump exited on resolution"))
+    }
+
+    fn epoch_of(&self, server: ServerId) -> u64 {
+        self.topo
+            .servers
+            .get(server.0 as usize)
+            .map_or(0, Server::epoch)
+    }
+
+    fn nearest(&self, ws: NodeId, candidates: &[ServerId]) -> ServerId {
+        *candidates
+            .iter()
+            .min_by_key(|s| {
+                let node = self.topo.servers[s.0 as usize].node();
+                (self.topo.network.hops(ws, node), s.0)
+            })
+            .expect("candidates non-empty")
+    }
+
+    fn home_server(&self, ws: NodeId) -> ServerId {
+        self.topo.home[&ws]
+    }
+}

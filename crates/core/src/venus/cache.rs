@@ -315,7 +315,12 @@ mod tests {
         let mut c = Cache::new(CachePolicy::SpaceLru(10));
         // A single oversized file stays cached (the policy can't satisfy
         // its bound, but evicting the file being opened would be absurd).
-        let evicted = c.insert("/v/huge", vec![0; 50], status("/v/huge", 1, 50), EntryKind::File);
+        let evicted = c.insert(
+            "/v/huge",
+            vec![0; 50],
+            status("/v/huge", 1, 50),
+            EntryKind::File,
+        );
         assert!(evicted.is_empty());
         assert!(c.peek("/v/huge").is_some());
     }
@@ -323,7 +328,12 @@ mod tests {
     #[test]
     fn replacing_updates_bytes() {
         let mut c = Cache::new(CachePolicy::SpaceLru(1000));
-        c.insert("/v/a", vec![0; 100], status("/v/a", 1, 100), EntryKind::File);
+        c.insert(
+            "/v/a",
+            vec![0; 100],
+            status("/v/a", 1, 100),
+            EntryKind::File,
+        );
         c.insert("/v/a", vec![0; 10], status("/v/a", 2, 10), EntryKind::File);
         assert_eq!(c.bytes(), 10);
         assert_eq!(c.len(), 1);
@@ -376,8 +386,18 @@ mod tests {
     #[test]
     fn directory_entries_coexist_with_files() {
         let mut c = Cache::new(CachePolicy::CountLru(10));
-        c.insert("/v/dir", b"fa\nfb\n".to_vec(), status("/v/dir", 1, 6), EntryKind::Directory);
-        c.insert("/v/dir/a", vec![1], status("/v/dir/a", 1, 1), EntryKind::File);
+        c.insert(
+            "/v/dir",
+            b"fa\nfb\n".to_vec(),
+            status("/v/dir", 1, 6),
+            EntryKind::Directory,
+        );
+        c.insert(
+            "/v/dir/a",
+            vec![1],
+            status("/v/dir/a", 1, 1),
+            EntryKind::File,
+        );
         assert_eq!(c.peek("/v/dir").unwrap().kind, EntryKind::Directory);
         assert_eq!(c.peek("/v/dir/a").unwrap().kind, EntryKind::File);
     }

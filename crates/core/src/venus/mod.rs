@@ -36,8 +36,8 @@ pub use cache::{Cache, CacheEntry, CacheStats};
 pub use namespace::{Namespace, Space, WorkstationType, VICE_MOUNT};
 
 use crate::config::{CachePolicy, WritePolicy};
-use crate::proto::{EntryKind, ServerId, VStatus, ViceError, ViceReply, ViceRequest};
 use crate::protect::AccessList;
+use crate::proto::{EntryKind, ServerId, VStatus, ViceError, ViceReply, ViceRequest};
 use itc_cryptbox::Key;
 use itc_rpc::NodeId;
 use itc_sim::{Costs, SimTime, TraversalMode, ValidationMode};
@@ -146,6 +146,8 @@ pub struct VenusStats {
     pub bytes_fetched: u64,
     /// Bytes stored to Vice.
     pub bytes_stored: u64,
+    /// Reads served from an open handle (never any server traffic).
+    pub local_reads: u64,
 }
 
 /// An authenticated session at a workstation.
@@ -356,8 +358,7 @@ impl Venus {
     fn hint_for(&self, vice_path: &str) -> Option<(ServerId, Vec<ServerId>)> {
         let mut best: Option<(&String, &(ServerId, Vec<ServerId>))> = None;
         for (root, entry) in &self.hints {
-            let matches = vice_path == root.as_str()
-                || vice_path.starts_with(&format!("{root}/"));
+            let matches = vice_path == root.as_str() || vice_path.starts_with(&format!("{root}/"));
             if matches && best.is_none_or(|(b, _)| root.len() > b.len()) {
                 best = Some((root, entry));
             }
@@ -366,8 +367,9 @@ impl Venus {
     }
 
     fn drop_hint_for(&mut self, vice_path: &str) {
-        self.hints
-            .retain(|root, _| !(vice_path == root.as_str() || vice_path.starts_with(&format!("{root}/"))));
+        self.hints.retain(|root, _| {
+            !(vice_path == root.as_str() || vice_path.starts_with(&format!("{root}/")))
+        });
     }
 
     /// Learns the custodian of `vice_path`, consulting the hint cache
@@ -472,8 +474,7 @@ impl Venus {
                 }
                 Some(other) => return Ok(other),
                 None => {
-                    let cause =
-                        last_failure.unwrap_or(ViceError::Unreachable(custodian.0));
+                    let cause = last_failure.unwrap_or(ViceError::Unreachable(custodian.0));
                     // Reads surface the failure as-is; mutations get the
                     // distinguishable degraded-mode error — the caller's
                     // data was NOT applied anywhere.
@@ -661,11 +662,7 @@ impl Venus {
     // ------------------------------------------------------------------
 
     /// Opens a file for reading. Returns a handle.
-    pub fn open_read(
-        &mut self,
-        t: &mut dyn ViceTransport,
-        path: &str,
-    ) -> Result<u64, VenusError> {
+    pub fn open_read(&mut self, t: &mut dyn ViceTransport, path: &str) -> Result<u64, VenusError> {
         self.charge_intercept();
         let space = self.namespace.classify(path, true)?;
         let (data, space) = match space {
@@ -684,11 +681,7 @@ impl Venus {
 
     /// Opens (creating if necessary) a file for writing. The initial
     /// content is the current file content, or empty for a new file.
-    pub fn open_write(
-        &mut self,
-        t: &mut dyn ViceTransport,
-        path: &str,
-    ) -> Result<u64, VenusError> {
+    pub fn open_write(&mut self, t: &mut dyn ViceTransport, path: &str) -> Result<u64, VenusError> {
         self.charge_intercept();
         let space = self.namespace.classify(path, true)?;
         let (data, space) = match space {
@@ -727,11 +720,13 @@ impl Venus {
     /// opened, individual read and write operations are directed to the
     /// cached copy. Virtue does not communicate with Vice in performing
     /// these operations" (Section 3.2).
-    pub fn read(&self, handle: u64) -> Result<&[u8], VenusError> {
-        self.open_files
+    pub fn read(&mut self, handle: u64) -> Result<&[u8], VenusError> {
+        let f = self
+            .open_files
             .get(&handle)
-            .map(|f| f.data.as_slice())
-            .ok_or(VenusError::BadHandle(handle))
+            .ok_or(VenusError::BadHandle(handle))?;
+        self.stats.local_reads += 1;
+        Ok(f.data.as_slice())
     }
 
     /// Replaces the contents through an open (writable) handle. No server
@@ -784,9 +779,7 @@ impl Venus {
             Space::Local(p) => {
                 self.charge_local_disk(f.data.len() as u64);
                 let now_us = self.now.as_micros();
-                self.namespace
-                    .local_mut()
-                    .write(&p, 0, now_us, f.data)?;
+                self.namespace.local_mut().write(&p, 0, now_us, f.data)?;
                 Ok(())
             }
             Space::Vice(vp) => {

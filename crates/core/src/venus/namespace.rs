@@ -71,13 +71,17 @@ impl Namespace {
     pub fn standard(ws_type: WorkstationType) -> Namespace {
         let mut local = FileSystem::new();
         local.mkdir("/tmp", Mode(0o777), 0, 0).expect("fresh fs");
-        local.mkdir("/etc", Mode::DIR_DEFAULT, 0, 0).expect("fresh fs");
+        local
+            .mkdir("/etc", Mode::DIR_DEFAULT, 0, 0)
+            .expect("fresh fs");
         local.mkdir("/local", Mode(0o777), 0, 0).expect("fresh fs");
         local
             .create("/vmunix", Mode(0o755), 0, 0, b"boot image".to_vec())
             .expect("fresh fs");
         // A marker directory so readdir("/") shows the mount point.
-        local.mkdir(VICE_MOUNT, Mode::DIR_DEFAULT, 0, 0).expect("fresh fs");
+        local
+            .mkdir(VICE_MOUNT, Mode::DIR_DEFAULT, 0, 0)
+            .expect("fresh fs");
         if ws_type != WorkstationType::IbmPc {
             let arch = ws_type.arch();
             local
@@ -115,12 +119,7 @@ impl Namespace {
         self.classify_norm(&norm, follow_final, 0)
     }
 
-    fn classify_norm(
-        &self,
-        norm: &str,
-        follow_final: bool,
-        depth: u32,
-    ) -> Result<Space, FsError> {
+    fn classify_norm(&self, norm: &str, follow_final: bool, depth: u32) -> Result<Space, FsError> {
         if depth > SYMLINK_LIMIT {
             return Err(FsError::SymlinkLoop(norm.to_string()));
         }
@@ -249,7 +248,9 @@ mod tests {
     #[test]
     fn local_symlink_chains_resolve() {
         let mut ns = Namespace::standard(WorkstationType::Sun);
-        ns.local_mut().symlink("/local/a", "/local/b", 0, 1).unwrap();
+        ns.local_mut()
+            .symlink("/local/a", "/local/b", 0, 1)
+            .unwrap();
         ns.local_mut().symlink("/local/b", "/tmp", 0, 1).unwrap();
         assert_eq!(
             ns.classify("/local/a/x", true).unwrap(),
@@ -260,8 +261,12 @@ mod tests {
     #[test]
     fn symlink_loop_detected() {
         let mut ns = Namespace::standard(WorkstationType::Sun);
-        ns.local_mut().symlink("/local/x", "/local/y", 0, 1).unwrap();
-        ns.local_mut().symlink("/local/y", "/local/x", 0, 1).unwrap();
+        ns.local_mut()
+            .symlink("/local/x", "/local/y", 0, 1)
+            .unwrap();
+        ns.local_mut()
+            .symlink("/local/y", "/local/x", 0, 1)
+            .unwrap();
         assert!(matches!(
             ns.classify("/local/x/f", true),
             Err(FsError::SymlinkLoop(_))

@@ -262,9 +262,7 @@ impl Volume {
     /// Resolves the directory whose ACL protects `internal`.
     fn protecting_dir(&self, internal: &str) -> Result<String, VolumeError> {
         match self.fs.stat(internal) {
-            Ok(st) if st.ftype == itc_unixfs::FileType::Directory => {
-                Ok(internal.to_string())
-            }
+            Ok(st) if st.ftype == itc_unixfs::FileType::Directory => Ok(internal.to_string()),
             Ok(_) => Ok(itc_unixfs::dirname_basename(internal)
                 .map(|(d, _)| d)
                 .unwrap_or_else(|_| "/".to_string())),
@@ -387,7 +385,13 @@ mod tests {
         v.store("/a.txt", 1, 11, vec![0u8; 90]).unwrap();
         // Another 20 bytes would exceed 100.
         let err = v.store("/b.txt", 1, 12, vec![0u8; 20]).unwrap_err();
-        assert!(matches!(err, VolumeError::QuotaExceeded { limit: 100, would_be: 110 }));
+        assert!(matches!(
+            err,
+            VolumeError::QuotaExceeded {
+                limit: 100,
+                would_be: 110
+            }
+        ));
         // Shrinking is always allowed.
         v.store("/a.txt", 1, 13, vec![0u8; 10]).unwrap();
         v.store("/b.txt", 1, 14, vec![0u8; 20]).unwrap();
@@ -407,7 +411,10 @@ mod tests {
         let mut new_acl = AccessList::new();
         new_acl.grant("satya", Rights::READ_ONLY);
         v.set_acl("/doc", new_acl).unwrap();
-        assert_eq!(v.acl_for("/").unwrap().effective_rights(["satya"]), Rights::ALL);
+        assert_eq!(
+            v.acl_for("/").unwrap().effective_rights(["satya"]),
+            Rights::ALL
+        );
         assert_eq!(
             v.acl_for("/doc/a.tex").unwrap().effective_rights(["satya"]),
             Rights::READ_ONLY
@@ -470,10 +477,7 @@ mod tests {
         v.relocate("/vice/usr/satyanarayanan");
         assert!(v.covers("/vice/usr/satyanarayanan/a"));
         assert!(!v.covers("/vice/usr/satya/a"));
-        assert_eq!(
-            v.internal_path("/vice/usr/satyanarayanan/a").unwrap(),
-            "/a"
-        );
+        assert_eq!(v.internal_path("/vice/usr/satyanarayanan/a").unwrap(), "/a");
     }
 
     #[test]

@@ -91,14 +91,16 @@ fn reassign_preserves_entry_count() {
     for _ in 0..256 {
         let mut db = LocationDb::new();
         for _ in 0..rng.range(2, 10) {
-            db.assign(&subtree(rng.range(0, 7) as u8), ServerId(rng.range(0, 5) as u32));
+            db.assign(
+                &subtree(rng.range(0, 7) as u8),
+                ServerId(rng.range(0, 5) as u32),
+            );
         }
         let n = db.len();
         for _ in 0..rng.range(1, 6) {
             let root = subtree(rng.range(0, 7) as u8);
             let s = rng.range(0, 5) as u32;
-            let existed = db.custodian_of(&root).is_some()
-                && db.entries().any(|(e, _)| e == root);
+            let existed = db.custodian_of(&root).is_some() && db.entries().any(|(e, _)| e == root);
             let moved = db.reassign(&root, ServerId(s));
             assert_eq!(moved.is_some(), existed);
             assert_eq!(db.len(), n, "reassign must never add or drop entries");

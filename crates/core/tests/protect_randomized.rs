@@ -66,7 +66,7 @@ fn cps_matches_naive_fixpoint() {
 
 #[test]
 fn acl_effective_rights_is_monotone_in_cps() {
-    let mut rng = SimRng::seeded(0x61636c_5f6d_6f6e_6f);
+    let mut rng = SimRng::seeded(0x6163_6c5f_6d6f_6e6f);
     for _ in 0..256 {
         let mut acl = AccessList::new();
         for _ in 0..rng.range(0, 10) {
@@ -110,8 +110,8 @@ fn acl_effective_rights_is_monotone_in_cps() {
 
 #[test]
 fn acl_wire_round_trip() {
-    let mut rng = SimRng::seeded(0x61636c_5f77_6972_65);
-    let mut rand_name = |rng: &mut SimRng| -> String {
+    let mut rng = SimRng::seeded(0x6163_6c5f_7769_7265);
+    let rand_name = |rng: &mut SimRng| -> String {
         (0..rng.range(1, 9))
             .map(|_| (b'a' + rng.range(0, 26) as u8) as char)
             .collect()

@@ -41,7 +41,8 @@ fn make_server(validation: ValidationMode) -> Server {
 
 fn call(srv: &mut Server, user: &str, from: NodeId, req: ViceRequest) -> ViceReply {
     let costs = Costs::prototype_1985();
-    srv.handle(user, from, &req, SimTime::from_secs(1), &costs).0
+    srv.handle(user, from, &req, SimTime::from_secs(1), &costs)
+        .0
 }
 
 #[test]
@@ -51,7 +52,9 @@ fn fetch_checks_rights_and_returns_data_with_status() {
         &mut srv,
         "alice",
         WS,
-        ViceRequest::Fetch { path: "/vice/t/hello.txt".into() },
+        ViceRequest::Fetch {
+            path: "/vice/t/hello.txt".into(),
+        },
     ) {
         ViceReply::Data { status, data } => {
             assert_eq!(data, b"hello");
@@ -63,12 +66,27 @@ fn fetch_checks_rights_and_returns_data_with_status() {
     }
     // anyuser READ_ONLY still allows fetch...
     assert!(matches!(
-        call(&mut srv, "mallory", WS, ViceRequest::Fetch { path: "/vice/t/hello.txt".into() }),
+        call(
+            &mut srv,
+            "mallory",
+            WS,
+            ViceRequest::Fetch {
+                path: "/vice/t/hello.txt".into()
+            }
+        ),
         ViceReply::Data { .. }
     ));
     // ...but not store.
     assert!(matches!(
-        call(&mut srv, "mallory", WS, ViceRequest::Store { path: "/vice/t/hello.txt".into(), data: vec![] }),
+        call(
+            &mut srv,
+            "mallory",
+            WS,
+            ViceRequest::Store {
+                path: "/vice/t/hello.txt".into(),
+                data: vec![]
+            }
+        ),
         ViceReply::Error(ViceError::PermissionDenied(_))
     ));
 }
@@ -81,14 +99,23 @@ fn uncovered_paths_answer_with_custodian_hint() {
         &mut srv,
         "alice",
         WS,
-        ViceRequest::Fetch { path: "/vice/elsewhere/x".into() },
+        ViceRequest::Fetch {
+            path: "/vice/elsewhere/x".into(),
+        },
     ) {
         ViceReply::Error(ViceError::NotCustodian(Some(s))) => assert_eq!(s, ServerId(3)),
         other => panic!("unexpected reply: {other:?}"),
     }
     // Paths nobody covers: hint is None.
     assert!(matches!(
-        call(&mut srv, "alice", WS, ViceRequest::Fetch { path: "/vice/void/x".into() }),
+        call(
+            &mut srv,
+            "alice",
+            WS,
+            ViceRequest::Fetch {
+                path: "/vice/void/x".into()
+            }
+        ),
         ViceReply::Error(ViceError::NotCustodian(None))
     ));
 }
@@ -100,12 +127,26 @@ fn location_db_overrides_an_enclosing_volume() {
     let mut srv = make_server(ValidationMode::CheckOnOpen);
     srv.location_mut().assign("/vice/t/moved", ServerId(5));
     assert!(matches!(
-        call(&mut srv, "alice", WS, ViceRequest::Fetch { path: "/vice/t/moved/f".into() }),
+        call(
+            &mut srv,
+            "alice",
+            WS,
+            ViceRequest::Fetch {
+                path: "/vice/t/moved/f".into()
+            }
+        ),
         ViceReply::Error(ViceError::NotCustodian(Some(ServerId(5))))
     ));
     // Sibling paths under /vice/t are still served here.
     assert!(matches!(
-        call(&mut srv, "alice", WS, ViceRequest::Fetch { path: "/vice/t/hello.txt".into() }),
+        call(
+            &mut srv,
+            "alice",
+            WS,
+            ViceRequest::Fetch {
+                path: "/vice/t/hello.txt".into()
+            }
+        ),
         ViceReply::Data { .. }
     ));
 }
@@ -114,8 +155,22 @@ fn location_db_overrides_an_enclosing_volume() {
 fn callback_promises_registered_and_broken() {
     let mut srv = make_server(ValidationMode::Callback);
     // Two workstations fetch: two promises.
-    call(&mut srv, "alice", WS, ViceRequest::Fetch { path: "/vice/t/hello.txt".into() });
-    call(&mut srv, "alice", WS2, ViceRequest::Fetch { path: "/vice/t/hello.txt".into() });
+    call(
+        &mut srv,
+        "alice",
+        WS,
+        ViceRequest::Fetch {
+            path: "/vice/t/hello.txt".into(),
+        },
+    );
+    call(
+        &mut srv,
+        "alice",
+        WS2,
+        ViceRequest::Fetch {
+            path: "/vice/t/hello.txt".into(),
+        },
+    );
     assert_eq!(srv.callback_promises(), 2);
 
     // WS stores: WS2's promise breaks, WS gets a fresh one.
@@ -123,7 +178,10 @@ fn callback_promises_registered_and_broken() {
         &mut srv,
         "alice",
         WS,
-        ViceRequest::Store { path: "/vice/t/hello.txt".into(), data: b"v2".to_vec() },
+        ViceRequest::Store {
+            path: "/vice/t/hello.txt".into(),
+            data: b"v2".to_vec(),
+        },
     );
     let breaks = srv.drain_breaks();
     assert_eq!(breaks.len(), 1);
@@ -136,12 +194,22 @@ fn callback_promises_registered_and_broken() {
 #[test]
 fn check_on_open_mode_keeps_no_callback_state() {
     let mut srv = make_server(ValidationMode::CheckOnOpen);
-    call(&mut srv, "alice", WS, ViceRequest::Fetch { path: "/vice/t/hello.txt".into() });
+    call(
+        &mut srv,
+        "alice",
+        WS,
+        ViceRequest::Fetch {
+            path: "/vice/t/hello.txt".into(),
+        },
+    );
     call(
         &mut srv,
         "alice",
         WS2,
-        ViceRequest::Store { path: "/vice/t/hello.txt".into(), data: b"v2".to_vec() },
+        ViceRequest::Store {
+            path: "/vice/t/hello.txt".into(),
+            data: b"v2".to_vec(),
+        },
     );
     assert_eq!(srv.callback_promises(), 0);
     assert!(srv.drain_breaks().is_empty());
@@ -154,14 +222,25 @@ fn validate_compares_fid_and_version() {
         &mut srv,
         "alice",
         WS,
-        ViceRequest::GetStatus { path: "/vice/t/hello.txt".into() },
+        ViceRequest::GetStatus {
+            path: "/vice/t/hello.txt".into(),
+        },
     ) {
         ViceReply::Status(s) => (s.fid, s.version),
         other => panic!("{other:?}"),
     };
     // Current (fid, version): valid.
     assert!(matches!(
-        call(&mut srv, "alice", WS, ViceRequest::Validate { path: "/vice/t/hello.txt".into(), fid, version }),
+        call(
+            &mut srv,
+            "alice",
+            WS,
+            ViceRequest::Validate {
+                path: "/vice/t/hello.txt".into(),
+                fid,
+                version
+            }
+        ),
         ViceReply::Validated { valid: true, .. }
     ));
     // Stale version: invalid, fresh status returned.
@@ -169,16 +248,32 @@ fn validate_compares_fid_and_version() {
         &mut srv,
         "alice",
         WS,
-        ViceRequest::Validate { path: "/vice/t/hello.txt".into(), fid, version: version + 7 },
+        ViceRequest::Validate {
+            path: "/vice/t/hello.txt".into(),
+            fid,
+            version: version + 7,
+        },
     ) {
-        ViceReply::Validated { valid: false, status: Some(s) } => {
+        ViceReply::Validated {
+            valid: false,
+            status: Some(s),
+        } => {
             assert_eq!(s.version, version);
         }
         other => panic!("{other:?}"),
     }
     // Right version but wrong identity (recreated file): invalid.
     assert!(matches!(
-        call(&mut srv, "alice", WS, ViceRequest::Validate { path: "/vice/t/hello.txt".into(), fid: fid + 1, version }),
+        call(
+            &mut srv,
+            "alice",
+            WS,
+            ViceRequest::Validate {
+                path: "/vice/t/hello.txt".into(),
+                fid: fid + 1,
+                version
+            }
+        ),
         ViceReply::Validated { valid: false, .. }
     ));
 }
@@ -186,8 +281,22 @@ fn validate_compares_fid_and_version() {
 #[test]
 fn directory_fetch_returns_a_listing_blob() {
     let mut srv = make_server(ValidationMode::CheckOnOpen);
-    call(&mut srv, "alice", WS, ViceRequest::MakeDir { path: "/vice/t/sub".into() });
-    match call(&mut srv, "alice", WS, ViceRequest::Fetch { path: "/vice/t".into() }) {
+    call(
+        &mut srv,
+        "alice",
+        WS,
+        ViceRequest::MakeDir {
+            path: "/vice/t/sub".into(),
+        },
+    );
+    match call(
+        &mut srv,
+        "alice",
+        WS,
+        ViceRequest::Fetch {
+            path: "/vice/t".into(),
+        },
+    ) {
         ViceReply::Data { status, data } => {
             assert_eq!(status.kind, itc_core::proto::EntryKind::Dir);
             let text = String::from_utf8(data).unwrap();
@@ -206,20 +315,40 @@ fn symlink_fetch_returns_translated_target() {
         &mut srv,
         "alice",
         WS,
-        ViceRequest::MakeSymlink { path: "/vice/t/rel".into(), target: "hello.txt".into() },
+        ViceRequest::MakeSymlink {
+            path: "/vice/t/rel".into(),
+            target: "hello.txt".into(),
+        },
     );
     call(
         &mut srv,
         "alice",
         WS,
-        ViceRequest::MakeSymlink { path: "/vice/t/abs".into(), target: "/vice/other/f".into() },
+        ViceRequest::MakeSymlink {
+            path: "/vice/t/abs".into(),
+            target: "/vice/other/f".into(),
+        },
     );
     assert_eq!(
-        call(&mut srv, "alice", WS, ViceRequest::Fetch { path: "/vice/t/rel".into() }),
+        call(
+            &mut srv,
+            "alice",
+            WS,
+            ViceRequest::Fetch {
+                path: "/vice/t/rel".into()
+            }
+        ),
         ViceReply::Link("/vice/t/hello.txt".into())
     );
     assert_eq!(
-        call(&mut srv, "alice", WS, ViceRequest::Fetch { path: "/vice/t/abs".into() }),
+        call(
+            &mut srv,
+            "alice",
+            WS,
+            ViceRequest::Fetch {
+                path: "/vice/t/abs".into()
+            }
+        ),
         ViceReply::Link("/vice/other/f".into())
     );
 }
@@ -231,17 +360,40 @@ fn acl_administration_requires_the_right() {
     new_acl.grant("mallory", Rights::ALL);
     // mallory (anyuser: READ_ONLY) may not administer.
     assert!(matches!(
-        call(&mut srv, "mallory", WS, ViceRequest::SetAcl { path: "/vice/t".into(), acl: new_acl.clone() }),
+        call(
+            &mut srv,
+            "mallory",
+            WS,
+            ViceRequest::SetAcl {
+                path: "/vice/t".into(),
+                acl: new_acl.clone()
+            }
+        ),
         ViceReply::Error(ViceError::PermissionDenied(_))
     ));
     // alice (staff: ALL) may.
     assert!(matches!(
-        call(&mut srv, "alice", WS, ViceRequest::SetAcl { path: "/vice/t".into(), acl: new_acl.clone() }),
+        call(
+            &mut srv,
+            "alice",
+            WS,
+            ViceRequest::SetAcl {
+                path: "/vice/t".into(),
+                acl: new_acl.clone()
+            }
+        ),
         ViceReply::Ok
     ));
     // And the new list is in force: alice lost her access.
     assert!(matches!(
-        call(&mut srv, "alice", WS, ViceRequest::Fetch { path: "/vice/t/hello.txt".into() }),
+        call(
+            &mut srv,
+            "alice",
+            WS,
+            ViceRequest::Fetch {
+                path: "/vice/t/hello.txt".into()
+            }
+        ),
         ViceReply::Error(ViceError::PermissionDenied(_))
     ));
 }
@@ -268,7 +420,10 @@ fn readonly_replica_serves_reads_but_not_writes() {
             TraversalMode::ServerSide,
         );
         let vol_id = srv.volumes()[0].id();
-        let clone = srv.volume_mut(vol_id).unwrap().clone_readonly(VolumeId(100));
+        let clone = srv
+            .volume_mut(vol_id)
+            .unwrap()
+            .clone_readonly(VolumeId(100));
         replica_srv.add_volume(clone);
         replica_srv.location_mut().assign("/vice/t", ServerId(0));
         replica_srv
@@ -281,7 +436,9 @@ fn readonly_replica_serves_reads_but_not_writes() {
         &mut replica_srv,
         "alice",
         WS,
-        ViceRequest::Fetch { path: "/vice/t/hello.txt".into() },
+        ViceRequest::Fetch {
+            path: "/vice/t/hello.txt".into(),
+        },
     ) {
         ViceReply::Data { status, data } => {
             assert_eq!(data, b"hello");
@@ -290,7 +447,15 @@ fn readonly_replica_serves_reads_but_not_writes() {
         other => panic!("{other:?}"),
     }
     assert!(matches!(
-        call(&mut replica_srv, "alice", WS, ViceRequest::Store { path: "/vice/t/hello.txt".into(), data: b"x".to_vec() }),
+        call(
+            &mut replica_srv,
+            "alice",
+            WS,
+            ViceRequest::Store {
+                path: "/vice/t/hello.txt".into(),
+                data: b"x".to_vec()
+            }
+        ),
         ViceReply::Error(ViceError::ReadOnlyVolume(_))
     ));
 }
@@ -298,8 +463,22 @@ fn readonly_replica_serves_reads_but_not_writes() {
 #[test]
 fn mkdir_inherits_parent_acl() {
     let mut srv = make_server(ValidationMode::CheckOnOpen);
-    call(&mut srv, "alice", WS, ViceRequest::MakeDir { path: "/vice/t/sub".into() });
-    match call(&mut srv, "alice", WS, ViceRequest::GetAcl { path: "/vice/t/sub".into() }) {
+    call(
+        &mut srv,
+        "alice",
+        WS,
+        ViceRequest::MakeDir {
+            path: "/vice/t/sub".into(),
+        },
+    );
+    match call(
+        &mut srv,
+        "alice",
+        WS,
+        ViceRequest::GetAcl {
+            path: "/vice/t/sub".into(),
+        },
+    ) {
         ViceReply::Acl(acl) => {
             assert_eq!(acl.effective_rights(["x", "staff"]), Rights::ALL);
         }
@@ -311,7 +490,14 @@ fn mkdir_inherits_parent_acl() {
 fn mount_root_mkdir_reports_already_exists() {
     let mut srv = make_server(ValidationMode::CheckOnOpen);
     assert!(matches!(
-        call(&mut srv, "alice", WS, ViceRequest::MakeDir { path: "/vice/t".into() }),
+        call(
+            &mut srv,
+            "alice",
+            WS,
+            ViceRequest::MakeDir {
+                path: "/vice/t".into()
+            }
+        ),
         ViceReply::Error(ViceError::AlreadyExists(_))
     ));
 }
@@ -323,22 +509,43 @@ fn server_side_traversal_charges_per_component() {
     let (_, shallow) = srv.handle(
         "alice",
         WS,
-        &ViceRequest::Fetch { path: "/vice/t/hello.txt".into() },
+        &ViceRequest::Fetch {
+            path: "/vice/t/hello.txt".into(),
+        },
         SimTime::ZERO,
         &costs,
     );
-    call(&mut srv, "alice", WS, ViceRequest::MakeDir { path: "/vice/t/a".into() });
-    call(&mut srv, "alice", WS, ViceRequest::MakeDir { path: "/vice/t/a/b".into() });
     call(
         &mut srv,
         "alice",
         WS,
-        ViceRequest::Store { path: "/vice/t/a/b/deep.txt".into(), data: b"d".to_vec() },
+        ViceRequest::MakeDir {
+            path: "/vice/t/a".into(),
+        },
+    );
+    call(
+        &mut srv,
+        "alice",
+        WS,
+        ViceRequest::MakeDir {
+            path: "/vice/t/a/b".into(),
+        },
+    );
+    call(
+        &mut srv,
+        "alice",
+        WS,
+        ViceRequest::Store {
+            path: "/vice/t/a/b/deep.txt".into(),
+            data: b"d".to_vec(),
+        },
     );
     let (_, deep) = srv.handle(
         "alice",
         WS,
-        &ViceRequest::Fetch { path: "/vice/t/a/b/deep.txt".into() },
+        &ViceRequest::Fetch {
+            path: "/vice/t/a/b/deep.txt".into(),
+        },
         SimTime::ZERO,
         &costs,
     );

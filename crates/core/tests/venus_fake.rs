@@ -161,7 +161,10 @@ fn check_on_open_validates_and_refetches_only_when_stale() {
             data: b"v3".to_vec(),
         },
         // Second open: validate says still good.
-        ViceReply::Validated { valid: true, status: None },
+        ViceReply::Validated {
+            valid: true,
+            status: None,
+        },
         // Third open: stale; then the refetch.
         ViceReply::Validated {
             valid: false,
@@ -225,7 +228,10 @@ fn read_only_files_never_revalidate() {
     ro.read_only = true;
     let mut t = FakeTransport::new(vec![
         custodian("/vice/sys", 1),
-        ViceReply::Data { status: ro, data: b"exec".to_vec() },
+        ViceReply::Data {
+            status: ro,
+            data: b"exec".to_vec(),
+        },
     ]);
     v.fetch_file(&mut t, "/vice/sys/bin/cc").unwrap();
     for _ in 0..5 {
@@ -325,7 +331,8 @@ fn not_logged_in_blocks_vice_but_not_local() {
     let mut t = FakeTransport::new(vec![]);
     assert!(v.fetch_file(&mut t, "/vice/usr/u/f").is_err());
     // Local files still work without a session.
-    v.store_file(&mut t, "/tmp/scratch", b"local".to_vec()).unwrap();
+    v.store_file(&mut t, "/tmp/scratch", b"local".to_vec())
+        .unwrap();
     assert_eq!(v.fetch_file(&mut t, "/tmp/scratch").unwrap(), b"local");
     assert!(t.requests().is_empty());
 }
@@ -348,10 +355,19 @@ fn client_side_traversal_fetches_and_caches_directories() {
     let mut t = FakeTransport::new(vec![
         custodian("/vice/usr/u", 1),
         // Directory fetches for /vice/usr and /vice/usr/u...
-        ViceReply::Data { status: dir_status("/vice/usr", 2), data: b"du\n".to_vec() },
-        ViceReply::Data { status: dir_status("/vice/usr/u", 3), data: b"ff\n".to_vec() },
+        ViceReply::Data {
+            status: dir_status("/vice/usr", 2),
+            data: b"du\n".to_vec(),
+        },
+        ViceReply::Data {
+            status: dir_status("/vice/usr/u", 3),
+            data: b"ff\n".to_vec(),
+        },
         // ...then the file itself.
-        ViceReply::Data { status: status("/vice/usr/u/f", 7, 1, 1), data: b"x".to_vec() },
+        ViceReply::Data {
+            status: status("/vice/usr/u/f", 7, 1, 1),
+            data: b"x".to_vec(),
+        },
     ]);
     v.fetch_file(&mut t, "/vice/usr/u/f").unwrap();
     let kinds: Vec<&'static str> = t.requests().iter().map(|(_, r)| r.kind()).collect();

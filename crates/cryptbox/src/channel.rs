@@ -155,7 +155,10 @@ mod tests {
         s.open_msg(&m).unwrap();
         assert!(matches!(
             s.open_msg(&m),
-            Err(ChannelError::BadSequence { expected: 1, got: 0 })
+            Err(ChannelError::BadSequence {
+                expected: 1,
+                got: 0
+            })
         ));
     }
 
@@ -170,7 +173,10 @@ mod tests {
         // The straggler m0 is now behind the window and is rejected.
         assert!(matches!(
             s.open_msg(&m0),
-            Err(ChannelError::BadSequence { expected: 2, got: 0 })
+            Err(ChannelError::BadSequence {
+                expected: 2,
+                got: 0
+            })
         ));
     }
 

@@ -250,6 +250,9 @@ mod tests {
         body.extend_from_slice(&999u64.to_be_bytes()); // wrong nc+1
         body.extend_from_slice(&5u64.to_be_bytes());
         let forged = crate::mode::seal(k, 3, &body);
-        assert_eq!(ch.complete(&forged).err(), Some(HandshakeError::WrongAnswer));
+        assert_eq!(
+            ch.complete(&forged).err(),
+            Some(HandshakeError::WrongAnswer)
+        );
     }
 }

@@ -161,7 +161,11 @@ mod tests {
             if p1 == p2 {
                 continue;
             }
-            assert_ne!(derive_key(&p1, &salt), derive_key(&p2, &salt), "{p1} {p2} {salt}");
+            assert_ne!(
+                derive_key(&p1, &salt),
+                derive_key(&p2, &salt),
+                "{p1} {p2} {salt}"
+            );
         }
     }
 

@@ -138,7 +138,10 @@ mod tests {
             let lo = nominal.as_micros() as f64 * (1.0 - p.jitter);
             let hi = nominal.as_micros() as f64 * (1.0 + p.jitter);
             let got = wa.as_micros() as f64;
-            assert!(got >= lo - 1.0 && got <= hi + 1.0, "retry {retry}: {got} outside [{lo}, {hi}]");
+            assert!(
+                got >= lo - 1.0 && got <= hi + 1.0,
+                "retry {retry}: {got} outside [{lo}, {hi}]"
+            );
         }
     }
 

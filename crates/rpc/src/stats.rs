@@ -104,7 +104,10 @@ mod tests {
         assert_eq!(s.total_calls(), 100);
         assert!((s.fraction("validate") - 0.65).abs() < 1e-12);
         assert_eq!(s.calls_of("fetch"), 4);
-        assert_eq!(s.bytes_in(), 65 * 128 + 27 * 128 + 4 * 128 + 2 * 10_000 + 2 * 128);
+        assert_eq!(
+            s.bytes_in(),
+            65 * 128 + 27 * 128 + 4 * 128 + 2 * 10_000 + 2 * 128
+        );
         assert!(s.mean_latency_secs() > 0.0);
         s.reset();
         assert_eq!(s.total_calls(), 0);

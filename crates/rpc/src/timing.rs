@@ -76,7 +76,11 @@ pub struct TimingKernel {
 
 impl TimingKernel {
     /// Creates a kernel.
-    pub fn new(costs: Costs, structure: ServerStructure, encryption: EncryptionMode) -> TimingKernel {
+    pub fn new(
+        costs: Costs,
+        structure: ServerStructure,
+        encryption: EncryptionMode,
+    ) -> TimingKernel {
         TimingKernel {
             costs,
             structure,
@@ -99,8 +103,80 @@ impl TimingKernel {
         self.encryption
     }
 
+    /// The request leg of a call: the client seals and sends at `t0`, the
+    /// network carries the bytes, and the result is the instant the request
+    /// arrives at the server (before any CPU queueing).
+    pub fn request_leg(
+        &self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+        t0: SimTime,
+        request_bytes: u64,
+    ) -> SimTime {
+        let c = &self.costs;
+        let sent = t0 + c.crypt_cost(self.encryption, request_bytes);
+        sent + c.net_latency(net.hops(from, to)) + c.net_transfer(request_bytes)
+    }
+
+    /// Total server CPU demand for one call: dispatch + decrypt request +
+    /// handler work + encrypt reply + structural overheads.
+    pub fn service_demand(&self, spec: &CallSpec) -> SimTime {
+        let c = &self.costs;
+        let mut demand = c.srv_cpu_per_call
+            + c.crypt_cost(self.encryption, spec.request_bytes)
+            + spec.server_cpu
+            + c.crypt_cost(self.encryption, spec.reply_bytes);
+        if self.structure == ServerStructure::ProcessPerClient {
+            demand += c.srv_cpu_context_switch;
+            if spec.lock_ipc {
+                demand += c.srv_cpu_lock_ipc;
+            }
+        }
+        demand
+    }
+
+    /// Serves a request that arrived at `arrived`: queues on (and charges)
+    /// the server CPU, then the disk if the call moves file data. Returns
+    /// the instant the reply is ready to depart.
+    pub fn service(
+        &self,
+        cpu: &Resource,
+        disk: &Resource,
+        arrived: SimTime,
+        spec: &CallSpec,
+    ) -> SimTime {
+        let cpu_done = cpu.acquire(arrived, self.service_demand(spec));
+        if spec.disk_bytes > 0 {
+            disk.acquire(cpu_done, self.costs.disk_transfer(spec.disk_bytes))
+        } else {
+            cpu_done
+        }
+    }
+
+    /// The reply leg: the reply departs the server at `served`, crosses the
+    /// network, and the client decrypts it. Returns the completion instant.
+    pub fn reply_leg(
+        &self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+        served: SimTime,
+        reply_bytes: u64,
+    ) -> SimTime {
+        let c = &self.costs;
+        served
+            + c.net_latency(net.hops(from, to))
+            + c.net_transfer(reply_bytes)
+            + c.crypt_cost(self.encryption, reply_bytes)
+    }
+
     /// Charges a full RPC round trip starting at `t0` from `from` to the
-    /// server at `to` whose CPU and disk are the given resources.
+    /// server at `to` whose CPU and disk are the given resources. This is
+    /// the three legs ([`Self::request_leg`], [`Self::service`],
+    /// [`Self::reply_leg`]) composed synchronously; the event-driven
+    /// transport schedules the same legs as separate events and arrives at
+    /// identical instants.
     #[allow(clippy::too_many_arguments)] // mirrors the call's real shape
     pub fn round_trip(
         &self,
@@ -112,42 +188,9 @@ impl TimingKernel {
         t0: SimTime,
         spec: &CallSpec,
     ) -> RoundTrip {
-        let c = &self.costs;
-        let hops = net.hops(from, to);
-        let lat = c.net_latency(hops);
-
-        // Client encrypts the request.
-        let sent = t0 + c.crypt_cost(self.encryption, spec.request_bytes);
-        // Network delivers it.
-        let arrived = sent + lat + c.net_transfer(spec.request_bytes);
-
-        // Server CPU demand: dispatch + decrypt request + handler work +
-        // encrypt reply + structural overheads.
-        let mut demand = c.srv_cpu_per_call
-            + c.crypt_cost(self.encryption, spec.request_bytes)
-            + spec.server_cpu
-            + c.crypt_cost(self.encryption, spec.reply_bytes);
-        if self.structure == ServerStructure::ProcessPerClient {
-            demand += c.srv_cpu_context_switch;
-            if spec.lock_ipc {
-                demand += c.srv_cpu_lock_ipc;
-            }
-        }
-        let cpu_done = cpu.acquire(arrived, demand);
-
-        // Disk, if the call moves file data.
-        let disk_done = if spec.disk_bytes > 0 {
-            disk.acquire(cpu_done, c.disk_transfer(spec.disk_bytes))
-        } else {
-            cpu_done
-        };
-
-        // Reply home; client decrypts.
-        let completed = disk_done
-            + lat
-            + c.net_transfer(spec.reply_bytes)
-            + c.crypt_cost(self.encryption, spec.reply_bytes);
-
+        let arrived = self.request_leg(net, from, to, t0, spec.request_bytes);
+        let served = self.service(cpu, disk, arrived, spec);
+        let completed = self.reply_leg(net, from, to, served, spec.reply_bytes);
         RoundTrip {
             completed_at: completed,
             request_arrived: arrived,
@@ -301,10 +344,7 @@ mod tests {
             .elapsed;
         // 2 µs/byte over ~2 MiB of end-to-end crypto work is seconds of
         // added latency.
-        assert!(
-            t_sw > t_hw + SimTime::from_secs(2),
-            "sw={t_sw} hw={t_hw}"
-        );
+        assert!(t_sw > t_hw + SimTime::from_secs(2), "sw={t_sw} hw={t_hw}");
     }
 
     #[test]

@@ -216,7 +216,12 @@ mod tests {
             rng.fill_bytes(&mut blob);
             let a = rng.next_u64() as u32;
             let b = rng.next_u64();
-            let msg = WireWriter::new().u32(a).string(&s).bytes(&blob).u64(b).finish();
+            let msg = WireWriter::new()
+                .u32(a)
+                .string(&s)
+                .bytes(&blob)
+                .u64(b)
+                .finish();
             let mut r = WireReader::new(&msg);
             assert_eq!(r.u32().unwrap(), a);
             assert_eq!(r.string().unwrap(), s);

@@ -213,7 +213,8 @@ impl Costs {
 
     /// Server disk service time to move `bytes`.
     pub fn disk_transfer(&self, bytes: u64) -> SimTime {
-        self.disk_access + SimTime::from_micros(bytes.saturating_mul(1_000_000) / self.disk_bytes_per_sec)
+        self.disk_access
+            + SimTime::from_micros(bytes.saturating_mul(1_000_000) / self.disk_bytes_per_sec)
     }
 
     /// Workstation local-disk service time to move `bytes`.

@@ -72,7 +72,10 @@ pub struct FaultStats {
 impl FaultStats {
     /// Total message faults of any kind.
     pub fn total(&self) -> u64 {
-        self.requests_dropped + self.replies_dropped + self.replies_duplicated + self.delays_injected
+        self.requests_dropped
+            + self.replies_dropped
+            + self.replies_duplicated
+            + self.delays_injected
     }
 }
 
@@ -157,12 +160,20 @@ impl FaultPlan {
     /// Schedules `server` to crash at virtual time `at`, losing all
     /// in-memory state (the owner applies the crash via [`Self::due_crashes`]).
     pub fn schedule_crash(&mut self, server: u32, at: SimTime) {
-        self.crashes.push(Lifecycle { server, at, fired: false });
+        self.crashes.push(Lifecycle {
+            server,
+            at,
+            fired: false,
+        });
     }
 
     /// Schedules `server` to come back up at virtual time `at`.
     pub fn schedule_restart(&mut self, server: u32, at: SimTime) {
-        self.restarts.push(Lifecycle { server, at, fired: false });
+        self.restarts.push(Lifecycle {
+            server,
+            at,
+            fired: false,
+        });
     }
 
     /// Crash events due at or before `now` that have not fired yet.
@@ -175,7 +186,29 @@ impl FaultPlan {
         Self::drain_due(&mut self.restarts, now)
     }
 
-    fn drain_due(events: &mut Vec<Lifecycle>, now: SimTime) -> Vec<u32> {
+    /// Every crash still scheduled (unfired), as `(server, at)` pairs. An
+    /// event-driven owner reads the whole schedule once at installation and
+    /// enters it into its own calendar instead of polling [`Self::due_crashes`].
+    pub fn crash_schedule(&self) -> Vec<(u32, SimTime)> {
+        Self::unfired(&self.crashes)
+    }
+
+    /// Every restart still scheduled (unfired), as `(server, at)` pairs.
+    pub fn restart_schedule(&self) -> Vec<(u32, SimTime)> {
+        Self::unfired(&self.restarts)
+    }
+
+    fn unfired(events: &[Lifecycle]) -> Vec<(u32, SimTime)> {
+        let mut out: Vec<(u32, SimTime)> = events
+            .iter()
+            .filter(|e| !e.fired)
+            .map(|e| (e.server, e.at))
+            .collect();
+        out.sort_by_key(|&(server, at)| (at, server));
+        out
+    }
+
+    fn drain_due(events: &mut [Lifecycle], now: SimTime) -> Vec<u32> {
         let mut due: Vec<(SimTime, u32)> = events
             .iter_mut()
             .filter(|e| !e.fired && e.at <= now)
@@ -188,7 +221,11 @@ impl FaultPlan {
         due.into_iter().map(|(_, server)| server).collect()
     }
 
-    fn pop_scripted(&mut self, server: u32, matches: impl Fn(ScriptedFault) -> bool) -> Option<ScriptedFault> {
+    fn pop_scripted(
+        &mut self,
+        server: u32,
+        matches: impl Fn(ScriptedFault) -> bool,
+    ) -> Option<ScriptedFault> {
         let (_, q) = self.scripted.iter_mut().find(|(s, _)| *s == server)?;
         match q.front() {
             Some(&f) if matches(f) => q.pop_front(),
@@ -219,7 +256,9 @@ impl FaultPlan {
         if let Some(f) = self.pop_scripted(server, |f| {
             matches!(
                 f,
-                ScriptedFault::DropReply | ScriptedFault::DuplicateReply | ScriptedFault::DelayReply(_)
+                ScriptedFault::DropReply
+                    | ScriptedFault::DuplicateReply
+                    | ScriptedFault::DelayReply(_)
             )
         }) {
             return match f {
@@ -344,7 +383,10 @@ mod tests {
     #[test]
     fn delay_faults_carry_the_extra_time() {
         let mut p = FaultPlan::new(3).delay(1.0, SimTime::from_millis(250));
-        assert_eq!(p.request_fault(0), MessageFault::Delay(SimTime::from_millis(250)));
+        assert_eq!(
+            p.request_fault(0),
+            MessageFault::Delay(SimTime::from_millis(250))
+        );
         assert_eq!(p.stats().delays_injected, 1);
     }
 }

@@ -13,7 +13,13 @@
 //!   link). A request arriving at time `t` with service demand `s` begins at
 //!   `max(t, earliest_available)` and completes `s` later. This single-queue
 //!   model yields contention, queueing delay and utilization — the quantities
-//!   the paper reports — without coroutines or an event calendar.
+//!   the paper reports.
+//! * [`Scheduler`] — a deterministic discrete-event calendar keyed by
+//!   `(SimTime, class, tie, seq)` with seeded tie-breaking. The system layer
+//!   expresses each RPC as a chain of events (request departs → arrives →
+//!   queues → is served → reply departs → reply arrives) so that message
+//!   faults, retry timeouts, and server crash/restart schedules genuinely
+//!   interleave instead of being folded into one synchronous call.
 //! * [`Costs`] — every timing constant in one struct, so each ablation in the
 //!   paper (software vs hardware encryption, server-side vs client-side
 //!   pathname traversal, process-per-client vs LWP server) is a parameter
@@ -31,6 +37,7 @@ pub mod costs;
 pub mod fault;
 pub mod resource;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 
 pub use clock::{Clock, SimTime};
@@ -38,4 +45,5 @@ pub use costs::{Costs, ServerStructure, TraversalMode, ValidationMode};
 pub use fault::{FaultPlan, FaultStats, MessageFault, ScriptedFault};
 pub use resource::{Resource, UtilizationReport};
 pub use rng::SimRng;
+pub use sched::{EventClass, EventId, EventStats, Firing, Scheduler};
 pub use stats::{Counter, Histogram, Percentiles, RunningStats, TimeBuckets};

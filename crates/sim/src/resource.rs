@@ -181,10 +181,7 @@ impl Resource {
         (0..n_buckets)
             .map(|i| {
                 let busy = inner.buckets.get(i).copied().unwrap_or(0);
-                (
-                    SimTime::from_micros(i as u64 * w),
-                    busy as f64 / w as f64,
-                )
+                (SimTime::from_micros(i as u64 * w), busy as f64 / w as f64)
             })
             .collect()
     }

@@ -220,11 +220,17 @@ impl FileSystem {
     /// Creates a directory; parent must exist.
     pub fn mkdir(&mut self, path: &str, mode: Mode, uid: u32, now: u64) -> Result<Ino, FsError> {
         let (parent, name) = self.resolve_parent(path)?;
-        if self.node(parent).as_dir().expect("checked").contains_key(&name) {
+        if self
+            .node(parent)
+            .as_dir()
+            .expect("checked")
+            .contains_key(&name)
+        {
             return Err(FsError::AlreadyExists(path.to_string()));
         }
         let ino = self.alloc_ino();
-        self.inodes.insert(ino.0, Inode::new_dir(ino, mode, uid, now));
+        self.inodes
+            .insert(ino.0, Inode::new_dir(ino, mode, uid, now));
         let p = self.node_mut(parent);
         p.as_dir_mut().expect("checked").insert(name, ino);
         p.attr.nlink += 1;
@@ -307,7 +313,12 @@ impl FileSystem {
         data: Vec<u8>,
     ) -> Result<Ino, FsError> {
         let (parent, name) = self.resolve_parent(path)?;
-        if self.node(parent).as_dir().expect("checked").contains_key(&name) {
+        if self
+            .node(parent)
+            .as_dir()
+            .expect("checked")
+            .contains_key(&name)
+        {
             return Err(FsError::AlreadyExists(path.to_string()));
         }
         let ino = self.alloc_ino();
@@ -324,13 +335,7 @@ impl FileSystem {
 
     /// Replaces a file's contents entirely (the whole-file store
     /// operation), creating it if absent.
-    pub fn write(
-        &mut self,
-        path: &str,
-        uid: u32,
-        now: u64,
-        data: Vec<u8>,
-    ) -> Result<Ino, FsError> {
+    pub fn write(&mut self, path: &str, uid: u32, now: u64, data: Vec<u8>) -> Result<Ino, FsError> {
         match self.resolve(path, true) {
             Ok(r) => {
                 let n = self.node_mut(r.ino);
@@ -430,7 +435,12 @@ impl FileSystem {
         now: u64,
     ) -> Result<Ino, FsError> {
         let (parent, name) = self.resolve_parent(path)?;
-        if self.node(parent).as_dir().expect("checked").contains_key(&name) {
+        if self
+            .node(parent)
+            .as_dir()
+            .expect("checked")
+            .contains_key(&name)
+        {
             return Err(FsError::AlreadyExists(path.to_string()));
         }
         let ino = self.alloc_ino();
@@ -477,7 +487,12 @@ impl FileSystem {
         let (to_parent, to_name) = self.resolve_parent(&to_norm)?;
 
         // Replace semantics for an existing target.
-        if let Some(&existing) = self.node(to_parent).as_dir().expect("checked").get(&to_name) {
+        if let Some(&existing) = self
+            .node(to_parent)
+            .as_dir()
+            .expect("checked")
+            .get(&to_name)
+        {
             let existing_node = self.node(existing);
             match &existing_node.data {
                 NodeData::Directory(m) if !m.is_empty() => {
@@ -518,7 +533,9 @@ impl FileSystem {
             fp.attr.nlink -= 1;
         }
         let tp = self.node_mut(to_parent);
-        tp.as_dir_mut().expect("checked").insert(to_name, moving.ino);
+        tp.as_dir_mut()
+            .expect("checked")
+            .insert(to_name, moving.ino);
         tp.attr.mtime = now;
         tp.attr.version += 1;
         tp.attr.size += 1;
@@ -534,7 +551,11 @@ impl FileSystem {
 
     /// Walks the subtree at `path`, calling `visit(path, attr)` for every
     /// inode in it (including `path` itself), in depth-first name order.
-    pub fn walk<F: FnMut(&str, &InodeAttr)>(&self, path: &str, visit: &mut F) -> Result<(), FsError> {
+    pub fn walk<F: FnMut(&str, &InodeAttr)>(
+        &self,
+        path: &str,
+        visit: &mut F,
+    ) -> Result<(), FsError> {
         let norm = normalize(path)?;
         let r = self.resolve(&norm, true)?;
         let node = self.node(r.ino);
@@ -793,8 +814,14 @@ mod tests {
     #[test]
     fn rename_file_and_replace() {
         let mut fs = fixture();
-        fs.create("/usr/satya/old.txt", Mode::FILE_DEFAULT, 100, 4, b"x".to_vec())
-            .unwrap();
+        fs.create(
+            "/usr/satya/old.txt",
+            Mode::FILE_DEFAULT,
+            100,
+            4,
+            b"x".to_vec(),
+        )
+        .unwrap();
         fs.rename("/usr/satya/old.txt", "/usr/satya/new.txt", 5)
             .unwrap();
         assert!(!fs.exists("/usr/satya/old.txt"));
@@ -839,7 +866,8 @@ mod tests {
     fn walk_and_subtree_accounting() {
         let fs = fixture();
         let mut seen = Vec::new();
-        fs.walk("/usr", &mut |p, _| seen.push(p.to_string())).unwrap();
+        fs.walk("/usr", &mut |p, _| seen.push(p.to_string()))
+            .unwrap();
         assert_eq!(seen, vec!["/usr", "/usr/satya", "/usr/satya/paper.tex"]);
         assert_eq!(fs.subtree_count("/usr").unwrap(), 3);
         assert_eq!(fs.subtree_bytes("/usr").unwrap(), 38);
@@ -874,8 +902,10 @@ mod tests {
     #[test]
     fn components_walked_counts_symlink_expansion() {
         let mut fs = FileSystem::new();
-        fs.mkdir_p("/vice/sun/bin", Mode::DIR_DEFAULT, 0, 0).unwrap();
-        fs.create("/vice/sun/bin/cc", Mode(0o755), 0, 0, vec![]).unwrap();
+        fs.mkdir_p("/vice/sun/bin", Mode::DIR_DEFAULT, 0, 0)
+            .unwrap();
+        fs.create("/vice/sun/bin/cc", Mode(0o755), 0, 0, vec![])
+            .unwrap();
         fs.symlink("/bin", "/vice/sun/bin", 0, 0).unwrap();
         let direct = fs.resolve("/vice/sun/bin/cc", true).unwrap();
         assert_eq!(direct.components_walked, 4);

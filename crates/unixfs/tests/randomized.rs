@@ -182,7 +182,7 @@ fn normalize_is_idempotent() {
                 raw.push(ALPHABET[(splitmix64(&mut st) % 27) as usize] as char);
             }
         }
-        if splitmix64(&mut st) % 2 == 0 {
+        if splitmix64(&mut st).is_multiple_of(2) {
             raw.push('/');
         }
         let Ok(once) = itc_unixfs::normalize(&raw) else {

@@ -229,7 +229,11 @@ impl AndrewBenchmark {
         let link_cpu = costs.app_compile_per_kib * total_obj.div_ceil(1024) / 4;
         let linked = sys.ws_time(ws) + link_cpu;
         sys.advance_ws(ws, linked);
-        sys.store(ws, &self.target.join("a.out"), vec![0u8; total_obj as usize / 2])?;
+        sys.store(
+            ws,
+            &self.target.join("a.out"),
+            vec![0u8; total_obj as usize / 2],
+        )?;
         phases.make = sys.ws_time(ws) - t0;
 
         Ok(BenchmarkReport {

@@ -71,7 +71,10 @@ pub struct DayReport {
 
 /// Provisions one user per workstation and runs the day against a freshly
 /// built system. Returns the system too so callers can inspect it further.
-pub fn run_day(config: SystemConfig, day: &DayConfig) -> Result<(ItcSystem, DayReport), SystemError> {
+pub fn run_day(
+    config: SystemConfig,
+    day: &DayConfig,
+) -> Result<(ItcSystem, DayReport), SystemError> {
     let mut sys = ItcSystem::build(config);
     let report = run_day_on(&mut sys, day)?;
     Ok((sys, report))
@@ -177,7 +180,10 @@ mod tests {
         // In check-on-open mode, validations dominate the call mix.
         let val = m.call_fraction("validate");
         let fetch = m.call_fraction("fetch");
-        assert!(val > fetch, "validate {val:.2} should exceed fetch {fetch:.2}");
+        assert!(
+            val > fetch,
+            "validate {val:.2} should exceed fetch {fetch:.2}"
+        );
         // Server CPU is busier than its disk (the paper's bottleneck).
         assert!(
             m.max_server_cpu_utilization() > m.max_server_disk_utilization(),

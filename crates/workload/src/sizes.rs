@@ -175,11 +175,7 @@ mod tests {
         // files fall within a few megabytes.
         let m = FileSizeModel::cmu_1984();
         let cdf = m.population_cdf(&[4 << 20], 50_000, 42);
-        assert!(
-            cdf[0].1 > 0.99,
-            "fraction below 4MB was {:.4}",
-            cdf[0].1
-        );
+        assert!(cdf[0].1 > 0.99, "fraction below 4MB was {:.4}", cdf[0].1);
         // And the median is small — a few KB.
         let cdf = m.population_cdf(&[16_384], 50_000, 42);
         assert!(cdf[0].1 > 0.5, "median should be under 16KB");

@@ -122,8 +122,16 @@ impl UserSession {
             } else {
                 FileClass::Source
             };
-            let dir = if class == FileClass::Document { "doc" } else { "src" };
-            let ext = if class == FileClass::Document { "txt" } else { "c" };
+            let dir = if class == FileClass::Document {
+                "doc"
+            } else {
+                "src"
+            };
+            let ext = if class == FileClass::Document {
+                "txt"
+            } else {
+                "c"
+            };
             let path = format!("{home}/{dir}/f{i:03}.{ext}");
             let size = sizes.sample(class, &mut my_rng) as usize;
             sys.admin_install_file(&path, vec![b'a' + (i % 23) as u8; size])?;
@@ -246,7 +254,9 @@ impl UserSession {
             OpKind::Write => unreachable!("pick_op never returns Write directly"),
         };
         self.ops_done += 1;
-        let think = self.rng.exponential(self.cfg.mean_think_secs / rate_multiplier.max(0.01));
+        let think = self
+            .rng
+            .exponential(self.cfg.mean_think_secs / rate_multiplier.max(0.01));
         self.next_at = sys.ws_time(self.ws) + SimTime::from_secs_f64(think);
         Ok(executed)
     }

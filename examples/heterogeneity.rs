@@ -49,8 +49,12 @@ fn main() {
     // A user can build private shortcuts into the shared space too
     // ("symbolic links from the local name space into Vice are supported").
     sys.mkdir_p(0, "/vice/usr/student/project").unwrap();
-    sys.store(0, "/vice/usr/student/project/main.c", b"int main(){}".to_vec())
-        .unwrap();
+    sys.store(
+        0,
+        "/vice/usr/student/project/main.c",
+        b"int main(){}".to_vec(),
+    )
+    .unwrap();
     sys.venus_mut(0)
         .namespace_mut()
         .local_mut()
@@ -65,9 +69,12 @@ fn main() {
     // An IBM PC class machine has no /bin at all — it would reach Vice
     // through a surrogate server (Section 3.3); its namespace reflects
     // that.
-    let pc = itc_afs::core::venus::Namespace::standard(itc_afs::core::venus::WorkstationType::IbmPc);
+    let pc =
+        itc_afs::core::venus::Namespace::standard(itc_afs::core::venus::WorkstationType::IbmPc);
     println!(
         "ibmpc: classify(/bin/cc) = {:?}",
-        pc.classify("/bin/cc", true).map(|_| ()).map_err(|e| e.to_string())
+        pc.classify("/bin/cc", true)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
     );
 }

@@ -26,8 +26,7 @@ fn main() {
     sys.store(
         ws,
         "/vice/usr/satya/doc/paper.tex",
-        b"Caching of entire files at workstations is a key element in this design."
-            .to_vec(),
+        b"Caching of entire files at workstations is a key element in this design.".to_vec(),
     )
     .unwrap();
 

@@ -31,7 +31,10 @@ fn main() {
     let (mut client, mut server) = channel::pair(key);
     let msg = client.seal_msg(b"StoreFile /vice/usr/alice/thesis");
     server.open_msg(&msg).unwrap();
-    println!("replayed message rejected: {}", server.open_msg(&msg).is_err());
+    println!(
+        "replayed message rejected: {}",
+        server.open_msg(&msg).is_err()
+    );
 
     // --- Layer 2: mutual authentication ----------------------------------
     // An impostor server that does not know alice's key cannot answer her
@@ -53,7 +56,10 @@ fn main() {
     // A project volume: alice administers, the team may read and write.
     let mut acl = AccessList::new();
     acl.grant("alice", Rights::ALL);
-    acl.grant("team", Rights::READ | Rights::WRITE | Rights::INSERT | Rights::LOOKUP);
+    acl.grant(
+        "team",
+        Rights::READ | Rights::WRITE | Rights::INSERT | Rights::LOOKUP,
+    );
     sys.create_volume("proj", "/vice/proj", ServerId(0), acl.clone())
         .unwrap();
 
@@ -79,7 +85,8 @@ fn main() {
     sys.set_acl(0, "/vice/proj", revoked).unwrap();
     println!(
         "after negative rights, mallory blocked from write: {}, read: {}, even via his cache: {}",
-        sys.store(1, "/vice/proj/plan.txt", b"sabotage".to_vec()).is_err(),
+        sys.store(1, "/vice/proj/plan.txt", b"sabotage".to_vec())
+            .is_err(),
         sys.fetch(1, "/vice/proj/plan.txt").is_err(),
         // His cached copy exists, but check-on-open revalidation is also
         // protection-checked.
@@ -90,5 +97,8 @@ fn main() {
     sys.add_user("bob", "pw").unwrap();
     sys.add_member("team", "bob").unwrap();
     sys.login(2, "bob", "pw").unwrap();
-    println!("bob still reads fine: {}", sys.fetch(2, "/vice/proj/plan.txt").is_ok());
+    println!(
+        "bob still reads fine: {}",
+        sys.fetch(2, "/vice/proj/plan.txt").is_ok()
+    );
 }

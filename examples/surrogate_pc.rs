@@ -29,7 +29,9 @@ fn main() {
 
     // The first PC read pulls the file from Vice into the host's cache...
     let fetches_before = sys.total_server_calls_of("fetch");
-    let data = sys.pc_fetch(0, pcs[0], "/vice/usr/lab/dataset.csv").unwrap();
+    let data = sys
+        .pc_fetch(0, pcs[0], "/vice/usr/lab/dataset.csv")
+        .unwrap();
     println!(
         "pc0 read {} bytes; Vice fetches so far: {}",
         data.len(),
@@ -49,8 +51,13 @@ fn main() {
 
     // A PC can write too — the surrogate stores through to Vice, so the
     // file is visible campus-wide.
-    sys.pc_store(0, pcs[2], "/vice/usr/lab/results.txt", b"pc results".to_vec())
-        .unwrap();
+    sys.pc_store(
+        0,
+        pcs[2],
+        "/vice/usr/lab/results.txt",
+        b"pc results".to_vec(),
+    )
+    .unwrap();
     sys.add_user("prof", "pw").unwrap();
     sys.login(1, "prof", "pw").unwrap();
     let seen = sys.fetch(1, "/vice/usr/lab/results.txt").unwrap();

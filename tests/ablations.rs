@@ -40,8 +40,16 @@ fn callback_mode_eliminates_warm_open_traffic() {
     assert_eq!(coo.total_server_calls_of("fetch"), 10);
     assert_eq!(cb.total_server_calls_of("fetch"), 10);
     // Callback state exists only in callback mode.
-    assert_eq!(coo.server(itc_afs::core::proto::ServerId(0)).callback_promises(), 0);
-    assert!(cb.server(itc_afs::core::proto::ServerId(0)).callback_promises() > 0);
+    assert_eq!(
+        coo.server(itc_afs::core::proto::ServerId(0))
+            .callback_promises(),
+        0
+    );
+    assert!(
+        cb.server(itc_afs::core::proto::ServerId(0))
+            .callback_promises()
+            > 0
+    );
 }
 
 #[test]
@@ -54,8 +62,14 @@ fn client_side_traversal_moves_cpu_off_the_server() {
         traversal: TraversalMode::ClientSide,
         ..SystemConfig::prototype(1, 1)
     });
-    let srv_cpu = srv_side.server(itc_afs::core::proto::ServerId(0)).cpu().busy_total();
-    let cli_cpu = cli_side.server(itc_afs::core::proto::ServerId(0)).cpu().busy_total();
+    let srv_cpu = srv_side
+        .server(itc_afs::core::proto::ServerId(0))
+        .cpu()
+        .busy_total();
+    let cli_cpu = cli_side
+        .server(itc_afs::core::proto::ServerId(0))
+        .cpu()
+        .busy_total();
     assert!(
         cli_cpu < srv_cpu,
         "client-side traversal should reduce server CPU: {cli_cpu} vs {srv_cpu}"
@@ -72,17 +86,22 @@ fn lwp_structure_reduces_per_call_cost() {
         structure: ServerStructure::SingleProcessLwp,
         ..SystemConfig::prototype(1, 1)
     });
-    let ppc_busy = ppc.server(itc_afs::core::proto::ServerId(0)).cpu().busy_total();
-    let lwp_busy = lwp.server(itc_afs::core::proto::ServerId(0)).cpu().busy_total();
+    let ppc_busy = ppc
+        .server(itc_afs::core::proto::ServerId(0))
+        .cpu()
+        .busy_total();
+    let lwp_busy = lwp
+        .server(itc_afs::core::proto::ServerId(0))
+        .cpu()
+        .busy_total();
     // Same call count, lower CPU per call.
-    assert_eq!(
-        ppc.metrics().total_calls(),
-        lwp.metrics().total_calls()
-    );
+    assert_eq!(ppc.metrics().total_calls(), lwp.metrics().total_calls());
     let diff = ppc_busy - lwp_busy;
-    let expected =
-        ppc.config().costs.srv_cpu_context_switch * ppc.metrics().total_calls();
-    assert_eq!(diff, expected, "difference should be exactly the context switches");
+    let expected = ppc.config().costs.srv_cpu_context_switch * ppc.metrics().total_calls();
+    assert_eq!(
+        diff, expected,
+        "difference should be exactly the context switches"
+    );
 }
 
 #[test]
@@ -100,7 +119,8 @@ fn count_lru_vs_space_lru_evict_differently() {
             sys.admin_install_file(&format!("/vice/usr/u/small{i}"), vec![1; 20_000])
                 .unwrap();
         }
-        sys.admin_install_file("/vice/usr/u/huge", vec![2; 900_000]).unwrap();
+        sys.admin_install_file("/vice/usr/u/huge", vec![2; 900_000])
+            .unwrap();
         sys.login(0, "u", "pw").unwrap();
         for _ in 0..3 {
             for i in 0..8 {
@@ -130,7 +150,10 @@ fn all_sixteen_mode_combinations_work() {
     // system (the ablation matrix never hits an unimplemented corner).
     for validation in [ValidationMode::CheckOnOpen, ValidationMode::Callback] {
         for traversal in [TraversalMode::ServerSide, TraversalMode::ClientSide] {
-            for structure in [ServerStructure::ProcessPerClient, ServerStructure::SingleProcessLwp] {
+            for structure in [
+                ServerStructure::ProcessPerClient,
+                ServerStructure::SingleProcessLwp,
+            ] {
                 for cache in [CachePolicy::CountLru(50), CachePolicy::SpaceLru(5 << 20)] {
                     let cfg = SystemConfig {
                         validation,

@@ -33,7 +33,11 @@ fn fetch_never_sees_a_torn_file() {
         // Interleave many stores and fetches; every fetch must be exactly
         // the old or exactly the new contents.
         for round in 0..10 {
-            let data = if round % 2 == 0 { new.clone() } else { old.clone() };
+            let data = if round % 2 == 0 {
+                new.clone()
+            } else {
+                old.clone()
+            };
             sys.store(0, "/vice/usr/shared/f", data).unwrap();
             let got = sys.fetch(1, "/vice/usr/shared/f").unwrap();
             let all_same = got.windows(2).all(|w| w[0] == w[1]);
@@ -47,9 +51,11 @@ fn fetch_never_sees_a_torn_file() {
 fn store_on_close_gives_timesharing_visibility() {
     for mode in [ValidationMode::CheckOnOpen, ValidationMode::Callback] {
         let mut sys = two_users(mode);
-        sys.store(0, "/vice/usr/shared/note", b"v1".to_vec()).unwrap();
+        sys.store(0, "/vice/usr/shared/note", b"v1".to_vec())
+            .unwrap();
         assert_eq!(sys.fetch(1, "/vice/usr/shared/note").unwrap(), b"v1");
-        sys.store(0, "/vice/usr/shared/note", b"v2".to_vec()).unwrap();
+        sys.store(0, "/vice/usr/shared/note", b"v2".to_vec())
+            .unwrap();
         // "changes by one user are immediately visible to all other users"
         assert_eq!(
             sys.fetch(1, "/vice/usr/shared/note").unwrap(),
@@ -86,14 +92,19 @@ fn callback_breaks_do_not_disturb_the_writer() {
     // The writer's own cached copy remains valid (it IS the new version).
     let calls = sys.metrics().total_calls();
     assert_eq!(sys.fetch(0, "/vice/usr/shared/f").unwrap(), b"v2");
-    assert_eq!(sys.metrics().total_calls(), calls, "writer should hit its own cache");
+    assert_eq!(
+        sys.metrics().total_calls(),
+        calls,
+        "writer should hit its own cache"
+    );
 }
 
 #[test]
 fn deletion_propagates_to_other_caches() {
     for mode in [ValidationMode::CheckOnOpen, ValidationMode::Callback] {
         let mut sys = two_users(mode);
-        sys.store(0, "/vice/usr/shared/gone", b"x".to_vec()).unwrap();
+        sys.store(0, "/vice/usr/shared/gone", b"x".to_vec())
+            .unwrap();
         let _ = sys.fetch(1, "/vice/usr/shared/gone").unwrap();
         sys.unlink(0, "/vice/usr/shared/gone").unwrap();
         assert!(
@@ -110,7 +121,8 @@ fn version_counters_strictly_increase_across_writers() {
     let mut last = sys.stat(0, "/vice/usr/shared/f").unwrap().version;
     for i in 0..6 {
         let writer = i % 2;
-        sys.store(writer, "/vice/usr/shared/f", vec![i as u8 + 2]).unwrap();
+        sys.store(writer, "/vice/usr/shared/f", vec![i as u8 + 2])
+            .unwrap();
         let v = sys.stat(1 - writer, "/vice/usr/shared/f").unwrap().version;
         assert!(v > last, "version did not advance: {v} after {last}");
         last = v;
@@ -143,7 +155,7 @@ fn fetch_racing_a_retried_store_sees_old_or_new_never_torn() {
         sys.store(0, "/vice/usr/shared/race", old.clone()).unwrap();
         let before = sys.stat(0, "/vice/usr/shared/race").unwrap().version;
 
-        let mut plan = FaultPlan::new(0xc0_1d5e_ed);
+        let mut plan = FaultPlan::new(0xc01d_5eed);
         plan.inject_once(0, ScriptedFault::DropReply);
         sys.install_faults(plan);
 

@@ -22,7 +22,8 @@ fn full_file_lifecycle() {
     sys.mkdir_p(0, "/vice/usr/satya/proj").unwrap();
 
     // Create, read, overwrite, stat, list, rename, delete.
-    sys.store(0, "/vice/usr/satya/proj/a.c", b"v1".to_vec()).unwrap();
+    sys.store(0, "/vice/usr/satya/proj/a.c", b"v1".to_vec())
+        .unwrap();
     assert_eq!(sys.fetch(0, "/vice/usr/satya/proj/a.c").unwrap(), b"v1");
     sys.store(0, "/vice/usr/satya/proj/a.c", b"version two".to_vec())
         .unwrap();
@@ -36,12 +37,17 @@ fn full_file_lifecycle() {
     sys.rename(0, "/vice/usr/satya/proj/a.c", "/vice/usr/satya/proj/b.c")
         .unwrap();
     assert!(sys.fetch(0, "/vice/usr/satya/proj/a.c").is_err());
-    assert_eq!(sys.fetch(0, "/vice/usr/satya/proj/b.c").unwrap(), b"version two");
+    assert_eq!(
+        sys.fetch(0, "/vice/usr/satya/proj/b.c").unwrap(),
+        b"version two"
+    );
 
     sys.unlink(0, "/vice/usr/satya/proj/b.c").unwrap();
     assert!(matches!(
         sys.fetch(0, "/vice/usr/satya/proj/b.c"),
-        Err(SystemError::Venus(VenusError::Vice(ViceError::NoSuchFile(_))))
+        Err(SystemError::Venus(VenusError::Vice(ViceError::NoSuchFile(
+            _
+        ))))
     ));
     sys.rmdir(0, "/vice/usr/satya/proj").unwrap();
 }
@@ -54,10 +60,12 @@ fn open_write_close_semantics() {
     sys.login(0, "satya", "pw1").unwrap();
     sys.login(1, "howard", "pw2").unwrap();
     sys.mkdir_p(0, "/vice/usr/shared").unwrap();
-    sys.store(0, "/vice/usr/shared/f", b"initial".to_vec()).unwrap();
+    sys.store(0, "/vice/usr/shared/f", b"initial".to_vec())
+        .unwrap();
 
     let h = sys.open_write(0, "/vice/usr/shared/f").unwrap();
-    sys.write(0, h, b"modified but not yet closed".to_vec()).unwrap();
+    sys.write(0, h, b"modified but not yet closed".to_vec())
+        .unwrap();
 
     // Before close, another workstation still sees the old contents.
     assert_eq!(sys.fetch(1, "/vice/usr/shared/f").unwrap(), b"initial");
@@ -94,15 +102,20 @@ fn append_through_handle() {
     let mut sys = campus();
     sys.login(0, "satya", "pw1").unwrap();
     sys.mkdir_p(0, "/vice/usr/satya").unwrap();
-    sys.store(0, "/vice/usr/satya/log", b"line1\n".to_vec()).unwrap();
+    sys.store(0, "/vice/usr/satya/log", b"line1\n".to_vec())
+        .unwrap();
     let h = sys.open_write(0, "/vice/usr/satya/log").unwrap();
-    sys.write(0, h, sys.read(0, h).unwrap()).unwrap();
+    let current = sys.read(0, h).unwrap();
+    sys.write(0, h, current).unwrap();
     // Append twice before closing.
     let mut cur = sys.read(0, h).unwrap();
     cur.extend_from_slice(b"line2\n");
     sys.write(0, h, cur).unwrap();
     sys.close(0, h).unwrap();
-    assert_eq!(sys.fetch(0, "/vice/usr/satya/log").unwrap(), b"line1\nline2\n");
+    assert_eq!(
+        sys.fetch(0, "/vice/usr/satya/log").unwrap(),
+        b"line1\nline2\n"
+    );
 }
 
 #[test]
@@ -114,7 +127,10 @@ fn vice_symlinks_resolve_on_fetch() {
         .unwrap();
     sys.symlink(0, "/vice/usr/satya/alias", "/vice/usr/satya/real.txt")
         .unwrap();
-    assert_eq!(sys.fetch(0, "/vice/usr/satya/alias").unwrap(), b"the real file");
+    assert_eq!(
+        sys.fetch(0, "/vice/usr/satya/alias").unwrap(),
+        b"the real file"
+    );
 }
 
 #[test]
@@ -123,8 +139,12 @@ fn cross_cluster_sharing_and_hints() {
     // satya's volume lives in cluster 1; he works from cluster 0.
     sys.create_user_volume("satya", 1).unwrap();
     sys.login(0, "satya", "pw1").unwrap();
-    sys.store(0, "/vice/usr/satya/far.txt", b"across the backbone".to_vec())
-        .unwrap();
+    sys.store(
+        0,
+        "/vice/usr/satya/far.txt",
+        b"across the backbone".to_vec(),
+    )
+    .unwrap();
     // All file traffic went to server 1; server 0 only answered location
     // queries.
     assert!(sys.server(ServerId(1)).stats().calls_of("store") >= 1);
@@ -145,15 +165,20 @@ fn volume_move_preserves_access_transparently() {
     let mut sys = campus();
     sys.create_user_volume("satya", 0).unwrap();
     sys.login(0, "satya", "pw1").unwrap();
-    sys.store(0, "/vice/usr/satya/f", b"before".to_vec()).unwrap();
+    sys.store(0, "/vice/usr/satya/f", b"before".to_vec())
+        .unwrap();
 
     // The student moves dormitories: his subtree is reassigned.
     sys.move_volume("/vice/usr/satya", ServerId(1)).unwrap();
 
     // The same name still works — location transparency. (Venus follows
     // the NotCustodian hint transparently on the stale-hint path.)
-    sys.store(0, "/vice/usr/satya/f", b"after the move".to_vec()).unwrap();
-    assert_eq!(sys.fetch(0, "/vice/usr/satya/f").unwrap(), b"after the move");
+    sys.store(0, "/vice/usr/satya/f", b"after the move".to_vec())
+        .unwrap();
+    assert_eq!(
+        sys.fetch(0, "/vice/usr/satya/f").unwrap(),
+        b"after the move"
+    );
     assert!(sys.server(ServerId(1)).stats().calls_of("store") >= 1);
 }
 
@@ -161,19 +186,24 @@ fn volume_move_preserves_access_transparently() {
 fn quota_and_offline_full_stack() {
     let mut sys = campus();
     sys.create_user_volume("satya", 0).unwrap();
-    sys.set_volume_quota("/vice/usr/satya", Some(10_000)).unwrap();
+    sys.set_volume_quota("/vice/usr/satya", Some(10_000))
+        .unwrap();
     sys.login(0, "satya", "pw1").unwrap();
     sys.store(0, "/vice/usr/satya/a", vec![0; 9_000]).unwrap();
     assert!(matches!(
         sys.store(0, "/vice/usr/satya/b", vec![0; 5_000]),
-        Err(SystemError::Venus(VenusError::Vice(ViceError::QuotaExceeded(_))))
+        Err(SystemError::Venus(VenusError::Vice(
+            ViceError::QuotaExceeded(_)
+        )))
     ));
 
     sys.set_volume_online("/vice/usr/satya", false).unwrap();
     sys.login(1, "howard", "pw2").unwrap();
     assert!(matches!(
         sys.fetch(1, "/vice/usr/satya/a"),
-        Err(SystemError::Venus(VenusError::Vice(ViceError::VolumeOffline(_))))
+        Err(SystemError::Venus(VenusError::Vice(
+            ViceError::VolumeOffline(_)
+        )))
     ));
     sys.set_volume_online("/vice/usr/satya", true).unwrap();
     assert_eq!(sys.fetch(1, "/vice/usr/satya/a").unwrap().len(), 9_000);
@@ -189,7 +219,8 @@ fn acl_round_trip_through_the_stack() {
 
     let mut acl = AccessList::new();
     acl.grant("satya", Rights::ALL);
-    sys.set_acl(0, "/vice/usr/satya/private", acl.clone()).unwrap();
+    sys.set_acl(0, "/vice/usr/satya/private", acl.clone())
+        .unwrap();
     let got = sys.get_acl(0, "/vice/usr/satya/private").unwrap();
     assert_eq!(got, acl);
 
@@ -200,7 +231,9 @@ fn acl_round_trip_through_the_stack() {
     sys.login(1, "howard", "pw2").unwrap();
     assert!(matches!(
         sys.fetch(1, "/vice/usr/satya/private/key"),
-        Err(SystemError::Venus(VenusError::Vice(ViceError::PermissionDenied(_))))
+        Err(SystemError::Venus(VenusError::Vice(
+            ViceError::PermissionDenied(_)
+        )))
     ));
 }
 
@@ -231,19 +264,24 @@ fn locking_across_the_stack() {
     sys.login(0, "satya", "pw1").unwrap();
     sys.login(1, "howard", "pw2").unwrap();
     sys.mkdir_p(0, "/vice/usr/shared").unwrap();
-    sys.store(0, "/vice/usr/shared/db", b"records".to_vec()).unwrap();
+    sys.store(0, "/vice/usr/shared/db", b"records".to_vec())
+        .unwrap();
 
     // Multi-reader is fine; a writer excludes.
     sys.lock(0, "/vice/usr/shared/db", false).unwrap();
     sys.lock(1, "/vice/usr/shared/db", false).unwrap();
     assert!(matches!(
         sys.lock(1, "/vice/usr/shared/db", true),
-        Err(SystemError::Venus(VenusError::Vice(ViceError::LockConflict(_))))
+        Err(SystemError::Venus(VenusError::Vice(
+            ViceError::LockConflict(_)
+        )))
     ));
     sys.unlock(0, "/vice/usr/shared/db").unwrap();
     sys.unlock(1, "/vice/usr/shared/db").unwrap();
     sys.lock(1, "/vice/usr/shared/db", true).unwrap();
 
     // Locking is advisory: an unlocked write still succeeds.
-    assert!(sys.store(0, "/vice/usr/shared/db", b"clobbered".to_vec()).is_ok());
+    assert!(sys
+        .store(0, "/vice/usr/shared/db", b"clobbered".to_vec())
+        .is_ok());
 }

@@ -17,16 +17,23 @@ fn pcs_share_the_hosts_cache_and_write_through_to_vice() {
     let mut sys = ItcSystem::build(SystemConfig::prototype(1, 2));
     sys.add_user("lab", "pw").unwrap();
     sys.create_user_volume("lab", 0).unwrap();
-    sys.admin_install_file("/vice/usr/lab/data", vec![1; 30_000]).unwrap();
+    sys.admin_install_file("/vice/usr/lab/data", vec![1; 30_000])
+        .unwrap();
     sys.login(0, "lab", "pw").unwrap();
     sys.enable_surrogate(0).unwrap();
     let pc_a = sys.attach_pc(0).unwrap();
     let pc_b = sys.attach_pc(0).unwrap();
 
     // One fetch from Vice serves both PCs.
-    assert_eq!(sys.pc_fetch(0, pc_a, "/vice/usr/lab/data").unwrap().len(), 30_000);
+    assert_eq!(
+        sys.pc_fetch(0, pc_a, "/vice/usr/lab/data").unwrap().len(),
+        30_000
+    );
     let fetches = sys.total_server_calls_of("fetch");
-    assert_eq!(sys.pc_fetch(0, pc_b, "/vice/usr/lab/data").unwrap().len(), 30_000);
+    assert_eq!(
+        sys.pc_fetch(0, pc_b, "/vice/usr/lab/data").unwrap().len(),
+        30_000
+    );
     // Check-on-open validates but does not refetch.
     assert_eq!(sys.total_server_calls_of("fetch"), fetches);
 
@@ -55,14 +62,19 @@ fn pc_attachment_lan_dominates_warm_reads() {
     let mut sys = ItcSystem::build(SystemConfig::prototype(1, 1));
     sys.add_user("lab", "pw").unwrap();
     sys.create_user_volume("lab", 0).unwrap();
-    sys.admin_install_file("/vice/usr/lab/big", vec![1; 300_000]).unwrap();
+    sys.admin_install_file("/vice/usr/lab/big", vec![1; 300_000])
+        .unwrap();
     sys.login(0, "lab", "pw").unwrap();
     // Warm the host cache directly.
     let _ = sys.fetch(0, "/vice/usr/lab/big").unwrap();
 
     sys.enable_surrogate(0).unwrap();
     let pc = sys.attach_pc(0).unwrap();
-    let t0 = sys.surrogate(0).unwrap().pc_time(pc).unwrap_or(SimTime::ZERO);
+    let t0 = sys
+        .surrogate(0)
+        .unwrap()
+        .pc_time(pc)
+        .unwrap_or(SimTime::ZERO);
     let _ = sys.pc_fetch(0, pc, "/vice/usr/lab/big").unwrap();
     let elapsed = sys.surrogate(0).unwrap().pc_time(pc).unwrap() - t0;
     // 300 KB at 30 KB/s is 10 s of cheap-LAN transfer alone.
@@ -113,7 +125,8 @@ fn deferred_writes_coalesce_and_flush_on_deadline() {
 #[test]
 fn explicit_flush_commits_early() {
     let mut sys = delayed_system(3_600);
-    sys.store(0, "/vice/usr/w/doc", b"unflushed".to_vec()).unwrap();
+    sys.store(0, "/vice/usr/w/doc", b"unflushed".to_vec())
+        .unwrap();
     assert_eq!(sys.total_server_calls_of("store"), 0);
     let flushed = sys.flush_workstation(0).unwrap();
     assert_eq!(flushed, 1);
@@ -123,10 +136,13 @@ fn explicit_flush_commits_early() {
 #[test]
 fn crash_loses_exactly_the_unflushed_updates() {
     let mut sys = delayed_system(3_600);
-    sys.store(0, "/vice/usr/w/committed", b"v1".to_vec()).unwrap();
+    sys.store(0, "/vice/usr/w/committed", b"v1".to_vec())
+        .unwrap();
     sys.flush_workstation(0).unwrap();
-    sys.store(0, "/vice/usr/w/committed", b"v2-unflushed".to_vec()).unwrap();
-    sys.store(0, "/vice/usr/w/never-seen", b"x".to_vec()).unwrap();
+    sys.store(0, "/vice/usr/w/committed", b"v2-unflushed".to_vec())
+        .unwrap();
+    sys.store(0, "/vice/usr/w/never-seen", b"x".to_vec())
+        .unwrap();
 
     let lost = sys.crash_workstation(0);
     assert_eq!(lost, 2);
@@ -163,7 +179,8 @@ fn monitor_detects_misplaced_volume_and_move_fixes_it() {
     sys.add_user("nomad", "pw").unwrap();
     // Volume on server 0; the user works from cluster 1.
     sys.create_user_volume("nomad", 0).unwrap();
-    sys.admin_install_file("/vice/usr/nomad/f", vec![1; 10_000]).unwrap();
+    sys.admin_install_file("/vice/usr/nomad/f", vec![1; 10_000])
+        .unwrap();
     let ws = sys.workstation_in_cluster(1);
     sys.login(ws, "nomad", "pw").unwrap();
     for _ in 0..10 {
@@ -214,8 +231,10 @@ fn server_failure_is_contained_to_its_users() {
     sys.add_user("b", "pw").unwrap();
     sys.create_user_volume("a", 0).unwrap();
     sys.create_user_volume("b", 1).unwrap();
-    sys.admin_install_file("/vice/usr/a/f", b"on server 0".to_vec()).unwrap();
-    sys.admin_install_file("/vice/usr/b/f", b"on server 1".to_vec()).unwrap();
+    sys.admin_install_file("/vice/usr/a/f", b"on server 0".to_vec())
+        .unwrap();
+    sys.admin_install_file("/vice/usr/b/f", b"on server 1".to_vec())
+        .unwrap();
     let ws_a = sys.workstation_in_cluster(0);
     let ws_b = sys.workstation_in_cluster(1);
     sys.login(ws_a, "a", "pw").unwrap();
@@ -228,7 +247,10 @@ fn server_failure_is_contained_to_its_users() {
     let t0 = sys.ws_time(ws_b);
     let err = sys.fetch(ws_b, "/vice/usr/b/f").unwrap_err();
     assert!(format!("{err}").contains("unreachable"), "{err}");
-    assert!(sys.ws_time(ws_b) - t0 >= SimTime::from_secs(15), "timeout charged");
+    assert!(
+        sys.ws_time(ws_b) - t0 >= SimTime::from_secs(15),
+        "timeout charged"
+    );
 
     // Recovery restores service.
     sys.set_server_online(itc_afs::core::proto::ServerId(1), true);
@@ -245,7 +267,8 @@ fn cached_copies_survive_a_custodian_outage() {
     });
     sys.add_user("u", "pw").unwrap();
     sys.create_user_volume("u", 0).unwrap();
-    sys.admin_install_file("/vice/usr/u/f", b"cached".to_vec()).unwrap();
+    sys.admin_install_file("/vice/usr/u/f", b"cached".to_vec())
+        .unwrap();
     sys.login(0, "u", "pw").unwrap();
     let _ = sys.fetch(0, "/vice/usr/u/f").unwrap();
 
@@ -260,7 +283,10 @@ fn readonly_replicas_keep_binaries_available_through_an_outage() {
     sys.add_user("u", "pw").unwrap();
     sys.admin_install_file("/vice/unix/sun/bin/cc", b"compiler".to_vec())
         .unwrap();
-    let everywhere = [itc_afs::core::proto::ServerId(0), itc_afs::core::proto::ServerId(1)];
+    let everywhere = [
+        itc_afs::core::proto::ServerId(0),
+        itc_afs::core::proto::ServerId(1),
+    ];
     sys.replicate_readonly("/vice", &everywhere).unwrap();
 
     // The custodian of /vice (server 0) dies; a cluster-1 user cold-reads
@@ -285,5 +311,8 @@ fn readonly_replicas_keep_binaries_available_through_an_outage() {
     // Warm cache in callback...? prototype check-on-open revalidates — the
     // validation goes to the nearest replica (server 0, down), then fails
     // over to server 1.
-    assert_eq!(sys.fetch(ws0, "/vice/unix/sun/bin/cc").unwrap(), b"compiler");
+    assert_eq!(
+        sys.fetch(ws0, "/vice/unix/sun/bin/cc").unwrap(),
+        b"compiler"
+    );
 }

@@ -184,16 +184,18 @@ fn crash_is_contained_and_caches_keep_serving() {
     for _ in 0..3 {
         assert_eq!(sys.fetch(2, &shared_file).unwrap(), b"v1");
     }
-    assert_eq!(sys.metrics().total_calls(), calls, "cache hit went to the wire");
+    assert_eq!(
+        sys.metrics().total_calls(),
+        calls,
+        "cache hit went to the wire"
+    );
 
     // b's own volume lives on server 1 and is completely unaffected.
     sys.store(2, "/vice/usr/b/notes", b"mine".to_vec()).unwrap();
     assert_eq!(sys.fetch(2, "/vice/usr/b/notes").unwrap(), b"mine");
 
     // a, homed on the crashed server, is degraded for mutations...
-    let err = sys
-        .store(0, &shared_file, b"v2".to_vec())
-        .unwrap_err();
+    let err = sys.store(0, &shared_file, b"v2".to_vec()).unwrap_err();
     assert!(format!("{err}").contains("degraded"), "got: {err}");
     // ...and reads of uncached files fail as unreachable.
     let err = sys.fetch(0, &format!("{SHARED}/other")).unwrap_err();
@@ -223,7 +225,8 @@ fn restart_recovers_promises_via_epoch_discovery() {
 
     // b's first genuine exchange with server 0 reveals the new epoch;
     // Venus discards suspect cache entries and revalidates.
-    sys.store(2, &format!("{SHARED}/from-b"), b"x".to_vec()).unwrap();
+    sys.store(2, &format!("{SHARED}/from-b"), b"x".to_vec())
+        .unwrap();
     assert_eq!(sys.fetch(2, &file).unwrap(), b"v2");
 
     // With a fresh promise in place the hit ratio recovers: repeat opens
@@ -304,7 +307,9 @@ fn lossy_run(seed: u64) -> (CallStats, FaultStats, Vec<String>, Vec<u64>, SimTim
             0 | 1 => sys
                 .store(ws, &file, format!("round-{i}").into_bytes())
                 .map(|()| "stored".to_string()),
-            2 => sys.fetch(ws, &file).map(|d| format!("read {} bytes", d.len())),
+            2 => sys
+                .fetch(ws, &file)
+                .map(|d| format!("read {} bytes", d.len())),
             _ => sys.stat(ws, &file).map(|st| format!("v{}", st.version)),
         };
         outcomes.push(match r {
@@ -322,7 +327,13 @@ fn lossy_run(seed: u64) -> (CallStats, FaultStats, Vec<String>, Vec<u64>, SimTim
                 .unwrap_or(0)
         })
         .collect();
-    (sys.call_stats(), sys.fault_stats(), outcomes, versions, sys.now())
+    (
+        sys.call_stats(),
+        sys.fault_stats(),
+        outcomes,
+        versions,
+        sys.now(),
+    )
 }
 
 #[test]

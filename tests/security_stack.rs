@@ -60,19 +60,23 @@ fn per_directory_acls_gate_every_operation() {
     let mut acl = AccessList::new();
     acl.grant("owner", Rights::ALL);
     acl.grant("readers", Rights::READ_ONLY);
-    sys.create_volume("vault", "/vice/vault", ServerId(0), acl).unwrap();
+    sys.create_volume("vault", "/vice/vault", ServerId(0), acl)
+        .unwrap();
 
     sys.login(0, "owner", "pw").unwrap();
     sys.login(1, "reader", "pw").unwrap();
     sys.login(2, "outsider", "pw").unwrap();
-    sys.store(0, "/vice/vault/doc", b"classified".to_vec()).unwrap();
+    sys.store(0, "/vice/vault/doc", b"classified".to_vec())
+        .unwrap();
 
     // Reader: read yes, write no, list yes.
     assert!(sys.fetch(1, "/vice/vault/doc").is_ok());
     assert!(sys.readdir(1, "/vice/vault").is_ok());
     assert!(matches!(
         sys.store(1, "/vice/vault/doc", b"defaced".to_vec()),
-        Err(SystemError::Venus(VenusError::Vice(ViceError::PermissionDenied(_))))
+        Err(SystemError::Venus(VenusError::Vice(
+            ViceError::PermissionDenied(_)
+        )))
     ));
     assert!(sys.unlink(1, "/vice/vault/doc").is_err());
     assert!(sys.mkdir(1, "/vice/vault/sub").is_err());
@@ -90,8 +94,12 @@ fn administer_right_gates_acl_changes() {
     sys.add_user("sneaky", "pw").unwrap();
     let mut acl = AccessList::new();
     acl.grant("owner", Rights::ALL);
-    acl.grant("sneaky", Rights::READ | Rights::WRITE | Rights::INSERT | Rights::LOOKUP);
-    sys.create_volume("proj", "/vice/proj", ServerId(0), acl).unwrap();
+    acl.grant(
+        "sneaky",
+        Rights::READ | Rights::WRITE | Rights::INSERT | Rights::LOOKUP,
+    );
+    sys.create_volume("proj", "/vice/proj", ServerId(0), acl)
+        .unwrap();
     sys.login(0, "owner", "pw").unwrap();
     sys.login(1, "sneaky", "pw").unwrap();
 
@@ -100,7 +108,9 @@ fn administer_right_gates_acl_changes() {
     grab.grant("sneaky", Rights::ALL);
     assert!(matches!(
         sys.set_acl(1, "/vice/proj", grab.clone()),
-        Err(SystemError::Venus(VenusError::Vice(ViceError::PermissionDenied(_))))
+        Err(SystemError::Venus(VenusError::Vice(
+            ViceError::PermissionDenied(_)
+        )))
     ));
     // The owner can.
     assert!(sys.set_acl(0, "/vice/proj", grab).is_ok());
@@ -117,11 +127,13 @@ fn revoked_user_is_blocked_even_with_warm_cache() {
     let mut acl = AccessList::new();
     acl.grant("admin", Rights::ALL);
     acl.grant("mallory", Rights::READ_ONLY);
-    sys.create_volume("v", "/vice/v", ServerId(0), acl.clone()).unwrap();
+    sys.create_volume("v", "/vice/v", ServerId(0), acl.clone())
+        .unwrap();
     sys.login(0, "admin", "pw").unwrap();
     sys.login(1, "mallory", "pw").unwrap();
 
-    sys.store(0, "/vice/v/secret", b"rotate the keys".to_vec()).unwrap();
+    sys.store(0, "/vice/v/secret", b"rotate the keys".to_vec())
+        .unwrap();
     assert!(sys.fetch(1, "/vice/v/secret").is_ok()); // now cached at ws 1
 
     let mut denied = acl;
@@ -130,7 +142,9 @@ fn revoked_user_is_blocked_even_with_warm_cache() {
 
     assert!(matches!(
         sys.fetch(1, "/vice/v/secret"),
-        Err(SystemError::Venus(VenusError::Vice(ViceError::PermissionDenied(_))))
+        Err(SystemError::Venus(VenusError::Vice(
+            ViceError::PermissionDenied(_)
+        )))
     ));
 }
 

@@ -13,11 +13,27 @@ use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Store { ws: u8, file: u8, payload: u8, len: u16 },
-    Fetch { ws: u8, file: u8 },
-    Stat { ws: u8, file: u8 },
-    Remove { ws: u8, file: u8 },
-    Advance { secs: u16 },
+    Store {
+        ws: u8,
+        file: u8,
+        payload: u8,
+        len: u16,
+    },
+    Fetch {
+        ws: u8,
+        file: u8,
+    },
+    Stat {
+        ws: u8,
+        file: u8,
+    },
+    Remove {
+        ws: u8,
+        file: u8,
+    },
+    Advance {
+        secs: u16,
+    },
 }
 
 /// Mirrors the proptest weights: Store 3, Fetch 4, Stat 2, Remove 1,
@@ -70,7 +86,12 @@ fn run_config(validation: ValidationMode, traversal: TraversalMode, ops: &[Op]) 
     let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
     for op in ops {
         match op {
-            Op::Store { ws, file, payload, len } => {
+            Op::Store {
+                ws,
+                file,
+                payload,
+                len,
+            } => {
                 let ws = *ws as usize % ws_count;
                 let p = path_of(*file);
                 let data = vec![*payload; *len as usize];
@@ -121,12 +142,22 @@ fn run_config(validation: ValidationMode, traversal: TraversalMode, ops: &[Op]) 
     // Final sweep: every workstation agrees with the model on every file.
     for w in 0..ws_count {
         for (p, expect) in &model {
-            assert_eq!(&sys.fetch(w, p).unwrap(), expect, "final sweep {p} at ws{w}");
+            assert_eq!(
+                &sys.fetch(w, p).unwrap(),
+                expect,
+                "final sweep {p} at ws{w}"
+            );
         }
     }
 }
 
-fn run_cases(seed: u64, cases: usize, max_ops: u64, validation: ValidationMode, traversal: TraversalMode) {
+fn run_cases(
+    seed: u64,
+    cases: usize,
+    max_ops: u64,
+    validation: ValidationMode,
+    traversal: TraversalMode,
+) {
     let mut rng = SimRng::seeded(seed);
     for _ in 0..cases {
         let n = rng.range(1, max_ops);
@@ -174,10 +205,20 @@ fn mixed_config_agrees_with_model() {
 #[test]
 fn regression_store_fetch_remove_store() {
     let ops = [
-        Op::Store { ws: 0, file: 128, payload: 0, len: 1 },
+        Op::Store {
+            ws: 0,
+            file: 128,
+            payload: 0,
+            len: 1,
+        },
         Op::Fetch { ws: 1, file: 158 },
         Op::Remove { ws: 0, file: 152 },
-        Op::Store { ws: 70, file: 50, payload: 114, len: 413 },
+        Op::Store {
+            ws: 70,
+            file: 50,
+            payload: 114,
+            len: 413,
+        },
     ];
     for (validation, traversal) in [
         (ValidationMode::CheckOnOpen, TraversalMode::ServerSide),
