@@ -19,6 +19,9 @@ cargo build --release --offline
 echo "== tests (offline) =="
 cargo test -q --workspace --offline
 
+echo "== bench smoke (schema + deterministic-metric gate vs BENCH_pr3.json) =="
+cargo run -q -p itc-bench --release --offline --bin bench -- --smoke
+
 if [ "${1:-}" = "network" ]; then
     echo "== optional: property-based suite (networked) =="
     (cd extras/proptest-suite && cargo test -q && cargo bench --no-run)

@@ -1,0 +1,461 @@
+//! PR 3 performance harness: the start of the repo's perf trajectory.
+//!
+//! Three benchmarks, each reporting both wall-clock throughput (noisy,
+//! machine-dependent, recorded but never gated) and deterministic copy /
+//! allocation counters (identical on every machine, gated by `--smoke`):
+//!
+//! * **codec roundtrip** — encode + decode a 64 KiB `Store` request
+//!   through the out-of-band wire format; the payload must ride by
+//!   refcount, copying zero bytes.
+//! * **cache churn** — insert-evict storms against `venus::Cache` at
+//!   geometrically growing capacities; with the O(1) intrusive-list LRU
+//!   the per-op cost must stay flat as the cache grows (the old
+//!   `min_by_key` scan was linear in resident entries).
+//! * **40-client macro storm** — whole-file stores and cold fetches
+//!   through the full simulated system (Venus → RPC → server → volume),
+//!   metering payload bytes copied per operation. The pre-PR pipeline
+//!   copied each file ~7× per fetch and ~8× per store (see DESIGN.md §9
+//!   for the site-by-site audit); the zero-copy path leaves exactly one
+//!   copy, at the server's filesystem boundary.
+//!
+//! Modes:
+//! * default: run full-size benchmarks, write `BENCH_pr3.json`.
+//! * `--smoke`: run reduced sizes, validate the checked-in
+//!   `BENCH_pr3.json` schema, and fail on >20% regression of any
+//!   deterministic metric (copies per op, churn flatness). Wall-clock
+//!   numbers are exempt — CI machines differ.
+
+use itc_core::config::{CachePolicy, SystemConfig};
+use itc_core::proto::payload::{bytes_copied, reset_bytes_copied};
+use itc_core::proto::{EntryKind, VStatus};
+use itc_core::system::ItcSystem;
+use itc_core::venus::cache::{Cache, EntryKind as CacheKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Counting allocator: total bytes requested, total allocation calls.
+// ---------------------------------------------------------------------
+
+struct CountingAlloc;
+
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOC_BYTES.load(Ordering::Relaxed),
+        ALLOC_CALLS.load(Ordering::Relaxed),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Audited copy counts of the pre-PR pipeline (DESIGN.md §9): how many
+// times one payload's bytes were duplicated end to end. The reduction
+// factors in the report divide these by the measured post-PR counts.
+// ---------------------------------------------------------------------
+
+const SEED_COPIES_PER_FETCH: f64 = 7.0;
+const SEED_COPIES_PER_STORE: f64 = 8.0;
+
+// ---------------------------------------------------------------------
+// Benchmarks
+// ---------------------------------------------------------------------
+
+struct CodecResult {
+    payload_bytes: usize,
+    iters: u64,
+    roundtrips_per_sec: f64,
+    bytes_copied_per_roundtrip: f64,
+    alloc_bytes_per_roundtrip: f64,
+}
+
+fn bench_codec(iters: u64) -> CodecResult {
+    use itc_core::proto::{decode_request, encode_request, ViceRequest};
+    let payload_bytes = 64 * 1024;
+    let req = ViceRequest::Store {
+        path: "/vice/usr/satya/doc/paper.tex".to_string(),
+        data: vec![0xaa; payload_bytes].into(),
+    };
+    reset_bytes_copied();
+    let (b0, _) = alloc_snapshot();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let msg = encode_request(&req);
+        let back = decode_request(&msg.head, msg.payload.clone()).expect("roundtrip");
+        std::hint::black_box(back);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let (b1, _) = alloc_snapshot();
+    CodecResult {
+        payload_bytes,
+        iters,
+        roundtrips_per_sec: iters as f64 / dt,
+        bytes_copied_per_roundtrip: bytes_copied() as f64 / iters as f64,
+        alloc_bytes_per_roundtrip: (b1 - b0) as f64 / iters as f64,
+    }
+}
+
+fn churn_status(path: &str) -> VStatus {
+    VStatus {
+        path: path.to_string(),
+        fid: 1,
+        kind: EntryKind::File,
+        size: 1024,
+        version: 1,
+        mtime: 0,
+        mode: 0o644,
+        owner: 0,
+        read_only: false,
+    }
+}
+
+struct ChurnResult {
+    capacities: Vec<usize>,
+    ns_per_op: Vec<f64>,
+    flatness_ratio: f64,
+    bytes_copied_per_insert: f64,
+}
+
+/// Insert-evict storm: every insert into a full cache evicts. With the
+/// O(1) LRU the per-op time must not grow with the resident count; the
+/// old scan was Θ(resident entries) per eviction.
+fn bench_cache_churn(capacities: &[usize], ops_per_cap: u64) -> ChurnResult {
+    let mut ns_per_op = Vec::new();
+    reset_bytes_copied();
+    let mut total_inserts = 0u64;
+    for &cap in capacities {
+        let mut cache = Cache::new(CachePolicy::CountLru(cap));
+        // Pre-fill to capacity so every measured insert evicts.
+        for i in 0..cap {
+            let p = format!("/vice/f{i}");
+            cache.insert(&p, vec![0u8; 256].into(), churn_status(&p), CacheKind::File);
+        }
+        // Pre-render paths so the measured loop times the cache, not format!.
+        let paths: Vec<String> = (0..ops_per_cap)
+            .map(|i| format!("/vice/g{}", i % (2 * cap as u64)))
+            .collect();
+        let t0 = Instant::now();
+        for p in &paths {
+            cache.insert(p, vec![0u8; 256].into(), churn_status(p), CacheKind::File);
+        }
+        let dt = t0.elapsed();
+        ns_per_op.push(dt.as_nanos() as f64 / ops_per_cap as f64);
+        total_inserts += ops_per_cap + cap as u64;
+    }
+    let min = ns_per_op.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ns_per_op.iter().cloned().fold(0.0f64, f64::max);
+    ChurnResult {
+        capacities: capacities.to_vec(),
+        ns_per_op,
+        flatness_ratio: max / min,
+        bytes_copied_per_insert: bytes_copied() as f64 / total_inserts as f64,
+    }
+}
+
+struct StormResult {
+    clients: usize,
+    file_bytes: usize,
+    stores: u64,
+    fetches: u64,
+    copies_per_store: f64,
+    copies_per_fetch: f64,
+    copy_reduction_store: f64,
+    copy_reduction_fetch: f64,
+    ops_per_sec: f64,
+    alloc_bytes_per_op: f64,
+}
+
+/// Whole-file storm through the full simulated system: `clients`
+/// workstations each store one file, then every client cold-fetches
+/// `fetch_fanout` other clients' files. Copy counts are normalized to
+/// payload size, so 1.0 means "the file's bytes were duplicated once".
+fn bench_macro_storm(clients: usize, file_bytes: usize, fetch_fanout: usize) -> StormResult {
+    let clusters = 4u32;
+    let per = (clients as u32).div_ceil(clusters);
+    let mut sys = ItcSystem::build(SystemConfig::revised(clusters, per));
+    for ws in 0..clients {
+        let user = format!("user{ws:02}");
+        sys.add_user(&user, "pw").expect("add user");
+        sys.login(ws, &user, "pw").expect("login");
+    }
+    sys.mkdir_p(0, "/vice/usr/storm").expect("mkdir");
+
+    let body = vec![0x5au8; file_bytes];
+
+    // Stores.
+    reset_bytes_copied();
+    let (ab0, _) = alloc_snapshot();
+    let t0 = Instant::now();
+    for ws in 0..clients {
+        sys.store(ws, &format!("/vice/usr/storm/f{ws:02}"), body.clone())
+            .expect("store");
+    }
+    let store_copied = bytes_copied();
+    let stores = clients as u64;
+
+    // Cold cross-client fetches: each client reads files it has never
+    // cached (written by other workstations), forcing full transfers.
+    reset_bytes_copied();
+    let mut fetches = 0u64;
+    for ws in 0..clients {
+        for k in 1..=fetch_fanout {
+            let other = (ws + k) % clients;
+            let data = sys
+                .fetch(ws, &format!("/vice/usr/storm/f{other:02}"))
+                .expect("fetch");
+            assert_eq!(data.len(), file_bytes);
+            fetches += 1;
+        }
+    }
+    let fetch_copied = bytes_copied();
+    let dt = t0.elapsed().as_secs_f64();
+    let (ab1, _) = alloc_snapshot();
+
+    let copies_per_store = store_copied as f64 / (stores as f64 * file_bytes as f64);
+    let copies_per_fetch = fetch_copied as f64 / (fetches as f64 * file_bytes as f64);
+    StormResult {
+        clients,
+        file_bytes,
+        stores,
+        fetches,
+        copies_per_store,
+        copies_per_fetch,
+        copy_reduction_store: SEED_COPIES_PER_STORE / copies_per_store,
+        copy_reduction_fetch: SEED_COPIES_PER_FETCH / copies_per_fetch,
+        ops_per_sec: (stores + fetches) as f64 / dt,
+        alloc_bytes_per_op: (ab1 - ab0) as f64 / (stores + fetches) as f64,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hand-rolled JSON (the repo takes no dependencies).
+// ---------------------------------------------------------------------
+
+fn fnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_report(codec: &CodecResult, churn: &ChurnResult, storm: &StormResult) -> String {
+    let caps = churn
+        .capacities
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ns = churn
+        .ns_per_op
+        .iter()
+        .map(|&n| fnum(n))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        r#"{{
+  "schema": "itc-bench/pr3/v1",
+  "micro_codec": {{
+    "payload_bytes": {},
+    "iters": {},
+    "roundtrips_per_sec": {},
+    "bytes_copied_per_roundtrip": {},
+    "alloc_bytes_per_roundtrip": {}
+  }},
+  "cache_churn": {{
+    "capacities": [{}],
+    "ns_per_op": [{}],
+    "flatness_ratio": {},
+    "bytes_copied_per_insert": {}
+  }},
+  "macro_storm": {{
+    "clients": {},
+    "file_bytes": {},
+    "stores": {},
+    "fetches": {},
+    "copies_per_store": {},
+    "copies_per_fetch": {},
+    "seed_copies_per_store": {},
+    "seed_copies_per_fetch": {},
+    "copy_reduction_store": {},
+    "copy_reduction_fetch": {},
+    "ops_per_sec": {},
+    "alloc_bytes_per_op": {}
+  }}
+}}
+"#,
+        codec.payload_bytes,
+        codec.iters,
+        fnum(codec.roundtrips_per_sec),
+        fnum(codec.bytes_copied_per_roundtrip),
+        fnum(codec.alloc_bytes_per_roundtrip),
+        caps,
+        ns,
+        fnum(churn.flatness_ratio),
+        fnum(churn.bytes_copied_per_insert),
+        storm.clients,
+        storm.file_bytes,
+        storm.stores,
+        storm.fetches,
+        fnum(storm.copies_per_store),
+        fnum(storm.copies_per_fetch),
+        fnum(SEED_COPIES_PER_STORE),
+        fnum(SEED_COPIES_PER_FETCH),
+        fnum(storm.copy_reduction_store),
+        fnum(storm.copy_reduction_fetch),
+        fnum(storm.ops_per_sec),
+        fnum(storm.alloc_bytes_per_op),
+    )
+}
+
+/// Minimal extraction of `"key": <number>` from the baseline report.
+/// Keys in the schema are unique, so a flat scan is enough.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+// ---------------------------------------------------------------------
+// Smoke gate
+// ---------------------------------------------------------------------
+
+const SMOKE_TOLERANCE: f64 = 0.20;
+
+/// Deterministic metrics checked against the committed baseline. Copies
+/// per op and per-insert are bit-stable across machines; anything >20%
+/// over baseline is a regression (a new clone crept into the pipeline).
+fn smoke_gate(baseline: &str, codec: &CodecResult, churn: &ChurnResult, storm: &StormResult) {
+    let mut failures = Vec::new();
+
+    for key in [
+        "payload_bytes",
+        "roundtrips_per_sec",
+        "bytes_copied_per_roundtrip",
+        "flatness_ratio",
+        "bytes_copied_per_insert",
+        "copies_per_store",
+        "copies_per_fetch",
+        "copy_reduction_store",
+        "copy_reduction_fetch",
+        "ops_per_sec",
+        "alloc_bytes_per_op",
+    ] {
+        if json_number(baseline, key).is_none() {
+            failures.push(format!("baseline missing key \"{key}\""));
+        }
+    }
+
+    let mut gate = |name: &str, measured: f64| {
+        let Some(base) = json_number(baseline, name) else {
+            return; // already reported as a schema failure
+        };
+        // Copy counters gate on absolute-per-op regression; a zero
+        // baseline allows a small epsilon rather than a ratio.
+        let limit = if base == 0.0 {
+            0.01
+        } else {
+            base * (1.0 + SMOKE_TOLERANCE)
+        };
+        if measured > limit {
+            failures.push(format!(
+                "{name}: measured {measured:.4} vs baseline {base:.4} (limit {limit:.4})"
+            ));
+        }
+    };
+    gate(
+        "bytes_copied_per_roundtrip",
+        codec.bytes_copied_per_roundtrip,
+    );
+    gate("bytes_copied_per_insert", churn.bytes_copied_per_insert);
+    gate("copies_per_store", storm.copies_per_store);
+    gate("copies_per_fetch", storm.copies_per_fetch);
+
+    // O(1) eviction: per-op churn cost across a 64× capacity range must
+    // stay within a small constant factor. The old linear scan sat at
+    // two orders of magnitude here; 3× absorbs timer noise.
+    if churn.flatness_ratio > 3.0 {
+        failures.push(format!(
+            "cache churn is not flat: max/min ns-per-op ratio {:.2} (> 3.0) across capacities {:?}",
+            churn.flatness_ratio, churn.capacities
+        ));
+    }
+
+    if failures.is_empty() {
+        println!(
+            "smoke: OK (all deterministic metrics within {:.0}% of baseline)",
+            SMOKE_TOLERANCE * 100.0
+        );
+    } else {
+        eprintln!("smoke: FAILED");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let (codec, churn, storm) = if smoke {
+        (
+            bench_codec(200),
+            bench_cache_churn(&[256, 1024, 4096, 16384], 20_000),
+            bench_macro_storm(40, 64 * 1024, 2),
+        )
+    } else {
+        (
+            bench_codec(2_000),
+            bench_cache_churn(&[256, 1024, 4096, 16384], 200_000),
+            bench_macro_storm(40, 64 * 1024, 5),
+        )
+    };
+
+    let report = render_report(&codec, &churn, &storm);
+    println!("{report}");
+
+    if smoke {
+        let baseline = std::fs::read_to_string("BENCH_pr3.json").unwrap_or_else(|e| {
+            eprintln!("smoke: cannot read checked-in BENCH_pr3.json: {e}");
+            std::process::exit(1);
+        });
+        if json_number(&baseline, "payload_bytes").is_none()
+            || !baseline.contains("\"schema\": \"itc-bench/pr3/v1\"")
+        {
+            eprintln!("smoke: BENCH_pr3.json does not match schema itc-bench/pr3/v1");
+            std::process::exit(1);
+        }
+        smoke_gate(&baseline, &codec, &churn, &storm);
+    } else {
+        std::fs::write("BENCH_pr3.json", &report).expect("write BENCH_pr3.json");
+        println!("wrote BENCH_pr3.json");
+    }
+}

@@ -19,6 +19,19 @@
 
 use crate::proto::ServerId;
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// True when `path` lies inside the subtree rooted at `root` (the path
+/// itself, or a descendant across a `/` component boundary). Allocation
+/// free — the naive `starts_with(&format!("{root}/"))` built a fresh
+/// `String` per probe, and this check runs for every entry of every
+/// location and hint lookup on the hot path.
+pub(crate) fn subtree_covers(root: &str, path: &str) -> bool {
+    path == root
+        || (path.len() > root.len()
+            && path.starts_with(root)
+            && path.as_bytes()[root.len()] == b'/')
+}
 
 /// One custodianship entry: a subtree root and who serves it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,10 +42,11 @@ pub struct LocationEntry {
     pub replicas: Vec<ServerId>,
 }
 
-/// The subtree → custodian map.
+/// The subtree → custodian map. Keys are interned `Arc<str>` roots so the
+/// traffic monitor can attribute a call to a subtree without allocating.
 #[derive(Debug, Clone, Default)]
 pub struct LocationDb {
-    entries: BTreeMap<String, LocationEntry>,
+    entries: BTreeMap<Arc<str>, LocationEntry>,
     version: u64,
 }
 
@@ -69,7 +83,7 @@ impl LocationDb {
     /// Registers (or replaces) custodianship of a subtree.
     pub fn assign(&mut self, subtree: &str, custodian: ServerId) {
         self.entries.insert(
-            subtree.to_string(),
+            Arc::from(subtree),
             LocationEntry {
                 custodian,
                 replicas: Vec::new(),
@@ -106,11 +120,21 @@ impl LocationDb {
 
     /// Finds the entry whose subtree root is the longest prefix of `path`.
     pub fn lookup(&self, path: &str) -> Option<(&str, &LocationEntry)> {
-        let mut best: Option<(&str, &LocationEntry)> = None;
+        self.lookup_entry(path).map(|(r, e)| (r.as_ref(), e))
+    }
+
+    /// Like [`LocationDb::lookup`], but hands back the interned subtree
+    /// key so callers (the traffic monitor) can record it by refcount
+    /// instead of allocating a `String` per call.
+    pub fn lookup_interned(&self, path: &str) -> Option<(Arc<str>, &LocationEntry)> {
+        self.lookup_entry(path).map(|(r, e)| (Arc::clone(r), e))
+    }
+
+    fn lookup_entry(&self, path: &str) -> Option<(&Arc<str>, &LocationEntry)> {
+        let mut best: Option<(&Arc<str>, &LocationEntry)> = None;
         for (root, entry) in &self.entries {
-            let matches = path == root || path.starts_with(&format!("{root}/"));
-            if matches && best.is_none_or(|(b, _)| root.len() > b.len()) {
-                best = Some((root.as_str(), entry));
+            if subtree_covers(root, path) && best.is_none_or(|(b, _)| root.len() > b.len()) {
+                best = Some((root, entry));
             }
         }
         best
@@ -123,7 +147,7 @@ impl LocationDb {
 
     /// All entries, for iteration.
     pub fn entries(&self) -> impl Iterator<Item = (&str, &LocationEntry)> {
-        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+        self.entries.iter().map(|(k, v)| (k.as_ref(), v))
     }
 }
 
@@ -164,6 +188,35 @@ mod tests {
         assert_eq!(db.custodian_of("/vice/usr/satya/f"), None);
         assert_eq!(db.custodian_of("/vice/usr/sa/f"), Some(ServerId(9)));
         assert_eq!(db.custodian_of("/vice/usr/sa"), Some(ServerId(9)));
+    }
+
+    #[test]
+    fn subtree_covers_matches_the_allocating_check() {
+        for (root, path) in [
+            ("/vice", "/vice"),
+            ("/vice", "/vice/a"),
+            ("/vice", "/vicex"),
+            ("/vice/usr/sa", "/vice/usr/satya"),
+            ("/vice/usr/sa", "/vice/usr/sa/f"),
+            ("/vice/a", "/vice"),
+            ("/v", ""),
+            ("", "/v"),
+        ] {
+            let naive = path == root || path.starts_with(&format!("{root}/"));
+            assert_eq!(subtree_covers(root, path), naive, "{root} vs {path}");
+        }
+    }
+
+    #[test]
+    fn interned_lookup_agrees_with_lookup() {
+        let db = db();
+        for p in ["/vice/usr/satya/paper.tex", "/vice/sys/bin/cc", "/nope"] {
+            let plain = db.lookup(p).map(|(r, e)| (r.to_string(), e.clone()));
+            let interned = db
+                .lookup_interned(p)
+                .map(|(r, e)| (r.to_string(), e.clone()));
+            assert_eq!(plain, interned);
+        }
     }
 
     #[test]

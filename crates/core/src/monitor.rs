@@ -18,6 +18,7 @@
 
 use crate::proto::ServerId;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A recommended volume reassignment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,10 +35,12 @@ pub struct MoveRecommendation {
     pub total_calls: u64,
 }
 
-/// Per-subtree, per-origin-cluster call counts.
+/// Per-subtree, per-origin-cluster call counts. Subtree keys are interned
+/// `Arc<str>`s shared with the location database, so the per-call record
+/// on the transport hot path is a refcount bump, not a `String` clone.
 #[derive(Debug, Default)]
 pub struct TrafficMonitor {
-    counts: HashMap<(String, u32), u64>,
+    counts: HashMap<(Arc<str>, u32), u64>,
 }
 
 impl TrafficMonitor {
@@ -47,11 +50,21 @@ impl TrafficMonitor {
     }
 
     /// Records one call against `subtree` from a workstation in
-    /// `origin_cluster`.
+    /// `origin_cluster`. Allocates a key for a subtree not seen before;
+    /// the transport uses [`TrafficMonitor::record_interned`] instead.
     pub fn record(&mut self, subtree: &str, origin_cluster: u32) {
         *self
             .counts
-            .entry((subtree.to_string(), origin_cluster))
+            .entry((Arc::from(subtree), origin_cluster))
+            .or_insert(0) += 1;
+    }
+
+    /// Records one call using an already-interned subtree key (shared with
+    /// the location database): no allocation on the hot path.
+    pub fn record_interned(&mut self, subtree: &Arc<str>, origin_cluster: u32) {
+        *self
+            .counts
+            .entry((Arc::clone(subtree), origin_cluster))
             .or_insert(0) += 1;
     }
 
@@ -63,7 +76,7 @@ impl TrafficMonitor {
     /// Calls recorded for a subtree from a given cluster.
     pub fn calls_from(&self, subtree: &str, cluster: u32) -> u64 {
         self.counts
-            .get(&(subtree.to_string(), cluster))
+            .get(&(Arc::from(subtree), cluster))
             .copied()
             .unwrap_or(0)
     }
@@ -76,7 +89,7 @@ impl TrafficMonitor {
         let mut total = 0u64;
         for ((subtree, origin), &n) in &self.counts {
             total += n;
-            if let Some(c) = custodian_of(subtree) {
+            if let Some(c) = custodian_of(subtree.as_ref()) {
                 if c.0 != *origin {
                     cross += n;
                 }
@@ -101,7 +114,10 @@ impl TrafficMonitor {
         // Group by subtree.
         let mut per_subtree: HashMap<&str, Vec<(u32, u64)>> = HashMap::new();
         for ((subtree, origin), &n) in &self.counts {
-            per_subtree.entry(subtree).or_default().push((*origin, n));
+            per_subtree
+                .entry(subtree.as_ref())
+                .or_default()
+                .push((*origin, n));
         }
         let mut recs = Vec::new();
         for (subtree, origins) in per_subtree {

@@ -4,12 +4,75 @@
 //! and decoders live here so the round-trip property is testable in one
 //! place. Decoding failures map to `None`; the server turns an undecodable
 //! request into [`ViceError::BadRequest`].
+//!
+//! ## Out-of-band bulk payloads
+//!
+//! Whole-file contents (`Store` requests, `Data` replies) do not ride in
+//! the encoded head. Encoding yields a [`WireMsg`]: a small `head` holding
+//! everything *except* the file bytes — including the payload's length
+//! prefix and an 8-byte FNV-1a digest — plus the refcounted [`Payload`]
+//! itself. The head travels through the sealed channel; the payload rides
+//! alongside as a bulk transfer (the analogue of an RPC2 side-effect),
+//! integrity-bound to the authenticated head by length and digest. This is
+//! what makes the hot path zero-copy: sealing, retrying, and decoding touch
+//! only the head, and the payload is shared by refcount end to end.
+//!
+//! [`WireMsg::wire_len`] reproduces the length of the old inline encoding
+//! exactly (the digest is accounting-free), so every timing computation in
+//! the transport is bit-identical to the inline-payload design.
 
+use super::payload::{payload_digest, Payload};
 use super::types::{
     CallbackBreak, EntryKind, ServerId, VStatus, ViceError, ViceReply, ViceRequest,
 };
 use crate::protect::AccessList;
 use itc_rpc::{WireError, WireReader, WireWriter};
+
+/// An encoded message: the sealable head plus the optional out-of-band
+/// bulk payload.
+#[derive(Debug, Clone)]
+pub struct WireMsg {
+    /// Everything except file contents; what the secure channel seals.
+    pub head: Vec<u8>,
+    /// File contents riding out of band, refcounted.
+    pub payload: Option<Payload>,
+}
+
+impl WireMsg {
+    /// The message's logical size on the wire — byte-for-byte equal to the
+    /// length of the old inline encoding (head minus the 8-byte digest,
+    /// plus the payload). All timing arithmetic derives from this.
+    pub fn wire_len(&self) -> usize {
+        match &self.payload {
+            Some(p) => self.head.len() - 8 + p.len(),
+            None => self.head.len(),
+        }
+    }
+}
+
+/// Appends the payload's length prefix and digest to the head (the bytes
+/// themselves ride out of band).
+fn put_payload(w: WireWriter, data: &Payload) -> WireWriter {
+    w.u32(data.len() as u32)
+        .u64(payload_digest(data.as_slice()))
+}
+
+/// Validates the out-of-band payload against the head's length and digest.
+fn take_payload(payload: Option<Payload>, len: u32, digest: u64) -> Result<Payload, WireError> {
+    let p = payload.ok_or(WireError::BadPayload)?;
+    if p.len() != len as usize || payload_digest(p.as_slice()) != digest {
+        return Err(WireError::BadPayload);
+    }
+    Ok(p)
+}
+
+/// Rejects a stray payload on a message kind that does not carry one.
+fn no_payload(payload: &Option<Payload>) -> Result<(), WireError> {
+    match payload {
+        Some(_) => Err(WireError::BadPayload),
+        None => Ok(()),
+    }
+}
 
 // Request tags.
 const RQ_GETCUSTODIAN: u8 = 1;
@@ -59,13 +122,17 @@ const ER_BADREQ: u8 = 14;
 const ER_UNREACHABLE: u8 = 15;
 const ER_TIMEDOUT: u8 = 16;
 
-/// Encodes a request to bytes.
-pub fn encode_request(req: &ViceRequest) -> Vec<u8> {
+/// Encodes a request to a sealable head plus optional bulk payload.
+pub fn encode_request(req: &ViceRequest) -> WireMsg {
+    let mut payload = None;
     let w = WireWriter::new();
-    match req {
+    let w = match req {
         ViceRequest::GetCustodian { path } => w.u8(RQ_GETCUSTODIAN).string(path),
         ViceRequest::Fetch { path } => w.u8(RQ_FETCH).string(path),
-        ViceRequest::Store { path, data } => w.u8(RQ_STORE).string(path).bytes(data),
+        ViceRequest::Store { path, data } => {
+            payload = Some(data.clone());
+            put_payload(w.u8(RQ_STORE).string(path), data)
+        }
         ViceRequest::Remove { path } => w.u8(RQ_REMOVE).string(path),
         ViceRequest::GetStatus { path } => w.u8(RQ_GETSTATUS).string(path),
         ViceRequest::SetMode { path, mode } => w.u8(RQ_SETMODE).string(path).u32(*mode as u32),
@@ -86,21 +153,31 @@ pub fn encode_request(req: &ViceRequest) -> Vec<u8> {
             w.u8(RQ_SETLOCK).string(path).boolean(*exclusive)
         }
         ViceRequest::ReleaseLock { path } => w.u8(RQ_RELEASELOCK).string(path),
+    };
+    WireMsg {
+        head: w.finish(),
+        payload,
     }
-    .finish()
 }
 
-/// Decodes a request from bytes.
-pub fn decode_request(bytes: &[u8]) -> Result<ViceRequest, WireError> {
-    let mut r = WireReader::new(bytes);
+/// Decodes a request from its head and out-of-band payload.
+pub fn decode_request(head: &[u8], payload: Option<Payload>) -> Result<ViceRequest, WireError> {
+    let mut r = WireReader::new(head);
     let tag = r.u8()?;
+    if tag != RQ_STORE {
+        no_payload(&payload)?;
+    }
     let req = match tag {
         RQ_GETCUSTODIAN => ViceRequest::GetCustodian { path: r.string()? },
         RQ_FETCH => ViceRequest::Fetch { path: r.string()? },
-        RQ_STORE => ViceRequest::Store {
-            path: r.string()?,
-            data: r.bytes()?,
-        },
+        RQ_STORE => {
+            let path = r.string()?;
+            let (len, digest) = (r.u32()?, r.u64()?);
+            ViceRequest::Store {
+                path,
+                data: take_payload(payload, len, digest)?,
+            }
+        }
         RQ_REMOVE => ViceRequest::Remove { path: r.string()? },
         RQ_GETSTATUS => ViceRequest::GetStatus { path: r.string()? },
         RQ_SETMODE => ViceRequest::SetMode {
@@ -218,13 +295,17 @@ fn decode_error(r: &mut WireReader<'_>) -> Result<ViceError, WireError> {
     })
 }
 
-/// Encodes a reply to bytes.
-pub fn encode_reply(reply: &ViceReply) -> Vec<u8> {
+/// Encodes a reply to a sealable head plus optional bulk payload.
+pub fn encode_reply(reply: &ViceReply) -> WireMsg {
+    let mut payload = None;
     let w = WireWriter::new();
-    match reply {
+    let w = match reply {
         ViceReply::Ok => w.u8(RP_OK),
         ViceReply::Status(s) => encode_status(w.u8(RP_STATUS), s),
-        ViceReply::Data { status, data } => encode_status(w.u8(RP_DATA), status).bytes(data),
+        ViceReply::Data { status, data } => {
+            payload = Some(data.clone());
+            put_payload(encode_status(w.u8(RP_DATA), status), data)
+        }
         ViceReply::Listing(entries) => {
             let mut w = w.u8(RP_LISTING).u32(entries.len() as u32);
             for (name, kind) in entries {
@@ -257,21 +338,31 @@ pub fn encode_reply(reply: &ViceReply) -> Vec<u8> {
         }
         ViceReply::Link(target) => w.u8(RP_LINK).string(target),
         ViceReply::Error(e) => encode_error(w.u8(RP_ERROR), e),
+    };
+    WireMsg {
+        head: w.finish(),
+        payload,
     }
-    .finish()
 }
 
-/// Decodes a reply from bytes.
-pub fn decode_reply(bytes: &[u8]) -> Result<ViceReply, WireError> {
-    let mut r = WireReader::new(bytes);
+/// Decodes a reply from its head and out-of-band payload.
+pub fn decode_reply(head: &[u8], payload: Option<Payload>) -> Result<ViceReply, WireError> {
+    let mut r = WireReader::new(head);
     let tag = r.u8()?;
+    if tag != RP_DATA {
+        no_payload(&payload)?;
+    }
     let reply = match tag {
         RP_OK => ViceReply::Ok,
         RP_STATUS => ViceReply::Status(decode_status(&mut r)?),
-        RP_DATA => ViceReply::Data {
-            status: decode_status(&mut r)?,
-            data: r.bytes()?,
-        },
+        RP_DATA => {
+            let status = decode_status(&mut r)?;
+            let (len, digest) = (r.u32()?, r.u64()?);
+            ViceReply::Data {
+                status,
+                data: take_payload(payload, len, digest)?,
+            }
+        }
         RP_LISTING => {
             let n = r.u32()?;
             let mut entries = Vec::with_capacity(n as usize);
@@ -366,7 +457,7 @@ mod tests {
             },
             ViceRequest::Store {
                 path: "/vice/a".into(),
-                data: vec![1, 2, 3],
+                data: vec![1, 2, 3].into(),
             },
             ViceRequest::Remove {
                 path: "/vice/a".into(),
@@ -428,7 +519,7 @@ mod tests {
             ViceReply::Status(sample_status()),
             ViceReply::Data {
                 status: sample_status(),
-                data: vec![9; 100],
+                data: vec![9; 100].into(),
             },
             ViceReply::Listing(vec![
                 ("a.txt".into(), EntryKind::File),
@@ -463,8 +554,9 @@ mod tests {
     #[test]
     fn every_request_round_trips() {
         for req in all_requests() {
-            let bytes = encode_request(&req);
-            let back = decode_request(&bytes).unwrap_or_else(|e| panic!("{req:?}: {e}"));
+            let msg = encode_request(&req);
+            let back = decode_request(&msg.head, msg.payload.clone())
+                .unwrap_or_else(|e| panic!("{req:?}: {e}"));
             assert_eq!(back, req);
         }
     }
@@ -472,10 +564,97 @@ mod tests {
     #[test]
     fn every_reply_round_trips() {
         for reply in all_replies() {
-            let bytes = encode_reply(&reply);
-            let back = decode_reply(&bytes).unwrap_or_else(|e| panic!("{reply:?}: {e}"));
+            let msg = encode_reply(&reply);
+            let back = decode_reply(&msg.head, msg.payload.clone())
+                .unwrap_or_else(|e| panic!("{reply:?}: {e}"));
             assert_eq!(back, reply);
         }
+    }
+
+    /// `wire_len` must reproduce the old inline encoding's length exactly —
+    /// the transport's timing arithmetic is derived from it, and the golden
+    /// timing tests pin those numbers bit-for-bit. The old inline format
+    /// was the head with the payload bytes spliced in after their length
+    /// prefix (and no digest).
+    #[test]
+    fn wire_len_matches_inline_encoding() {
+        for req in all_requests() {
+            let msg = encode_request(&req);
+            let inline = match &req {
+                ViceRequest::Store { .. } => {
+                    msg.head.len() - 8 + msg.payload.as_ref().unwrap().len()
+                }
+                _ => msg.head.len(),
+            };
+            assert_eq!(msg.wire_len(), inline, "{req:?}");
+        }
+        // A Store's wire length grows byte-for-byte with its payload.
+        let small = encode_request(&ViceRequest::Store {
+            path: "/v/f".into(),
+            data: vec![0; 10].into(),
+        });
+        let large = encode_request(&ViceRequest::Store {
+            path: "/v/f".into(),
+            data: vec![0; 1010].into(),
+        });
+        assert_eq!(large.wire_len() - small.wire_len(), 1000);
+        assert_eq!(large.head.len(), small.head.len());
+    }
+
+    /// Encoding never copies the file bytes: the payload in the `WireMsg`
+    /// shares its allocation with the request's payload.
+    #[test]
+    fn encode_shares_the_payload_allocation() {
+        let data: Payload = vec![5u8; 4096].into();
+        let req = ViceRequest::Store {
+            path: "/v/f".into(),
+            data: data.clone(),
+        };
+        crate::proto::payload::reset_bytes_copied();
+        let msg = encode_request(&req);
+        let back = decode_request(&msg.head, msg.payload.clone()).unwrap();
+        assert_eq!(crate::proto::payload::bytes_copied(), 0);
+        match back {
+            ViceRequest::Store { data: d, .. } => assert_eq!(d, data),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_or_missing_payload_rejected() {
+        let msg = encode_request(&ViceRequest::Store {
+            path: "/v/f".into(),
+            data: vec![1, 2, 3].into(),
+        });
+        // Missing payload.
+        assert_eq!(decode_request(&msg.head, None), Err(WireError::BadPayload));
+        // Tampered payload (digest mismatch).
+        assert_eq!(
+            decode_request(&msg.head, Some(vec![1, 2, 4].into())),
+            Err(WireError::BadPayload)
+        );
+        // Wrong length.
+        assert_eq!(
+            decode_request(&msg.head, Some(vec![1, 2].into())),
+            Err(WireError::BadPayload)
+        );
+        // A stray payload on a message that does not carry one.
+        let fetch = encode_request(&ViceRequest::Fetch { path: "/v".into() });
+        assert!(fetch.payload.is_none());
+        assert_eq!(
+            decode_request(&fetch.head, Some(vec![9].into())),
+            Err(WireError::BadPayload)
+        );
+        // Same checks on the reply side.
+        let rmsg = encode_reply(&ViceReply::Data {
+            status: sample_status(),
+            data: vec![7; 50].into(),
+        });
+        assert_eq!(decode_reply(&rmsg.head, None), Err(WireError::BadPayload));
+        assert_eq!(
+            decode_reply(&rmsg.head, Some(vec![7; 49].into())),
+            Err(WireError::BadPayload)
+        );
     }
 
     #[test]
@@ -489,13 +668,13 @@ mod tests {
 
     #[test]
     fn garbage_is_rejected() {
-        assert!(decode_request(&[]).is_err());
-        assert!(decode_request(&[200]).is_err());
-        assert!(decode_reply(&[0]).is_err());
+        assert!(decode_request(&[], None).is_err());
+        assert!(decode_request(&[200], None).is_err());
+        assert!(decode_reply(&[0], None).is_err());
         // Trailing garbage after a valid message is rejected.
-        let mut bytes = encode_request(&ViceRequest::Fetch { path: "/v".into() });
-        bytes.push(0);
-        assert!(decode_request(&bytes).is_err());
+        let mut msg = encode_request(&ViceRequest::Fetch { path: "/v".into() });
+        msg.head.push(0);
+        assert!(decode_request(&msg.head, msg.payload).is_err());
     }
 
     #[test]

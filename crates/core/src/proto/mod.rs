@@ -14,11 +14,13 @@
 //! anything that can speak these messages can join the system.
 
 mod codec;
+pub mod payload;
 mod types;
 
 pub use codec::{
-    decode_break, decode_reply, decode_request, encode_break, encode_reply, encode_request,
+    decode_break, decode_reply, decode_request, encode_break, encode_reply, encode_request, WireMsg,
 };
+pub use payload::Payload;
 pub use types::{
     CallbackBreak, EntryKind, ServerId, VStatus, ViceError, ViceReply, ViceRequest, VolumeId,
 };

@@ -1,5 +1,6 @@
 //! Protocol data types.
 
+use super::payload::Payload;
 use crate::protect::AccessList;
 
 /// Identifies a Vice cluster server.
@@ -160,8 +161,9 @@ pub enum ViceRequest {
     Store {
         /// Vice path.
         path: String,
-        /// Full new contents.
-        data: Vec<u8>,
+        /// Full new contents (refcounted: retries and the cache share one
+        /// buffer).
+        data: Payload,
     },
     /// Remove a file or symlink.
     Remove {
@@ -338,8 +340,8 @@ pub enum ViceReply {
     Data {
         /// Status of the fetched file.
         status: VStatus,
-        /// Entire file contents.
-        data: Vec<u8>,
+        /// Entire file contents (refcounted).
+        data: Payload,
     },
     /// Directory listing.
     Listing(Vec<(String, EntryKind)>),

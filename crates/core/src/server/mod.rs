@@ -18,8 +18,9 @@ pub use locks::{LockKind, LockTable};
 
 use crate::location::LocationDb;
 use crate::protect::{AccessList, ProtectionDomain, Rights};
+use crate::proto::payload::note_copy;
 use crate::proto::{
-    CallbackBreak, EntryKind, ServerId, VStatus, ViceError, ViceReply, ViceRequest,
+    CallbackBreak, EntryKind, Payload, ServerId, VStatus, ViceError, ViceReply, ViceRequest,
 };
 use crate::volume::{Volume, VolumeError, VolumeId};
 use itc_rpc::{NodeId, RpcStats};
@@ -42,11 +43,20 @@ pub struct QueuedRequest {
     pub from: NodeId,
     /// Idempotency token framed ahead of the request body.
     pub token: u64,
-    /// Undecoded request body.
+    /// Undecoded request head (everything but file contents).
     pub body: Vec<u8>,
+    /// The request's out-of-band bulk payload, shared by refcount with the
+    /// client's copy (a `Store`'s file bytes ride here, uncopied).
+    pub payload: Option<Payload>,
     /// When the request arrived at this server.
     pub arrived: SimTime,
 }
+
+/// Upper bound on remembered mutation replies. Retries of one logical call
+/// are immediate (within the same pumped exchange), so a FIFO window this
+/// deep can never evict an entry a live retry still needs; without a bound
+/// the cache grows by one entry per mutation forever.
+const REPLAY_CAP: usize = 1024;
 
 /// Cost components of one handled call, consumed by the timing kernel.
 #[derive(Debug, Clone, Copy, Default)]
@@ -85,6 +95,9 @@ pub struct Server {
     /// workstation and idempotency token. A retried mutation whose reply
     /// was lost is answered from here instead of being applied twice.
     replay: HashMap<(NodeId, u64), ViceReply>,
+    /// Insertion order of `replay` keys; the oldest entry is dropped once
+    /// the cache exceeds [`REPLAY_CAP`].
+    replay_order: VecDeque<(NodeId, u64)>,
     /// Requests that have arrived but not yet been dispatched. The event
     /// scheduler enqueues on request arrival and dequeues on service
     /// dispatch, so queue depth is an observable of the simulation.
@@ -120,6 +133,7 @@ impl Server {
             online: true,
             epoch: 0,
             replay: HashMap::new(),
+            replay_order: VecDeque::new(),
             queue: VecDeque::new(),
             queue_high_water: 0,
         }
@@ -170,6 +184,7 @@ impl Server {
         self.epoch += 1;
         self.callbacks.clear();
         self.replay.clear();
+        self.replay_order.clear();
         self.locks = LockTable::new();
         self.pending_breaks.clear();
         self.queue.clear();
@@ -191,9 +206,19 @@ impl Server {
         self.replay.get(&(from, token))
     }
 
-    /// Remembers the reply to an applied mutation for future replays.
+    /// Remembers the reply to an applied mutation for future replays. The
+    /// cache is bounded: once it holds [`REPLAY_CAP`] entries the oldest is
+    /// evicted, FIFO. (An entry only protects against retries of its own
+    /// logical call, which happen immediately; anything old enough to be
+    /// evicted can no longer be retried.)
     pub fn replay_record(&mut self, from: NodeId, token: u64, reply: ViceReply) {
-        self.replay.insert((from, token), reply);
+        if self.replay.insert((from, token), reply).is_none() {
+            self.replay_order.push_back((from, token));
+        }
+        while self.replay.len() > REPLAY_CAP {
+            let oldest = self.replay_order.pop_front().expect("order tracks map");
+            self.replay.remove(&oldest);
+        }
     }
 
     /// Number of remembered mutation replies (for tests).
@@ -465,7 +490,7 @@ impl Server {
             };
         }
 
-        let path = req.path().to_string();
+        let path = req.path();
         let want_write = matches!(
             req,
             ViceRequest::Store { .. }
@@ -477,10 +502,10 @@ impl Server {
                 | ViceRequest::SetAcl { .. }
                 | ViceRequest::MakeSymlink { .. }
         );
-        let Some(vol_idx) = self.volume_for(&path, want_write) else {
+        let Some(vol_idx) = self.volume_for(path, want_write) else {
             // Not ours: answer with the custodian hint, as Section 3.1
             // specifies.
-            let hint = self.location.custodian_of(&path);
+            let hint = self.location.custodian_of(path);
             return ViceReply::Error(ViceError::NotCustodian(hint));
         };
 
@@ -488,7 +513,7 @@ impl Server {
         // subtree than the volume we would serve from, that subtree lives
         // elsewhere (e.g. a user volume that moved away) and the enclosing
         // volume's stub directory must not shadow it.
-        if let Some((subtree, entry)) = self.location.lookup(&path) {
+        if let Some((subtree, entry)) = self.location.lookup(path) {
             let our_mount_len = self.volumes[vol_idx].mount().len();
             if subtree.len() > our_mount_len
                 && entry.custodian != self.id
@@ -532,7 +557,11 @@ impl Server {
                 let attr = fs.attr_of(resolved.ino).expect("resolved").clone();
                 match attr.ftype {
                     FileType::Regular => {
+                        // The one genuine copy on the fetch path: reading
+                        // the file out of the volume. From here to the
+                        // client's cache the bytes travel by refcount.
                         let data = fs.read_ino(resolved.ino).expect("regular file");
+                        note_copy(data.len());
                         cost.server_cpu += costs.srv_block_cpu(data.len() as u64);
                         cost.disk_bytes = data.len() as u64;
                         let status = match Self::status_of(&self.volumes[vol_idx], &internal) {
@@ -540,7 +569,10 @@ impl Server {
                             Err(e) => return ViceReply::Error(e),
                         };
                         self.promise(path, from, costs, cost);
-                        ViceReply::Data { status, data }
+                        ViceReply::Data {
+                            status,
+                            data: Payload::from_vec(data),
+                        }
                     }
                     FileType::Directory => {
                         // Directories are fetchable as serialized listings:
@@ -567,7 +599,10 @@ impl Server {
                             Err(e) => return ViceReply::Error(e),
                         };
                         self.promise(path, from, costs, cost);
-                        ViceReply::Data { status, data: blob }
+                        ViceReply::Data {
+                            status,
+                            data: Payload::from_vec(blob),
+                        }
                     }
                     FileType::Symlink => {
                         let target = fs.readlink(&internal).expect("is a symlink");
@@ -602,7 +637,9 @@ impl Server {
                 cost.disk_bytes = data.len() as u64;
                 let uid = uid_of(user);
                 let vol = &mut self.volumes[vol_idx];
-                match vol.store(&internal, uid, now.as_micros(), data.clone()) {
+                // The one genuine copy on the store path: writing the
+                // payload into the volume (`to_vec` counts it).
+                match vol.store(&internal, uid, now.as_micros(), data.to_vec()) {
                     Ok(_) => {
                         let status = match Self::status_of(&self.volumes[vol_idx], &internal) {
                             Ok(s) => s,

@@ -27,8 +27,8 @@
 use crate::monitor::TrafficMonitor;
 use crate::protect::ProtectionDomain;
 use crate::proto::{
-    decode_reply, decode_request, encode_reply, encode_request, ServerId, ViceError, ViceReply,
-    ViceRequest,
+    decode_reply, decode_request, encode_reply, encode_request, Payload, ServerId, ViceError,
+    ViceReply, ViceRequest,
 };
 use crate::server::{CallCost, QueuedRequest, Server};
 use crate::system::topology::Topology;
@@ -158,8 +158,14 @@ struct CallInFlight<'r> {
     server: ServerId,
     /// The request being issued (borrowed from Venus for the whole call).
     req: &'r ViceRequest,
-    /// Token-framed request plaintext, sealed anew on every attempt.
+    /// Token-framed request head, sealed anew on every attempt. File bytes
+    /// do not ride here: they travel out of band as `req_payload`.
     framed: Vec<u8>,
+    /// The request's bulk payload, shared (not copied) across every retry
+    /// attempt of this call.
+    req_payload: Option<Payload>,
+    /// The reply's bulk payload, riding alongside the sealed reply head.
+    reply_payload: Option<Payload>,
     /// Request size on the wire (encoded length + sealing overhead).
     req_wire: u64,
     /// Attempt counter (1-based once the first send fires).
@@ -357,6 +363,7 @@ impl SystemTransport<'_> {
                     from: call.ws,
                     token,
                     body: body.to_vec(),
+                    payload: call.req_payload.clone(),
                     arrived: at,
                 });
                 self.core.sched.schedule(at, NetEvent::ServiceDispatch);
@@ -369,7 +376,7 @@ impl SystemTransport<'_> {
                 let costs = self.kernel.costs().clone();
                 let srv = &mut self.topo.servers[sid];
                 let mut cost = CallCost::default();
-                let reply = match decode_request(&qr.body) {
+                let reply = match decode_request(&qr.body, qr.payload) {
                     Ok(decoded) => {
                         if let Some(cached) = decoded
                             .is_mutation()
@@ -394,14 +401,15 @@ impl SystemTransport<'_> {
                     }
                     Err(e) => ViceReply::Error(ViceError::BadRequest(e.to_string())),
                 };
-                let reply_plain = encode_reply(&reply);
-                call.reply_wire = reply_plain.len() as u64 + 40;
+                let msg = encode_reply(&reply);
+                call.reply_wire = msg.wire_len() as u64 + 40;
+                call.reply_payload = msg.payload;
                 let binding = self
                     .core
                     .bindings
                     .get_mut(&(call.ws, server))
                     .expect("bound");
-                let sealed_reply = binding.server_seal(&reply_plain);
+                let sealed_reply = binding.server_seal(&msg.head);
                 let fate = match self.core.faults.as_mut() {
                     Some(f) => f.reply_fault(server.0),
                     None => MessageFault::Deliver,
@@ -466,17 +474,20 @@ impl SystemTransport<'_> {
                 if call.duplicate && binding.client_open(&sealed).is_err() {
                     self.core.call_stats.duplicates_ignored += 1;
                 }
-                let reply = decode_reply(&reply_clear).map_err(|e| e.to_string())?;
+                let reply = decode_reply(&reply_clear, call.reply_payload.take())
+                    .map_err(|e| e.to_string())?;
 
                 // Traffic monitoring (Section 3.6): attribute the call to
                 // the covering custodianship subtree and caller's cluster.
+                // The interned lookup hands back the subtree's shared key,
+                // so recording is a refcount bump, not a String allocation.
                 if let Some(m) = self.monitor.as_mut() {
-                    if let Some((subtree, _)) =
-                        self.topo.servers[0].location().lookup(call.req.path())
+                    if let Some((subtree, _)) = self.topo.servers[0]
+                        .location()
+                        .lookup_interned(call.req.path())
                     {
                         let origin = self.topo.network.cluster_of(call.ws);
-                        let subtree = subtree.to_string();
-                        m.record(&subtree, origin.0);
+                        m.record_interned(&subtree, origin.0);
                     }
                 }
                 self.topo.servers[sid].record_call(
@@ -541,17 +552,21 @@ impl ViceTransport for SystemTransport<'_> {
         // retry instead of being applied twice.
         self.core.next_token += 1;
         let token = self.core.next_token;
-        let req_bytes = encode_request(req);
-        let mut framed = Vec::with_capacity(8 + req_bytes.len());
+        let msg = encode_request(req);
+        let mut framed = Vec::with_capacity(8 + msg.head.len());
         framed.extend_from_slice(&token.to_be_bytes());
-        framed.extend_from_slice(&req_bytes);
+        framed.extend_from_slice(&msg.head);
 
         let mut call = CallInFlight {
             ws,
             server,
             req,
-            req_wire: req_bytes.len() as u64 + 40, // token + sealing overhead
+            // wire_len reproduces the old inline encoding exactly; 40
+            // covers the token and sealing overhead, as before.
+            req_wire: msg.wire_len() as u64 + 40,
             framed,
+            req_payload: msg.payload,
+            reply_payload: None,
             attempt: 0,
             attempt_start: at,
             extra: SimTime::ZERO,

@@ -11,10 +11,19 @@
 //! count-limited LRU (the prototype — "Venus limits the total number of
 //! files in the cache rather than the total size") and space-limited LRU
 //! (the revised implementation).
+//!
+//! Recency is an intrusive doubly-linked list threaded through a slot
+//! slab, with a `HashMap` from interned `Arc<str>` paths to slot indices:
+//! lookup, touch, insert, and each eviction are all O(1), where the
+//! original implementation rescanned every entry per victim. Contents are
+//! refcounted [`Payload`]s, so a cache hit hands bytes back without
+//! copying and eviction returns the interned key rather than allocating a
+//! fresh `String`.
 
 use crate::config::CachePolicy;
-use crate::proto::VStatus;
+use crate::proto::{Payload, VStatus};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// What a cache entry holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,8 +37,9 @@ pub enum EntryKind {
 /// One cached object.
 #[derive(Debug, Clone)]
 pub struct CacheEntry {
-    /// Entire contents (file bytes or listing blob).
-    pub data: Vec<u8>,
+    /// Entire contents (file bytes or listing blob), shared by refcount
+    /// with whoever fetched or opened them.
+    pub data: Payload,
     /// Status as of the fetch (version is what validation compares).
     pub status: VStatus,
     /// Entry kind.
@@ -37,8 +47,6 @@ pub struct CacheEntry {
     /// Callback-mode validity: true while the server's promise stands.
     /// Check-on-open mode ignores this and always revalidates.
     pub valid: bool,
-    /// LRU tick of last use.
-    last_used: u64,
 }
 
 /// Cache statistics.
@@ -66,12 +74,34 @@ impl CacheStats {
     }
 }
 
+/// Sentinel slot index terminating the recency list.
+const NIL: usize = usize::MAX;
+
+/// A slab slot: the entry plus its links in the recency list.
+#[derive(Debug)]
+struct Slot {
+    /// The interned path, shared with the index key.
+    path: Arc<str>,
+    entry: CacheEntry,
+    /// More recently used neighbor (toward the head).
+    prev: usize,
+    /// Less recently used neighbor (toward the tail).
+    next: usize,
+}
+
 /// The Venus file cache.
 #[derive(Debug)]
 pub struct Cache {
-    entries: HashMap<String, CacheEntry>,
+    /// Slot slab; freed indices are recycled via `free`.
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Interned path → slot index.
+    index: HashMap<Arc<str>, usize>,
+    /// Most recently used slot (NIL when empty).
+    head: usize,
+    /// Least recently used slot (NIL when empty).
+    tail: usize,
     policy: CachePolicy,
-    tick: u64,
     bytes: u64,
     stats: CacheStats,
 }
@@ -80,9 +110,12 @@ impl Cache {
     /// Creates an empty cache under the given policy.
     pub fn new(policy: CachePolicy) -> Cache {
         Cache {
-            entries: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
             policy,
-            tick: 0,
             bytes: 0,
             stats: CacheStats::default(),
         }
@@ -95,12 +128,12 @@ impl Cache {
 
     /// Number of cached objects.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
     /// Total cached bytes.
@@ -123,56 +156,106 @@ impl Cache {
         self.stats.misses += 1;
     }
 
+    /// Unlinks slot `i` from the recency list.
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    /// Links slot `i` in as the most recently used.
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
     /// Looks up an entry, refreshing its LRU position.
     pub fn get(&mut self, path: &str) -> Option<&CacheEntry> {
-        self.tick += 1;
-        let tick = self.tick;
-        match self.entries.get_mut(path) {
-            Some(e) => {
-                e.last_used = tick;
-                Some(&*e)
-            }
-            None => None,
-        }
+        let i = *self.index.get(path)?;
+        self.detach(i);
+        self.push_front(i);
+        Some(&self.slots[i].entry)
     }
 
     /// Looks up without touching LRU state (for inspection in tests and
     /// metrics).
     pub fn peek(&self, path: &str) -> Option<&CacheEntry> {
-        self.entries.get(path)
+        self.index.get(path).map(|&i| &self.slots[i].entry)
     }
 
     /// Inserts or replaces an entry, then evicts per policy. Returns the
-    /// paths evicted.
+    /// interned paths evicted.
     pub fn insert(
         &mut self,
         path: &str,
-        data: Vec<u8>,
+        data: Payload,
         status: VStatus,
         kind: EntryKind,
-    ) -> Vec<String> {
-        self.tick += 1;
-        if let Some(old) = self.entries.remove(path) {
-            self.bytes -= old.data.len() as u64;
-        }
+    ) -> Vec<Arc<str>> {
         self.bytes += data.len() as u64;
-        self.entries.insert(
-            path.to_string(),
-            CacheEntry {
-                data,
-                status,
-                kind,
-                valid: true,
-                last_used: self.tick,
-            },
-        );
-        self.evict(path)
+        let entry = CacheEntry {
+            data,
+            status,
+            kind,
+            valid: true,
+        };
+        let protect = match self.index.get(path) {
+            Some(&i) => {
+                // Replace in place, keeping the interned key, and make the
+                // entry most recent (the old implementation removed and
+                // reinserted, with the same net recency).
+                self.bytes -= self.slots[i].entry.data.len() as u64;
+                self.slots[i].entry = entry;
+                self.detach(i);
+                self.push_front(i);
+                i
+            }
+            None => {
+                let key: Arc<str> = Arc::from(path);
+                let slot = Slot {
+                    path: Arc::clone(&key),
+                    entry,
+                    prev: NIL,
+                    next: NIL,
+                };
+                let i = match self.free.pop() {
+                    Some(i) => {
+                        self.slots[i] = slot;
+                        i
+                    }
+                    None => {
+                        self.slots.push(slot);
+                        self.slots.len() - 1
+                    }
+                };
+                self.index.insert(key, i);
+                self.push_front(i);
+                i
+            }
+        };
+        self.evict(protect)
     }
 
     /// Marks an entry invalid (callback break). Returns true if present.
     pub fn invalidate(&mut self, path: &str) -> bool {
-        match self.entries.get_mut(path) {
-            Some(e) => {
+        match self.index.get(path) {
+            Some(&i) => {
+                let e = &mut self.slots[i].entry;
                 if e.valid {
                     e.valid = false;
                     self.stats.invalidations += 1;
@@ -188,23 +271,28 @@ impl Cache {
     /// whose cached copy is newer than anything a server holds). Used when
     /// Venus discovers a server restarted: its callback promises died with
     /// it, so every copy that relied on one must be revalidated on next
-    /// use. Returns how many entries were invalidated.
-    pub fn invalidate_suspect(&mut self, keep: impl Fn(&str) -> bool) -> usize {
-        let mut n = 0;
-        for (path, e) in self.entries.iter_mut() {
-            if e.valid && !e.status.read_only && !keep(path) {
+    /// use. Returns the interned paths invalidated.
+    pub fn invalidate_suspect(&mut self, keep: impl Fn(&str) -> bool) -> Vec<Arc<str>> {
+        let mut hit = Vec::new();
+        let mut i = self.head;
+        while i != NIL {
+            let slot = &mut self.slots[i];
+            let e = &mut slot.entry;
+            if e.valid && !e.status.read_only && !keep(&slot.path) {
                 e.valid = false;
                 self.stats.invalidations += 1;
-                n += 1;
+                hit.push(Arc::clone(&slot.path));
             }
+            i = slot.next;
         }
-        n
+        hit
     }
 
     /// Marks an entry valid again (after a successful validation) and
     /// optionally refreshes its status.
     pub fn revalidate(&mut self, path: &str, status: Option<VStatus>) {
-        if let Some(e) = self.entries.get_mut(path) {
+        if let Some(&i) = self.index.get(path) {
+            let e = &mut self.slots[i].entry;
             e.valid = true;
             if let Some(s) = status {
                 e.status = s;
@@ -214,52 +302,67 @@ impl Cache {
 
     /// Updates the contents of a cached entry in place (after a successful
     /// store: the cache copy is the new authoritative contents).
-    pub fn update(&mut self, path: &str, data: Vec<u8>, status: VStatus) -> Vec<String> {
+    pub fn update(&mut self, path: &str, data: Payload, status: VStatus) -> Vec<Arc<str>> {
         self.insert(path, data, status, EntryKind::File)
     }
 
     /// Removes an entry outright (file deleted).
     pub fn remove(&mut self, path: &str) {
-        if let Some(old) = self.entries.remove(path) {
-            self.bytes -= old.data.len() as u64;
+        if let Some(i) = self.index.remove(path) {
+            self.bytes -= self.slots[i].entry.data.len() as u64;
+            self.detach(i);
+            self.release(i);
         }
     }
 
     /// Drops everything (used when simulating a workstation wipe or a
     /// different user sitting down at a public workstation).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.index.clear();
+        self.head = NIL;
+        self.tail = NIL;
         self.bytes = 0;
     }
 
+    /// Returns slot `i` to the free list, dropping its contents.
+    fn release(&mut self, i: usize) {
+        // Leave a tombstone so the payload's refcount drops now, not when
+        // the slot is eventually reused.
+        self.slots[i].entry.data = Payload::empty();
+        self.slots[i].path = Arc::from("");
+        self.free.push(i);
+    }
+
     /// Evicts least-recently-used entries until the policy is satisfied,
-    /// never evicting `protect` (the entry just inserted).
-    fn evict(&mut self, protect: &str) -> Vec<String> {
+    /// never evicting `protect` (the entry just inserted). Each eviction is
+    /// O(1): the victim is the list tail (or its neighbor when the tail is
+    /// protected), where the original implementation scanned every entry.
+    fn evict(&mut self, protect: usize) -> Vec<Arc<str>> {
         let mut evicted = Vec::new();
         loop {
             let over = match self.policy {
-                CachePolicy::CountLru(max) => self.entries.len() > max,
+                CachePolicy::CountLru(max) => self.index.len() > max,
                 CachePolicy::SpaceLru(max) => self.bytes > max,
             };
             if !over {
                 break;
             }
-            let victim = self
-                .entries
-                .iter()
-                .filter(|(p, _)| p.as_str() != protect)
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(p, _)| p.clone());
-            match victim {
-                Some(p) => {
-                    if let Some(old) = self.entries.remove(&p) {
-                        self.bytes -= old.data.len() as u64;
-                    }
-                    self.stats.evictions += 1;
-                    evicted.push(p);
-                }
-                None => break, // only the protected entry remains
+            let mut victim = self.tail;
+            if victim == protect {
+                victim = self.slots[victim].prev;
             }
+            if victim == NIL {
+                break; // only the protected entry remains
+            }
+            let path = Arc::clone(&self.slots[victim].path);
+            self.bytes -= self.slots[victim].entry.data.len() as u64;
+            self.index.remove(&path);
+            self.detach(victim);
+            self.release(victim);
+            self.stats.evictions += 1;
+            evicted.push(path);
         }
         evicted
     }
@@ -269,6 +372,7 @@ impl Cache {
 mod tests {
     use super::*;
     use crate::proto::EntryKind as PKind;
+    use itc_sim::SimRng;
 
     fn status(path: &str, version: u64, size: u64) -> VStatus {
         VStatus {
@@ -284,15 +388,34 @@ mod tests {
         }
     }
 
+    fn paths(v: &[Arc<str>]) -> Vec<&str> {
+        v.iter().map(|p| &**p).collect()
+    }
+
     #[test]
     fn count_lru_evicts_oldest() {
         let mut c = Cache::new(CachePolicy::CountLru(2));
-        c.insert("/v/a", vec![1], status("/v/a", 1, 1), EntryKind::File);
-        c.insert("/v/b", vec![2], status("/v/b", 1, 1), EntryKind::File);
+        c.insert(
+            "/v/a",
+            vec![1].into(),
+            status("/v/a", 1, 1),
+            EntryKind::File,
+        );
+        c.insert(
+            "/v/b",
+            vec![2].into(),
+            status("/v/b", 1, 1),
+            EntryKind::File,
+        );
         // Touch /v/a so /v/b becomes LRU.
         c.get("/v/a");
-        let evicted = c.insert("/v/c", vec![3], status("/v/c", 1, 1), EntryKind::File);
-        assert_eq!(evicted, vec!["/v/b".to_string()]);
+        let evicted = c.insert(
+            "/v/c",
+            vec![3].into(),
+            status("/v/c", 1, 1),
+            EntryKind::File,
+        );
+        assert_eq!(paths(&evicted), ["/v/b"]);
         assert!(c.peek("/v/a").is_some());
         assert!(c.peek("/v/b").is_none());
         assert_eq!(c.stats().evictions, 1);
@@ -301,12 +424,27 @@ mod tests {
     #[test]
     fn space_lru_tracks_bytes() {
         let mut c = Cache::new(CachePolicy::SpaceLru(100));
-        c.insert("/v/a", vec![0; 60], status("/v/a", 1, 60), EntryKind::File);
-        c.insert("/v/b", vec![0; 30], status("/v/b", 1, 30), EntryKind::File);
+        c.insert(
+            "/v/a",
+            vec![0; 60].into(),
+            status("/v/a", 1, 60),
+            EntryKind::File,
+        );
+        c.insert(
+            "/v/b",
+            vec![0; 30].into(),
+            status("/v/b", 1, 30),
+            EntryKind::File,
+        );
         assert_eq!(c.bytes(), 90);
         // 50 more bytes forces /v/a (LRU) out.
-        let evicted = c.insert("/v/c", vec![0; 50], status("/v/c", 1, 50), EntryKind::File);
-        assert_eq!(evicted, vec!["/v/a".to_string()]);
+        let evicted = c.insert(
+            "/v/c",
+            vec![0; 50].into(),
+            status("/v/c", 1, 50),
+            EntryKind::File,
+        );
+        assert_eq!(paths(&evicted), ["/v/a"]);
         assert_eq!(c.bytes(), 80);
     }
 
@@ -317,7 +455,7 @@ mod tests {
         // its bound, but evicting the file being opened would be absurd).
         let evicted = c.insert(
             "/v/huge",
-            vec![0; 50],
+            vec![0; 50].into(),
             status("/v/huge", 1, 50),
             EntryKind::File,
         );
@@ -330,11 +468,16 @@ mod tests {
         let mut c = Cache::new(CachePolicy::SpaceLru(1000));
         c.insert(
             "/v/a",
-            vec![0; 100],
+            vec![0; 100].into(),
             status("/v/a", 1, 100),
             EntryKind::File,
         );
-        c.insert("/v/a", vec![0; 10], status("/v/a", 2, 10), EntryKind::File);
+        c.insert(
+            "/v/a",
+            vec![0; 10].into(),
+            status("/v/a", 2, 10),
+            EntryKind::File,
+        );
         assert_eq!(c.bytes(), 10);
         assert_eq!(c.len(), 1);
         assert_eq!(c.peek("/v/a").unwrap().status.version, 2);
@@ -343,7 +486,12 @@ mod tests {
     #[test]
     fn invalidate_and_revalidate() {
         let mut c = Cache::new(CachePolicy::CountLru(10));
-        c.insert("/v/a", vec![1], status("/v/a", 1, 1), EntryKind::File);
+        c.insert(
+            "/v/a",
+            vec![1].into(),
+            status("/v/a", 1, 1),
+            EntryKind::File,
+        );
         assert!(c.peek("/v/a").unwrap().valid);
         assert!(c.invalidate("/v/a"));
         assert!(!c.peek("/v/a").unwrap().valid);
@@ -361,8 +509,18 @@ mod tests {
     #[test]
     fn remove_and_clear() {
         let mut c = Cache::new(CachePolicy::CountLru(10));
-        c.insert("/v/a", vec![0; 5], status("/v/a", 1, 5), EntryKind::File);
-        c.insert("/v/b", vec![0; 5], status("/v/b", 1, 5), EntryKind::File);
+        c.insert(
+            "/v/a",
+            vec![0; 5].into(),
+            status("/v/a", 1, 5),
+            EntryKind::File,
+        );
+        c.insert(
+            "/v/b",
+            vec![0; 5].into(),
+            status("/v/b", 1, 5),
+            EntryKind::File,
+        );
         c.remove("/v/a");
         assert_eq!(c.len(), 1);
         assert_eq!(c.bytes(), 5);
@@ -388,17 +546,143 @@ mod tests {
         let mut c = Cache::new(CachePolicy::CountLru(10));
         c.insert(
             "/v/dir",
-            b"fa\nfb\n".to_vec(),
+            b"fa\nfb\n".to_vec().into(),
             status("/v/dir", 1, 6),
             EntryKind::Directory,
         );
         c.insert(
             "/v/dir/a",
-            vec![1],
+            vec![1].into(),
             status("/v/dir/a", 1, 1),
             EntryKind::File,
         );
         assert_eq!(c.peek("/v/dir").unwrap().kind, EntryKind::Directory);
         assert_eq!(c.peek("/v/dir/a").unwrap().kind, EntryKind::File);
+    }
+
+    #[test]
+    fn slots_are_recycled_after_eviction() {
+        let mut c = Cache::new(CachePolicy::CountLru(2));
+        for i in 0..100 {
+            let p = format!("/v/f{i}");
+            c.insert(&p, vec![0; 4].into(), status(&p, 1, 4), EntryKind::File);
+        }
+        assert_eq!(c.len(), 2);
+        // The slab never grows past capacity + the one slot in flight.
+        assert!(c.slots.len() <= 3, "slab grew to {}", c.slots.len());
+        assert_eq!(c.stats().evictions, 98);
+    }
+
+    /// The reference implementation the O(1) list replaced: a full scan
+    /// for the entry with the smallest last-used tick. Driving both with
+    /// the same random operation stream must evict identical victims in
+    /// identical order — recency order and tick order are the same total
+    /// order because ticks are unique and monotone.
+    struct ScanModel {
+        entries: HashMap<String, (u64, u64)>, // path -> (last_used, size)
+        tick: u64,
+        bytes: u64,
+    }
+
+    impl ScanModel {
+        fn new() -> ScanModel {
+            ScanModel {
+                entries: HashMap::new(),
+                tick: 0,
+                bytes: 0,
+            }
+        }
+
+        fn get(&mut self, path: &str) {
+            self.tick += 1;
+            let tick = self.tick;
+            if let Some(e) = self.entries.get_mut(path) {
+                e.0 = tick;
+            }
+        }
+
+        fn insert(&mut self, path: &str, size: u64, policy: CachePolicy) -> Vec<String> {
+            self.tick += 1;
+            if let Some(old) = self.entries.remove(path) {
+                self.bytes -= old.1;
+            }
+            self.bytes += size;
+            self.entries.insert(path.to_string(), (self.tick, size));
+            let mut evicted = Vec::new();
+            loop {
+                let over = match policy {
+                    CachePolicy::CountLru(max) => self.entries.len() > max,
+                    CachePolicy::SpaceLru(max) => self.bytes > max,
+                };
+                if !over {
+                    break;
+                }
+                let victim = self
+                    .entries
+                    .iter()
+                    .filter(|(p, _)| p.as_str() != path)
+                    .min_by_key(|(_, e)| e.0)
+                    .map(|(p, _)| p.clone());
+                match victim {
+                    Some(p) => {
+                        let old = self.entries.remove(&p).unwrap();
+                        self.bytes -= old.1;
+                        evicted.push(p);
+                    }
+                    None => break,
+                }
+            }
+            evicted
+        }
+
+        fn remove(&mut self, path: &str) {
+            if let Some(old) = self.entries.remove(path) {
+                self.bytes -= old.1;
+            }
+        }
+    }
+
+    #[test]
+    fn list_lru_evicts_same_victims_as_scan() {
+        for (seed, policy) in [
+            (0x1985_0001, CachePolicy::CountLru(8)),
+            (0x1985_0002, CachePolicy::CountLru(1)),
+            (0x1985_0003, CachePolicy::SpaceLru(200)),
+            (0x1985_0004, CachePolicy::SpaceLru(64)),
+        ] {
+            let mut rng = SimRng::seeded(seed);
+            let mut cache = Cache::new(policy);
+            let mut model = ScanModel::new();
+            for step in 0..2000 {
+                let path = format!("/v/f{}", rng.range(0, 24));
+                match rng.range(0, 10) {
+                    0..=4 => {
+                        let size = rng.range(1, 64);
+                        let got = cache.insert(
+                            &path,
+                            vec![0u8; size as usize].into(),
+                            status(&path, 1, size),
+                            EntryKind::File,
+                        );
+                        let want = model.insert(&path, size, policy);
+                        assert_eq!(
+                            paths(&got),
+                            want.iter().map(String::as_str).collect::<Vec<_>>(),
+                            "step {step} policy {policy:?}"
+                        );
+                    }
+                    5..=8 => {
+                        cache.get(&path);
+                        model.get(&path);
+                    }
+                    _ => {
+                        cache.remove(&path);
+                        model.remove(&path);
+                    }
+                }
+                assert_eq!(cache.len(), model.entries.len(), "step {step}");
+                assert_eq!(cache.bytes(), model.bytes, "step {step}");
+            }
+        }
     }
 }

@@ -36,8 +36,9 @@ pub use cache::{Cache, CacheEntry, CacheStats};
 pub use namespace::{Namespace, Space, WorkstationType, VICE_MOUNT};
 
 use crate::config::{CachePolicy, WritePolicy};
+use crate::location::subtree_covers;
 use crate::protect::AccessList;
-use crate::proto::{EntryKind, ServerId, VStatus, ViceError, ViceReply, ViceRequest};
+use crate::proto::{EntryKind, Payload, ServerId, VStatus, ViceError, ViceReply, ViceRequest};
 use itc_cryptbox::Key;
 use itc_rpc::NodeId;
 use itc_sim::{Costs, SimTime, TraversalMode, ValidationMode};
@@ -157,11 +158,12 @@ struct Session {
     key: Key,
 }
 
-/// An open file description.
+/// An open file description. The contents share their allocation with the
+/// cache entry they were opened from until the first write.
 #[derive(Debug)]
 struct OpenFile {
     space: Space,
-    data: Vec<u8>,
+    data: Payload,
     dirty: bool,
     writable: bool,
 }
@@ -358,8 +360,7 @@ impl Venus {
     fn hint_for(&self, vice_path: &str) -> Option<(ServerId, Vec<ServerId>)> {
         let mut best: Option<(&String, &(ServerId, Vec<ServerId>))> = None;
         for (root, entry) in &self.hints {
-            let matches = vice_path == root.as_str() || vice_path.starts_with(&format!("{root}/"));
-            if matches && best.is_none_or(|(b, _)| root.len() > b.len()) {
+            if subtree_covers(root, vice_path) && best.is_none_or(|(b, _)| root.len() > b.len()) {
                 best = Some((root, entry));
             }
         }
@@ -367,9 +368,8 @@ impl Venus {
     }
 
     fn drop_hint_for(&mut self, vice_path: &str) {
-        self.hints.retain(|root, _| {
-            !(vice_path == root.as_str() || vice_path.starts_with(&format!("{root}/")))
-        });
+        self.hints
+            .retain(|root, _| !subtree_covers(root, vice_path));
     }
 
     /// Learns the custodian of `vice_path`, consulting the hint cache
@@ -549,12 +549,13 @@ impl Venus {
     }
 
     /// Makes sure a current copy of `vice_path` is in the cache, fetching
-    /// or validating as the mode requires. Returns the file contents.
+    /// or validating as the mode requires. Returns the file contents,
+    /// shared by refcount with the cache entry — a hit copies nothing.
     fn ensure_cached(
         &mut self,
         t: &mut dyn ViceTransport,
         vice_path: &str,
-    ) -> Result<Vec<u8>, VenusError> {
+    ) -> Result<Payload, VenusError> {
         self.stats.vice_opens += 1;
         self.walk_client_side(t, vice_path)?;
 
@@ -645,6 +646,8 @@ impl Venus {
                 } else {
                     cache::EntryKind::File
                 };
+                // The cache entry and the returned handle share the fetched
+                // allocation: the clone is a refcount bump.
                 self.cache.insert(vice_path, data.clone(), status, kind);
                 Ok(data)
             }
@@ -667,7 +670,7 @@ impl Venus {
         let space = self.namespace.classify(path, true)?;
         let (data, space) = match space {
             Space::Local(p) => {
-                let data = self.namespace.local().read(&p)?;
+                let data = Payload::from_vec(self.namespace.local().read(&p)?);
                 self.charge_local_disk(data.len() as u64);
                 (data, Space::Local(p))
             }
@@ -686,13 +689,13 @@ impl Venus {
         let space = self.namespace.classify(path, true)?;
         let (data, space) = match space {
             Space::Local(p) => {
-                let data = self.namespace.local().read(&p).unwrap_or_default();
+                let data = Payload::from_vec(self.namespace.local().read(&p).unwrap_or_default());
                 (data, Space::Local(p))
             }
             Space::Vice(vp) => {
                 let data = match self.ensure_cached(t, &vp) {
                     Ok(d) => d,
-                    Err(VenusError::Vice(ViceError::NoSuchFile(_))) => Vec::new(),
+                    Err(VenusError::Vice(ViceError::NoSuchFile(_))) => Payload::empty(),
                     Err(e) => return Err(e),
                 };
                 (data, Space::Vice(vp))
@@ -701,7 +704,7 @@ impl Venus {
         Ok(self.install_handle(space, data, true))
     }
 
-    fn install_handle(&mut self, space: Space, data: Vec<u8>, writable: bool) -> u64 {
+    fn install_handle(&mut self, space: Space, data: Payload, writable: bool) -> u64 {
         let h = self.next_handle;
         self.next_handle += 1;
         self.open_files.insert(
@@ -741,7 +744,7 @@ impl Venus {
                 "handle opened read-only".to_string(),
             )));
         }
-        f.data = data;
+        f.data = Payload::from_vec(data);
         f.dirty = true;
         Ok(())
     }
@@ -757,7 +760,7 @@ impl Venus {
                 "handle opened read-only".to_string(),
             )));
         }
-        f.data.extend_from_slice(bytes);
+        f.data.edit(|v| v.extend_from_slice(bytes));
         f.dirty = true;
         Ok(())
     }
@@ -779,7 +782,9 @@ impl Venus {
             Space::Local(p) => {
                 self.charge_local_disk(f.data.len() as u64);
                 let now_us = self.now.as_micros();
-                self.namespace.local_mut().write(&p, 0, now_us, f.data)?;
+                self.namespace
+                    .local_mut()
+                    .write(&p, 0, now_us, f.data.into_vec())?;
                 Ok(())
             }
             Space::Vice(vp) => {
@@ -808,12 +813,13 @@ impl Venus {
     }
 
     /// Transmits a whole file to its custodian and refreshes the cache
-    /// entry with the authoritative status.
+    /// entry with the authoritative status. The request, any retries, and
+    /// the refreshed cache entry all share `data`'s allocation.
     fn store_back(
         &mut self,
         t: &mut dyn ViceTransport,
         vp: &str,
-        data: Vec<u8>,
+        data: Payload,
     ) -> Result<(), VenusError> {
         // Reading the cached copy off the local disk to transmit.
         self.charge_local_disk(data.len() as u64);

@@ -157,7 +157,7 @@ impl Volume {
 
     /// Whether this volume's mount covers `vice_path`.
     pub fn covers(&self, vice_path: &str) -> bool {
-        vice_path == self.mount || vice_path.starts_with(&format!("{}/", self.mount))
+        crate::location::subtree_covers(&self.mount, vice_path)
     }
 
     /// Translates a Vice path into this volume's internal path.
@@ -165,10 +165,11 @@ impl Volume {
     pub fn internal_path(&self, vice_path: &str) -> Option<String> {
         if vice_path == self.mount {
             Some("/".to_string())
+        } else if crate::location::subtree_covers(&self.mount, vice_path) {
+            // Keep the leading '/' of the remainder: "/mount/a/b" -> "/a/b".
+            Some(vice_path[self.mount.len()..].to_string())
         } else {
-            vice_path
-                .strip_prefix(&format!("{}/", self.mount))
-                .map(|rest| format!("/{rest}"))
+            None
         }
     }
 

@@ -84,7 +84,7 @@ fn fetch_checks_rights_and_returns_data_with_status() {
             WS,
             ViceRequest::Store {
                 path: "/vice/t/hello.txt".into(),
-                data: vec![]
+                data: vec![].into()
             }
         ),
         ViceReply::Error(ViceError::PermissionDenied(_))
@@ -180,7 +180,7 @@ fn callback_promises_registered_and_broken() {
         WS,
         ViceRequest::Store {
             path: "/vice/t/hello.txt".into(),
-            data: b"v2".to_vec(),
+            data: b"v2".to_vec().into(),
         },
     );
     let breaks = srv.drain_breaks();
@@ -208,7 +208,7 @@ fn check_on_open_mode_keeps_no_callback_state() {
         WS2,
         ViceRequest::Store {
             path: "/vice/t/hello.txt".into(),
-            data: b"v2".to_vec(),
+            data: b"v2".to_vec().into(),
         },
     );
     assert_eq!(srv.callback_promises(), 0);
@@ -299,7 +299,7 @@ fn directory_fetch_returns_a_listing_blob() {
     ) {
         ViceReply::Data { status, data } => {
             assert_eq!(status.kind, itc_core::proto::EntryKind::Dir);
-            let text = String::from_utf8(data).unwrap();
+            let text = String::from_utf8(data.into_vec()).unwrap();
             assert!(text.contains("fhello.txt"), "{text}");
             assert!(text.contains("dsub"), "{text}");
         }
@@ -453,7 +453,7 @@ fn readonly_replica_serves_reads_but_not_writes() {
             WS,
             ViceRequest::Store {
                 path: "/vice/t/hello.txt".into(),
-                data: b"x".to_vec()
+                data: b"x".to_vec().into()
             }
         ),
         ViceReply::Error(ViceError::ReadOnlyVolume(_))
@@ -537,7 +537,7 @@ fn server_side_traversal_charges_per_component() {
         WS,
         ViceRequest::Store {
             path: "/vice/t/a/b/deep.txt".into(),
-            data: b"d".to_vec(),
+            data: b"d".to_vec().into(),
         },
     );
     let (_, deep) = srv.handle(
@@ -555,4 +555,35 @@ fn server_side_traversal_charges_per_component() {
         deep.server_cpu,
         shallow.server_cpu
     );
+}
+
+#[test]
+fn replay_cache_stays_bounded_under_duplicate_storm() {
+    // A client that never acks (or a fleet of them) must not grow the
+    // server's at-most-once replay cache without bound: 10k distinct
+    // mutation tokens from two workstations, each recorded twice (the
+    // duplicate is the retry the cache exists to absorb).
+    let mut srv = make_server(ValidationMode::CheckOnOpen);
+    let reply = ViceReply::Ok;
+    for token in 0..10_000u64 {
+        let from = if token % 2 == 0 { WS } else { WS2 };
+        srv.replay_record(from, token, reply.clone());
+        srv.replay_record(from, token, reply.clone()); // duplicate record
+        assert!(
+            srv.replay_entries() <= 1024,
+            "replay cache grew past its cap at token {token}: {}",
+            srv.replay_entries()
+        );
+    }
+    assert_eq!(srv.replay_entries(), 1024);
+    // Eviction is oldest-first: the most recent tokens still answer,
+    // the storm's earliest are gone.
+    assert!(srv.replay_lookup(WS2, 9_999).is_some());
+    assert!(srv.replay_lookup(WS, 9_998).is_some());
+    assert!(srv.replay_lookup(WS, 0).is_none());
+    assert!(srv.replay_lookup(WS2, 1).is_none());
+    // A crash wipes the cache entirely (promises and replay state are
+    // soft server state).
+    srv.crash();
+    assert_eq!(srv.replay_entries(), 0);
 }

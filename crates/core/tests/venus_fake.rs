@@ -99,7 +99,7 @@ fn cold_open_resolves_custodian_then_fetches() {
         custodian("/vice/usr/u", 2),
         ViceReply::Data {
             status: status("/vice/usr/u/f", 7, 1, 3),
-            data: b"abc".to_vec(),
+            data: b"abc".to_vec().into(),
         },
     ]);
     let h = v.open_read(&mut t, "/vice/usr/u/f").unwrap();
@@ -119,12 +119,12 @@ fn hints_are_reused_for_paths_under_the_subtree() {
         custodian("/vice/usr/u", 2),
         ViceReply::Data {
             status: status("/vice/usr/u/a", 7, 1, 1),
-            data: b"a".to_vec(),
+            data: b"a".to_vec().into(),
         },
         // Second file, same subtree: no GetCustodian needed.
         ViceReply::Data {
             status: status("/vice/usr/u/b", 8, 1, 1),
-            data: b"b".to_vec(),
+            data: b"b".to_vec().into(),
         },
     ]);
     v.fetch_file(&mut t, "/vice/usr/u/a").unwrap();
@@ -142,7 +142,7 @@ fn stale_hint_is_corrected_by_not_custodian() {
         ViceReply::Error(ViceError::NotCustodian(Some(ServerId(5)))),
         ViceReply::Data {
             status: status("/vice/usr/u/f", 7, 1, 1),
-            data: b"x".to_vec(),
+            data: b"x".to_vec().into(),
         },
     ]);
     assert_eq!(v.fetch_file(&mut t, "/vice/usr/u/f").unwrap(), b"x");
@@ -158,7 +158,7 @@ fn check_on_open_validates_and_refetches_only_when_stale() {
         custodian("/vice/usr/u", 1),
         ViceReply::Data {
             status: status("/vice/usr/u/f", 7, 3, 2),
-            data: b"v3".to_vec(),
+            data: b"v3".to_vec().into(),
         },
         // Second open: validate says still good.
         ViceReply::Validated {
@@ -172,7 +172,7 @@ fn check_on_open_validates_and_refetches_only_when_stale() {
         },
         ViceReply::Data {
             status: status("/vice/usr/u/f", 7, 4, 2),
-            data: b"v4".to_vec(),
+            data: b"v4".to_vec().into(),
         },
     ]);
     assert_eq!(v.fetch_file(&mut t, "/vice/usr/u/f").unwrap(), b"v3");
@@ -201,7 +201,7 @@ fn callback_mode_trusts_valid_entries_without_traffic() {
         custodian("/vice/usr/u", 1),
         ViceReply::Data {
             status: status("/vice/usr/u/f", 7, 3, 2),
-            data: b"v3".to_vec(),
+            data: b"v3".to_vec().into(),
         },
     ]);
     v.fetch_file(&mut t, "/vice/usr/u/f").unwrap();
@@ -215,7 +215,7 @@ fn callback_mode_trusts_valid_entries_without_traffic() {
     v.on_callback_break("/vice/usr/u/f");
     let mut t2 = FakeTransport::new(vec![ViceReply::Data {
         status: status("/vice/usr/u/f", 7, 4, 2),
-        data: b"v4".to_vec(),
+        data: b"v4".to_vec().into(),
     }]);
     assert_eq!(v.fetch_file(&mut t2, "/vice/usr/u/f").unwrap(), b"v4");
     assert_eq!(t2.requests().len(), 1);
@@ -230,7 +230,7 @@ fn read_only_files_never_revalidate() {
         custodian("/vice/sys", 1),
         ViceReply::Data {
             status: ro,
-            data: b"exec".to_vec(),
+            data: b"exec".to_vec().into(),
         },
     ]);
     v.fetch_file(&mut t, "/vice/sys/bin/cc").unwrap();
@@ -251,7 +251,7 @@ fn vice_symlinks_are_followed_client_side() {
         custodian("/vice/pkg", 2),
         ViceReply::Data {
             status: status("/vice/pkg/real", 9, 1, 4),
-            data: b"real".to_vec(),
+            data: b"real".to_vec().into(),
         },
     ]);
     assert_eq!(v.fetch_file(&mut t, "/vice/usr/u/link").unwrap(), b"real");
@@ -291,7 +291,7 @@ fn clean_close_sends_nothing() {
         custodian("/vice/usr/u", 1),
         ViceReply::Data {
             status: status("/vice/usr/u/f", 7, 1, 1),
-            data: b"x".to_vec(),
+            data: b"x".to_vec().into(),
         },
     ]);
     let h = v.open_read(&mut t, "/vice/usr/u/f").unwrap();
@@ -307,7 +307,7 @@ fn writes_through_read_only_handles_are_rejected() {
         custodian("/vice/usr/u", 1),
         ViceReply::Data {
             status: status("/vice/usr/u/f", 7, 1, 1),
-            data: b"x".to_vec(),
+            data: b"x".to_vec().into(),
         },
     ]);
     let h = v.open_read(&mut t, "/vice/usr/u/f").unwrap();
@@ -357,16 +357,16 @@ fn client_side_traversal_fetches_and_caches_directories() {
         // Directory fetches for /vice/usr and /vice/usr/u...
         ViceReply::Data {
             status: dir_status("/vice/usr", 2),
-            data: b"du\n".to_vec(),
+            data: b"du\n".to_vec().into(),
         },
         ViceReply::Data {
             status: dir_status("/vice/usr/u", 3),
-            data: b"ff\n".to_vec(),
+            data: b"ff\n".to_vec().into(),
         },
         // ...then the file itself.
         ViceReply::Data {
             status: status("/vice/usr/u/f", 7, 1, 1),
-            data: b"x".to_vec(),
+            data: b"x".to_vec().into(),
         },
     ]);
     v.fetch_file(&mut t, "/vice/usr/u/f").unwrap();
@@ -376,7 +376,7 @@ fn client_side_traversal_fetches_and_caches_directories() {
     // Second file under the same directories: the cached dirs are reused.
     let mut t2 = FakeTransport::new(vec![ViceReply::Data {
         status: status("/vice/usr/u/g", 8, 1, 1),
-        data: b"y".to_vec(),
+        data: b"y".to_vec().into(),
     }]);
     v.fetch_file(&mut t2, "/vice/usr/u/g").unwrap();
     assert_eq!(t2.requests().len(), 1, "directories must be cached");

@@ -15,6 +15,9 @@ pub enum WireError {
     BadString,
     /// Trailing bytes remained after the last expected field.
     TrailingBytes(usize),
+    /// An out-of-band bulk payload was missing, unexpected, or failed its
+    /// length/digest binding to the sealed message head.
+    BadPayload,
 }
 
 impl std::fmt::Display for WireError {
@@ -23,6 +26,7 @@ impl std::fmt::Display for WireError {
             WireError::Truncated => write!(f, "message truncated"),
             WireError::BadString => write!(f, "invalid UTF-8 in string field"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::BadPayload => write!(f, "out-of-band payload missing or corrupt"),
         }
     }
 }

@@ -132,7 +132,7 @@ fn bench_cache(c: &mut Criterion) {
             |mut cache| {
                 for i in 0..200 {
                     let p = format!("/vice/f{i}");
-                    cache.insert(&p, vec![0; 16 * 1024], sample_status(&p), CacheKind::File);
+                    cache.insert(&p, vec![0; 16 * 1024].into(), sample_status(&p), CacheKind::File);
                 }
                 cache
             },
@@ -142,7 +142,7 @@ fn bench_cache(c: &mut Criterion) {
     let mut cache = Cache::new(CachePolicy::CountLru(1000));
     for i in 0..500 {
         let p = format!("/vice/f{i}");
-        cache.insert(&p, vec![0; 1024], sample_status(&p), CacheKind::File);
+        cache.insert(&p, vec![0; 1024].into(), sample_status(&p), CacheKind::File);
     }
     c.bench_function("cache/get_hit", |b| {
         b.iter(|| cache.get("/vice/f250").is_some());
@@ -152,24 +152,24 @@ fn bench_cache(c: &mut Criterion) {
 fn bench_codec(c: &mut Criterion) {
     let req = ViceRequest::Store {
         path: "/vice/usr/satya/doc/paper.tex".to_string(),
-        data: vec![0xaa; 64 * 1024],
+        data: vec![0xaa; 64 * 1024].into(),
     };
     let mut g = c.benchmark_group("codec");
     g.throughput(Throughput::Bytes(64 * 1024));
     g.bench_function("encode_store_64k", |b| {
         b.iter(|| encode_request(&req));
     });
-    let bytes = encode_request(&req);
+    let msg = encode_request(&req);
     g.bench_function("decode_store_64k", |b| {
-        b.iter(|| decode_request(&bytes).unwrap());
+        b.iter(|| decode_request(&msg.head, msg.payload.clone()).unwrap());
     });
     let reply = ViceReply::Data {
         status: sample_status("/vice/usr/satya/doc/paper.tex"),
-        data: vec![0xbb; 64 * 1024],
+        data: vec![0xbb; 64 * 1024].into(),
     };
-    let reply_bytes = encode_reply(&reply);
+    let reply_msg = encode_reply(&reply);
     g.bench_function("decode_data_reply_64k", |b| {
-        b.iter(|| decode_reply(&reply_bytes).unwrap());
+        b.iter(|| decode_reply(&reply_msg.head, reply_msg.payload.clone()).unwrap());
     });
     g.finish();
 }

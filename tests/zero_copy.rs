@@ -1,0 +1,99 @@
+//! PR 3 zero-copy guarantees, enforced by counting.
+//!
+//! Two meters watch the warm-cache open path:
+//!
+//! * the payload copy counter (`proto::payload::bytes_copied`), which every
+//!   `Payload::from_slice` / `Payload::to_vec` and every deliberate
+//!   `note_copy` at the server's filesystem boundary feeds — it measures
+//!   bulk-data copies inside the fetch/store pipeline, and
+//! * a counting global allocator, which catches copies the payload meter
+//!   cannot see (a rogue `Vec` clone of file contents would show up here
+//!   as megabytes of allocation).
+//!
+//! A warm open-hit must register zero payload copies and allocate far less
+//! than one file's worth of bytes: the cached `Payload` is handed to the
+//! open handle by refcount bump.
+
+use itc_afs::core::config::SystemConfig;
+use itc_afs::core::proto::payload::{bytes_copied, reset_bytes_copied};
+use itc_afs::core::system::ItcSystem;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const FILE_SIZE: usize = 1 << 20; // 1 MiB: big enough that a single stray
+                                  // clone of the contents dominates the
+                                  // allocator delta.
+const OPENS: u64 = 50;
+
+#[test]
+fn warm_open_hit_copies_no_payload_bytes() {
+    // Revised architecture: callback validation means a warm open with an
+    // unbroken promise generates no server traffic at all — the whole
+    // open is workstation-local.
+    let mut sys = ItcSystem::build(SystemConfig::revised(1, 1));
+    sys.add_user("satya", "pw").unwrap();
+    sys.login(0, "satya", "pw").unwrap();
+    sys.mkdir_p(0, "/vice/usr/satya").unwrap();
+
+    let body = vec![0x42u8; FILE_SIZE];
+    sys.store(0, "/vice/usr/satya/big.dat", body.clone())
+        .unwrap();
+
+    // Warm the cache (the miss path is allowed to copy: disk → volume →
+    // payload is one counted copy) and check the contents once, outside
+    // the measurement window.
+    let h = sys.open_read(0, "/vice/usr/satya/big.dat").unwrap();
+    assert_eq!(sys.read(0, h).unwrap(), body);
+    sys.close(0, h).unwrap();
+
+    reset_bytes_copied();
+    let allocated_before = ALLOCATED.load(Ordering::Relaxed);
+
+    for _ in 0..OPENS {
+        let h = sys.open_read(0, "/vice/usr/satya/big.dat").unwrap();
+        sys.close(0, h).unwrap();
+    }
+
+    let allocated = ALLOCATED.load(Ordering::Relaxed) - allocated_before;
+    assert_eq!(
+        bytes_copied(),
+        0,
+        "warm open-hits must not copy payload bytes"
+    );
+    // 50 open-hits of a 1 MiB file: the old design cloned the cache entry
+    // into the handle each time (≥ 50 MiB). The zero-copy path allocates
+    // only handle bookkeeping — well under one file's worth total.
+    assert!(
+        allocated < FILE_SIZE as u64,
+        "{OPENS} warm opens allocated {allocated} bytes — \
+         more than one {FILE_SIZE}-byte file; something is cloning payloads"
+    );
+
+    // The handle still reads the right bytes after all that.
+    let h = sys.open_read(0, "/vice/usr/satya/big.dat").unwrap();
+    assert_eq!(sys.read(0, h).unwrap(), body);
+    sys.close(0, h).unwrap();
+}
