@@ -13,13 +13,19 @@ cargo fmt --check
 echo "== clippy (offline, deny warnings) =="
 cargo clippy --workspace --offline -- -D warnings
 
+echo "== rustdoc (offline, deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
 echo "== build (offline) =="
 cargo build --release --offline
 
 echo "== tests (offline) =="
 cargo test -q --workspace --offline
 
-echo "== bench smoke (schema + deterministic-metric gate vs BENCH_pr3.json) =="
+echo "== crash-consistency property suite (offline) =="
+cargo test -q --offline --test salvage
+
+echo "== bench smoke (schema + deterministic-metric gate vs BENCH_pr4.json) =="
 cargo run -q -p itc-bench --release --offline --bin bench -- --smoke
 
 if [ "${1:-}" = "network" ]; then

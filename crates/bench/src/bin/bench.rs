@@ -1,8 +1,9 @@
-//! PR 3 performance harness: the start of the repo's perf trajectory.
+//! Performance harness: the repo's perf trajectory across PRs.
 //!
-//! Three benchmarks, each reporting both wall-clock throughput (noisy,
+//! Four benchmarks, each reporting both wall-clock throughput (noisy,
 //! machine-dependent, recorded but never gated) and deterministic copy /
-//! allocation counters (identical on every machine, gated by `--smoke`):
+//! allocation / virtual-time counters (identical on every machine, gated
+//! by `--smoke`):
 //!
 //! * **codec roundtrip** — encode + decode a 64 KiB `Store` request
 //!   through the out-of-band wire format; the payload must ride by
@@ -17,19 +18,28 @@
 //!   copied each file ~7× per fetch and ~8× per store (see DESIGN.md §9
 //!   for the site-by-site audit); the zero-copy path leaves exactly one
 //!   copy, at the server's filesystem boundary.
+//! * **salvage vs journal length** — journal N one-KiB stores, crash,
+//!   and salvage. Reports the deterministic virtual salvage time from
+//!   the cost model (fixed pass cost + per-record replay + log scan at
+//!   disk bandwidth) and checks it stays linear in journal length, plus
+//!   ungated wall-clock for the in-memory replay itself.
 //!
 //! Modes:
-//! * default: run full-size benchmarks, write `BENCH_pr3.json`.
+//! * default: run full-size benchmarks, write `BENCH_pr4.json`.
 //! * `--smoke`: run reduced sizes, validate the checked-in
-//!   `BENCH_pr3.json` schema, and fail on >20% regression of any
-//!   deterministic metric (copies per op, churn flatness). Wall-clock
-//!   numbers are exempt — CI machines differ.
+//!   `BENCH_pr4.json` schema, and fail on >20% regression of any
+//!   deterministic metric (copies per op, churn flatness, salvage
+//!   linearity). Wall-clock numbers are exempt — CI machines differ.
 
 use itc_core::config::{CachePolicy, SystemConfig};
+use itc_core::disk::{Disk, JournalOp, SyncPolicy};
+use itc_core::protect::{AccessList, Rights};
 use itc_core::proto::payload::{bytes_copied, reset_bytes_copied};
-use itc_core::proto::{EntryKind, VStatus};
+use itc_core::proto::{EntryKind, Payload, VStatus};
 use itc_core::system::ItcSystem;
 use itc_core::venus::cache::{Cache, EntryKind as CacheKind};
+use itc_core::volume::{Volume, VolumeId};
+use itc_sim::Costs;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -250,6 +260,89 @@ fn bench_macro_storm(clients: usize, file_bytes: usize, fetch_fanout: usize) -> 
     }
 }
 
+struct SalvageResult {
+    journal_records: Vec<u64>,
+    journal_bytes: Vec<u64>,
+    salvage_virtual_ms: Vec<f64>,
+    replayed: Vec<u64>,
+    per_record_virtual_us: f64,
+    linearity_ratio: f64,
+    wall_us_per_record: Vec<f64>,
+}
+
+/// Salvage time vs journal length: journal `n` one-KiB stores for each n
+/// in `sizes`, force the log, crash with a clean (synced) tail, and run
+/// the salvager. The virtual time comes from the cost model the event
+/// pipeline charges (`Costs::salvage_time`), so it is bit-stable; the
+/// wall numbers time the in-memory replay and are recorded but not gated.
+fn bench_salvage(sizes: &[u64]) -> SalvageResult {
+    let costs = Costs::prototype_1985();
+    let mut journal_records = Vec::new();
+    let mut journal_bytes = Vec::new();
+    let mut salvage_virtual_ms = Vec::new();
+    let mut replayed = Vec::new();
+    let mut wall_us_per_record = Vec::new();
+
+    for &n in sizes {
+        let mut acl = AccessList::new();
+        acl.grant("bench", Rights::ALL);
+        let mut vol = Volume::new(VolumeId(1), "bench.salvage", "/vice/bench", acl);
+        let mut disk = Disk::new(SyncPolicy::WriteAhead);
+        disk.checkpoint(&vol);
+        for i in 0..n {
+            let op = JournalOp::Store {
+                path: format!("/f{i:05}"),
+                uid: 0,
+                mtime: i,
+                data: Payload::from_vec(vec![0xb5; 1024]),
+            };
+            let seq = disk.begin(vol.id(), op.clone());
+            let ok = op.apply(&mut vol).is_ok();
+            disk.commit(seq, ok);
+        }
+        disk.sync();
+        disk.crash_truncate(0);
+
+        let (records, bytes) = disk.salvage_work(VolumeId(1));
+        let virtual_time = costs.salvage_time(bytes, records);
+        let t0 = Instant::now();
+        let (_, report) = disk.salvage(VolumeId(1)).expect("checkpointed");
+        let wall = t0.elapsed();
+        assert!(report.is_clean(), "{report:?}");
+
+        journal_records.push(records);
+        journal_bytes.push(bytes);
+        salvage_virtual_ms.push(virtual_time.as_micros() as f64 / 1000.0);
+        replayed.push(report.replayed);
+        wall_us_per_record.push(wall.as_nanos() as f64 / 1000.0 / n as f64);
+    }
+
+    // Marginal virtual cost per record between the extremes; the fixed
+    // pass cost cancels out. Linearity compares the marginal cost over
+    // the lower half of the range against the whole range — exactly 1.0
+    // when salvage time is affine in journal length.
+    let k = sizes.len() - 1;
+    let slope = |i: usize, j: usize| -> f64 {
+        (salvage_virtual_ms[j] - salvage_virtual_ms[i]) * 1000.0
+            / (journal_records[j] - journal_records[i]) as f64
+    };
+    let per_record_virtual_us = slope(0, k);
+    let linearity_ratio = if k >= 2 {
+        slope(0, k / 2) / slope(0, k)
+    } else {
+        1.0
+    };
+    SalvageResult {
+        journal_records,
+        journal_bytes,
+        salvage_virtual_ms,
+        replayed,
+        per_record_virtual_us,
+        linearity_ratio,
+        wall_us_per_record,
+    }
+}
+
 // ---------------------------------------------------------------------
 // Hand-rolled JSON (the repo takes no dependencies).
 // ---------------------------------------------------------------------
@@ -262,7 +355,12 @@ fn fnum(x: f64) -> String {
     }
 }
 
-fn render_report(codec: &CodecResult, churn: &ChurnResult, storm: &StormResult) -> String {
+fn render_report(
+    codec: &CodecResult,
+    churn: &ChurnResult,
+    storm: &StormResult,
+    salvage: &SalvageResult,
+) -> String {
     let caps = churn
         .capacities
         .iter()
@@ -275,9 +373,16 @@ fn render_report(codec: &CodecResult, churn: &ChurnResult, storm: &StormResult) 
         .map(|&n| fnum(n))
         .collect::<Vec<_>>()
         .join(", ");
+    let ints = |v: &[u64]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let floats = |v: &[f64]| v.iter().map(|&x| fnum(x)).collect::<Vec<_>>().join(", ");
     format!(
         r#"{{
-  "schema": "itc-bench/pr3/v1",
+  "schema": "itc-bench/pr4/v1",
   "micro_codec": {{
     "payload_bytes": {},
     "iters": {},
@@ -304,6 +409,15 @@ fn render_report(codec: &CodecResult, churn: &ChurnResult, storm: &StormResult) 
     "copy_reduction_fetch": {},
     "ops_per_sec": {},
     "alloc_bytes_per_op": {}
+  }},
+  "salvage": {{
+    "journal_records": [{}],
+    "journal_bytes": [{}],
+    "salvage_virtual_ms": [{}],
+    "replayed": [{}],
+    "per_record_virtual_us": {},
+    "linearity_ratio": {},
+    "wall_us_per_record": [{}]
   }}
 }}
 "#,
@@ -328,6 +442,13 @@ fn render_report(codec: &CodecResult, churn: &ChurnResult, storm: &StormResult) 
         fnum(storm.copy_reduction_fetch),
         fnum(storm.ops_per_sec),
         fnum(storm.alloc_bytes_per_op),
+        ints(&salvage.journal_records),
+        ints(&salvage.journal_bytes),
+        floats(&salvage.salvage_virtual_ms),
+        ints(&salvage.replayed),
+        fnum(salvage.per_record_virtual_us),
+        fnum(salvage.linearity_ratio),
+        floats(&salvage.wall_us_per_record),
     )
 }
 
@@ -352,7 +473,13 @@ const SMOKE_TOLERANCE: f64 = 0.20;
 /// Deterministic metrics checked against the committed baseline. Copies
 /// per op and per-insert are bit-stable across machines; anything >20%
 /// over baseline is a regression (a new clone crept into the pipeline).
-fn smoke_gate(baseline: &str, codec: &CodecResult, churn: &ChurnResult, storm: &StormResult) {
+fn smoke_gate(
+    baseline: &str,
+    codec: &CodecResult,
+    churn: &ChurnResult,
+    storm: &StormResult,
+    salvage: &SalvageResult,
+) {
     let mut failures = Vec::new();
 
     for key in [
@@ -367,6 +494,8 @@ fn smoke_gate(baseline: &str, codec: &CodecResult, churn: &ChurnResult, storm: &
         "copy_reduction_fetch",
         "ops_per_sec",
         "alloc_bytes_per_op",
+        "per_record_virtual_us",
+        "linearity_ratio",
     ] {
         if json_number(baseline, key).is_none() {
             failures.push(format!("baseline missing key \"{key}\""));
@@ -408,6 +537,35 @@ fn smoke_gate(baseline: &str, codec: &CodecResult, churn: &ChurnResult, storm: &
         ));
     }
 
+    // Salvage cost is charged in virtual time, so it is bit-deterministic:
+    // the per-record slope must match the baseline exactly (the smoke run
+    // uses smaller journals than the full run, but the slope is size-free),
+    // and the cost curve must stay affine in journal length.
+    if let Some(base) = json_number(baseline, "per_record_virtual_us") {
+        let measured = salvage.per_record_virtual_us;
+        if (measured - base).abs() > 1e-6 {
+            failures.push(format!(
+                "per_record_virtual_us drifted: measured {measured:.6} vs baseline {base:.6} \
+                 (virtual salvage cost must be bit-deterministic)"
+            ));
+        }
+    }
+    if (salvage.linearity_ratio - 1.0).abs() > 0.05 {
+        failures.push(format!(
+            "salvage cost is not linear in journal length: half-range/full-range slope ratio \
+             {:.4} (expected 1.0 ± 0.05)",
+            salvage.linearity_ratio
+        ));
+    }
+    for (i, &n) in salvage.journal_records.iter().enumerate() {
+        if salvage.replayed[i] != n {
+            failures.push(format!(
+                "salvage replayed {} of {} committed records at size index {i}",
+                salvage.replayed[i], n
+            ));
+        }
+    }
+
     if failures.is_empty() {
         println!(
             "smoke: OK (all deterministic metrics within {:.0}% of baseline)",
@@ -425,37 +583,39 @@ fn smoke_gate(baseline: &str, codec: &CodecResult, churn: &ChurnResult, storm: &
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
 
-    let (codec, churn, storm) = if smoke {
+    let (codec, churn, storm, salvage) = if smoke {
         (
             bench_codec(200),
             bench_cache_churn(&[256, 1024, 4096, 16384], 20_000),
             bench_macro_storm(40, 64 * 1024, 2),
+            bench_salvage(&[16, 64, 256]),
         )
     } else {
         (
             bench_codec(2_000),
             bench_cache_churn(&[256, 1024, 4096, 16384], 200_000),
             bench_macro_storm(40, 64 * 1024, 5),
+            bench_salvage(&[64, 256, 1024]),
         )
     };
 
-    let report = render_report(&codec, &churn, &storm);
+    let report = render_report(&codec, &churn, &storm, &salvage);
     println!("{report}");
 
     if smoke {
-        let baseline = std::fs::read_to_string("BENCH_pr3.json").unwrap_or_else(|e| {
-            eprintln!("smoke: cannot read checked-in BENCH_pr3.json: {e}");
+        let baseline = std::fs::read_to_string("BENCH_pr4.json").unwrap_or_else(|e| {
+            eprintln!("smoke: cannot read checked-in BENCH_pr4.json: {e}");
             std::process::exit(1);
         });
         if json_number(&baseline, "payload_bytes").is_none()
-            || !baseline.contains("\"schema\": \"itc-bench/pr3/v1\"")
+            || !baseline.contains("\"schema\": \"itc-bench/pr4/v1\"")
         {
-            eprintln!("smoke: BENCH_pr3.json does not match schema itc-bench/pr3/v1");
+            eprintln!("smoke: BENCH_pr4.json does not match schema itc-bench/pr4/v1");
             std::process::exit(1);
         }
-        smoke_gate(&baseline, &codec, &churn, &storm);
+        smoke_gate(&baseline, &codec, &churn, &storm, &salvage);
     } else {
-        std::fs::write("BENCH_pr3.json", &report).expect("write BENCH_pr3.json");
-        println!("wrote BENCH_pr3.json");
+        std::fs::write("BENCH_pr4.json", &report).expect("write BENCH_pr4.json");
+        println!("wrote BENCH_pr4.json");
     }
 }

@@ -1,0 +1,36 @@
+//! The salvager: per-volume recovery after a crash.
+//!
+//! A salvage pass reconstructs a volume from its last checkpoint image plus
+//! the committed journal records beyond it, then re-verifies the volume's
+//! structural invariants before declaring it fit to come back online. The
+//! pass itself lives in [`Disk::salvage`](super::Disk::salvage); this
+//! module holds its observable outcome.
+
+use crate::volume::VolumeId;
+
+/// What one salvage pass did, and whether the rebuilt volume is sound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// The salvaged volume.
+    pub volume: VolumeId,
+    /// Committed records replayed onto the checkpoint image.
+    pub replayed: u64,
+    /// Aborted records skipped during the scan.
+    pub skipped_aborted: u64,
+    /// Journal bytes scanned (extent of the replay set).
+    pub scanned_bytes: u64,
+    /// Committed records whose replay failed against the checkpoint — a
+    /// checkpoint/journal divergence; always 0 in a sound run.
+    pub replay_errors: u64,
+    /// Invariant violations found on the rebuilt image; empty means the
+    /// volume was brought online clean.
+    pub invariant_violations: Vec<String>,
+}
+
+impl SalvageReport {
+    /// True when the pass replayed cleanly and the rebuilt volume passed
+    /// every invariant check.
+    pub fn is_clean(&self) -> bool {
+        self.replay_errors == 0 && self.invariant_violations.is_empty()
+    }
+}

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod config;
+pub mod disk;
 pub mod location;
 pub mod metrics;
 pub mod monitor;

@@ -16,6 +16,7 @@ mod locks;
 
 pub use locks::{LockKind, LockTable};
 
+use crate::disk::{Disk, JournalOp, JournalStats, SalvageReport, SyncPolicy};
 use crate::location::LocationDb;
 use crate::protect::{AccessList, ProtectionDomain, Rights};
 use crate::proto::payload::note_copy;
@@ -96,14 +97,25 @@ pub struct Server {
     /// was lost is answered from here instead of being applied twice.
     replay: HashMap<(NodeId, u64), ViceReply>,
     /// Insertion order of `replay` keys; the oldest entry is dropped once
-    /// the cache exceeds [`REPLAY_CAP`].
+    /// the cache exceeds `REPLAY_CAP`.
     replay_order: VecDeque<(NodeId, u64)>,
     /// Requests that have arrived but not yet been dispatched. The event
     /// scheduler enqueues on request arrival and dequeues on service
     /// dispatch, so queue depth is an observable of the simulation.
     queue: VecDeque<QueuedRequest>,
-    /// Largest queue depth ever observed.
+    /// Largest queue depth observed in the current incarnation.
     queue_high_water: usize,
+    /// High-water marks of finished incarnations, as `(epoch, high_water)`
+    /// — the stat is reset per incarnation so experiments never mix
+    /// pre-crash and post-crash load.
+    queue_history: Vec<(u64, usize)>,
+    /// The durable storage under the volumes: checkpoints plus the
+    /// write-ahead journal.
+    storage: Disk,
+    /// Volumes taken offline by a crash and not yet salvaged.
+    salvage_pending: Vec<VolumeId>,
+    /// Reports of completed salvage passes, in completion order.
+    salvage_reports: Vec<SalvageReport>,
 }
 
 impl Server {
@@ -136,6 +148,10 @@ impl Server {
             replay_order: VecDeque::new(),
             queue: VecDeque::new(),
             queue_high_water: 0,
+            queue_history: Vec::new(),
+            storage: Disk::new(SyncPolicy::WriteAhead),
+            salvage_pending: Vec::new(),
+            salvage_reports: Vec::new(),
         }
     }
 
@@ -156,9 +172,21 @@ impl Server {
         self.queue.len()
     }
 
-    /// Largest request-queue depth ever observed.
+    /// Largest request-queue depth observed in the current incarnation
+    /// (reset on every crash).
     pub fn queue_high_water(&self) -> usize {
         self.queue_high_water
+    }
+
+    /// High-water marks of all incarnations, `(epoch, high_water)` pairs:
+    /// finished incarnations first, then the live one. Experiments read
+    /// this instead of [`Self::queue_high_water`] when crashes are in play,
+    /// so load measured before a crash is never attributed to the
+    /// incarnation after it.
+    pub fn queue_high_water_history(&self) -> Vec<(u64, usize)> {
+        let mut out = self.queue_history.clone();
+        out.push((self.epoch, self.queue_high_water));
+        out
     }
 
     /// Whether the machine is up (the availability goal of Section 2.2:
@@ -176,10 +204,20 @@ impl Server {
     /// state dies with it — callback promises (Section 3.2: callback state
     /// is soft and must be reconstructible), the mutation replay cache,
     /// advisory locks, and undelivered callback breaks. Files and
-    /// directories live on disk (volumes) and survive. The incarnation
-    /// epoch is bumped so workstations discover the loss on next contact
-    /// and revalidate their caches.
-    pub fn crash(&mut self) {
+    /// directories live on disk, but *only* to the extent the write-ahead
+    /// journal was forced: of the unsynced journal window, exactly `torn`
+    /// bytes made it to the platter (the fault plan's seed-controlled
+    /// torn-write point), and the log is truncated at the last complete
+    /// committed record within them. Every volume goes offline until a
+    /// salvage pass rebuilds it from checkpoint + surviving journal. The
+    /// incarnation epoch is bumped so workstations discover the loss on
+    /// next contact and revalidate their caches. Returns the journal bytes
+    /// discarded.
+    pub fn crash_with_torn(&mut self, torn: u64) -> u64 {
+        // Close out this incarnation's queue statistics before the epoch
+        // bump: the next incarnation starts its own high-water mark.
+        self.queue_history.push((self.epoch, self.queue_high_water));
+        self.queue_high_water = 0;
         self.online = false;
         self.epoch += 1;
         self.callbacks.clear();
@@ -188,12 +226,120 @@ impl Server {
         self.locks = LockTable::new();
         self.pending_breaks.clear();
         self.queue.clear();
+        let discarded = self.storage.crash_truncate(torn);
+        for v in &mut self.volumes {
+            v.set_online(false);
+        }
+        self.salvage_pending = self.volumes.iter().map(Volume::id).collect();
+        discarded
     }
 
-    /// Brings a crashed server back up (empty-handed: recovery consists of
-    /// clients revalidating, not of the server restoring promises).
+    /// [`Self::crash_with_torn`] with a fully synced log (nothing to tear)
+    /// — the operator-initiated clean crash.
+    pub fn crash(&mut self) {
+        self.crash_with_torn(0);
+    }
+
+    /// Brings a crashed server back up. The machine answers the network
+    /// again, but its volumes stay offline until salvaged — callers see
+    /// [`ViceError::VolumeOffline`] in the window between restart and the
+    /// completion of each volume's salvage pass.
     pub fn restart(&mut self) {
         self.online = true;
+    }
+
+    /// Volumes awaiting salvage, in installation order.
+    pub fn salvage_pending(&self) -> &[VolumeId] {
+        &self.salvage_pending
+    }
+
+    /// Replay work a salvage of `vid` would do, as `(records, bytes)` —
+    /// the inputs to [`itc_sim::Costs::salvage_time`].
+    pub fn salvage_work(&self, vid: VolumeId) -> (u64, u64) {
+        self.storage.salvage_work(vid)
+    }
+
+    /// Salvages one volume: rebuilds it from its checkpoint plus the
+    /// surviving committed journal records, verifies invariants, and swaps
+    /// the rebuilt (online) image in. Returns the report, or `None` if the
+    /// disk holds no checkpoint for `vid`.
+    pub fn salvage_volume(&mut self, vid: VolumeId) -> Option<SalvageReport> {
+        self.salvage_pending.retain(|&v| v != vid);
+        let (vol, report) = self.storage.salvage(vid)?;
+        if let Some(slot) = self.volumes.iter_mut().find(|v| v.id() == vid) {
+            *slot = vol;
+        }
+        self.salvage_reports.push(report.clone());
+        Some(report)
+    }
+
+    /// Salvages every pending volume immediately (the operator-driven
+    /// path; the event calendar drives per-volume passes with timing).
+    pub fn salvage_all(&mut self) -> Vec<SalvageReport> {
+        let pending = std::mem::take(&mut self.salvage_pending);
+        pending
+            .into_iter()
+            .filter_map(|vid| self.salvage_volume(vid))
+            .collect()
+    }
+
+    /// Reports of completed salvage passes, oldest first.
+    pub fn salvage_reports(&self) -> &[SalvageReport] {
+        &self.salvage_reports
+    }
+
+    /// Journal counters of the server's disk.
+    pub fn journal_stats(&self) -> JournalStats {
+        self.storage.journal().stats()
+    }
+
+    /// Journal bytes a crash right now could tear.
+    pub fn unsynced_journal_bytes(&self) -> u64 {
+        self.storage.unsynced()
+    }
+
+    /// The journal sync policy.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.storage.policy()
+    }
+
+    /// Switches the journal sync policy.
+    pub fn set_sync_policy(&mut self, policy: SyncPolicy) {
+        self.storage.set_policy(policy);
+    }
+
+    /// Forces the journal per policy; the transport layer calls this when
+    /// a dispatched request completes, *before* the reply departs — the
+    /// write-ahead guarantee that no acknowledged mutation can be torn.
+    /// Under [`SyncPolicy::Lazy`] this is a no-op.
+    pub fn sync_journal(&mut self) {
+        if self.storage.policy() == SyncPolicy::WriteAhead {
+            self.storage.sync();
+        }
+    }
+
+    /// Routes one mutation through the write-ahead journal: intent record,
+    /// apply to the in-memory volume, commit/abort trailer.
+    fn journal_apply(&mut self, vol_idx: usize, op: JournalOp) -> Result<(), VolumeError> {
+        let vid = self.volumes[vol_idx].id();
+        let seq = self.storage.begin(vid, op.clone());
+        let res = op.apply(&mut self.volumes[vol_idx]);
+        self.storage.commit(seq, res.is_ok());
+        res
+    }
+
+    /// Journals an administrative mutation against volume `vid` and forces
+    /// it durable immediately (operator actions never sit in the unsynced
+    /// window, whatever the policy).
+    pub fn admin_apply(&mut self, vid: VolumeId, op: JournalOp) -> Result<(), VolumeError> {
+        let idx = self
+            .volumes
+            .iter()
+            .position(|v| v.id() == vid)
+            .ok_or(VolumeError::Offline)?;
+        let res = self.journal_apply(idx, op);
+        self.storage.sync();
+        res
     }
 
     /// The server's incarnation epoch (crash count).
@@ -207,7 +353,7 @@ impl Server {
     }
 
     /// Remembers the reply to an applied mutation for future replays. The
-    /// cache is bounded: once it holds [`REPLAY_CAP`] entries the oldest is
+    /// cache is bounded: once it holds `REPLAY_CAP` entries the oldest is
     /// evicted, FIFO. (An entry only protects against retries of its own
     /// logical call, which happen immediately; anything old enough to be
     /// evicted can no longer be retried.)
@@ -269,15 +415,30 @@ impl Server {
         id
     }
 
-    /// Installs a volume on this server.
+    /// Installs a volume on this server. The disk checkpoints the image
+    /// as-installed, so a crash before any journaled mutation salvages
+    /// back to exactly this state.
     pub fn add_volume(&mut self, volume: Volume) {
+        self.storage.checkpoint(&volume);
         self.volumes.push(volume);
     }
 
-    /// Removes a volume by id (for moves), returning it.
+    /// Removes a volume by id (for moves), returning it. Its checkpoint
+    /// leaves the disk with it.
     pub fn take_volume(&mut self, id: VolumeId) -> Option<Volume> {
         let idx = self.volumes.iter().position(|v| v.id() == id)?;
+        self.storage.drop_volume(id);
+        self.salvage_pending.retain(|&v| v != id);
         Some(self.volumes.remove(idx))
+    }
+
+    /// Re-checkpoints a hosted volume after an out-of-band mutation that
+    /// legitimately bypasses the journal (cloning bumps the source's
+    /// serial; a replica refresh rewrites its whole tree).
+    pub fn recheckpoint(&mut self, id: VolumeId) {
+        if let Some(v) = self.volumes.iter().find(|v| v.id() == id) {
+            self.storage.checkpoint(v);
+        }
     }
 
     /// The hosted volumes.
@@ -636,11 +797,17 @@ impl Server {
                 cost.server_cpu += costs.srv_block_cpu(data.len() as u64);
                 cost.disk_bytes = data.len() as u64;
                 let uid = uid_of(user);
-                let vol = &mut self.volumes[vol_idx];
-                // The one genuine copy on the store path: writing the
-                // payload into the volume (`to_vec` counts it).
-                match vol.store(&internal, uid, now.as_micros(), data.to_vec()) {
-                    Ok(_) => {
+                // Intent → apply → commit: the journal record holds the
+                // payload by refcount; the one genuine copy on the store
+                // path happens when the op is applied to the volume.
+                let op = JournalOp::Store {
+                    path: internal.clone(),
+                    uid,
+                    mtime: now.as_micros(),
+                    data: data.clone(),
+                };
+                match self.journal_apply(vol_idx, op) {
+                    Ok(()) => {
                         let status = match Self::status_of(&self.volumes[vol_idx], &internal) {
                             Ok(s) => s,
                             Err(e) => return ViceReply::Error(e),
@@ -665,11 +832,9 @@ impl Server {
                 costs,
                 cost,
                 now,
-                |vol, internal, t| {
-                    vol.fs_mut()
-                        .map_err(|e| (internal.to_string(), e))?
-                        .unlink(internal, t)
-                        .map_err(|e| (internal.to_string(), VolumeError::Fs(e)))
+                |internal, t| JournalOp::Remove {
+                    path: internal.to_string(),
+                    mtime: t,
                 },
             ),
 
@@ -707,11 +872,10 @@ impl Server {
                 costs,
                 cost,
                 now,
-                |vol, internal, t| {
-                    vol.fs_mut()
-                        .map_err(|e| (internal.to_string(), e))?
-                        .set_mode(internal, itc_unixfs::Mode(*mode), t)
-                        .map_err(|e| (internal.to_string(), VolumeError::Fs(e)))
+                |internal, t| JournalOp::SetMode {
+                    path: internal.to_string(),
+                    mode: *mode as u32,
+                    mtime: t,
                 },
             ),
 
@@ -774,9 +938,13 @@ impl Server {
                     return ViceReply::Error(e);
                 }
                 let uid = uid_of(user);
-                let vol = &mut self.volumes[vol_idx];
-                match vol.mkdir_inherit(&internal, uid, now.as_micros()) {
-                    Ok(_) => {
+                let op = JournalOp::Mkdir {
+                    path: internal.clone(),
+                    uid,
+                    mtime: now.as_micros(),
+                };
+                match self.journal_apply(vol_idx, op) {
+                    Ok(()) => {
                         let path_owned = path.clone();
                         self.break_callbacks(&path_owned, 1, from, costs, cost);
                         match Self::status_of(&self.volumes[vol_idx], &internal) {
@@ -797,9 +965,9 @@ impl Server {
                 costs,
                 cost,
                 now,
-                |vol, internal, t| {
-                    vol.rmdir(internal, t)
-                        .map_err(|e| (internal.to_string(), e))
+                |internal, t| JournalOp::Rmdir {
+                    path: internal.to_string(),
+                    mtime: t,
                 },
             ),
 
@@ -825,19 +993,19 @@ impl Server {
                 if let Err(e) = self.check_rights(user, &dst_acl, Rights::INSERT, dst) {
                     return ViceReply::Error(e);
                 }
-                let vol = &mut self.volumes[vol_idx];
-                let fs = match vol.fs_mut() {
-                    Ok(f) => f,
-                    Err(e) => return ViceReply::Error(Self::map_vol_err(src, e)),
+                let op = JournalOp::Rename {
+                    from: si,
+                    to: di,
+                    mtime: now.as_micros(),
                 };
-                match fs.rename(&si, &di, now.as_micros()) {
+                match self.journal_apply(vol_idx, op) {
                     Ok(()) => {
                         let (s, d) = (src.clone(), dst.clone());
                         self.break_callbacks(&s, 0, from, costs, cost);
                         self.break_callbacks(&d, 0, from, costs, cost);
                         ViceReply::Ok
                     }
-                    Err(e) => ViceReply::Error(map_fs_err(src, e)),
+                    Err(e) => ViceReply::Error(Self::map_vol_err(src, e)),
                 }
             }
 
@@ -903,8 +1071,11 @@ impl Server {
                 if let Err(e) = self.check_rights(user, &cur, Rights::ADMINISTER, path) {
                     return ViceReply::Error(e);
                 }
-                let vol = &mut self.volumes[vol_idx];
-                match vol.set_acl(&internal, acl.clone()) {
+                let op = JournalOp::SetAcl {
+                    path: internal.clone(),
+                    acl: acl.clone(),
+                };
+                match self.journal_apply(vol_idx, op) {
                     Ok(()) => ViceReply::Ok,
                     Err(e) => ViceReply::Error(Self::map_vol_err(path, e)),
                 }
@@ -923,14 +1094,15 @@ impl Server {
                     return ViceReply::Error(e);
                 }
                 let uid = uid_of(user);
-                let vol = &mut self.volumes[vol_idx];
-                let fs = match vol.fs_mut() {
-                    Ok(f) => f,
-                    Err(e) => return ViceReply::Error(Self::map_vol_err(path, e)),
+                let op = JournalOp::Symlink {
+                    path: internal.clone(),
+                    target: target.clone(),
+                    uid,
+                    mtime: now.as_micros(),
                 };
-                match fs.symlink(&internal, target, uid, now.as_micros()) {
-                    Ok(_) => ViceReply::Ok,
-                    Err(e) => ViceReply::Error(map_fs_err(path, e)),
+                match self.journal_apply(vol_idx, op) {
+                    Ok(()) => ViceReply::Ok,
+                    Err(e) => ViceReply::Error(Self::map_vol_err(path, e)),
                 }
             }
 
@@ -985,8 +1157,8 @@ impl Server {
         }
     }
 
-    /// Common shape for delete-like mutations: rights check, run the
-    /// operation, break callbacks.
+    /// Common shape for delete-like mutations: rights check, journal the
+    /// operation (intent → apply → commit), break callbacks.
     #[allow(clippy::too_many_arguments)]
     fn mutate_entry<F>(
         &mut self,
@@ -998,10 +1170,10 @@ impl Server {
         costs: &Costs,
         cost: &mut CallCost,
         now: SimTime,
-        op: F,
+        make_op: F,
     ) -> ViceReply
     where
-        F: FnOnce(&mut Volume, &str, u64) -> Result<(), (String, VolumeError)>,
+        F: FnOnce(&str, u64) -> JournalOp,
     {
         let vol = &self.volumes[vol_idx];
         let Some(internal) = vol.internal_path(path) else {
@@ -1014,13 +1186,13 @@ impl Server {
         if let Err(e) = self.check_rights(user, &acl, needed, path) {
             return ViceReply::Error(e);
         }
-        let vol = &mut self.volumes[vol_idx];
-        match op(vol, &internal, now.as_micros()) {
+        let op = make_op(&internal, now.as_micros());
+        match self.journal_apply(vol_idx, op) {
             Ok(()) => {
                 self.break_callbacks(path, 0, from, costs, cost);
                 ViceReply::Ok
             }
-            Err((p, e)) => ViceReply::Error(Self::map_vol_err(&p, e)),
+            Err(e) => ViceReply::Error(Self::map_vol_err(&internal, e)),
         }
     }
 }

@@ -1,15 +1,14 @@
 //! Assembly of the full system, decomposed into layers:
 //!
-//! * [`topology`](self::topology) — clusters, the bridged network, servers,
-//!   and node wiring;
-//! * [`transport`](self::transport) — the event-driven RPC transport: every
-//!   Vice call is a chain of scheduler events (request departs → arrives →
-//!   queues → is served → reply departs → arrives), sharing one calendar
-//!   with retry timeouts, scheduled crashes, and callback deliveries;
-//! * [`ops`](self::ops) — the workstation system-call surface (sessions,
-//!   file operations, surrogates);
-//! * [`admin`](self::admin) — operator actions (users, volumes,
-//!   replication, fault plans, monitoring, metrics).
+//! * `topology` — clusters, the bridged network, servers, and node wiring;
+//! * `transport` — the event-driven RPC transport: every Vice call is a
+//!   chain of scheduler events (request departs → arrives → queues → is
+//!   served → reply departs → arrives), sharing one calendar with retry
+//!   timeouts, scheduled crashes, salvage passes, and callback deliveries;
+//! * `ops` — the workstation system-call surface (sessions, file
+//!   operations, surrogates);
+//! * `admin` — operator actions (users, volumes, replication, fault
+//!   plans, monitoring, metrics).
 //!
 //! [`ItcSystem`] is the façade experiments and examples drive. Its
 //! file-operation methods mirror the workstation system-call layer: each

@@ -3,12 +3,12 @@
 //! snapshot. The paper assigns all of this to operators rather than to the
 //! file system interface.
 
+use crate::disk::{JournalOp, JournalStats, SalvageReport, SyncPolicy};
 use crate::location::LocationDb;
 use crate::metrics::{merge_cache, merge_venus, ServerMetrics, SystemMetrics};
 use crate::monitor::TrafficMonitor;
 use crate::protect::{AccessList, Rights};
-use crate::proto::ServerId;
-use crate::system::transport::NetEvent;
+use crate::proto::{Payload, ServerId};
 use crate::system::{ItcSystem, SystemError};
 use crate::volume::{Volume, VolumeId};
 use itc_rpc::{CallStats, RetryPolicy};
@@ -224,6 +224,9 @@ impl ItcSystem {
                 .volume_mut(src_id)
                 .expect("source volume")
                 .clone_readonly(clone_id);
+            // Cloning bumps the source's clone serial outside the journal;
+            // refresh its checkpoint so a later salvage reproduces it.
+            src_server.recheckpoint(src_id);
 
             // Replace an existing replica of this mount, else install.
             let dst = &mut self.topo.servers[site.0 as usize];
@@ -288,11 +291,20 @@ impl ItcSystem {
             else {
                 return Err(SystemError::Volume(format!("no volume hosts {prefix}")));
             };
-            let vol = srv.volume_mut(vol).expect("just found");
-            let internal = vol.internal_path(&prefix).expect("covers");
-            if internal != "/" && !vol.fs().exists(&internal) {
-                vol.mkdir_inherit(&internal, 0, 0)
-                    .map_err(|e| SystemError::Volume(e.to_string()))?;
+            let v = srv.volume_mut(vol).expect("just found");
+            let internal = v.internal_path(&prefix).expect("covers");
+            if internal != "/" && !v.fs().exists(&internal) {
+                // Journaled like any other mutation, so a salvaged volume
+                // reproduces operator provisioning too.
+                srv.admin_apply(
+                    vol,
+                    JournalOp::Mkdir {
+                        path: internal,
+                        uid: 0,
+                        mtime: 0,
+                    },
+                )
+                .map_err(|e| SystemError::Volume(e.to_string()))?;
             }
         }
         Ok(())
@@ -319,10 +331,21 @@ impl ItcSystem {
             .max_by_key(|v| v.mount().len())
             .map(Volume::id)
             .ok_or_else(|| SystemError::Volume(format!("no volume hosts {vice_path}")))?;
-        let vol = srv.volume_mut(vol_id).expect("just found");
-        let internal = vol.internal_path(vice_path).expect("covers");
-        vol.store(&internal, 0, 0, data)
-            .map_err(|e| SystemError::Volume(e.to_string()))?;
+        let internal = srv
+            .volume_mut(vol_id)
+            .expect("just found")
+            .internal_path(vice_path)
+            .expect("covers");
+        srv.admin_apply(
+            vol_id,
+            JournalOp::Store {
+                path: internal,
+                uid: 0,
+                mtime: 0,
+                data: Payload::from_vec(data),
+            },
+        )
+        .map_err(|e| SystemError::Volume(e.to_string()))?;
         Ok(())
     }
 
@@ -338,7 +361,8 @@ impl ItcSystem {
             .find(|v| v.mount() == mount && !v.is_read_only())
             .map(Volume::id)
             .ok_or_else(|| SystemError::Volume(format!("no writable volume at {mount}")))?;
-        srv.volume_mut(vid).expect("found").set_quota(bytes);
+        srv.admin_apply(vid, JournalOp::SetQuota { bytes })
+            .map_err(|e| SystemError::Volume(e.to_string()))?;
         Ok(())
     }
 
@@ -413,9 +437,46 @@ impl ItcSystem {
     }
 
     /// Brings a crashed server back up, empty-handed: clients rediscover
-    /// the new epoch on their next genuine exchange and revalidate.
+    /// the new epoch on their next genuine exchange and revalidate. The
+    /// operator path salvages synchronously — volumes are back online when
+    /// this returns. (Scheduled restarts from a fault plan instead run the
+    /// salvager as timed calendar events; see the transport.)
     pub fn restart_server(&mut self, id: ServerId) {
-        self.topo.servers[id.0 as usize].restart();
+        let srv = &mut self.topo.servers[id.0 as usize];
+        srv.restart();
+        srv.salvage_all();
+    }
+
+    /// Salvage reports accumulated by a server since construction, in the
+    /// order the passes ran.
+    pub fn server_salvage_reports(&self, id: ServerId) -> &[SalvageReport] {
+        self.topo.servers[id.0 as usize].salvage_reports()
+    }
+
+    /// Volumes on `id` still awaiting a salvager pass (offline until it
+    /// runs).
+    pub fn server_salvage_pending(&self, id: ServerId) -> Vec<VolumeId> {
+        self.topo.servers[id.0 as usize].salvage_pending().to_vec()
+    }
+
+    /// Journal counters for a server's disk.
+    pub fn server_journal_stats(&self, id: ServerId) -> JournalStats {
+        self.topo.servers[id.0 as usize].journal_stats()
+    }
+
+    /// Switches a server's journal sync discipline. `WriteAhead` (the
+    /// default) forces the journal before replies leave; `Lazy` never
+    /// forces, so a crash can tear off acknowledged mutations — the
+    /// anti-model the crash-consistency suite measures against.
+    pub fn set_journal_sync_policy(&mut self, id: ServerId, policy: SyncPolicy) {
+        self.topo.servers[id.0 as usize].set_sync_policy(policy);
+    }
+
+    /// Per-incarnation request-queue high-water marks for a server:
+    /// `(epoch, high_water)` for every completed incarnation plus the
+    /// current one (last).
+    pub fn server_queue_history(&self, id: ServerId) -> Vec<(u64, usize)> {
+        self.topo.servers[id.0 as usize].queue_high_water_history()
     }
 
     /// A server's restart epoch (bumped by every crash).
@@ -429,24 +490,18 @@ impl ItcSystem {
     /// observe server state directly.
     pub fn run_fault_schedule(&mut self) {
         let now = self.clock.now();
-        while let Some(f) = self.core.sched.pop_due(now) {
-            match f.ev {
-                NetEvent::Crash { server, gen } => {
-                    if gen == self.core.plan_gen {
-                        self.topo.servers[server as usize].crash();
-                    }
-                }
-                NetEvent::Restart { server, gen } => {
-                    if gen == self.core.plan_gen {
-                        self.topo.servers[server as usize].restart();
-                    }
-                }
-                NetEvent::BreakDeliver { to_ws, path } => {
-                    if let Some(&ws) = self.topo.node_to_ws.get(&to_ws) {
-                        self.clients[ws].on_callback_break(&path);
-                    }
-                }
-                _ => unreachable!("no call in flight outside the transport"),
+        {
+            // One executor for lifecycle events: the transport's idle pump
+            // handles crashes (torn-write draw), restarts (salvager
+            // scheduling), and completed salvage passes identically
+            // whether fired here or before a call.
+            let (mut t, _) = self.split();
+            t.pump_idle(now);
+        }
+        // Callback breaks that matured during the pump.
+        for b in std::mem::take(&mut self.core.pending) {
+            if let Some(&ws) = self.topo.node_to_ws.get(&b.to_ws) {
+                self.clients[ws].on_callback_break(&b.path);
             }
         }
     }

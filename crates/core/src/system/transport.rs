@@ -80,6 +80,16 @@ pub(crate) enum NetEvent {
     Crash { server: u32, gen: u64 },
     /// A scheduled server restart from fault plan generation `gen`.
     Restart { server: u32, gen: u64 },
+    /// A salvager pass over one volume completes, scheduled by the restart
+    /// of server incarnation `epoch` under fault plan generation `gen`.
+    /// Stale if either has moved on (a newer plan, or another crash before
+    /// the pass finished).
+    Salvage {
+        server: u32,
+        volume: crate::proto::VolumeId,
+        gen: u64,
+        epoch: u64,
+    },
 }
 
 /// The event machinery and RPC bookkeeping shared by every call: the
@@ -238,23 +248,69 @@ impl SystemTransport<'_> {
     /// Fires every calendar event due at or before `upto` while no call is
     /// in flight: scheduled crashes/restarts take effect and matured
     /// callback breaks queue for delivery.
-    fn pump_idle(&mut self, upto: SimTime) {
+    pub(crate) fn pump_idle(&mut self, upto: SimTime) {
         while let Some(f) = self.core.sched.pop_due(upto) {
-            self.system_event(f.ev);
+            self.system_event(f.at, f.ev);
         }
     }
 
     /// Applies a non-call event.
-    fn system_event(&mut self, ev: NetEvent) {
+    fn system_event(&mut self, at: SimTime, ev: NetEvent) {
         match ev {
             NetEvent::Crash { server, gen } => {
                 if gen == self.core.plan_gen {
-                    self.topo.servers[server as usize].crash();
+                    let srv = &mut self.topo.servers[server as usize];
+                    // The torn-write model: the crash catches up to
+                    // `unsynced` journal bytes mid-write. The draw is
+                    // skipped entirely when the journal is clean, so the
+                    // write-ahead policy leaves the fault rng untouched.
+                    let unsynced = srv.unsynced_journal_bytes();
+                    let torn = self
+                        .core
+                        .faults
+                        .as_mut()
+                        .map_or(0, |f| f.torn_bytes(unsynced));
+                    srv.crash_with_torn(torn);
                 }
             }
             NetEvent::Restart { server, gen } => {
                 if gen == self.core.plan_gen {
-                    self.topo.servers[server as usize].restart();
+                    let srv = &mut self.topo.servers[server as usize];
+                    srv.restart();
+                    // Volumes stay offline until a salvager pass replays
+                    // the journal over their checkpoints. Each pass is a
+                    // calendar event charged on the server's disk, so
+                    // traffic arriving mid-salvage sees `VolumeOffline`.
+                    let epoch = srv.epoch();
+                    let costs = self.kernel.costs();
+                    for volume in srv.salvage_pending().to_vec() {
+                        let (records, bytes) = srv.salvage_work(volume);
+                        let done = srv.disk().acquire(at, costs.salvage_time(bytes, records));
+                        self.core.sched.schedule_class(
+                            done,
+                            EventClass::Salvage,
+                            NetEvent::Salvage {
+                                server,
+                                volume,
+                                gen,
+                                epoch,
+                            },
+                        );
+                    }
+                }
+            }
+            NetEvent::Salvage {
+                server,
+                volume,
+                gen,
+                epoch,
+            } => {
+                let srv = &mut self.topo.servers[server as usize];
+                // A stale pass — superseded plan, or the server crashed
+                // again before the salvager finished — is simply dropped;
+                // the next restart schedules fresh passes.
+                if gen == self.core.plan_gen && srv.is_online() && srv.epoch() == epoch {
+                    srv.salvage_volume(volume);
                 }
             }
             NetEvent::BreakDeliver { to_ws, path } => {
@@ -274,8 +330,11 @@ impl SystemTransport<'_> {
         let server = call.server;
         let sid = server.0 as usize;
         match ev {
-            NetEvent::Crash { .. } | NetEvent::Restart { .. } | NetEvent::BreakDeliver { .. } => {
-                self.system_event(ev);
+            NetEvent::Crash { .. }
+            | NetEvent::Restart { .. }
+            | NetEvent::Salvage { .. }
+            | NetEvent::BreakDeliver { .. } => {
+                self.system_event(at, ev);
             }
 
             NetEvent::AttemptSend => {
@@ -401,6 +460,12 @@ impl SystemTransport<'_> {
                     }
                     Err(e) => ViceReply::Error(ViceError::BadRequest(e.to_string())),
                 };
+                // Write-ahead discipline: the journal is forced to disk
+                // before the reply can leave (whatever its network fate),
+                // so no acknowledged mutation can be lost to a torn tail.
+                // The force rides the disk-bytes charge already in the
+                // call's cost; it adds no time and no calendar events.
+                self.topo.servers[sid].sync_journal();
                 let msg = encode_reply(&reply);
                 call.reply_wire = msg.wire_len() as u64 + 40;
                 call.reply_payload = msg.payload;

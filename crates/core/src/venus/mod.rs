@@ -454,6 +454,13 @@ impl Venus {
                     ViceReply::Error(ViceError::TimedOut(srv)) => {
                         last_failure = Some(ViceError::TimedOut(srv));
                     }
+                    // The server is up but the volume is being salvaged
+                    // (or was taken offline): a read-only replica elsewhere
+                    // may still cover the path, so keep trying candidates.
+                    ViceReply::Error(ViceError::VolumeOffline(p)) => {
+                        self.note_epoch(&*t, target);
+                        last_failure = Some(ViceError::VolumeOffline(p));
+                    }
                     other => {
                         // A genuine exchange with this server: notice if it
                         // restarted behind our back.

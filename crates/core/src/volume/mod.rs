@@ -346,6 +346,89 @@ impl Volume {
         self.fs = source.fs.clone();
         self.acls = source.acls.clone();
     }
+
+    // ----------------------------------------------------------------
+    // Structural invariants (the salvager's checklist)
+    // ----------------------------------------------------------------
+
+    /// Verifies the volume's structural invariants — the checks a salvage
+    /// pass runs before declaring a rebuilt volume fit to come online:
+    ///
+    /// 1. the file system's maintained byte counter equals the sum of
+    ///    regular-file sizes found by walking the tree;
+    /// 2. usage does not exceed the configured quota;
+    /// 3. every directory has an access list (protection state is total);
+    /// 4. every access-list entry keys a live directory (no orphans).
+    ///
+    /// Returns all violations found, not just the first, so a salvage
+    /// report can name everything wrong with a damaged image.
+    pub fn check_invariants(&self) -> Result<(), Vec<String>> {
+        let mut violations = Vec::new();
+        let mut walked_bytes = 0u64;
+        let mut dir_inos = std::collections::HashSet::new();
+        // One inode can be reachable under several names; count each
+        // regular file's bytes once.
+        let mut seen_files = std::collections::HashSet::new();
+        // Depth-first without following symlinks: a dangling link is legal
+        // state, not damage, so the traversal must not resolve through it.
+        let mut stack = vec!["/".to_string()];
+        while let Some(path) = stack.pop() {
+            let attr = match self.fs.lstat(&path) {
+                Ok(a) => a,
+                Err(e) => {
+                    violations.push(format!("unreadable entry {path}: {e}"));
+                    continue;
+                }
+            };
+            match attr.ftype {
+                itc_unixfs::FileType::Regular => {
+                    if seen_files.insert(attr.ino.0) {
+                        walked_bytes += attr.size;
+                    }
+                }
+                itc_unixfs::FileType::Directory => {
+                    dir_inos.insert(attr.ino.0);
+                    if !self.acls.contains_key(&attr.ino.0) {
+                        violations.push(format!("directory {path} has no access list"));
+                    }
+                    match self.fs.readdir(&path) {
+                        Ok(entries) => {
+                            for (name, _) in entries {
+                                stack.push(if path == "/" {
+                                    format!("/{name}")
+                                } else {
+                                    format!("{path}/{name}")
+                                });
+                            }
+                        }
+                        Err(e) => violations.push(format!("unreadable directory {path}: {e}")),
+                    }
+                }
+                itc_unixfs::FileType::Symlink => {}
+            }
+        }
+        if walked_bytes != self.fs.data_bytes() {
+            violations.push(format!(
+                "byte accounting diverged: walked {walked_bytes}, counter says {}",
+                self.fs.data_bytes()
+            ));
+        }
+        if let Some(limit) = self.quota_bytes {
+            if walked_bytes > limit {
+                violations.push(format!("usage {walked_bytes} exceeds quota {limit}"));
+            }
+        }
+        for ino in self.acls.keys() {
+            if !dir_inos.contains(ino) {
+                violations.push(format!("access list for dead inode {ino}"));
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -488,5 +571,123 @@ mod tests {
         let c2 = v.clone_readonly(VolumeId(11));
         assert_eq!(c1.name(), "user.satya.readonly.1");
         assert_eq!(c2.name(), "user.satya.readonly.2");
+    }
+
+    #[test]
+    fn quota_boundary_is_exact() {
+        let mut v = vol();
+        v.set_quota(Some(100));
+        // Landing exactly on the limit is allowed...
+        v.store("/a", 1, 5, vec![0u8; 100]).unwrap();
+        assert_eq!(v.used_bytes(), 100);
+        // ...but one byte over is not, and the error names both sides.
+        let err = v.store("/b", 1, 6, vec![0u8; 1]).unwrap_err();
+        assert_eq!(
+            err,
+            VolumeError::QuotaExceeded {
+                limit: 100,
+                would_be: 101
+            }
+        );
+        // A failed store leaves usage untouched.
+        assert_eq!(v.used_bytes(), 100);
+        // Replacing the full file with an equally full one still fits.
+        v.store("/a", 1, 7, vec![1u8; 100]).unwrap();
+        // Tightening the quota below current usage blocks any growth but
+        // permits shrinking.
+        v.set_quota(Some(50));
+        let err = v.store("/b", 1, 8, vec![0u8; 1]).unwrap_err();
+        assert!(matches!(err, VolumeError::QuotaExceeded { limit: 50, .. }));
+        v.store("/a", 1, 9, vec![0u8; 40]).unwrap();
+        assert_eq!(v.used_bytes(), 40);
+    }
+
+    #[test]
+    fn readonly_clone_rejects_every_mutation_path() {
+        let mut v = vol();
+        v.mkdir_inherit("/doc", 1, 5).unwrap();
+        v.store("/doc/a", 1, 6, b"x".to_vec()).unwrap();
+        let mut clone = v.clone_readonly(VolumeId(100));
+
+        assert_eq!(
+            clone.mkdir_inherit("/new", 1, 7).unwrap_err(),
+            VolumeError::ReadOnly
+        );
+        assert_eq!(clone.rmdir("/doc", 7).unwrap_err(), VolumeError::ReadOnly);
+        assert_eq!(
+            clone.set_acl("/doc", AccessList::new()).unwrap_err(),
+            VolumeError::ReadOnly
+        );
+        assert_eq!(
+            clone.store("/doc/a", 1, 7, b"y".to_vec()).unwrap_err(),
+            VolumeError::ReadOnly
+        );
+        assert!(matches!(clone.fs_mut(), Err(VolumeError::ReadOnly)));
+        // Reads still work: the clone is frozen, not dead.
+        assert_eq!(clone.fs_read().unwrap().read("/doc/a").unwrap(), b"x");
+    }
+
+    #[test]
+    fn offline_volume_rejects_directory_and_acl_ops() {
+        let mut v = vol();
+        v.mkdir_inherit("/doc", 1, 5).unwrap();
+        v.set_online(false);
+        assert_eq!(
+            v.mkdir_inherit("/new", 1, 6).unwrap_err(),
+            VolumeError::Offline
+        );
+        assert_eq!(v.rmdir("/doc", 6).unwrap_err(), VolumeError::Offline);
+        assert_eq!(
+            v.set_acl("/doc", AccessList::new()).unwrap_err(),
+            VolumeError::Offline
+        );
+        assert!(matches!(v.fs_mut(), Err(VolumeError::Offline)));
+        // Offline beats read-only in the error taxonomy: an offline clone
+        // reports Offline (you cannot even know it is read-only).
+        let mut clone = v.clone_readonly(VolumeId(100));
+        clone.set_online(false);
+        assert_eq!(
+            clone.store("/x", 1, 7, vec![1]).unwrap_err(),
+            VolumeError::Offline
+        );
+    }
+
+    #[test]
+    fn invariants_hold_on_a_live_volume() {
+        let mut v = vol();
+        v.set_quota(Some(1000));
+        v.mkdir_inherit("/doc", 1, 5).unwrap();
+        v.store("/doc/a.tex", 1, 6, vec![0u8; 300]).unwrap();
+        v.fs_mut()
+            .unwrap()
+            .symlink("/l", "/doc/a.tex", 1, 7)
+            .unwrap();
+        v.check_invariants().unwrap();
+        // Structural mutations keep them holding.
+        v.fs_mut().unwrap().rename("/doc", "/doc2", 8).unwrap();
+        v.rmdir("/doc2/..missing", 9).unwrap_err();
+        v.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariants_catch_missing_and_orphaned_acls() {
+        let mut v = vol();
+        v.mkdir_inherit("/doc", 1, 5).unwrap();
+        let doc_ino = v.fs.resolve("/doc", true).unwrap().ino;
+        // Damage 1: a directory without an access list.
+        v.acls.remove(&doc_ino.0);
+        let violations = v.check_invariants().unwrap_err();
+        assert!(
+            violations.iter().any(|m| m.contains("/doc")),
+            "{violations:?}"
+        );
+        // Damage 2: an ACL keyed by a dead inode.
+        let mut v = vol();
+        v.acls.insert(9999, AccessList::new());
+        let violations = v.check_invariants().unwrap_err();
+        assert!(
+            violations.iter().any(|m| m.contains("9999")),
+            "{violations:?}"
+        );
     }
 }

@@ -106,6 +106,13 @@ pub struct Costs {
     /// Disk throughput, bytes per second.
     pub disk_bytes_per_sec: u64,
 
+    // --- Salvage (post-crash volume recovery) ---
+    /// Fixed CPU to start a salvage pass on one volume (open the
+    /// checkpoint, set up the journal scan).
+    pub salvage_fixed: SimTime,
+    /// CPU to re-apply one committed journal record during salvage.
+    pub salvage_per_record: SimTime,
+
     // --- Workstation ---
     /// Fixed CPU for Venus to intercept a file-system call.
     pub ws_cpu_intercept: SimTime,
@@ -175,6 +182,9 @@ impl Costs {
             disk_access: SimTime::from_millis(60),
             disk_bytes_per_sec: 500_000,
 
+            salvage_fixed: SimTime::from_millis(200),
+            salvage_per_record: SimTime::from_millis(5),
+
             ws_cpu_intercept: SimTime::from_millis(100),
             ws_cpu_per_component: SimTime::from_millis(2),
             ws_disk_access: SimTime::from_millis(150),
@@ -215,6 +225,14 @@ impl Costs {
     pub fn disk_transfer(&self, bytes: u64) -> SimTime {
         self.disk_access
             + SimTime::from_micros(bytes.saturating_mul(1_000_000) / self.disk_bytes_per_sec)
+    }
+
+    /// Time to salvage one volume after a crash: a fixed setup charge,
+    /// one disk pass over the journal extent to scan, and per-record CPU
+    /// to re-apply the committed tail onto the checkpoint image. Linear in
+    /// journal length — the relationship the salvage bench measures.
+    pub fn salvage_time(&self, journal_bytes: u64, records: u64) -> SimTime {
+        self.salvage_fixed + self.salvage_per_record * records + self.disk_transfer(journal_bytes)
     }
 
     /// Workstation local-disk service time to move `bytes`.
@@ -285,6 +303,20 @@ mod tests {
         assert_eq!(c.srv_block_cpu(1), c.srv_cpu_per_block);
         assert_eq!(c.srv_block_cpu(4096), c.srv_cpu_per_block);
         assert_eq!(c.srv_block_cpu(4097), c.srv_cpu_per_block * 2);
+    }
+
+    #[test]
+    fn salvage_time_is_linear_in_records_and_bytes() {
+        let c = Costs::prototype_1985();
+        assert_eq!(c.salvage_time(0, 0), c.salvage_fixed + c.disk_access);
+        // Adding records adds exactly per-record CPU.
+        let base = c.salvage_time(1000, 10);
+        assert_eq!(c.salvage_time(1000, 11), base + c.salvage_per_record);
+        // Adding a full second of journal bytes adds a second of disk.
+        assert_eq!(
+            c.salvage_time(1000 + c.disk_bytes_per_sec, 10),
+            base + SimTime::from_secs(1)
+        );
     }
 
     #[test]

@@ -79,15 +79,11 @@ impl FaultStats {
     }
 }
 
-/// A scheduled server lifecycle event.
-#[derive(Debug, Clone, Copy)]
-struct Lifecycle {
-    server: u32,
-    at: SimTime,
-    fired: bool,
-}
-
 /// A deterministic plan of message faults and server crashes.
+///
+/// Lifecycle schedules are kept sorted by `(at, server)` so the due-event
+/// queries drain from the front instead of rescanning (and re-sorting) the
+/// whole history on every poll.
 #[derive(Debug)]
 pub struct FaultPlan {
     rng: SimRng,
@@ -97,8 +93,8 @@ pub struct FaultPlan {
     delay_prob: f64,
     delay_extra: SimTime,
     scripted: Vec<(u32, VecDeque<ScriptedFault>)>,
-    crashes: Vec<Lifecycle>,
-    restarts: Vec<Lifecycle>,
+    crashes: VecDeque<(SimTime, u32)>,
+    restarts: VecDeque<(SimTime, u32)>,
     stats: FaultStats,
 }
 
@@ -114,8 +110,8 @@ impl FaultPlan {
             delay_prob: 0.0,
             delay_extra: SimTime::ZERO,
             scripted: Vec::new(),
-            crashes: Vec::new(),
-            restarts: Vec::new(),
+            crashes: VecDeque::new(),
+            restarts: VecDeque::new(),
             stats: FaultStats::default(),
         }
     }
@@ -160,65 +156,68 @@ impl FaultPlan {
     /// Schedules `server` to crash at virtual time `at`, losing all
     /// in-memory state (the owner applies the crash via [`Self::due_crashes`]).
     pub fn schedule_crash(&mut self, server: u32, at: SimTime) {
-        self.crashes.push(Lifecycle {
-            server,
-            at,
-            fired: false,
-        });
+        Self::insert_sorted(&mut self.crashes, server, at);
     }
 
     /// Schedules `server` to come back up at virtual time `at`.
     pub fn schedule_restart(&mut self, server: u32, at: SimTime) {
-        self.restarts.push(Lifecycle {
-            server,
-            at,
-            fired: false,
-        });
+        Self::insert_sorted(&mut self.restarts, server, at);
     }
 
-    /// Crash events due at or before `now` that have not fired yet.
+    /// Crash events due at or before `now`, drained from the schedule.
     pub fn due_crashes(&mut self, now: SimTime) -> Vec<u32> {
         Self::drain_due(&mut self.crashes, now)
     }
 
-    /// Restart events due at or before `now` that have not fired yet.
+    /// Restart events due at or before `now`, drained from the schedule.
     pub fn due_restarts(&mut self, now: SimTime) -> Vec<u32> {
         Self::drain_due(&mut self.restarts, now)
     }
 
-    /// Every crash still scheduled (unfired), as `(server, at)` pairs. An
-    /// event-driven owner reads the whole schedule once at installation and
-    /// enters it into its own calendar instead of polling [`Self::due_crashes`].
+    /// Every crash still scheduled, as `(server, at)` pairs in firing
+    /// order. An event-driven owner reads the whole schedule once at
+    /// installation and enters it into its own calendar instead of polling
+    /// [`Self::due_crashes`].
     pub fn crash_schedule(&self) -> Vec<(u32, SimTime)> {
-        Self::unfired(&self.crashes)
+        self.crashes.iter().map(|&(at, s)| (s, at)).collect()
     }
 
-    /// Every restart still scheduled (unfired), as `(server, at)` pairs.
+    /// Every restart still scheduled, as `(server, at)` pairs in firing
+    /// order.
     pub fn restart_schedule(&self) -> Vec<(u32, SimTime)> {
-        Self::unfired(&self.restarts)
+        self.restarts.iter().map(|&(at, s)| (s, at)).collect()
     }
 
-    fn unfired(events: &[Lifecycle]) -> Vec<(u32, SimTime)> {
-        let mut out: Vec<(u32, SimTime)> = events
-            .iter()
-            .filter(|e| !e.fired)
-            .map(|e| (e.server, e.at))
-            .collect();
-        out.sort_by_key(|&(server, at)| (at, server));
-        out
+    /// Keeps a schedule sorted by `(at, server)` on insertion, so the due
+    /// queries can pop from the front.
+    fn insert_sorted(events: &mut VecDeque<(SimTime, u32)>, server: u32, at: SimTime) {
+        let pos = events.partition_point(|&e| e <= (at, server));
+        events.insert(pos, (at, server));
     }
 
-    fn drain_due(events: &mut [Lifecycle], now: SimTime) -> Vec<u32> {
-        let mut due: Vec<(SimTime, u32)> = events
-            .iter_mut()
-            .filter(|e| !e.fired && e.at <= now)
-            .map(|e| {
-                e.fired = true;
-                (e.at, e.server)
-            })
-            .collect();
-        due.sort_by_key(|(at, server)| (*at, *server));
-        due.into_iter().map(|(_, server)| server).collect()
+    fn drain_due(events: &mut VecDeque<(SimTime, u32)>, now: SimTime) -> Vec<u32> {
+        let mut due = Vec::new();
+        while let Some(&(at, server)) = events.front() {
+            if at > now {
+                break;
+            }
+            events.pop_front();
+            due.push(server);
+        }
+        due
+    }
+
+    /// How many bytes of a crashed server's `unsynced` journal window made
+    /// it to the platter before power failed — the torn-write point, drawn
+    /// uniformly from `0..=unsynced` off the plan's seeded stream. With
+    /// nothing unsynced the answer is 0 and **no random draw is made**, so
+    /// write-ahead-synced runs consume exactly the same rng stream as
+    /// before the disk model existed.
+    pub fn torn_bytes(&mut self, unsynced: u64) -> u64 {
+        if unsynced == 0 {
+            return 0;
+        }
+        self.rng.range(0, unsynced + 1)
     }
 
     fn pop_scripted(
@@ -378,6 +377,51 @@ mod tests {
         assert!(p.due_restarts(SimTime::from_secs(59)).is_empty());
         assert_eq!(p.due_restarts(SimTime::from_secs(60)), vec![1]);
         assert!(p.due_restarts(SimTime::from_secs(61)).is_empty());
+    }
+
+    #[test]
+    fn schedules_stay_sorted_and_drain_from_the_front() {
+        let mut p = FaultPlan::new(1);
+        // Inserted out of order, including a same-instant pair: the
+        // schedule reads back sorted by (at, server) without a sort call.
+        p.schedule_crash(5, SimTime::from_secs(30));
+        p.schedule_crash(9, SimTime::from_secs(10));
+        p.schedule_crash(3, SimTime::from_secs(10));
+        p.schedule_crash(1, SimTime::from_secs(20));
+        assert_eq!(
+            p.crash_schedule(),
+            vec![
+                (3, SimTime::from_secs(10)),
+                (9, SimTime::from_secs(10)),
+                (1, SimTime::from_secs(20)),
+                (5, SimTime::from_secs(30)),
+            ]
+        );
+        // Partial drain takes only the due prefix; the rest stays queued.
+        assert_eq!(p.due_crashes(SimTime::from_secs(15)), vec![3, 9]);
+        assert_eq!(
+            p.crash_schedule(),
+            vec![(1, SimTime::from_secs(20)), (5, SimTime::from_secs(30))]
+        );
+        assert_eq!(p.due_crashes(SimTime::from_secs(100)), vec![1, 5]);
+        assert!(p.crash_schedule().is_empty());
+    }
+
+    #[test]
+    fn torn_bytes_is_bounded_and_quiet_when_synced() {
+        let mut p = FaultPlan::new(11);
+        // With nothing unsynced, no draw happens: the stream is untouched,
+        // so a subsequent draw matches a fresh plan's first draw.
+        assert_eq!(p.torn_bytes(0), 0);
+        let a = p.torn_bytes(1000);
+        let b = FaultPlan::new(11).torn_bytes(1000);
+        assert_eq!(a, b);
+        assert!(a <= 1000);
+        // The draw covers the full inclusive range deterministically.
+        let mut p = FaultPlan::new(11);
+        let draws: Vec<u64> = (0..200).map(|_| p.torn_bytes(3)).collect();
+        assert!(draws.iter().all(|&d| d <= 3));
+        assert!(draws.contains(&0) && draws.contains(&3));
     }
 
     #[test]

@@ -43,6 +43,11 @@ pub enum EventClass {
     Crash,
     /// Server restart transitions (after crashes, before traffic).
     Restart,
+    /// Salvager passes bringing volumes back online (after restarts, so a
+    /// restart scheduled at the same instant can enqueue them; before
+    /// traffic, so a request due at the completion instant sees the volume
+    /// online).
+    Salvage,
     /// Ordinary message/service/timeout events.
     Normal,
 }
