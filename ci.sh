@@ -25,8 +25,18 @@ cargo test -q --workspace --offline
 echo "== crash-consistency property suite (offline) =="
 cargo test -q --offline --test salvage
 
-echo "== bench smoke (schema + deterministic-metric gate vs BENCH_pr4.json) =="
+echo "== tracing suite (zero perturbation + flight recorder, offline) =="
+cargo test -q --offline --test tracing
+
+echo "== bench smoke (schema + deterministic-metric gate vs BENCH_pr5.json) =="
 cargo run -q -p itc-bench --release --offline --bin bench -- --smoke
+
+echo "== trace determinism (same seed => byte-identical anomaly JSONL) =="
+TRACE_TMP=$(mktemp -d)
+cargo run -q -p itc-bench --release --offline --bin trace -- --export "$TRACE_TMP/a" > /dev/null
+cargo run -q -p itc-bench --release --offline --bin trace -- --export "$TRACE_TMP/b" > /dev/null
+diff -r "$TRACE_TMP/a" "$TRACE_TMP/b"
+rm -rf "$TRACE_TMP"
 
 if [ "${1:-}" = "network" ]; then
     echo "== optional: property-based suite (networked) =="

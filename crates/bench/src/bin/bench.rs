@@ -1,6 +1,6 @@
 //! Performance harness: the repo's perf trajectory across PRs.
 //!
-//! Four benchmarks, each reporting both wall-clock throughput (noisy,
+//! Five benchmarks, each reporting both wall-clock throughput (noisy,
 //! machine-dependent, recorded but never gated) and deterministic copy /
 //! allocation / virtual-time counters (identical on every machine, gated
 //! by `--smoke`):
@@ -23,13 +23,21 @@
 //!   the cost model (fixed pass cost + per-record replay + log scan at
 //!   disk bandwidth) and checks it stays linear in journal length, plus
 //!   ungated wall-clock for the in-memory replay itself.
+//! * **trace overhead** — the 40-client storm run twice, tracing off and
+//!   on, interleaved. The virtual clock must land on the *same
+//!   microsecond* either way (tracing is observation-only by
+//!   construction), and the wall-clock median ratio is gated at ≤ 1.05:
+//!   span recording rides the existing event pipeline, it does not add
+//!   a measurable second one.
 //!
 //! Modes:
-//! * default: run full-size benchmarks, write `BENCH_pr4.json`.
+//! * default: run full-size benchmarks, write `BENCH_pr5.json`.
 //! * `--smoke`: run reduced sizes, validate the checked-in
-//!   `BENCH_pr4.json` schema, and fail on >20% regression of any
+//!   `BENCH_pr5.json` schema, and fail on >20% regression of any
 //!   deterministic metric (copies per op, churn flatness, salvage
-//!   linearity). Wall-clock numbers are exempt — CI machines differ.
+//!   linearity), a nonzero tracing virtual-time delta, or a >5% tracing
+//!   wall overhead. Other wall-clock numbers are exempt — CI machines
+//!   differ.
 
 use itc_core::config::{CachePolicy, SystemConfig};
 use itc_core::disk::{Disk, JournalOp, SyncPolicy};
@@ -343,6 +351,109 @@ fn bench_salvage(sizes: &[u64]) -> SalvageResult {
     }
 }
 
+struct TraceOverheadResult {
+    clients: usize,
+    file_bytes: usize,
+    ops: u64,
+    runs: usize,
+    wall_off_ms: Vec<f64>,
+    wall_on_ms: Vec<f64>,
+    wall_overhead_ratio: f64,
+    virtual_now_off_us: u64,
+    virtual_now_on_us: u64,
+    virtual_delta_us: u64,
+    traces_minted: u64,
+    spans_recorded: u64,
+    spans_per_op: f64,
+}
+
+/// One storm pass: every client stores a file, then cold-fetches
+/// `fetch_fanout` neighbours' files. Returns wall seconds, the final
+/// virtual clock, the tracer's counters, and the op count.
+fn trace_storm(
+    clients: usize,
+    file_bytes: usize,
+    fetch_fanout: usize,
+    tracing: bool,
+) -> (f64, u64, u64, u64, u64) {
+    let clusters = 4u32;
+    let per = (clients as u32).div_ceil(clusters);
+    let cfg = SystemConfig {
+        tracing,
+        ..SystemConfig::revised(clusters, per)
+    };
+    let mut sys = ItcSystem::build(cfg);
+    for ws in 0..clients {
+        let user = format!("user{ws:02}");
+        sys.add_user(&user, "pw").expect("add user");
+        sys.login(ws, &user, "pw").expect("login");
+    }
+    sys.mkdir_p(0, "/vice/usr/trace").expect("mkdir");
+    let body = vec![0x3cu8; file_bytes];
+
+    let t0 = Instant::now();
+    for ws in 0..clients {
+        sys.store(ws, &format!("/vice/usr/trace/f{ws:02}"), body.clone())
+            .expect("store");
+    }
+    let mut ops = clients as u64;
+    for ws in 0..clients {
+        for k in 1..=fetch_fanout {
+            let other = (ws + k) % clients;
+            sys.fetch(ws, &format!("/vice/usr/trace/f{other:02}"))
+                .expect("fetch");
+            ops += 1;
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let ts = sys.trace_stats();
+    (wall, sys.now().as_micros(), ts.traces, ts.spans, ops)
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+/// The storm with tracing off and on, `runs` times each, interleaved so
+/// thermal and cache drift hit both sides equally. The virtual-time
+/// observables must be identical to the microsecond; the wall ratio
+/// compares medians.
+fn bench_trace_overhead(
+    clients: usize,
+    file_bytes: usize,
+    fetch_fanout: usize,
+    runs: usize,
+) -> TraceOverheadResult {
+    let mut wall_off_ms = Vec::new();
+    let mut wall_on_ms = Vec::new();
+    let mut off = (0.0, 0u64, 0u64, 0u64, 0u64);
+    let mut on = off;
+    for _ in 0..runs {
+        off = trace_storm(clients, file_bytes, fetch_fanout, false);
+        wall_off_ms.push(off.0 * 1000.0);
+        on = trace_storm(clients, file_bytes, fetch_fanout, true);
+        wall_on_ms.push(on.0 * 1000.0);
+    }
+    assert_eq!(off.4, on.4, "same workload both sides");
+    TraceOverheadResult {
+        clients,
+        file_bytes,
+        ops: on.4,
+        runs,
+        wall_overhead_ratio: median(&wall_on_ms) / median(&wall_off_ms),
+        wall_off_ms,
+        wall_on_ms,
+        virtual_now_off_us: off.1,
+        virtual_now_on_us: on.1,
+        virtual_delta_us: on.1.abs_diff(off.1),
+        traces_minted: on.2,
+        spans_recorded: on.3,
+        spans_per_op: on.3 as f64 / on.4 as f64,
+    }
+}
+
 // ---------------------------------------------------------------------
 // Hand-rolled JSON (the repo takes no dependencies).
 // ---------------------------------------------------------------------
@@ -360,6 +471,7 @@ fn render_report(
     churn: &ChurnResult,
     storm: &StormResult,
     salvage: &SalvageResult,
+    trace: &TraceOverheadResult,
 ) -> String {
     let caps = churn
         .capacities
@@ -382,7 +494,7 @@ fn render_report(
     let floats = |v: &[f64]| v.iter().map(|&x| fnum(x)).collect::<Vec<_>>().join(", ");
     format!(
         r#"{{
-  "schema": "itc-bench/pr4/v1",
+  "schema": "itc-bench/pr5/v1",
   "micro_codec": {{
     "payload_bytes": {},
     "iters": {},
@@ -418,6 +530,21 @@ fn render_report(
     "per_record_virtual_us": {},
     "linearity_ratio": {},
     "wall_us_per_record": [{}]
+  }},
+  "trace_overhead": {{
+    "clients": {},
+    "trace_file_bytes": {},
+    "ops": {},
+    "runs": {},
+    "wall_off_ms": [{}],
+    "wall_on_ms": [{}],
+    "wall_overhead_ratio": {},
+    "virtual_now_off_us": {},
+    "virtual_now_on_us": {},
+    "virtual_delta_us": {},
+    "traces_minted": {},
+    "spans_recorded": {},
+    "spans_per_op": {}
   }}
 }}
 "#,
@@ -449,6 +576,19 @@ fn render_report(
         fnum(salvage.per_record_virtual_us),
         fnum(salvage.linearity_ratio),
         floats(&salvage.wall_us_per_record),
+        trace.clients,
+        trace.file_bytes,
+        trace.ops,
+        trace.runs,
+        floats(&trace.wall_off_ms),
+        floats(&trace.wall_on_ms),
+        fnum(trace.wall_overhead_ratio),
+        trace.virtual_now_off_us,
+        trace.virtual_now_on_us,
+        trace.virtual_delta_us,
+        trace.traces_minted,
+        trace.spans_recorded,
+        fnum(trace.spans_per_op),
     )
 }
 
@@ -479,6 +619,7 @@ fn smoke_gate(
     churn: &ChurnResult,
     storm: &StormResult,
     salvage: &SalvageResult,
+    trace: &TraceOverheadResult,
 ) {
     let mut failures = Vec::new();
 
@@ -496,6 +637,9 @@ fn smoke_gate(
         "alloc_bytes_per_op",
         "per_record_virtual_us",
         "linearity_ratio",
+        "wall_overhead_ratio",
+        "virtual_delta_us",
+        "spans_per_op",
     ] {
         if json_number(baseline, key).is_none() {
             failures.push(format!("baseline missing key \"{key}\""));
@@ -566,6 +710,27 @@ fn smoke_gate(
         }
     }
 
+    // Tracing is observation-only: the virtual clock must land on the
+    // same microsecond with the collector on or off, and the recorder's
+    // wall cost must vanish into the storm's noise floor.
+    if trace.virtual_delta_us != 0 {
+        failures.push(format!(
+            "tracing moved virtual time by {}us (off {}us, on {}us) — \
+             the tracer must be observation-only",
+            trace.virtual_delta_us, trace.virtual_now_off_us, trace.virtual_now_on_us
+        ));
+    }
+    if trace.wall_overhead_ratio > 1.05 {
+        failures.push(format!(
+            "tracing wall overhead {:.3}x exceeds 1.05x on the {}-client storm \
+             (off {:?}ms, on {:?}ms)",
+            trace.wall_overhead_ratio, trace.clients, trace.wall_off_ms, trace.wall_on_ms
+        ));
+    }
+    if trace.spans_recorded == 0 || trace.traces_minted == 0 {
+        failures.push("tracing-on storm recorded no spans".to_string());
+    }
+
     if failures.is_empty() {
         println!(
             "smoke: OK (all deterministic metrics within {:.0}% of baseline)",
@@ -583,12 +748,13 @@ fn smoke_gate(
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
 
-    let (codec, churn, storm, salvage) = if smoke {
+    let (codec, churn, storm, salvage, trace) = if smoke {
         (
             bench_codec(200),
             bench_cache_churn(&[256, 1024, 4096, 16384], 20_000),
             bench_macro_storm(40, 64 * 1024, 2),
             bench_salvage(&[16, 64, 256]),
+            bench_trace_overhead(40, 64 * 1024, 2, 3),
         )
     } else {
         (
@@ -596,26 +762,27 @@ fn main() {
             bench_cache_churn(&[256, 1024, 4096, 16384], 200_000),
             bench_macro_storm(40, 64 * 1024, 5),
             bench_salvage(&[64, 256, 1024]),
+            bench_trace_overhead(40, 64 * 1024, 5, 5),
         )
     };
 
-    let report = render_report(&codec, &churn, &storm, &salvage);
+    let report = render_report(&codec, &churn, &storm, &salvage, &trace);
     println!("{report}");
 
     if smoke {
-        let baseline = std::fs::read_to_string("BENCH_pr4.json").unwrap_or_else(|e| {
-            eprintln!("smoke: cannot read checked-in BENCH_pr4.json: {e}");
+        let baseline = std::fs::read_to_string("BENCH_pr5.json").unwrap_or_else(|e| {
+            eprintln!("smoke: cannot read checked-in BENCH_pr5.json: {e}");
             std::process::exit(1);
         });
         if json_number(&baseline, "payload_bytes").is_none()
-            || !baseline.contains("\"schema\": \"itc-bench/pr4/v1\"")
+            || !baseline.contains("\"schema\": \"itc-bench/pr5/v1\"")
         {
-            eprintln!("smoke: BENCH_pr4.json does not match schema itc-bench/pr4/v1");
+            eprintln!("smoke: BENCH_pr5.json does not match schema itc-bench/pr5/v1");
             std::process::exit(1);
         }
-        smoke_gate(&baseline, &codec, &churn, &storm, &salvage);
+        smoke_gate(&baseline, &codec, &churn, &storm, &salvage, &trace);
     } else {
-        std::fs::write("BENCH_pr4.json", &report).expect("write BENCH_pr4.json");
-        println!("wrote BENCH_pr4.json");
+        std::fs::write("BENCH_pr5.json", &report).expect("write BENCH_pr5.json");
+        println!("wrote BENCH_pr5.json");
     }
 }

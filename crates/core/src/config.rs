@@ -64,6 +64,11 @@ pub struct SystemConfig {
     pub costs: Costs,
     /// Seed for all randomness (nonces, workloads forked from it).
     pub seed: u64,
+    /// Causal request tracing (spans, latency attribution, the anomaly
+    /// flight recorder). Observation-only: enabling it changes no virtual
+    /// timing, rng draw, or event ordering; off by default so the common
+    /// path pays one branch per hop.
+    pub tracing: bool,
 }
 
 impl SystemConfig {
@@ -80,6 +85,7 @@ impl SystemConfig {
             write_policy: WritePolicy::StoreOnClose,
             costs: Costs::prototype_1985(),
             seed: 1985,
+            tracing: false,
         }
     }
 

@@ -59,9 +59,11 @@ pub mod proto;
 pub mod server;
 pub mod surrogate;
 pub mod system;
+pub mod trace;
 pub mod venus;
 pub mod volume;
 
 pub use config::SystemConfig;
 pub use proto::{VStatus, ViceError, ViceReply, ViceRequest};
 pub use system::ItcSystem;
+pub use trace::{AttributionRow, AttributionSummary, CallBreakdown};

@@ -1,6 +1,7 @@
 //! Aggregated measurements over a running system — the quantities
 //! Section 5.2 of the paper reports.
 
+use crate::trace::AttributionSummary;
 use crate::venus::{CacheStats, VenusStats};
 use itc_sim::{Counter, SimTime, UtilizationReport};
 
@@ -30,6 +31,9 @@ pub struct SystemMetrics {
     pub cache: CacheStats,
     /// Aggregate Venus operation counters across all workstations.
     pub venus: VenusStats,
+    /// Latency attribution (per-server and per-volume component rollups),
+    /// present when tracing was enabled at snapshot time.
+    pub attribution: Option<AttributionSummary>,
 }
 
 impl SystemMetrics {

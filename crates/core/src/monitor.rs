@@ -111,8 +111,11 @@ impl TrafficMonitor {
         custodian_of: impl Fn(&str) -> Option<ServerId>,
         movable: impl Fn(&str) -> bool,
     ) -> Vec<MoveRecommendation> {
-        // Group by subtree.
-        let mut per_subtree: HashMap<&str, Vec<(u32, u64)>> = HashMap::new();
+        // Group by subtree. A BTreeMap keeps the traversal (and therefore
+        // every tie-break below) independent of HashMap iteration order —
+        // the recommendation list must be deterministic run to run.
+        let mut per_subtree: std::collections::BTreeMap<&str, Vec<(u32, u64)>> =
+            std::collections::BTreeMap::new();
         for ((subtree, origin), &n) in &self.counts {
             per_subtree
                 .entry(subtree.as_ref())
@@ -128,7 +131,12 @@ impl TrafficMonitor {
                 continue;
             };
             let total: u64 = origins.iter().map(|(_, n)| n).sum();
-            let Some(&(winner, winning_calls)) = origins.iter().max_by_key(|(_, n)| *n) else {
+            // Highest call count wins; equal counts go to the lowest
+            // cluster id, so the winner never depends on map order.
+            let Some(&(winner, winning_calls)) = origins
+                .iter()
+                .max_by_key(|(origin, n)| (*n, std::cmp::Reverse(*origin)))
+            else {
                 continue;
             };
             // Only recommend when the winning cluster truly dominates
@@ -144,7 +152,13 @@ impl TrafficMonitor {
                 });
             }
         }
-        recs.sort_by_key(|r| std::cmp::Reverse(r.winning_calls));
+        // Busiest first; equal traffic orders by mount so the list is
+        // stable across runs.
+        recs.sort_by(|a, b| {
+            b.winning_calls
+                .cmp(&a.winning_calls)
+                .then_with(|| a.subtree.cmp(&b.subtree))
+        });
         recs
     }
 
@@ -210,6 +224,74 @@ mod tests {
             m.record("/vice", 1);
         }
         assert!(m.recommendations(custodians, |s| s != "/vice").is_empty());
+    }
+
+    #[test]
+    fn empty_monitor_recommends_nothing() {
+        let m = TrafficMonitor::new();
+        assert_eq!(m.total(), 0);
+        assert!(m.recommendations(custodians, |_| true).is_empty());
+        assert_eq!(m.cross_cluster_fraction(custodians), 0.0);
+    }
+
+    #[test]
+    fn single_cluster_traffic_never_recommends_a_move() {
+        // Everything originates where it lives: nothing to do, however
+        // lopsided the volumes' popularity.
+        let mut m = TrafficMonitor::new();
+        for _ in 0..500 {
+            m.record("/vice/usr/alice", 0);
+        }
+        for _ in 0..3 {
+            m.record("/vice/usr/bob", 0);
+        }
+        assert!(m.recommendations(custodians, |_| true).is_empty());
+        assert_eq!(m.cross_cluster_fraction(custodians), 0.0);
+    }
+
+    #[test]
+    fn equal_traffic_orders_recommendations_by_mount() {
+        // Alice and Bob both live on server 0 but work from cluster 1
+        // with identical call counts: the tie must break the same way on
+        // every run (lexicographic mount order), not by map iteration.
+        let mut m = TrafficMonitor::new();
+        for _ in 0..40 {
+            m.record("/vice/usr/alice", 1);
+            m.record("/vice/usr/bob", 1);
+        }
+        for _ in 0..100 {
+            let recs = m.recommendations(custodians, |_| true);
+            assert_eq!(recs.len(), 2);
+            assert_eq!(recs[0].subtree, "/vice/usr/alice");
+            assert_eq!(recs[1].subtree, "/vice/usr/bob");
+            assert_eq!((recs[0].winning_calls, recs[1].winning_calls), (40, 40));
+        }
+    }
+
+    #[test]
+    fn winning_cluster_tie_breaks_to_the_lowest_id() {
+        // Three origin clusters, two tied for the lead. No move clears
+        // the >50% dominance bar, so nothing is recommended — but the
+        // winner computation itself must still be deterministic.
+        let mut m = TrafficMonitor::new();
+        for _ in 0..40 {
+            m.record("/vice/usr/alice", 2);
+            m.record("/vice/usr/alice", 1);
+        }
+        for _ in 0..20 {
+            m.record("/vice/usr/alice", 0);
+        }
+        assert!(m.recommendations(custodians, |_| true).is_empty());
+        // A decisive winner with the same shape is reported against the
+        // full total.
+        for _ in 0..61 {
+            m.record("/vice/usr/alice", 1);
+        }
+        let recs = m.recommendations(custodians, |_| true);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].to, ServerId(1));
+        assert_eq!(recs[0].winning_calls, 101);
+        assert_eq!(recs[0].total_calls, 161);
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub struct QueuedRequest {
     pub from: NodeId,
     /// Idempotency token framed ahead of the request body.
     pub token: u64,
+    /// Causal trace identity carried in the call frame
+    /// ([`itc_sim::TraceId::NONE`] when the client had tracing off).
+    pub trace: itc_sim::TraceId,
     /// Undecoded request head (everything but file contents).
     pub body: Vec<u8>,
     /// The request's out-of-band bulk payload, shared by refcount with the
@@ -444,6 +447,17 @@ impl Server {
     /// The hosted volumes.
     pub fn volumes(&self) -> &[Volume] {
         &self.volumes
+    }
+
+    /// The id of the hosted volume covering `vice_path`, if any — the most
+    /// specific mount wins when volumes nest. Read-only: used by the
+    /// tracing layer to attribute a call to a volume.
+    pub fn volume_covering(&self, vice_path: &str) -> Option<VolumeId> {
+        self.volumes
+            .iter()
+            .filter(|v| v.covers(vice_path))
+            .max_by_key(|v| v.mount().len())
+            .map(Volume::id)
     }
 
     /// Mutable access to a hosted volume by id.

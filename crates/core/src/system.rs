@@ -115,7 +115,8 @@ impl ItcSystem {
         let (topo, clients) = Topology::build(&config, &domain);
         let pserver = ProtectionServer::new(Rc::clone(&domain), config.clusters);
         let kernel = TimingKernel::new(config.costs.clone(), config.structure, config.encryption);
-        let core = EventCore::new(config.seed, config.costs.rpc_timeout);
+        let mut core = EventCore::new(config.seed, config.costs.rpc_timeout);
+        core.trace.set_enabled(config.tracing);
         let mut sys = ItcSystem {
             topo,
             clients,

@@ -10,9 +10,10 @@ use crate::monitor::TrafficMonitor;
 use crate::protect::{AccessList, Rights};
 use crate::proto::{Payload, ServerId};
 use crate::system::{ItcSystem, SystemError};
+use crate::trace::{dump_file_name, render_dump, AttributionAgg};
 use crate::volume::{Volume, VolumeId};
 use itc_rpc::{CallStats, RetryPolicy};
-use itc_sim::{EventStats, FaultPlan, FaultStats, SimTime};
+use itc_sim::{EventStats, FaultPlan, FaultStats, SimTime, TraceCollector, TraceStats};
 
 impl ItcSystem {
     // ------------------------------------------------------------------
@@ -555,6 +556,74 @@ impl ItcSystem {
     }
 
     // ------------------------------------------------------------------
+    // Tracing, attribution, and the anomaly flight recorder
+    // ------------------------------------------------------------------
+
+    /// Turns causal request tracing on: subsequent calls mint trace ids,
+    /// record spans at every hop, feed the attribution aggregates, and arm
+    /// the anomaly flight recorder. Observation-only — virtual timing is
+    /// bit-identical with tracing on or off.
+    pub fn enable_tracing(&mut self) {
+        self.core.trace.set_enabled(true);
+    }
+
+    /// Turns tracing off. Resident spans, aggregates, and frozen dumps
+    /// are kept for inspection.
+    pub fn disable_tracing(&mut self) {
+        self.core.trace.set_enabled(false);
+    }
+
+    /// Whether tracing is currently recording.
+    pub fn tracing_enabled(&self) -> bool {
+        self.core.trace.is_enabled()
+    }
+
+    /// The span ring and flight recorder (spans, per-trace lookup, frozen
+    /// anomaly dumps).
+    pub fn trace_collector(&self) -> &TraceCollector {
+        &self.core.trace
+    }
+
+    /// Lifetime tracing counters (traces minted, spans recorded/evicted,
+    /// anomalies frozen).
+    pub fn trace_stats(&self) -> TraceStats {
+        self.core.trace.stats()
+    }
+
+    /// The latency-attribution aggregates over completed traced calls.
+    pub fn attribution(&self) -> &AttributionAgg {
+        &self.core.attr
+    }
+
+    /// Renders every frozen anomaly dump as `(file name, JSONL text)`.
+    /// Dumps contain only virtual-time observables, so the rendering is
+    /// byte-identical across same-seed runs.
+    pub fn render_anomaly_dumps(&self) -> Vec<(String, String)> {
+        self.core
+            .trace
+            .dumps()
+            .iter()
+            .map(|d| (dump_file_name(d), render_dump(d)))
+            .collect()
+    }
+
+    /// Writes every frozen anomaly dump as a JSONL file under `dir`
+    /// (created if absent). Returns the paths written.
+    pub fn export_anomaly_dumps(
+        &self,
+        dir: &std::path::Path,
+    ) -> std::io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for (name, text) in self.render_anomaly_dumps() {
+            let path = dir.join(name);
+            std::fs::write(&path, text)?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+
+    // ------------------------------------------------------------------
     // Metrics
     // ------------------------------------------------------------------
 
@@ -590,6 +659,11 @@ impl ItcSystem {
             call_mix,
             cache,
             venus,
+            attribution: self
+                .core
+                .trace
+                .is_enabled()
+                .then(|| self.core.attr.summary()),
         }
     }
 }

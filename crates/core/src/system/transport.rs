@@ -32,11 +32,16 @@ use crate::proto::{
 };
 use crate::server::{CallCost, QueuedRequest, Server};
 use crate::system::topology::Topology;
+use crate::trace::{AttributionAgg, CallBreakdown};
 use crate::venus::ViceTransport;
 use itc_cryptbox::Key;
 use itc_rpc::binding::{establish, Binding};
-use itc_rpc::{CallSpec, CallStats, NodeId, RetryPolicy, TimingKernel};
-use itc_sim::{Clock, EventClass, FaultPlan, MessageFault, Scheduler, SimRng, SimTime};
+use itc_rpc::{frame_call, split_frame, CallSpec, CallStats, NodeId, RetryPolicy, TimingKernel};
+use itc_sim::resource::BUCKET_WIDTH;
+use itc_sim::{
+    AnomalyReason, Clock, EventClass, FaultPlan, MessageFault, Scheduler, SimRng, SimTime, Span,
+    SpanClass, TraceCollector, TraceId,
+};
 use std::cell::RefCell;
 use std::collections::HashMap;
 
@@ -118,6 +123,11 @@ pub(crate) struct EventCore {
     pub next_token: u64,
     /// Callback breaks popped mid-pump, awaiting delivery at op end.
     pub pending: Vec<PendingBreak>,
+    /// The span ring and anomaly flight recorder. Disabled by default:
+    /// minting returns [`TraceId::NONE`] and recording is one branch.
+    pub trace: TraceCollector,
+    /// Latency-attribution aggregates over completed traced calls.
+    pub attr: AttributionAgg,
 }
 
 impl EventCore {
@@ -139,6 +149,8 @@ impl EventCore {
             call_stats: CallStats::default(),
             next_token: 0,
             pending: Vec::new(),
+            trace: TraceCollector::new(),
+            attr: AttributionAgg::new(),
         }
     }
 
@@ -160,6 +172,26 @@ impl EventCore {
     }
 }
 
+/// Latency components of one attempt, captured from the same arithmetic
+/// that schedules the event chain (read-only resource snapshots — no extra
+/// charges, draws, or events). The attempt that completes keeps its values;
+/// everything before it is the call's retry-wasted time.
+#[derive(Debug, Default, Clone, Copy)]
+struct AttemptParts {
+    /// Request leg: sealing plus network latency and transfer.
+    req_net: SimTime,
+    /// Queueing delay at the server CPU.
+    queue_cpu: SimTime,
+    /// Server CPU service demand.
+    service_cpu: SimTime,
+    /// Queueing delay at the server disk.
+    queue_disk: SimTime,
+    /// Server disk transfer service.
+    service_disk: SimTime,
+    /// Reply leg: network latency and transfer plus client decrypt.
+    reply_net: SimTime,
+}
+
 /// Per-call state threaded through the event chain.
 struct CallInFlight<'r> {
     /// Calling workstation's node.
@@ -168,8 +200,20 @@ struct CallInFlight<'r> {
     server: ServerId,
     /// The request being issued (borrowed from Venus for the whole call).
     req: &'r ViceRequest,
-    /// Token-framed request head, sealed anew on every attempt. File bytes
-    /// do not ride here: they travel out of band as `req_payload`.
+    /// Causal trace identity minted for this call ([`TraceId::NONE`] while
+    /// tracing is off); it rides the call frame to the server.
+    trace: TraceId,
+    /// When the call entered the calendar (post-binding), anchoring the
+    /// end-to-end attribution.
+    started: SimTime,
+    /// The volume covering the request's path on the target server, if
+    /// known (resolved only when tracing is on).
+    volume: Option<u32>,
+    /// Component scratch for the current attempt.
+    parts: AttemptParts,
+    /// Frame-headed (token + trace id) request head, sealed anew on every
+    /// attempt. File bytes do not ride here: they travel out of band as
+    /// `req_payload`.
     framed: Vec<u8>,
     /// The request's bulk payload, shared (not copied) across every retry
     /// attempt of this call.
@@ -245,6 +289,61 @@ impl SystemTransport<'_> {
         Ok(ready)
     }
 
+    /// Records one span of the in-flight call. A single branch while
+    /// tracing is off; never draws rng, schedules events, or moves clocks.
+    fn call_span(
+        &mut self,
+        trace: TraceId,
+        call: &CallInFlight<'_>,
+        class: SpanClass,
+        at: SimTime,
+        queue_depth: Option<u32>,
+    ) {
+        if !self.core.trace.is_enabled() {
+            return;
+        }
+        let seq = self.core.trace.next_seq();
+        self.core.trace.record(Span {
+            trace,
+            seq,
+            class,
+            at,
+            server: Some(call.server.0),
+            client: Some(call.ws.0),
+            volume: call.volume,
+            queue_depth,
+            attempt: call.attempt,
+            kind: Some(call.req.kind()),
+        });
+    }
+
+    /// Records one lifecycle span (crash, restart, salvage, break
+    /// delivery) outside any trace. A single branch while tracing is off.
+    fn life_span(
+        &mut self,
+        class: SpanClass,
+        at: SimTime,
+        server: Option<u32>,
+        client: Option<u32>,
+        volume: Option<u32>,
+    ) {
+        if !self.core.trace.is_enabled() {
+            return;
+        }
+        self.core.trace.record(Span {
+            trace: TraceId::NONE,
+            seq: 0,
+            class,
+            at,
+            server,
+            client,
+            volume,
+            queue_depth: None,
+            attempt: 0,
+            kind: None,
+        });
+    }
+
     /// Fires every calendar event due at or before `upto` while no call is
     /// in flight: scheduled crashes/restarts take effect and matured
     /// callback breaks queue for delivery.
@@ -271,6 +370,7 @@ impl SystemTransport<'_> {
                         .as_mut()
                         .map_or(0, |f| f.torn_bytes(unsynced));
                     srv.crash_with_torn(torn);
+                    self.life_span(SpanClass::Crash, at, Some(server), None, None);
                 }
             }
             NetEvent::Restart { server, gen } => {
@@ -285,7 +385,14 @@ impl SystemTransport<'_> {
                     let costs = self.kernel.costs();
                     for volume in srv.salvage_pending().to_vec() {
                         let (records, bytes) = srv.salvage_work(volume);
-                        let done = srv.disk().acquire(at, costs.salvage_time(bytes, records));
+                        let pass = costs.salvage_time(bytes, records);
+                        let done = srv.disk().acquire(at, pass);
+                        if self.core.trace.is_enabled() {
+                            // Salvage passes charge the disk outside any
+                            // call; the attribution ledger keeps them
+                            // separate so disk busy time decomposes fully.
+                            self.core.attr.add_salvage_disk(pass);
+                        }
                         self.core.sched.schedule_class(
                             done,
                             EventClass::Salvage,
@@ -297,6 +404,7 @@ impl SystemTransport<'_> {
                             },
                         );
                     }
+                    self.life_span(SpanClass::Restart, at, Some(server), None, None);
                 }
             }
             NetEvent::Salvage {
@@ -311,9 +419,11 @@ impl SystemTransport<'_> {
                 // the next restart schedules fresh passes.
                 if gen == self.core.plan_gen && srv.is_online() && srv.epoch() == epoch {
                     srv.salvage_volume(volume);
+                    self.life_span(SpanClass::Salvage, at, Some(server), None, Some(volume.0));
                 }
             }
             NetEvent::BreakDeliver { to_ws, path } => {
+                self.life_span(SpanClass::BreakDeliver, at, None, Some(to_ws.0), None);
                 self.core.pending.push(PendingBreak { to_ws, path });
             }
             _ => unreachable!("call-chain event with no call in flight"),
@@ -346,12 +456,21 @@ impl SystemTransport<'_> {
                 call.attempt_start = at;
                 call.extra = SimTime::ZERO;
                 call.duplicate = false;
+                self.call_span(call.trace, call, SpanClass::AttemptSend, at, None);
                 // Lifecycle events due by now have already fired from the
                 // calendar; if the server is down the client burns the
                 // retry timeout and reports it unreachable.
                 if !self.topo.servers[sid].is_online() {
                     let done = at + self.core.retry.timeout;
                     self.clock.advance_to(done);
+                    self.call_span(call.trace, call, SpanClass::CallAbort, done, None);
+                    self.core.trace.freeze(
+                        AnomalyReason::Unreachable,
+                        done,
+                        Some(server.0),
+                        call.volume,
+                        call.trace,
+                    );
                     call.result = Some((ViceReply::Error(ViceError::Unreachable(server.0)), done));
                     return Ok(());
                 }
@@ -392,9 +511,18 @@ impl SystemTransport<'_> {
             }
 
             NetEvent::TimeoutFire => {
+                self.call_span(call.trace, call, SpanClass::TimeoutFire, at, None);
                 if call.attempt >= self.core.retry.max_attempts {
                     self.core.call_stats.failures += 1;
                     self.clock.advance_to(at);
+                    self.call_span(call.trace, call, SpanClass::CallAbort, at, None);
+                    self.core.trace.freeze(
+                        AnomalyReason::TimedOut,
+                        at,
+                        Some(server.0),
+                        call.volume,
+                        call.trace,
+                    );
                     call.result = Some((ViceReply::Error(ViceError::TimedOut(server.0)), at));
                 } else {
                     let wait = self
@@ -415,12 +543,23 @@ impl SystemTransport<'_> {
                 let opened = binding.server_open(&sealed).map_err(|e| e.to_string())?;
                 // Identity comes from the binding, never the request.
                 let auth_user = binding.server_user().to_string();
-                let (token_bytes, body) = opened.split_at(8);
-                let token = u64::from_be_bytes(token_bytes.try_into().expect("framed by call()"));
+                let (token, wire_trace, body) = split_frame(&opened).expect("framed by call()");
+                // The span names the trace id that actually rode the wire;
+                // queue depth is observed before this request joins.
+                let depth = self.topo.servers[sid].queue_depth() as u32;
+                self.call_span(
+                    TraceId(wire_trace),
+                    call,
+                    SpanClass::RequestArrive,
+                    at,
+                    Some(depth),
+                );
+                call.parts.req_net = at - call.attempt_start;
                 self.topo.servers[sid].enqueue_request(QueuedRequest {
                     user: auth_user,
                     from: call.ws,
                     token,
+                    trace: TraceId(wire_trace),
                     body: body.to_vec(),
                     payload: call.req_payload.clone(),
                     arrived: at,
@@ -432,6 +571,9 @@ impl SystemTransport<'_> {
                 let qr = self.topo.servers[sid]
                     .dequeue_request()
                     .expect("enqueued on arrival");
+                // The server-side span carries the identity the frame
+                // delivered, proving propagation end to end.
+                self.call_span(qr.trace, call, SpanClass::ServiceDispatch, at, None);
                 let costs = self.kernel.costs().clone();
                 let srv = &mut self.topo.servers[sid];
                 let mut cost = CallCost::default();
@@ -505,6 +647,28 @@ impl SystemTransport<'_> {
                             lock_ipc: cost.lock_ipc,
                         };
                         let srv = &self.topo.servers[sid];
+                        if self.core.trace.is_enabled() {
+                            // Decompose the service leg from the same
+                            // arithmetic `TimingKernel::service` is about to
+                            // run: read-only availability snapshots taken
+                            // before the charge, so attribution adds no
+                            // perturbation and sums exactly.
+                            let cpu_free = srv.cpu().available_at();
+                            let disk_free = srv.disk().available_at();
+                            let demand = self.kernel.service_demand(&spec);
+                            let cpu_start = at.max(cpu_free);
+                            call.parts.queue_cpu = cpu_start - at;
+                            call.parts.service_cpu = demand;
+                            let cpu_done = cpu_start + demand;
+                            if spec.disk_bytes > 0 {
+                                let disk_start = cpu_done.max(disk_free);
+                                call.parts.queue_disk = disk_start - cpu_done;
+                                call.parts.service_disk = costs.disk_transfer(spec.disk_bytes);
+                            } else {
+                                call.parts.queue_disk = SimTime::ZERO;
+                                call.parts.service_disk = SimTime::ZERO;
+                            }
+                        }
                         let served = self.kernel.service(srv.cpu(), srv.disk(), at, &spec);
                         self.core.sched.schedule(served, NetEvent::ReplyDepart);
                     }
@@ -512,6 +676,7 @@ impl SystemTransport<'_> {
             }
 
             NetEvent::ReplyDepart => {
+                self.call_span(call.trace, call, SpanClass::ReplyDepart, at, None);
                 let srv = &self.topo.servers[sid];
                 let completed = self.kernel.reply_leg(
                     &self.topo.network,
@@ -521,6 +686,28 @@ impl SystemTransport<'_> {
                     call.reply_wire,
                 );
                 call.elapsed = completed - call.attempt_start;
+                call.parts.reply_net = completed - at;
+                if self.core.trace.is_enabled() {
+                    // Saturation probe for the flight recorder (the paper's
+                    // short-term peaks "sometimes peaking at 98%"): check
+                    // the one-minute bucket the service just charged into,
+                    // and the preceding (now complete) bucket — one long
+                    // service interval can saturate whole minutes that no
+                    // reply departs inside of. The recorder fires once per
+                    // saturated (server, resource, minute).
+                    let width = BUCKET_WIDTH.as_micros();
+                    let this_bucket = at.as_micros() / width;
+                    for (tag, res) in [(0u8, srv.cpu()), (1u8, srv.disk())] {
+                        for bucket in this_bucket.saturating_sub(1)..=this_bucket {
+                            let probe = SimTime::from_micros(bucket * width);
+                            let util = res.bucket_utilization(probe);
+                            if util >= 0.98 {
+                                let pct = ((util * 100.0) as u64).min(100) as u8;
+                                self.core.trace.report_peak(server.0, tag, bucket, pct, at);
+                            }
+                        }
+                    }
+                }
                 self.core
                     .sched
                     .schedule(completed + call.extra, NetEvent::ReplyArrive);
@@ -541,6 +728,41 @@ impl SystemTransport<'_> {
                 }
                 let reply = decode_reply(&reply_clear, call.reply_payload.take())
                     .map_err(|e| e.to_string())?;
+                self.call_span(call.trace, call, SpanClass::ReplyArrive, at, None);
+                if self.core.trace.is_enabled() {
+                    self.core.attr.record(CallBreakdown {
+                        trace: call.trace,
+                        kind: call.req.kind(),
+                        server: server.0,
+                        volume: call.volume,
+                        client: call.ws.0,
+                        attempts: call.attempt,
+                        started: call.started,
+                        finished: at,
+                        retry_wasted: call.attempt_start - call.started,
+                        req_net: call.parts.req_net,
+                        queue_cpu: call.parts.queue_cpu,
+                        service_cpu: call.parts.service_cpu,
+                        queue_disk: call.parts.queue_disk,
+                        service_disk: call.parts.service_disk,
+                        reply_net: call.parts.reply_net,
+                        fault_delay: call.extra,
+                    });
+                    // Degraded-mode replies trip the flight recorder: the
+                    // server answered, but could not serve normally.
+                    let reason = match &reply {
+                        ViceReply::Error(ViceError::VolumeOffline(_)) => {
+                            Some(AnomalyReason::VolumeOffline)
+                        }
+                        ViceReply::Error(ViceError::BadRequest(_)) => Some(AnomalyReason::Degraded),
+                        _ => None,
+                    };
+                    if let Some(reason) = reason {
+                        self.core
+                            .trace
+                            .freeze(reason, at, Some(server.0), call.volume, call.trace);
+                    }
+                }
 
                 // Traffic monitoring (Section 3.6): attribute the call to
                 // the covering custodianship subtree and caller's cluster.
@@ -607,27 +829,50 @@ impl ViceTransport for SystemTransport<'_> {
         if !self.topo.servers[server.0 as usize].is_online() {
             let done = at + self.kernel.costs().rpc_timeout;
             self.clock.advance_to(done);
+            // Even this pre-binding failure implicates the server: the
+            // recorder freezes whatever recent spans touch it.
+            self.life_span(SpanClass::CallAbort, done, Some(server.0), Some(ws.0), None);
+            self.core.trace.freeze(
+                AnomalyReason::Unreachable,
+                done,
+                Some(server.0),
+                None,
+                TraceId::NONE,
+            );
             return Ok((ViceReply::Error(ViceError::Unreachable(server.0)), done));
         }
         let at = self.ensure_binding(ws, user, key, server, at)?;
 
-        // Frame the request with a per-call idempotency token. Every retry
-        // of this logical call carries the same token, so a mutation whose
-        // *reply* was lost is answered from the server's replay cache on
-        // retry instead of being applied twice.
+        // Frame the request with a per-call idempotency token and the
+        // trace identity minted as the call enters the calendar. Every
+        // retry of this logical call carries the same token, so a mutation
+        // whose *reply* was lost is answered from the server's replay
+        // cache on retry instead of being applied twice.
         self.core.next_token += 1;
         let token = self.core.next_token;
+        let trace = self.core.trace.mint();
         let msg = encode_request(req);
-        let mut framed = Vec::with_capacity(8 + msg.head.len());
-        framed.extend_from_slice(&token.to_be_bytes());
-        framed.extend_from_slice(&msg.head);
+        let framed = frame_call(token, trace.0, &msg.head);
+        let volume = if self.core.trace.is_enabled() {
+            self.topo.servers[server.0 as usize]
+                .volume_covering(req.path())
+                .map(|v| v.0)
+        } else {
+            None
+        };
 
         let mut call = CallInFlight {
             ws,
             server,
             req,
+            trace,
+            started: at,
+            volume,
+            parts: AttemptParts::default(),
             // wire_len reproduces the old inline encoding exactly; 40
-            // covers the token and sealing overhead, as before.
+            // covers the frame header and sealing overhead, as before (the
+            // frame's trace id is accounting-invisible — wire sizes come
+            // from the logical message, never the framed byte length).
             req_wire: msg.wire_len() as u64 + 40,
             framed,
             req_payload: msg.payload,

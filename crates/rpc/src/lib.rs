@@ -30,8 +30,12 @@
 //!   idempotency tokens replayed from a server-side cache.
 //! * [`stats`] — per-server call histograms, reproducing the Section 5.2
 //!   call-mix measurement.
+//! * [`frame`] — the fixed 16-byte call-frame header (idempotency token +
+//!   trace id) riding ahead of every sealed request head, so the causal
+//!   trace identity a client mints propagates to the server it calls.
 
 pub mod binding;
+pub mod frame;
 pub mod net;
 pub mod retry;
 pub mod stats;
@@ -39,6 +43,7 @@ pub mod timing;
 pub mod wire;
 
 pub use binding::{establish, Binding, BindingError};
+pub use frame::{frame_call, split_frame, FRAME_HEADER_LEN};
 pub use net::{ClusterId, Network, NodeId};
 pub use retry::{CallStats, RetryPolicy};
 pub use stats::RpcStats;

@@ -39,6 +39,7 @@ pub mod resource;
 pub mod rng;
 pub mod sched;
 pub mod stats;
+pub mod trace;
 
 pub use clock::{Clock, SimTime};
 pub use costs::{Costs, ServerStructure, TraversalMode, ValidationMode};
@@ -47,3 +48,4 @@ pub use resource::{Resource, UtilizationReport};
 pub use rng::SimRng;
 pub use sched::{EventClass, EventId, EventStats, Firing, Scheduler};
 pub use stats::{Counter, Histogram, Percentiles, RunningStats, TimeBuckets};
+pub use trace::{AnomalyDump, AnomalyReason, Span, SpanClass, TraceCollector, TraceId, TraceStats};

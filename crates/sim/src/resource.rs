@@ -171,6 +171,17 @@ impl Resource {
         }
     }
 
+    /// The busy fraction of the [`BUCKET_WIDTH`] bucket containing `at` —
+    /// a read-only probe of the short-term utilization the flight
+    /// recorder watches. Work charged later into the same bucket is not
+    /// yet visible; the probe reflects what has been performed so far.
+    pub fn bucket_utilization(&self, at: SimTime) -> f64 {
+        let inner = self.inner.borrow();
+        let w = BUCKET_WIDTH.as_micros();
+        let idx = (at.as_micros() / w) as usize;
+        inner.buckets.get(idx).copied().unwrap_or(0) as f64 / w as f64
+    }
+
     /// The per-minute utilization series up to `window_end`: one
     /// `(bucket_start, utilization)` pair per [`BUCKET_WIDTH`] bucket.
     /// Used to plot load over a simulated day.

@@ -8,9 +8,15 @@ use std::fmt;
 /// A labelled counter map — used for the server call-mix histogram
 /// (Section 5.2: "cache validity checking calls are preponderant,
 /// accounting for 65% of the total").
+///
+/// Labels are interned: the map owns one boxed copy of each distinct
+/// label, allocated the first time it is seen. Bumping an existing label
+/// looks the key up by `&str` and is allocation-free, which matters
+/// because [`Counter::bump`] sits on the per-call transport path (the
+/// old `entry(label.to_string())` allocated a `String` on every call).
 #[derive(Debug, Default, Clone)]
 pub struct Counter {
-    counts: BTreeMap<String, u64>,
+    counts: BTreeMap<Box<str>, u64>,
 }
 
 impl Counter {
@@ -24,9 +30,14 @@ impl Counter {
         self.add(label, 1);
     }
 
-    /// Increments `label` by `n`.
+    /// Increments `label` by `n`. Allocates only on the first sighting of
+    /// a label; every later bump of the same label is allocation-free.
     pub fn add(&mut self, label: &str, n: u64) {
-        *self.counts.entry(label.to_string()).or_insert(0) += n;
+        if let Some(count) = self.counts.get_mut(label) {
+            *count += n;
+        } else {
+            self.counts.insert(label.into(), n);
+        }
     }
 
     /// The count for `label` (zero if never seen).
@@ -51,7 +62,7 @@ impl Counter {
 
     /// Iterates `(label, count)` in label order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+        self.counts.iter().map(|(k, &v)| (&**k, v))
     }
 
     /// Merges another counter into this one.

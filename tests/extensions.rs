@@ -204,6 +204,46 @@ fn monitor_detects_misplaced_volume_and_move_fixes_it() {
 }
 
 #[test]
+fn move_volume_round_trips_as_the_user_migrates() {
+    let mut sys = ItcSystem::build(SystemConfig::prototype(2, 2));
+    sys.enable_monitoring();
+    sys.add_user("nomad", "pw").unwrap();
+    sys.create_user_volume("nomad", 0).unwrap();
+    sys.admin_install_file("/vice/usr/nomad/f", vec![1; 10_000])
+        .unwrap();
+
+    // The user decamps to cluster 1; the monitor says follow them.
+    let far = sys.workstation_in_cluster(1);
+    sys.login(far, "nomad", "pw").unwrap();
+    for _ in 0..10 {
+        let _ = sys.fetch(far, "/vice/usr/nomad/f").unwrap();
+    }
+    let recs = sys.rebalancing_recommendations();
+    assert_eq!(recs.len(), 1);
+    sys.move_volume(&recs[0].subtree, recs[0].to).unwrap();
+    assert_eq!(sys.location_of("/vice/usr/nomad"), Some(ServerId(1)));
+
+    // They move back; a fresh measurement epoch recommends the inverse
+    // move, and applying it restores the original assignment.
+    sys.reset_monitoring();
+    let home = sys.workstation_in_cluster(0);
+    sys.login(home, "nomad", "pw").unwrap();
+    for _ in 0..10 {
+        let _ = sys.fetch(home, "/vice/usr/nomad/f").unwrap();
+    }
+    let recs = sys.rebalancing_recommendations();
+    assert_eq!(recs.len(), 1);
+    assert_eq!(recs[0].subtree, "/vice/usr/nomad");
+    assert_eq!(recs[0].from, ServerId(1));
+    assert_eq!(recs[0].to, ServerId(0));
+    sys.move_volume(&recs[0].subtree, recs[0].to).unwrap();
+    assert_eq!(sys.location_of("/vice/usr/nomad"), Some(ServerId(0)));
+
+    // The file survived both moves.
+    assert_eq!(sys.fetch(home, "/vice/usr/nomad/f").unwrap().len(), 10_000);
+}
+
+#[test]
 fn logout_flushes_deferred_writes() {
     let mut sys = delayed_system(3_600);
     sys.store(0, "/vice/usr/w/doc", b"edited then logged out".to_vec())
