@@ -28,6 +28,11 @@ cargo test -q --offline --test salvage
 echo "== tracing suite (zero perturbation + flight recorder, offline) =="
 cargo test -q --offline --test tracing
 
+# Wall-clock budget: the four storms + fixes + round-trips run in ~1.3 s
+# release (budget 60 s), so the suite runs unconditionally.
+echo "== storm scenario suite (four storms, golden pin, fix gates, offline) =="
+cargo test -q --offline --test scenarios
+
 echo "== bench smoke (schema + deterministic-metric gate vs BENCH_pr5.json) =="
 cargo run -q -p itc-bench --release --offline --bin bench -- --smoke
 

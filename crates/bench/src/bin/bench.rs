@@ -38,6 +38,11 @@
 //!   linearity), a nonzero tracing virtual-time delta, or a >5% tracing
 //!   wall overhead. Other wall-clock numbers are exempt — CI machines
 //!   differ.
+//! * `scenario [--full]`: run the four day-in-the-life storm scenarios
+//!   (see `itc_workload::scenario` and EXPERIMENTS.md E18) and print
+//!   each storm's attribution table plus the before/after tables for the
+//!   two shipped fixes (callback-break batching, reconnect backoff).
+//!   `--full` uses the experiment-sized variants instead of the CI sizes.
 
 use itc_core::config::{CachePolicy, SystemConfig};
 use itc_core::disk::{Disk, JournalOp, SyncPolicy};
@@ -745,7 +750,112 @@ fn smoke_gate(
     }
 }
 
+// ---------------------------------------------------------------------
+// Storm scenarios (`bench scenario`)
+// ---------------------------------------------------------------------
+
+/// Runs the four storm scenarios and prints each attribution table, then
+/// the before/after comparison for the two shipped fixes. Everything is
+/// seeded and virtual-time, so the output is byte-identical across runs.
+fn run_scenarios(full: bool) {
+    use itc_workload::scenario::{callback_storm, login_storm, release_push, thundering_herd};
+    use itc_workload::{
+        CallbackStormConfig, LoginStormConfig, ReleasePushConfig, ScenarioReport,
+        ThunderingHerdConfig,
+    };
+
+    let size = if full { "full" } else { "small" };
+    println!("== day-in-the-life storms ({size} variants) ==\n");
+
+    let login = if full {
+        LoginStormConfig::full()
+    } else {
+        LoginStormConfig::small()
+    };
+    let (_, r) = login_storm::run(&login).expect("login storm");
+    println!("-- login storm\n{}", r.table());
+
+    let push = if full {
+        ReleasePushConfig::full()
+    } else {
+        ReleasePushConfig::small()
+    };
+    let (_, r) = release_push::run(&push).expect("release push");
+    println!("-- release push\n{}", r.table());
+
+    let cb = if full {
+        CallbackStormConfig::full()
+    } else {
+        CallbackStormConfig::small()
+    };
+    let (_, cb_base) = callback_storm::run(&cb).expect("callback storm");
+    let (_, cb_fixed) = callback_storm::run(&cb.clone().batched()).expect("callback storm");
+    println!(
+        "-- callback-break storm (batching off)\n{}",
+        cb_base.table()
+    );
+    println!(
+        "-- callback-break storm (batching on)\n{}",
+        cb_fixed.table()
+    );
+
+    let herd = if full {
+        ThunderingHerdConfig::full()
+    } else {
+        ThunderingHerdConfig::small()
+    };
+    let (_, herd_base) = thundering_herd::run(&herd).expect("thundering herd");
+    let (_, herd_fixed) =
+        thundering_herd::run(&herd.clone().with_backoff()).expect("thundering herd");
+    println!(
+        "-- thundering herd (fixed 1s probe cycle)\n{}",
+        herd_base.table()
+    );
+    println!(
+        "-- thundering herd (jittered backoff)\n{}",
+        herd_fixed.table()
+    );
+
+    let queueing =
+        |r: &ScenarioReport| r.servers.iter().map(|row| row.queueing_us).sum::<u64>() as f64 / 1e6;
+    println!("-- before/after: the two shipped fixes");
+    println!("| fix                      | metric               |   before |    after |");
+    println!("|--------------------------|----------------------|----------|----------|");
+    for (name, metric, a, b) in [
+        (
+            "callback-break batching",
+            "p99 latency s",
+            cb_base.p99_s,
+            cb_fixed.p99_s,
+        ),
+        (
+            "callback-break batching",
+            "aggregate queueing s",
+            queueing(&cb_base),
+            queueing(&cb_fixed),
+        ),
+        (
+            "reconnect backoff",
+            "failed probe ops",
+            herd_base.counts.failed as f64,
+            herd_fixed.counts.failed as f64,
+        ),
+        (
+            "reconnect backoff",
+            "p99 latency s",
+            herd_base.p99_s,
+            herd_fixed.p99_s,
+        ),
+    ] {
+        println!("| {name:<24} | {metric:<20} | {a:>8.3} | {b:>8.3} |");
+    }
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("scenario") {
+        run_scenarios(std::env::args().any(|a| a == "--full"));
+        return;
+    }
     let smoke = std::env::args().any(|a| a == "--smoke");
 
     let (codec, churn, storm, salvage, trace) = if smoke {

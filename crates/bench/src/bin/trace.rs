@@ -21,8 +21,10 @@
 
 use itc_core::config::SystemConfig;
 use itc_core::system::ItcSystem;
-use itc_core::trace::{render_attribution_table, render_span_tree};
-use itc_sim::{FaultPlan, SimTime, Span, SpanClass, TraceId};
+use itc_core::trace::{
+    parse_span_line, render_attribution_table, render_span_tree, span_field_str, span_field_u64,
+};
+use itc_sim::{FaultPlan, SimTime, Span, TraceId};
 
 // ---------------------------------------------------------------------
 // The demo scenario
@@ -80,83 +82,6 @@ fn demo_scenario(seed: u64) -> ItcSystem {
 // Reading an exported dump back
 // ---------------------------------------------------------------------
 
-/// Interns a parsed kind label against the wire vocabulary so re-rendered
-/// spans show it; an unknown label renders as absent rather than wrong.
-fn intern_kind(label: &str) -> Option<&'static str> {
-    [
-        "getcustodian",
-        "fetch",
-        "store",
-        "remove",
-        "getstatus",
-        "setmode",
-        "validate",
-        "makedir",
-        "removedir",
-        "rename",
-        "listdir",
-        "getacl",
-        "setacl",
-        "makesymlink",
-        "readlink",
-        "setlock",
-        "releaselock",
-    ]
-    .into_iter()
-    .find(|&k| k == label)
-}
-
-fn class_of(label: &str) -> Option<SpanClass> {
-    Some(match label {
-        "attempt_send" => SpanClass::AttemptSend,
-        "request_arrive" => SpanClass::RequestArrive,
-        "service_dispatch" => SpanClass::ServiceDispatch,
-        "reply_depart" => SpanClass::ReplyDepart,
-        "reply_arrive" => SpanClass::ReplyArrive,
-        "timeout_fire" => SpanClass::TimeoutFire,
-        "call_abort" => SpanClass::CallAbort,
-        "crash" => SpanClass::Crash,
-        "restart" => SpanClass::Restart,
-        "salvage" => SpanClass::Salvage,
-        "break_deliver" => SpanClass::BreakDeliver,
-        _ => return None,
-    })
-}
-
-/// `"key":<number>` from one flat JSON line (keys are unique per line).
-fn field_u64(line: &str, key: &str) -> Option<u64> {
-    let needle = format!("\"{key}\":");
-    let at = line.find(&needle)? + needle.len();
-    let rest = &line[at..];
-    let end = rest
-        .find(|c: char| !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// `"key":"string"` from one flat JSON line; `None` for `null`.
-fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let needle = format!("\"{key}\":\"");
-    let at = line.find(&needle)? + needle.len();
-    let rest = &line[at..];
-    Some(&rest[..rest.find('"')?])
-}
-
-fn parse_span(line: &str) -> Option<Span> {
-    Some(Span {
-        trace: TraceId(field_u64(line, "trace")?),
-        seq: field_u64(line, "seq")? as u32,
-        class: class_of(field_str(line, "class")?)?,
-        at: SimTime::from_micros(field_u64(line, "at_us")?),
-        server: field_u64(line, "server").map(|v| v as u32),
-        client: field_u64(line, "client").map(|v| v as u32),
-        volume: field_u64(line, "volume").map(|v| v as u32),
-        queue_depth: field_u64(line, "queue_depth").map(|v| v as u32),
-        attempt: field_u64(line, "attempt")? as u32,
-        kind: field_str(line, "kind").and_then(intern_kind),
-    })
-}
-
 /// Re-renders an exported dump file: header summary, then the span tree
 /// of the implicated trace (or of all frozen spans when the dump is not
 /// tied to one call, e.g. a utilization peak).
@@ -164,21 +89,21 @@ fn render_dump_file(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut lines = text.lines();
     let header = lines.next().ok_or_else(|| format!("{path}: empty file"))?;
-    let reason = field_str(header, "reason").ok_or_else(|| format!("{path}: no header"))?;
-    let spans: Vec<Span> = lines.filter_map(parse_span).collect();
-    let trace = TraceId(field_u64(header, "trace").unwrap_or(0));
+    let reason = span_field_str(header, "reason").ok_or_else(|| format!("{path}: no header"))?;
+    let spans: Vec<Span> = lines.filter_map(parse_span_line).collect();
+    let trace = TraceId(span_field_u64(header, "trace").unwrap_or(0));
 
     let mut out = String::new();
     out.push_str(&format!(
         "anomaly {}: {} at t={}s",
-        field_u64(header, "dump").unwrap_or(0),
+        span_field_u64(header, "dump").unwrap_or(0),
         reason,
-        field_u64(header, "at_us").unwrap_or(0) / 1_000_000,
+        span_field_u64(header, "at_us").unwrap_or(0) / 1_000_000,
     ));
-    if let Some(s) = field_u64(header, "server") {
+    if let Some(s) = span_field_u64(header, "server") {
         out.push_str(&format!(" server={s}"));
     }
-    if let Some(v) = field_u64(header, "volume") {
+    if let Some(v) = span_field_u64(header, "volume") {
         out.push_str(&format!(" volume={v}"));
     }
     out.push_str(&format!(" ({} frozen spans)\n\n", spans.len()));

@@ -69,6 +69,14 @@ pub struct SystemConfig {
     /// timing, rng draw, or event ordering; off by default so the common
     /// path pays one branch per hop.
     pub tracing: bool,
+    /// Batch callback breaks per recipient workstation: when a mutation
+    /// invalidates several promises held by the same workstation (the file
+    /// and its parent directory, say), send one break message carrying all
+    /// the paths instead of one message per path, and charge the server's
+    /// per-break CPU once per recipient instead of once per (recipient,
+    /// path). Off by default — the prototype faithfully pays the per-path
+    /// cost; the storm scenarios flip this on to show the knee move.
+    pub callback_break_batching: bool,
 }
 
 impl SystemConfig {
@@ -86,6 +94,7 @@ impl SystemConfig {
             costs: Costs::prototype_1985(),
             seed: 1985,
             tracing: false,
+            callback_break_batching: false,
         }
     }
 

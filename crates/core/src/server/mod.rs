@@ -89,6 +89,9 @@ pub struct Server {
     validation: ValidationMode,
     traversal: TraversalMode,
     pending_breaks: Vec<(NodeId, CallbackBreak)>,
+    /// Batch break notifications per recipient workstation (see
+    /// [`crate::SystemConfig::callback_break_batching`]).
+    break_batching: bool,
     next_volume_id: u32,
     online: bool,
     /// Incarnation counter, bumped on every crash. Venus compares this to
@@ -144,6 +147,7 @@ impl Server {
             validation,
             traversal,
             pending_breaks: Vec::new(),
+            break_batching: false,
             next_volume_id: id.0 * 10_000,
             online: true,
             epoch: 0,
@@ -496,6 +500,16 @@ impl Server {
         std::mem::take(&mut self.pending_breaks)
     }
 
+    /// Enables or disables per-recipient break batching.
+    pub fn set_break_batching(&mut self, on: bool) {
+        self.break_batching = on;
+    }
+
+    /// Whether break notifications are batched per recipient.
+    pub fn break_batching(&self) -> bool {
+        self.break_batching
+    }
+
     /// Number of callback promises currently outstanding (server state the
     /// check-on-open design avoids, at the price of validation traffic).
     pub fn callback_promises(&self) -> usize {
@@ -625,11 +639,27 @@ impl Server {
         if let Ok((parent, _)) = itc_unixfs::dirname_basename(path) {
             targets.push(parent);
         }
+        let mut charged: Vec<NodeId> = Vec::new();
         for target in targets {
             if let Some(holders) = self.callbacks.remove(&target) {
+                // HashSet iteration order is per-process random; breaks
+                // feed the event calendar, so sort holders to keep the
+                // simulation bit-reproducible across processes.
+                let mut holders: Vec<NodeId> = holders.into_iter().collect();
+                holders.sort_unstable();
                 for ws in holders {
                     if ws != from {
-                        cost.server_cpu += costs.srv_cpu_callback;
+                        if self.break_batching {
+                            // Batched: one notification per recipient
+                            // workstation for this mutation, however many
+                            // of its promises just died.
+                            if !charged.contains(&ws) {
+                                charged.push(ws);
+                                cost.server_cpu += costs.srv_cpu_callback;
+                            }
+                        } else {
+                            cost.server_cpu += costs.srv_cpu_callback;
+                        }
                         self.pending_breaks.push((
                             ws,
                             CallbackBreak {

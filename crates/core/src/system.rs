@@ -286,8 +286,10 @@ impl ItcSystem {
             .sched
             .drain_where(|e| matches!(e, NetEvent::BreakDeliver { .. }))
         {
-            if let NetEvent::BreakDeliver { to_ws, path } = f.ev {
-                breaks.push(PendingBreak { to_ws, path });
+            if let NetEvent::BreakDeliver { to_ws, paths } = f.ev {
+                for path in paths {
+                    breaks.push(PendingBreak { to_ws, path });
+                }
             }
         }
         for b in breaks {

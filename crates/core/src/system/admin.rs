@@ -430,6 +430,20 @@ impl ItcSystem {
         self.core.retry
     }
 
+    /// The jittered backoff workstation `ws` should wait before its next
+    /// probe of `server`: zero while the server is healthy, exponential
+    /// with seeded per-workstation jitter while it keeps failing. Scenario
+    /// drivers consult this between revalidation probes so a whole
+    /// cluster's clients do not re-arrive as one thundering herd.
+    pub fn reconnect_backoff(&mut self, ws: usize, server: ServerId) -> SimTime {
+        self.clients[ws].reconnect_backoff(server)
+    }
+
+    /// Consecutive failed exchanges workstation `ws` has had with `server`.
+    pub fn reconnect_failures(&self, ws: usize, server: ServerId) -> u32 {
+        self.clients[ws].reconnect_failures(server)
+    }
+
     /// Crashes a server immediately: it goes offline and loses all
     /// in-memory state (callback promises, replay cache, locks), exactly
     /// what a reboot of the real machine would lose.
@@ -483,6 +497,20 @@ impl ItcSystem {
     /// A server's restart epoch (bumped by every crash).
     pub fn server_epoch(&self, id: ServerId) -> u64 {
         self.topo.servers[id.0 as usize].epoch()
+    }
+
+    /// Per-minute utilization series of a server's CPU (`tag` 0) or disk
+    /// (`tag` 1) up to `window_end` — the same buckets the flight
+    /// recorder's saturation probe watches.
+    pub fn server_utilization_series(
+        &self,
+        id: ServerId,
+        tag: u8,
+        window_end: SimTime,
+    ) -> Vec<(SimTime, f64)> {
+        let s = &self.topo.servers[id.0 as usize];
+        let res = if tag == 0 { s.cpu() } else { s.disk() };
+        res.utilization_series(window_end)
     }
 
     /// Fires any calendar events due at the current virtual time. The

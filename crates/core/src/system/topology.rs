@@ -55,13 +55,15 @@ impl Topology {
             let cluster = network.add_cluster();
             let srv_node = network.add_node(cluster);
             let sid = ServerId(c);
-            servers.push(Server::new(
+            let mut server = Server::new(
                 sid,
                 srv_node,
                 Rc::clone(domain),
                 config.validation,
                 config.traversal,
-            ));
+            );
+            server.set_break_batching(config.callback_break_batching);
+            servers.push(server);
             for w in 0..config.workstations_per_cluster {
                 let node = network.add_node(cluster);
                 let ws_type = if (c + w) % 2 == 0 {
@@ -69,7 +71,7 @@ impl Topology {
                 } else {
                     WorkstationType::Vax
                 };
-                let venus = Venus::with_write_policy(
+                let mut venus = Venus::with_write_policy(
                     node,
                     ws_type,
                     config.cache,
@@ -77,6 +79,15 @@ impl Topology {
                     config.traversal,
                     config.costs.clone(),
                     config.write_policy,
+                );
+                // The reconnect-jitter seed is derived arithmetically (no
+                // draw from any shared stream), so adding it cannot shift
+                // the timing of existing runs.
+                venus.seed_reconnect_jitter(
+                    config
+                        .seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(u64::from(node.0)),
                 );
                 node_to_ws.insert(node, clients.len());
                 ws_nodes.push(node);

@@ -74,12 +74,15 @@ pub(crate) enum NetEvent {
     ReplyDepart,
     /// The reply reaches the client, which opens and decodes it.
     ReplyArrive,
-    /// A callback break reaches its target workstation.
+    /// A callback break message reaches its target workstation. Without
+    /// break batching every message carries exactly one path; with it, one
+    /// message carries every path the triggering mutation invalidated for
+    /// this workstation.
     BreakDeliver {
         /// The target workstation's node.
         to_ws: NodeId,
-        /// The invalidated Vice path.
-        path: String,
+        /// The invalidated Vice paths.
+        paths: Vec<String>,
     },
     /// A scheduled server crash from fault plan generation `gen`.
     Crash { server: u32, gen: u64 },
@@ -422,9 +425,11 @@ impl SystemTransport<'_> {
                     self.life_span(SpanClass::Salvage, at, Some(server), None, Some(volume.0));
                 }
             }
-            NetEvent::BreakDeliver { to_ws, path } => {
+            NetEvent::BreakDeliver { to_ws, paths } => {
                 self.life_span(SpanClass::BreakDeliver, at, None, Some(to_ws.0), None);
-                self.core.pending.push(PendingBreak { to_ws, path });
+                for path in paths {
+                    self.core.pending.push(PendingBreak { to_ws, path });
+                }
             }
             _ => unreachable!("call-chain event with no call in flight"),
         }
@@ -789,17 +794,39 @@ impl SystemTransport<'_> {
                 // delivery is applied by the system after the operation.
                 let from_node = self.topo.servers[sid].node();
                 let breaks = self.topo.servers[sid].drain_breaks();
-                for (to_ws, brk) in breaks {
-                    let arrival =
-                        self.kernel
-                            .one_way(&self.topo.network, from_node, to_ws, at, 160);
-                    self.core.sched.schedule(
-                        arrival,
-                        NetEvent::BreakDeliver {
-                            to_ws,
-                            path: brk.path,
-                        },
-                    );
+                if self.topo.servers[sid].break_batching() {
+                    // One message per recipient workstation, carrying all
+                    // of its invalidated paths; the wire cost is one base
+                    // message plus a small per-extra-path increment.
+                    let mut grouped: Vec<(NodeId, Vec<String>)> = Vec::new();
+                    for (to_ws, brk) in breaks {
+                        match grouped.iter_mut().find(|(ws, _)| *ws == to_ws) {
+                            Some((_, paths)) => paths.push(brk.path),
+                            None => grouped.push((to_ws, vec![brk.path])),
+                        }
+                    }
+                    for (to_ws, paths) in grouped {
+                        let bytes = 160 + 24 * (paths.len() as u64 - 1);
+                        let arrival =
+                            self.kernel
+                                .one_way(&self.topo.network, from_node, to_ws, at, bytes);
+                        self.core
+                            .sched
+                            .schedule(arrival, NetEvent::BreakDeliver { to_ws, paths });
+                    }
+                } else {
+                    for (to_ws, brk) in breaks {
+                        let arrival =
+                            self.kernel
+                                .one_way(&self.topo.network, from_node, to_ws, at, 160);
+                        self.core.sched.schedule(
+                            arrival,
+                            NetEvent::BreakDeliver {
+                                to_ws,
+                                paths: vec![brk.path],
+                            },
+                        );
+                    }
                 }
                 call.result = Some((reply, at));
             }

@@ -21,7 +21,7 @@
 //! Everything here is pure observation: no calendar events, no rng
 //! draws, no clock movement.
 
-use itc_sim::trace::{AnomalyDump, Span, TraceId};
+use itc_sim::trace::{AnomalyDump, Span, SpanClass, TraceId};
 use itc_sim::{Percentiles, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
@@ -354,6 +354,89 @@ pub fn dump_file_name(d: &AnomalyDump) -> String {
         d.reason.label(),
         server
     )
+}
+
+// ---------------------------------------------------------------------
+// Offline re-reading of exported dumps
+// ---------------------------------------------------------------------
+
+/// `"key":<number>` from one flat JSON line (keys are unique per line).
+pub fn span_field_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `"key":"string"` from one flat JSON line; `None` for `null`.
+pub fn span_field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// The wire vocabulary of call-kind labels, as carried in span lines.
+/// Parsing interns against this list so a re-read span aliases the same
+/// `&'static str` the tracer recorded.
+const KIND_VOCABULARY: [&str; 17] = [
+    "getcustodian",
+    "fetch",
+    "store",
+    "remove",
+    "getstatus",
+    "setmode",
+    "validate",
+    "makedir",
+    "removedir",
+    "rename",
+    "listdir",
+    "getacl",
+    "setacl",
+    "makesymlink",
+    "readlink",
+    "setlock",
+    "releaselock",
+];
+
+fn parse_span_class(label: &str) -> Option<SpanClass> {
+    Some(match label {
+        "attempt_send" => SpanClass::AttemptSend,
+        "request_arrive" => SpanClass::RequestArrive,
+        "service_dispatch" => SpanClass::ServiceDispatch,
+        "reply_depart" => SpanClass::ReplyDepart,
+        "reply_arrive" => SpanClass::ReplyArrive,
+        "timeout_fire" => SpanClass::TimeoutFire,
+        "call_abort" => SpanClass::CallAbort,
+        "crash" => SpanClass::Crash,
+        "restart" => SpanClass::Restart,
+        "salvage" => SpanClass::Salvage,
+        "break_deliver" => SpanClass::BreakDeliver,
+        _ => return None,
+    })
+}
+
+/// Parses one [`render_span`] line back into a [`Span`] — the inverse the
+/// offline re-renderer (the `trace` bin) uses on exported dump files. An
+/// unknown kind label parses as absent rather than wrong; every line
+/// produced by [`render_span`] round-trips exactly.
+pub fn parse_span_line(line: &str) -> Option<Span> {
+    Some(Span {
+        trace: TraceId(span_field_u64(line, "trace")?),
+        seq: span_field_u64(line, "seq")? as u32,
+        class: parse_span_class(span_field_str(line, "class")?)?,
+        at: SimTime::from_micros(span_field_u64(line, "at_us")?),
+        server: span_field_u64(line, "server").map(|v| v as u32),
+        client: span_field_u64(line, "client").map(|v| v as u32),
+        volume: span_field_u64(line, "volume").map(|v| v as u32),
+        queue_depth: span_field_u64(line, "queue_depth").map(|v| v as u32),
+        attempt: span_field_u64(line, "attempt")? as u32,
+        kind: span_field_str(line, "kind")
+            .and_then(|label| KIND_VOCABULARY.into_iter().find(|&k| k == label)),
+    })
 }
 
 // ---------------------------------------------------------------------

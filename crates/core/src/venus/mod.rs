@@ -41,7 +41,7 @@ use crate::protect::AccessList;
 use crate::proto::{EntryKind, Payload, ServerId, VStatus, ViceError, ViceReply, ViceRequest};
 use itc_cryptbox::Key;
 use itc_rpc::NodeId;
-use itc_sim::{Costs, SimTime, TraversalMode, ValidationMode};
+use itc_sim::{Costs, SimRng, SimTime, TraversalMode, ValidationMode};
 use itc_unixfs::{dirname_basename, FsError, Mode};
 use std::collections::HashMap;
 
@@ -189,6 +189,14 @@ pub struct Venus {
     /// Last observed incarnation epoch per server; a bump means the server
     /// crashed (losing callback promises) since we last talked to it.
     server_epochs: HashMap<ServerId, u64>,
+    /// Consecutive failed exchanges per server (unreachable, timed out, or
+    /// volume offline); reset by any genuine reply. Feeds
+    /// [`Venus::reconnect_backoff`].
+    reconnect_failures: HashMap<ServerId, u32>,
+    /// Private jitter stream for reconnect backoff. Deliberately NOT forked
+    /// from any shared stream: it is seeded arithmetically (see the
+    /// topology builder), so merely having it changes no existing run.
+    reconnect_rng: SimRng,
 }
 
 const CUSTODIAN_RETRIES: u32 = 3;
@@ -243,7 +251,41 @@ impl Venus {
             write_policy,
             dirty: HashMap::new(),
             server_epochs: HashMap::new(),
+            reconnect_failures: HashMap::new(),
+            reconnect_rng: SimRng::seeded(0),
         }
+    }
+
+    /// Seeds the private reconnect-jitter stream. Called once at topology
+    /// build with a seed derived arithmetically from the system seed and
+    /// this workstation's node id, so distinct workstations desynchronize
+    /// their retry storms differently but reproducibly.
+    pub fn seed_reconnect_jitter(&mut self, seed: u64) {
+        self.reconnect_rng = SimRng::seeded(seed);
+    }
+
+    /// Consecutive failed exchanges with `server` (0 = healthy).
+    pub fn reconnect_failures(&self, server: ServerId) -> u32 {
+        self.reconnect_failures.get(&server).copied().unwrap_or(0)
+    }
+
+    /// How long this workstation should wait before its next probe of a
+    /// server that has been failing: exponential in the consecutive-failure
+    /// count (500 ms doubling up to 32 s) with ±25% seeded jitter, so a
+    /// cluster of clients that all lost the same server spread their
+    /// revalidation probes instead of re-arriving as a thundering herd.
+    /// Returns zero while the server is healthy. Draws only from the
+    /// private jitter stream — consulting it never perturbs workload or
+    /// transport randomness.
+    pub fn reconnect_backoff(&mut self, server: ServerId) -> SimTime {
+        let failures = self.reconnect_failures(server);
+        if failures == 0 {
+            return SimTime::ZERO;
+        }
+        let base_us = 500_000u64 << (failures.min(7) - 1) as u64;
+        // ±25% jitter: uniform in [0.75, 1.25) of the base.
+        let jittered = (base_us as f64 * (0.75 + 0.5 * self.reconnect_rng.unit())) as u64;
+        SimTime::from_micros(jittered)
     }
 
     /// The workstation's network node.
@@ -446,12 +488,14 @@ impl Venus {
                     // point ... machine failures should not affect the
                     // entire user community" (Section 2.2).
                     ViceReply::Error(ViceError::Unreachable(srv)) => {
+                        *self.reconnect_failures.entry(target).or_insert(0) += 1;
                         last_failure = Some(ViceError::Unreachable(srv));
                     }
                     // The machine is thought to be up but every attempt at
                     // the call timed out (lost traffic): a replica may
                     // still answer a read.
                     ViceReply::Error(ViceError::TimedOut(srv)) => {
+                        *self.reconnect_failures.entry(target).or_insert(0) += 1;
                         last_failure = Some(ViceError::TimedOut(srv));
                     }
                     // The server is up but the volume is being salvaged
@@ -459,12 +503,14 @@ impl Venus {
                     // may still cover the path, so keep trying candidates.
                     ViceReply::Error(ViceError::VolumeOffline(p)) => {
                         self.note_epoch(&*t, target);
+                        *self.reconnect_failures.entry(target).or_insert(0) += 1;
                         last_failure = Some(ViceError::VolumeOffline(p));
                     }
                     other => {
                         // A genuine exchange with this server: notice if it
                         // restarted behind our back.
                         self.note_epoch(&*t, target);
+                        self.reconnect_failures.remove(&target);
                         reply = Some(other);
                         break;
                     }

@@ -291,6 +291,67 @@ impl FaultPlan {
         MessageFault::Deliver
     }
 
+    /// Folds `other` into this plan, so scenarios can compose independently
+    /// authored plans (say, a crash schedule and a lossy-network plan)
+    /// without hand-copying schedules.
+    ///
+    /// Semantics:
+    ///
+    /// * Lifecycle schedules are unioned element by element through the
+    ///   same sorted insert the builder methods use, so the merged schedule
+    ///   drains in `(at, server)` order no matter which plan contributed
+    ///   which event — merge order cannot clobber drain order.
+    /// * Scripted one-shot FIFOs are concatenated per server: `self`'s
+    ///   staged faults fire before `other`'s for the same server.
+    /// * A probabilistic knob set (non-zero) in `other` overrides `self`'s
+    ///   value for that knob; knobs `other` left at zero keep `self`'s
+    ///   setting.
+    /// * The rng stays `self`'s stream (`other`'s is dropped), so a given
+    ///   receiving plan draws the same fault sequence regardless of what
+    ///   was merged in. Stats are summed.
+    pub fn merge(&mut self, other: FaultPlan) {
+        let FaultPlan {
+            rng: _,
+            drop_request,
+            drop_reply,
+            duplicate_reply,
+            delay_prob,
+            delay_extra,
+            scripted,
+            crashes,
+            restarts,
+            stats,
+        } = other;
+        if drop_request > 0.0 {
+            self.drop_request = drop_request;
+        }
+        if drop_reply > 0.0 {
+            self.drop_reply = drop_reply;
+        }
+        if duplicate_reply > 0.0 {
+            self.duplicate_reply = duplicate_reply;
+        }
+        if delay_prob > 0.0 {
+            self.delay_prob = delay_prob;
+            self.delay_extra = delay_extra;
+        }
+        for (server, faults) in scripted {
+            for fault in faults {
+                self.inject_once(server, fault);
+            }
+        }
+        for (at, server) in crashes {
+            Self::insert_sorted(&mut self.crashes, server, at);
+        }
+        for (at, server) in restarts {
+            Self::insert_sorted(&mut self.restarts, server, at);
+        }
+        self.stats.requests_dropped += stats.requests_dropped;
+        self.stats.replies_dropped += stats.replies_dropped;
+        self.stats.replies_duplicated += stats.replies_duplicated;
+        self.stats.delays_injected += stats.delays_injected;
+    }
+
     /// Counters of faults injected so far.
     pub fn stats(&self) -> FaultStats {
         self.stats
@@ -405,6 +466,100 @@ mod tests {
         );
         assert_eq!(p.due_crashes(SimTime::from_secs(100)), vec![1, 5]);
         assert!(p.crash_schedule().is_empty());
+    }
+
+    #[test]
+    fn merged_plans_keep_sorted_drain_order() {
+        // A crash/restart schedule authored in one plan and a delay plan
+        // authored in another: merging must interleave the lifecycle events
+        // into (at, server) order, exactly as if one plan had scheduled
+        // them all.
+        let mut outage = FaultPlan::new(1);
+        outage.schedule_crash(2, SimTime::from_secs(40));
+        outage.schedule_crash(0, SimTime::from_secs(10));
+        outage.schedule_restart(0, SimTime::from_secs(70));
+
+        let mut lossy = FaultPlan::new(2).delay(0.5, SimTime::from_millis(200));
+        lossy.schedule_crash(1, SimTime::from_secs(10));
+        lossy.schedule_crash(3, SimTime::from_secs(25));
+        lossy.inject_once(1, ScriptedFault::DropReply);
+
+        let mut merged = FaultPlan::new(1);
+        merged.schedule_crash(2, SimTime::from_secs(40));
+        merged.schedule_crash(0, SimTime::from_secs(10));
+        merged.schedule_restart(0, SimTime::from_secs(70));
+        merged.merge(lossy);
+
+        assert_eq!(
+            merged.crash_schedule(),
+            vec![
+                (0, SimTime::from_secs(10)),
+                (1, SimTime::from_secs(10)),
+                (3, SimTime::from_secs(25)),
+                (2, SimTime::from_secs(40)),
+            ]
+        );
+        assert_eq!(merged.restart_schedule(), vec![(0, SimTime::from_secs(70))]);
+        // Drains honor the merged order.
+        assert_eq!(merged.due_crashes(SimTime::from_secs(30)), vec![0, 1, 3]);
+        // The scripted fault and the delay knob came across.
+        assert_eq!(merged.reply_fault(1), MessageFault::Drop);
+        assert_eq!(
+            FaultPlan::new(9)
+                .delay(1.0, SimTime::from_millis(200))
+                .delay_extra,
+            SimTime::from_millis(200)
+        );
+        let _ = outage;
+    }
+
+    #[test]
+    fn merge_is_order_independent_for_schedules() {
+        // Building (A then merge B) and (B then merge A) must produce the
+        // same lifecycle drain order: sorted insertion, not append order,
+        // decides firing order.
+        let build_a = |p: &mut FaultPlan| {
+            p.schedule_crash(4, SimTime::from_secs(20));
+            p.schedule_crash(1, SimTime::from_secs(5));
+            p.schedule_restart(4, SimTime::from_secs(90));
+        };
+        let build_b = |p: &mut FaultPlan| {
+            p.schedule_crash(2, SimTime::from_secs(5));
+            p.schedule_crash(0, SimTime::from_secs(50));
+            p.schedule_restart(2, SimTime::from_secs(60));
+        };
+
+        let mut ab = FaultPlan::new(7);
+        build_a(&mut ab);
+        let mut b = FaultPlan::new(8);
+        build_b(&mut b);
+        ab.merge(b);
+
+        let mut ba = FaultPlan::new(7);
+        build_b(&mut ba);
+        let mut a = FaultPlan::new(8);
+        build_a(&mut a);
+        ba.merge(a);
+
+        assert_eq!(ab.crash_schedule(), ba.crash_schedule());
+        assert_eq!(ab.restart_schedule(), ba.restart_schedule());
+        assert_eq!(
+            ab.crash_schedule(),
+            vec![
+                (1, SimTime::from_secs(5)),
+                (2, SimTime::from_secs(5)),
+                (4, SimTime::from_secs(20)),
+                (0, SimTime::from_secs(50)),
+            ]
+        );
+        // The receiver's rng stream is untouched by the merge: its fault
+        // draws match a never-merged plan with the same seed and knobs.
+        let mut merged = FaultPlan::new(3);
+        merged.merge(FaultPlan::new(99).drop_request_prob(0.3));
+        let mut plain = FaultPlan::new(3).drop_request_prob(0.3);
+        let seq_m: Vec<_> = (0..50).map(|_| merged.request_fault(0)).collect();
+        let seq_p: Vec<_> = (0..50).map(|_| plain.request_fault(0)).collect();
+        assert_eq!(seq_m, seq_p);
     }
 
     #[test]

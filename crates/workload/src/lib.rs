@@ -21,15 +21,23 @@
 //!   with a configurable midday load surge. This reproduces the "actual
 //!   use" conditions behind the hit-ratio, call-mix and utilization
 //!   numbers of Section 5.2.
+//! * [`scenario`] — scripted "day in the life" storms (login storm,
+//!   release push, callback-break storm, post-restart thundering herd),
+//!   each seeded, bit-reproducible, and reported through the latency
+//!   attribution and flight-recorder machinery (DESIGN.md §12).
 
 pub mod andrew;
 pub mod day;
+pub mod scenario;
 pub mod sizes;
 pub mod tree;
 pub mod user;
 
 pub use andrew::{AndrewBenchmark, BenchmarkReport, PhaseTimes, TreeLocation};
 pub use day::{DayConfig, DayReport};
+pub use scenario::{
+    CallbackStormConfig, LoginStormConfig, ReleasePushConfig, ScenarioReport, ThunderingHerdConfig,
+};
 pub use sizes::{FileClass, FileSizeModel};
 pub use tree::{SourceTree, TreeSpec};
 pub use user::{UserConfig, UserSession};

@@ -1,0 +1,442 @@
+//! Day-in-the-life storm scenarios.
+//!
+//! The paper's operational claim is not about steady state: it is that a
+//! campus full of workstations survives *correlated* events — the Monday
+//! 9am login wave, a system-software release pushed through read-only
+//! replication (Section 5.3), a widely-shared file rewrite breaking
+//! hundreds of callbacks at once, and the revalidation herd after a
+//! custodian crash. This module scripts those four storms over the
+//! simulated calendar so experiments and CI can measure where each one
+//! drives the servers, using the tracing/attribution machinery of the
+//! flight recorder.
+//!
+//! Determinism rules (every scenario obeys all of them):
+//!
+//! * All randomness — arrival offsets, think gaps, fault draws — comes
+//!   from [`itc_sim::SimRng`] streams seeded from the scenario config's `seed`.
+//!   Same seed, same binary ⇒ bit-identical virtual timeline, identical
+//!   attribution tables, identical flight-recorder dumps.
+//! * Scenarios interleave clients by **virtual time** (always executing
+//!   the earliest-clock workstation next), never by host iteration order;
+//!   holder sets and schedules inside the core are sorted, so no
+//!   `HashMap`/`HashSet` iteration order can leak into the calendar.
+//! * Reports quantify outcomes only through virtual-time observables
+//!   (latency attribution, queue high-water marks, anomaly dumps), so
+//!   acceptance bounds in tests cannot flake on wall-clock noise.
+//!
+//! Each scenario comes in a `small()` variant sized for CI (a few hundred
+//! calls, well under a second of wall clock) and a `full()` variant for
+//! EXPERIMENTS.md tables.
+
+pub mod callback_storm;
+pub mod login_storm;
+pub mod release_push;
+pub mod thundering_herd;
+
+pub use callback_storm::CallbackStormConfig;
+pub use login_storm::LoginStormConfig;
+pub use release_push::ReleasePushConfig;
+pub use thundering_herd::ThunderingHerdConfig;
+
+use itc_core::proto::{ServerId, ViceError};
+use itc_core::system::{ItcSystem, SystemError};
+use itc_core::venus::VenusError;
+use itc_sim::SimTime;
+
+/// How a failed scenario operation failed, at the level the user would
+/// experience it. RPC-internal retries that eventually succeeded do not
+/// show up here (they land in the `wasted` attribution component).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailKind {
+    /// The server (or every replica tried) was down.
+    Unreachable,
+    /// The server was up but every attempt timed out.
+    TimedOut,
+    /// The covering volume was offline (salvage in progress).
+    Offline,
+    /// Any other Venus-level failure.
+    Other,
+}
+
+/// Classifies a scenario operation error. `None` means the error is
+/// structural (bad id, auth failure) and should abort the scenario rather
+/// than be absorbed as a storm casualty.
+pub fn classify_failure(e: &SystemError) -> Option<FailKind> {
+    let ve = match e {
+        SystemError::Venus(v) => v,
+        _ => return None,
+    };
+    let vice = match ve {
+        VenusError::Vice(v) => v,
+        VenusError::Degraded(v) => v,
+        VenusError::NoCustodian(_) => return Some(FailKind::Unreachable),
+        _ => return Some(FailKind::Other),
+    };
+    Some(match vice {
+        ViceError::Unreachable(_) => FailKind::Unreachable,
+        ViceError::TimedOut(_) => FailKind::TimedOut,
+        ViceError::VolumeOffline(_) => FailKind::Offline,
+        _ => FailKind::Other,
+    })
+}
+
+/// Operation-level outcome counters for one scenario run. "Timeout rate"
+/// in the acceptance bounds is defined over these, not over RPC attempts:
+/// the pre-binding offline probe burns the retry timeout without touching
+/// `CallStats` (in `itc_rpc`), so user-visible failures must be counted where
+/// the user sits.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OpCounts {
+    /// Operations attempted.
+    pub ops: u64,
+    /// Operations that failed outright.
+    pub failed: u64,
+    /// Of `failed`: server unreachable.
+    pub unreachable: u64,
+    /// Of `failed`: attempts timed out.
+    pub timed_out: u64,
+    /// Of `failed`: volume offline.
+    pub offline: u64,
+}
+
+impl OpCounts {
+    /// Folds one operation result in; structural errors propagate.
+    pub fn record<T>(&mut self, r: Result<T, SystemError>) -> Result<(), SystemError> {
+        self.ops += 1;
+        if let Err(e) = r {
+            match classify_failure(&e) {
+                Some(kind) => {
+                    self.failed += 1;
+                    match kind {
+                        FailKind::Unreachable => self.unreachable += 1,
+                        FailKind::TimedOut => self.timed_out += 1,
+                        FailKind::Offline => self.offline += 1,
+                        FailKind::Other => {}
+                    }
+                }
+                None => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Failed fraction of all operations (0 when none ran).
+    pub fn failure_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.failed as f64 / self.ops as f64
+        }
+    }
+}
+
+/// One aggregated attribution row of the report (a server or a volume).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRow {
+    /// Server or volume id.
+    pub key: u32,
+    /// Calls attributed to this key.
+    pub calls: u64,
+    /// Total queueing time, µs.
+    pub queueing_us: u64,
+    /// Total service time, µs.
+    pub service_us: u64,
+    /// Total network time, µs.
+    pub network_us: u64,
+    /// Total wasted (retry + injected delay) time, µs.
+    pub wasted_us: u64,
+    /// Median end-to-end call latency, µs.
+    pub p50_us: u64,
+    /// 90th-percentile end-to-end call latency, µs.
+    pub p90_us: u64,
+}
+
+/// The deterministic outcome of one scenario run. Every field is a
+/// virtual-time observable; [`ScenarioReport::jsonl`] renders the whole
+/// report (rows, anomaly counts, and the frozen flight-recorder dumps)
+/// byte-identically across same-seed runs.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name ("login_storm", ...).
+    pub name: &'static str,
+    /// The seed the run used.
+    pub seed: u64,
+    /// Operation-level outcome counters.
+    pub counts: OpCounts,
+    /// Vice calls completed (server-side tally).
+    pub calls: u64,
+    /// RPC attempts, including retries.
+    pub attempts: u64,
+    /// RPC-level retries.
+    pub retries: u64,
+    /// RPC-level attempt timeouts.
+    pub timeouts: u64,
+    /// Median traced call latency, seconds.
+    pub p50_s: f64,
+    /// 90th-percentile traced call latency, seconds.
+    pub p90_s: f64,
+    /// 99th-percentile traced call latency, seconds.
+    pub p99_s: f64,
+    /// Worst traced call latency, seconds.
+    pub max_s: f64,
+    /// Worst single-call CPU queueing delay, seconds.
+    pub max_queue_cpu_s: f64,
+    /// Largest explicit request-queue depth any server incarnation saw.
+    pub queue_high_water: usize,
+    /// Anomaly dump counts by reason label, sorted by label.
+    pub anomalies: Vec<(String, u64)>,
+    /// The rendered flight-recorder dumps, `(file_name, jsonl)` in
+    /// detection order.
+    pub dumps: Vec<(String, String)>,
+    /// Per-server attribution rows.
+    pub servers: Vec<ScenarioRow>,
+    /// Per-volume attribution rows.
+    pub volumes: Vec<ScenarioRow>,
+    /// The system clock when the scenario finished, µs.
+    pub finished_us: u64,
+}
+
+/// Percentile over an unsorted sample of seconds (nearest-rank on the
+/// sorted order); 0 for an empty sample.
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let idx = ((q / 100.0) * (samples.len() - 1) as f64).round() as usize;
+    samples[idx.min(samples.len() - 1)]
+}
+
+impl ScenarioReport {
+    /// Assembles the report from a finished system. Percentiles cover the
+    /// retained breakdown ring (the most recent 4096 traced calls), which
+    /// every small scenario fits inside.
+    pub fn collect(name: &'static str, seed: u64, sys: &ItcSystem, counts: OpCounts) -> Self {
+        let call_stats = sys.call_stats();
+        let mut totals: Vec<f64> = Vec::new();
+        let mut max_queue_cpu_s = 0.0f64;
+        for b in sys.attribution().recent() {
+            totals.push(b.total().as_secs_f64());
+            max_queue_cpu_s = max_queue_cpu_s.max(b.queue_cpu.as_secs_f64());
+        }
+        let p50_s = percentile(&mut totals, 50.0);
+        let p90_s = percentile(&mut totals, 90.0);
+        let p99_s = percentile(&mut totals, 99.0);
+        let max_s = percentile(&mut totals, 100.0);
+
+        let mut queue_high_water = 0;
+        for s in 0..sys.server_count() {
+            for (_, hw) in sys.server_queue_history(ServerId(s as u32)) {
+                queue_high_water = queue_high_water.max(hw);
+            }
+        }
+
+        let mut anomalies: Vec<(String, u64)> = Vec::new();
+        for d in sys.trace_collector().dumps() {
+            let label = d.reason.label().to_string();
+            match anomalies.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1,
+                None => anomalies.push((label, 1)),
+            }
+        }
+        anomalies.sort();
+
+        let row = |r: &itc_core::trace::AttributionRow| ScenarioRow {
+            key: r.key,
+            calls: r.calls,
+            queueing_us: r.queueing.as_micros(),
+            service_us: r.service.as_micros(),
+            network_us: r.network.as_micros(),
+            wasted_us: r.wasted.as_micros(),
+            p50_us: (r.p50_s * 1e6).round() as u64,
+            p90_us: (r.p90_s * 1e6).round() as u64,
+        };
+        let summary = sys.attribution().summary();
+
+        ScenarioReport {
+            name,
+            seed,
+            counts,
+            calls: sys.metrics().total_calls(),
+            attempts: call_stats.attempts,
+            retries: call_stats.retries,
+            timeouts: call_stats.timeouts,
+            p50_s,
+            p90_s,
+            p99_s,
+            max_s,
+            max_queue_cpu_s,
+            queue_high_water,
+            anomalies,
+            dumps: sys.render_anomaly_dumps(),
+            servers: summary.servers.iter().map(row).collect(),
+            volumes: summary.volumes.iter().map(row).collect(),
+            finished_us: sys.now().as_micros(),
+        }
+    }
+
+    /// Count of frozen dumps with the given reason label.
+    pub fn anomaly_count(&self, label: &str) -> u64 {
+        self.anomalies
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    }
+
+    /// The whole report as deterministic JSONL: one header line, one line
+    /// per attribution row, one per anomaly label, then the frozen dumps
+    /// verbatim. Field order is fixed and every value is a virtual-time
+    /// observable, so same-seed runs render byte-identically.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"scenario\":\"{}\",\"seed\":{},\"ops\":{},\"failed\":{},\"unreachable\":{},\
+             \"timed_out\":{},\"offline\":{},\"calls\":{},\"attempts\":{},\"retries\":{},\
+             \"timeouts\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{},\
+             \"max_queue_cpu_us\":{},\"queue_high_water\":{},\"finished_us\":{}}}\n",
+            self.name,
+            self.seed,
+            self.counts.ops,
+            self.counts.failed,
+            self.counts.unreachable,
+            self.counts.timed_out,
+            self.counts.offline,
+            self.calls,
+            self.attempts,
+            self.retries,
+            self.timeouts,
+            (self.p50_s * 1e6).round() as u64,
+            (self.p90_s * 1e6).round() as u64,
+            (self.p99_s * 1e6).round() as u64,
+            (self.max_s * 1e6).round() as u64,
+            (self.max_queue_cpu_s * 1e6).round() as u64,
+            self.queue_high_water,
+            self.finished_us,
+        ));
+        for r in &self.servers {
+            out.push_str(&format!(
+                "{{\"server\":{},\"calls\":{},\"queueing_us\":{},\"service_us\":{},\
+                 \"network_us\":{},\"wasted_us\":{},\"p50_us\":{},\"p90_us\":{}}}\n",
+                r.key,
+                r.calls,
+                r.queueing_us,
+                r.service_us,
+                r.network_us,
+                r.wasted_us,
+                r.p50_us,
+                r.p90_us
+            ));
+        }
+        for r in &self.volumes {
+            out.push_str(&format!(
+                "{{\"volume\":{},\"calls\":{},\"queueing_us\":{},\"service_us\":{},\
+                 \"network_us\":{},\"wasted_us\":{},\"p50_us\":{},\"p90_us\":{}}}\n",
+                r.key,
+                r.calls,
+                r.queueing_us,
+                r.service_us,
+                r.network_us,
+                r.wasted_us,
+                r.p50_us,
+                r.p90_us
+            ));
+        }
+        for (label, n) in &self.anomalies {
+            out.push_str(&format!("{{\"anomaly\":\"{label}\",\"count\":{n}}}\n"));
+        }
+        for (name, content) in &self.dumps {
+            out.push_str(&format!("{{\"dump\":\"{name}\"}}\n"));
+            out.push_str(content);
+            if !content.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// A human-readable attribution table (the shape EXPERIMENTS.md E18
+    /// embeds).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "scenario {} (seed {}): ops {} failed {} ({:.1}%), calls {}, attempts {}, \
+             rpc timeouts {}\n",
+            self.name,
+            self.seed,
+            self.counts.ops,
+            self.counts.failed,
+            self.counts.failure_rate() * 100.0,
+            self.calls,
+            self.attempts,
+            self.timeouts,
+        ));
+        out.push_str(&format!(
+            "latency p50 {:.3}s p90 {:.3}s p99 {:.3}s max {:.3}s | worst cpu queue {:.3}s | \
+             queue high-water {}\n",
+            self.p50_s,
+            self.p90_s,
+            self.p99_s,
+            self.max_s,
+            self.max_queue_cpu_s,
+            self.queue_high_water
+        ));
+        out.push_str("| key       | calls | queueing s | service s | network s | wasted s | p50 s | p90 s |\n");
+        out.push_str("|-----------|-------|------------|-----------|-----------|----------|-------|-------|\n");
+        for r in &self.servers {
+            out.push_str(&format!(
+                "| server {:2} | {:5} | {:10.1} | {:9.1} | {:9.1} | {:8.1} | {:5.2} | {:5.2} |\n",
+                r.key,
+                r.calls,
+                r.queueing_us as f64 / 1e6,
+                r.service_us as f64 / 1e6,
+                r.network_us as f64 / 1e6,
+                r.wasted_us as f64 / 1e6,
+                r.p50_us as f64 / 1e6,
+                r.p90_us as f64 / 1e6,
+            ));
+        }
+        for (label, n) in &self.anomalies {
+            out.push_str(&format!("anomaly {label}: {n} dump(s)\n"));
+        }
+        out
+    }
+}
+
+/// One scripted workstation operation: a boxed closure over the system.
+pub(crate) type Op = Box<dyn FnMut(&mut ItcSystem) -> Result<(), SystemError>>;
+
+/// One workstation's queue of scripted operations.
+pub(crate) type OpQueue = std::collections::VecDeque<Op>;
+
+/// Runs `ops` per-workstation operation queues in virtual-time order:
+/// always the workstation with the earliest local clock executes its next
+/// operation. This is the interleaving rule every storm uses — it models
+/// independent machines contending for the same servers, and it is
+/// deterministic because clocks are virtual and ties break on the lower
+/// workstation index.
+pub(crate) fn drive_in_time_order<F>(
+    sys: &mut ItcSystem,
+    queues: &mut [std::collections::VecDeque<F>],
+    counts: &mut OpCounts,
+) -> Result<(), SystemError>
+where
+    F: FnMut(&mut ItcSystem) -> Result<(), SystemError>,
+{
+    loop {
+        let mut pick: Option<(usize, SimTime)> = None;
+        for (ws, q) in queues.iter().enumerate() {
+            if q.is_empty() {
+                continue;
+            }
+            let t = sys.ws_time(ws);
+            if pick.map(|(_, best)| t < best).unwrap_or(true) {
+                pick = Some((ws, t));
+            }
+        }
+        let Some((ws, _)) = pick else { break };
+        let mut op = queues[ws].pop_front().expect("picked non-empty");
+        counts.record(op(sys))?;
+    }
+    Ok(())
+}
