@@ -36,6 +36,19 @@ cargo test -q --offline --test scenarios
 echo "== bench smoke (schema + deterministic-metric gate vs BENCH_pr5.json) =="
 cargo run -q -p itc-bench --release --offline --bin bench -- --smoke
 
+echo "== parallel determinism (sequential vs --parallel 4, byte-identical) =="
+PDES_TMP=$(mktemp -d)
+cargo run -q -p itc-bench --release --offline --bin pdes -- day --out "$PDES_TMP/day_seq.jsonl"
+cargo run -q -p itc-bench --release --offline --bin pdes -- day --parallel 4 --out "$PDES_TMP/day_par.jsonl"
+diff "$PDES_TMP/day_seq.jsonl" "$PDES_TMP/day_par.jsonl"
+cargo run -q -p itc-bench --release --offline --bin pdes -- login --out "$PDES_TMP/login_seq.jsonl"
+cargo run -q -p itc-bench --release --offline --bin pdes -- login --parallel 4 --out "$PDES_TMP/login_par.jsonl"
+diff "$PDES_TMP/login_seq.jsonl" "$PDES_TMP/login_par.jsonl"
+rm -rf "$PDES_TMP"
+
+echo "== pdes bench smoke (identity + BENCH_pr7.json schema) =="
+cargo run -q -p itc-bench --release --offline --bin pdes -- bench --smoke
+
 echo "== trace determinism (same seed => byte-identical anomaly JSONL) =="
 TRACE_TMP=$(mktemp -d)
 cargo run -q -p itc-bench --release --offline --bin trace -- --export "$TRACE_TMP/a" > /dev/null

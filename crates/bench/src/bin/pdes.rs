@@ -1,0 +1,409 @@
+//! Parallel-simulation harness: the determinism gate and the speedup
+//! benchmark for the per-cluster-calendar PDES engine (DESIGN.md §13).
+//!
+//! Subcommands:
+//!
+//! * `day [--parallel N] [--out FILE]` — run the short synthetic day
+//!   through the driver engine and emit a deterministic JSONL
+//!   fingerprint (per-workstation clocks, global clock, call/event
+//!   counters). CI diffs the sequential and `--parallel 4` outputs
+//!   byte-for-byte.
+//! * `login [--parallel N] [--out FILE]` — run the four-cluster login
+//!   storm the same way and emit the scenario report's canonical JSONL.
+//! * `bench [--smoke] [--out FILE]` — the four-cluster macro storm,
+//!   executed sequentially and at 1/2/4/8 worker threads, asserting
+//!   bit-identical fingerprints throughout and writing wall-clock
+//!   throughput (`events_per_sec`, speedup-vs-threads) to
+//!   `BENCH_pr7.json`. `--smoke` runs a reduced storm, re-checks
+//!   identity, and validates the checked-in report's schema without
+//!   gating on wall-clock (CI machines differ).
+//!
+//! Every virtual-time observable in these outputs is independent of the
+//! parallel schedule; any engine regression that lets cluster timelines
+//! interleave differently shows up as a byte diff, not a flaky number.
+
+use itc_core::protect::{AccessList, Rights};
+use itc_core::proto::ServerId;
+use itc_core::system::parallel::{ClusterMask, RunMode, WsDriver};
+use itc_core::system::ItcSystem;
+use itc_core::SystemConfig;
+use itc_sim::SimTime;
+use itc_workload::scenario::{login_storm, OpCounts};
+use itc_workload::{run_day_drivers, DayConfig, LoginStormConfig, ScriptDriver};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Deterministic fingerprints
+// ---------------------------------------------------------------------
+
+/// One JSON line per observable; bit-identical across schedules of the
+/// same workload, so `diff` is the whole determinism check.
+fn fingerprint_jsonl(sys: &ItcSystem, ops: u64) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{{\"kind\":\"run\",\"ops\":{ops},\"clock_us\":{},\"calls\":{}}}",
+        sys.now().as_micros(),
+        sys.metrics().total_calls()
+    )
+    .unwrap();
+    let cs = sys.call_stats();
+    writeln!(
+        out,
+        "{{\"kind\":\"rpc\",\"attempts\":{},\"retries\":{},\"timeouts\":{},\"failures\":{}}}",
+        cs.attempts, cs.retries, cs.timeouts, cs.failures
+    )
+    .unwrap();
+    let es = sys.event_stats();
+    writeln!(
+        out,
+        "{{\"kind\":\"events\",\"scheduled\":{},\"executed\":{},\"cancelled\":{},\"high_water\":{}}}",
+        es.scheduled, es.executed, es.cancelled, es.high_water
+    )
+    .unwrap();
+    for s in 0..sys.server_count() {
+        let srv = sys.server(ServerId(s as u32));
+        writeln!(
+            out,
+            "{{\"kind\":\"server\",\"id\":{s},\"calls\":{}}}",
+            srv.stats().total_calls()
+        )
+        .unwrap();
+    }
+    for ws in 0..sys.workstation_count() {
+        writeln!(
+            out,
+            "{{\"kind\":\"ws\",\"id\":{ws},\"clock_us\":{}}}",
+            sys.ws_time(ws).as_micros()
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn mode_of(threads: usize) -> RunMode {
+    if threads == 0 {
+        RunMode::Sequential
+    } else {
+        RunMode::Parallel(threads)
+    }
+}
+
+// ---------------------------------------------------------------------
+// day / login gates
+// ---------------------------------------------------------------------
+
+fn gate_day(threads: usize) -> String {
+    let day = DayConfig {
+        duration: SimTime::from_mins(10),
+        replicate_binaries: true,
+        ..DayConfig::short()
+    };
+    let mut sys = ItcSystem::build(SystemConfig::prototype(4, 2));
+    let report = run_day_drivers(&mut sys, &day, mode_of(threads)).expect("day runs");
+    fingerprint_jsonl(&sys, report.ops)
+}
+
+fn gate_login(threads: usize) -> String {
+    let cfg = LoginStormConfig::parallel();
+    let (_, report) = login_storm::run_mode(&cfg, mode_of(threads)).expect("login storm runs");
+    report.jsonl()
+}
+
+// ---------------------------------------------------------------------
+// The macro storm benchmark
+// ---------------------------------------------------------------------
+
+struct StormShape {
+    clusters: usize,
+    ws_per_cluster: usize,
+    rounds: usize,
+    file_bytes: usize,
+}
+
+impl StormShape {
+    fn full() -> StormShape {
+        StormShape {
+            clusters: 4,
+            ws_per_cluster: 10,
+            rounds: 40,
+            file_bytes: 256 * 1024,
+        }
+    }
+
+    fn smoke() -> StormShape {
+        StormShape {
+            clusters: 4,
+            ws_per_cluster: 4,
+            rounds: 6,
+            file_bytes: 32 * 1024,
+        }
+    }
+}
+
+/// A cluster-local macro storm: every workstation stores fresh files
+/// into its own private directory and fetches its same-cluster
+/// neighbours' shared files. All traffic — RPCs, callback breaks,
+/// timeouts — stays inside the home cluster, so the four cluster
+/// timelines advance independently and `--parallel 4` has the whole
+/// storm's parallelism available.
+fn storm_run(shape: &StormShape, mode: RunMode) -> (u64, String, f64) {
+    let cfg = SystemConfig {
+        seed: 0x5707,
+        ..SystemConfig::revised(shape.clusters as u32, shape.ws_per_cluster as u32)
+    };
+    let mut sys = ItcSystem::build(cfg);
+
+    let mut acl = AccessList::new();
+    acl.grant("anyuser", Rights::ALL.minus(Rights::ADMINISTER));
+    let n = shape.clusters * shape.ws_per_cluster;
+    for c in 0..shape.clusters {
+        sys.create_volume(
+            &format!("storm.c{c}"),
+            &format!("/vice/storm{c}"),
+            ServerId(c as u32),
+            acl.clone(),
+        )
+        .expect("volume");
+        for w in 0..shape.ws_per_cluster {
+            let ws = c * shape.ws_per_cluster + w;
+            // The neighbour-visible read set, installed before any
+            // callback promises exist, and the private store target.
+            sys.admin_install_file(
+                &format!("/vice/storm{c}/shared{ws}"),
+                vec![0x33; shape.file_bytes],
+            )
+            .expect("install");
+            sys.admin_mkdir_p(&format!("/vice/storm{c}/p{ws}"))
+                .expect("mkdir");
+        }
+    }
+    for ws in 0..n {
+        let user = format!("s{ws:03}");
+        sys.add_user(&user, "pw").expect("user");
+        sys.login(ws, &user, "pw").expect("login");
+    }
+
+    let counts = Arc::new(Mutex::new(OpCounts::default()));
+    let bytes = shape.file_bytes;
+    let per = shape.ws_per_cluster;
+    let drivers: Vec<(usize, Box<dyn WsDriver>)> = (0..n)
+        .map(|ws| {
+            let home = ws / per;
+            let mask = ClusterMask::of(home);
+            let mut d = ScriptDriver::new(ws, sys.ws_time(ws), Arc::clone(&counts));
+            for r in 0..shape.rounds {
+                let own = format!("/vice/storm{home}/p{ws}/f{r}");
+                d.push(mask, move |ops| {
+                    ops.store(ws, &own, vec![(ws + r) as u8; bytes])
+                });
+                let neighbour = home * per + (ws + 1 + r % (per - 1)) % per;
+                let path = format!("/vice/storm{home}/shared{neighbour}");
+                d.push(mask, move |ops| ops.fetch(ws, &path).map(|_| ()));
+            }
+            (ws, Box::new(d) as Box<dyn WsDriver>)
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let ops = sys.run_drivers(drivers, mode).expect("storm runs");
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        counts.lock().expect("counts lock").failed,
+        0,
+        "cluster-local storm must not fail ops"
+    );
+    (ops, fingerprint_jsonl(&sys, ops), wall)
+}
+
+struct BenchOutcome {
+    shape: StormShape,
+    ops: u64,
+    events_executed: u64,
+    seq_wall_s: f64,
+    seq_events_per_sec: f64,
+    par_wall_s: f64,
+    par_events_per_sec: f64,
+    speedup: f64,
+    per_thread: Vec<(usize, f64, f64)>,
+}
+
+fn run_bench(shape: StormShape) -> BenchOutcome {
+    let (ops, seq_fp, seq_wall) = storm_run(&shape, RunMode::Sequential);
+    let events: u64 = seq_fp
+        .lines()
+        .find(|l| l.contains("\"events\""))
+        .and_then(|l| json_u64(l, "executed"))
+        .expect("events line");
+
+    let mut per_thread = Vec::new();
+    let mut par_wall = f64::NAN;
+    for threads in [1usize, 2, 4, 8] {
+        let (t_ops, fp, wall) = storm_run(&shape, RunMode::Parallel(threads));
+        assert_eq!(t_ops, ops, "{threads}-thread op count diverged");
+        assert_eq!(fp, seq_fp, "{threads}-thread fingerprint diverged");
+        per_thread.push((threads, wall, seq_wall / wall));
+        if threads == 4 {
+            par_wall = wall;
+        }
+    }
+
+    BenchOutcome {
+        ops,
+        events_executed: events,
+        seq_wall_s: seq_wall,
+        seq_events_per_sec: events as f64 / seq_wall,
+        par_wall_s: par_wall,
+        par_events_per_sec: events as f64 / par_wall,
+        speedup: seq_wall / par_wall,
+        per_thread,
+        shape,
+    }
+}
+
+fn render_report(b: &BenchOutcome) -> String {
+    let mut out = String::new();
+    writeln!(out, "{{").unwrap();
+    writeln!(out, "  \"schema\": \"itc-bench/pr7/v1\",").unwrap();
+    writeln!(out, "  \"macro_storm\": {{").unwrap();
+    writeln!(out, "    \"clusters\": {},", b.shape.clusters).unwrap();
+    writeln!(out, "    \"ws_per_cluster\": {},", b.shape.ws_per_cluster).unwrap();
+    writeln!(out, "    \"rounds\": {},", b.shape.rounds).unwrap();
+    writeln!(out, "    \"file_bytes\": {},", b.shape.file_bytes).unwrap();
+    writeln!(out, "    \"ops\": {},", b.ops).unwrap();
+    writeln!(out, "    \"events_executed\": {},", b.events_executed).unwrap();
+    writeln!(out, "    \"bit_identical\": true,").unwrap();
+    writeln!(out, "    \"seq_wall_s\": {:.4},", b.seq_wall_s).unwrap();
+    writeln!(
+        out,
+        "    \"seq_events_per_sec\": {:.0},",
+        b.seq_events_per_sec
+    )
+    .unwrap();
+    writeln!(out, "    \"par4_wall_s\": {:.4},", b.par_wall_s).unwrap();
+    writeln!(
+        out,
+        "    \"par4_events_per_sec\": {:.0},",
+        b.par_events_per_sec
+    )
+    .unwrap();
+    writeln!(out, "    \"speedup_par4\": {:.2},", b.speedup).unwrap();
+    writeln!(out, "    \"speedup_vs_threads\": [").unwrap();
+    for (i, (threads, wall, speedup)) in b.per_thread.iter().enumerate() {
+        let comma = if i + 1 == b.per_thread.len() { "" } else { "," };
+        writeln!(
+            out,
+            "      {{\"threads\": {threads}, \"wall_s\": {wall:.4}, \"speedup\": {speedup:.2}}}{comma}"
+        )
+        .unwrap();
+    }
+    writeln!(out, "    ]").unwrap();
+    writeln!(out, "  }}").unwrap();
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// Minimal extractor for `"key": 123` on one line of hand-rolled JSON.
+fn json_u64(text: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn smoke_gate() -> Result<(), String> {
+    // Identity on the reduced storm: sequential vs 4 threads.
+    let shape = StormShape::smoke();
+    let (ops, seq_fp, _) = storm_run(&shape, RunMode::Sequential);
+    let (par_ops, par_fp, _) = storm_run(&shape, RunMode::Parallel(4));
+    if ops != par_ops || seq_fp != par_fp {
+        return Err("smoke storm fingerprints diverged between modes".into());
+    }
+
+    // Schema of the checked-in full-size report. Wall-clock numbers are
+    // machine-dependent and not gated here; the committed report records
+    // the reference machine's speedup.
+    let text = std::fs::read_to_string("BENCH_pr7.json")
+        .map_err(|e| format!("BENCH_pr7.json unreadable: {e}"))?;
+    if !text.contains("\"schema\": \"itc-bench/pr7/v1\"") {
+        return Err("BENCH_pr7.json has the wrong schema".into());
+    }
+    for key in [
+        "seq_events_per_sec",
+        "par4_events_per_sec",
+        "speedup_par4",
+        "speedup_vs_threads",
+        "bit_identical",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("BENCH_pr7.json missing \"{key}\""));
+        }
+    }
+    if json_u64(&text, "ops").is_none_or(|n| n == 0) {
+        return Err("BENCH_pr7.json records zero ops".into());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// main
+// ---------------------------------------------------------------------
+
+fn parse_threads(args: &[String]) -> usize {
+    args.iter()
+        .position(|a| a == "--parallel")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--parallel takes a thread count")
+        })
+        .unwrap_or(0)
+}
+
+fn parse_out(args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).expect("--out takes a path").clone())
+}
+
+fn emit(out: Option<String>, text: &str) {
+    match out {
+        Some(path) => std::fs::write(&path, text).expect("write output"),
+        None => print!("{text}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("day") => emit(parse_out(&args), &gate_day(parse_threads(&args))),
+        Some("login") => emit(parse_out(&args), &gate_login(parse_threads(&args))),
+        Some("bench") if args.iter().any(|a| a == "--smoke") => match smoke_gate() {
+            Ok(()) => println!("pdes smoke gate: ok"),
+            Err(e) => {
+                eprintln!("pdes smoke gate FAILED: {e}");
+                std::process::exit(1);
+            }
+        },
+        Some("bench") => {
+            let outcome = run_bench(StormShape::full());
+            let report = render_report(&outcome);
+            let path = parse_out(&args).unwrap_or_else(|| "BENCH_pr7.json".into());
+            std::fs::write(&path, &report).expect("write report");
+            print!("{report}");
+            eprintln!(
+                "wrote {path}: {} ops, seq {:.2}s, par4 {:.2}s, speedup {:.2}x",
+                outcome.ops, outcome.seq_wall_s, outcome.par_wall_s, outcome.speedup
+            );
+        }
+        _ => {
+            eprintln!("usage: pdes <day|login|bench> [--parallel N] [--smoke] [--out FILE]");
+            std::process::exit(2);
+        }
+    }
+}

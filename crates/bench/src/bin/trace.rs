@@ -153,8 +153,8 @@ fn print_summary(sys: &ItcSystem) {
 }
 
 fn render_call(sys: &ItcSystem, trace: TraceId) -> Result<String, String> {
-    let b = sys
-        .attribution()
+    let attr = sys.attribution();
+    let b = attr
         .breakdown_of(trace)
         .ok_or_else(|| format!("trace {} completed no call in this scenario", trace.0))?;
     let spans = sys.trace_collector().spans_of(trace);
@@ -236,8 +236,8 @@ fn main() {
 
     // Default report: summary, then the slowest completed call end to end.
     print_summary(&sys);
-    let slowest = sys
-        .attribution()
+    let attr = sys.attribution();
+    let slowest = attr
         .recent()
         .max_by_key(|b| b.total())
         .expect("demo scenario completes calls");

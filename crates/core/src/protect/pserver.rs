@@ -7,16 +7,15 @@
 //! relied on manual updates; the reimplementation added one — we build the
 //! reimplementation's version.
 //!
-//! In the reproduction the replicas share content through an `Rc` (they are
-//! bit-identical at all times), but every mutation reports how many replica
+//! In the reproduction the replicas share content through an `Arc` (they
+//! are bit-identical at all times), but every mutation reports how many replica
 //! sites must be updated so the system layer can charge one RPC per cluster
 //! server — that propagation cost is exactly what experiment E12 contrasts
 //! with single-site negative-rights revocation.
 
 use super::domain::{DomainError, ProtectionDomain};
 use itc_cryptbox::Key;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 /// Outcome of a mutation: what must be pushed to replicas.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,14 +29,14 @@ pub struct ReplicationJob {
 /// Coordinates updates to the replicated protection database.
 #[derive(Debug, Clone)]
 pub struct ProtectionServer {
-    domain: Rc<RefCell<ProtectionDomain>>,
+    domain: Arc<RwLock<ProtectionDomain>>,
     replica_sites: u32,
 }
 
 impl ProtectionServer {
     /// Creates the server over a shared domain replicated at
     /// `replica_sites` cluster servers.
-    pub fn new(domain: Rc<RefCell<ProtectionDomain>>, replica_sites: u32) -> ProtectionServer {
+    pub fn new(domain: Arc<RwLock<ProtectionDomain>>, replica_sites: u32) -> ProtectionServer {
         ProtectionServer {
             domain,
             replica_sites,
@@ -45,56 +44,82 @@ impl ProtectionServer {
     }
 
     /// Shared handle to the (replicated) domain content.
-    pub fn domain(&self) -> Rc<RefCell<ProtectionDomain>> {
-        Rc::clone(&self.domain)
+    pub fn domain(&self) -> Arc<RwLock<ProtectionDomain>> {
+        Arc::clone(&self.domain)
     }
 
     fn job(&self) -> ReplicationJob {
         ReplicationJob {
-            version: self.domain.borrow().version(),
+            version: self
+                .domain
+                .read()
+                .expect("protection domain lock")
+                .version(),
             replica_sites: self.replica_sites,
         }
     }
 
     /// Registers a user.
     pub fn add_user(&self, name: &str, password: &str) -> Result<ReplicationJob, DomainError> {
-        self.domain.borrow_mut().add_user(name, password)?;
+        self.domain
+            .write()
+            .expect("protection domain lock")
+            .add_user(name, password)?;
         Ok(self.job())
     }
 
     /// Creates a group.
     pub fn add_group(&self, name: &str) -> Result<ReplicationJob, DomainError> {
-        self.domain.borrow_mut().add_group(name)?;
+        self.domain
+            .write()
+            .expect("protection domain lock")
+            .add_group(name)?;
         Ok(self.job())
     }
 
     /// Adds a member to a group.
     pub fn add_member(&self, group: &str, member: &str) -> Result<ReplicationJob, DomainError> {
-        self.domain.borrow_mut().add_member(group, member)?;
+        self.domain
+            .write()
+            .expect("protection domain lock")
+            .add_member(group, member)?;
         Ok(self.job())
     }
 
     /// Removes a member from a group.
     pub fn remove_member(&self, group: &str, member: &str) -> Result<ReplicationJob, DomainError> {
-        self.domain.borrow_mut().remove_member(group, member)?;
+        self.domain
+            .write()
+            .expect("protection domain lock")
+            .remove_member(group, member)?;
         Ok(self.job())
     }
 
     /// The slow revocation path: strips a user from every group. Returns
     /// the job plus how many direct memberships were removed.
     pub fn revoke_all_memberships(&self, user: &str) -> (ReplicationJob, usize) {
-        let removed = self.domain.borrow_mut().remove_from_all_groups(user);
+        let removed = self
+            .domain
+            .write()
+            .expect("protection domain lock")
+            .remove_from_all_groups(user);
         (self.job(), removed)
     }
 
     /// Authentication lookup: the key Vice uses for the handshake.
     pub fn auth_key(&self, user: &str) -> Result<Key, DomainError> {
-        self.domain.borrow().auth_key(user)
+        self.domain
+            .read()
+            .expect("protection domain lock")
+            .auth_key(user)
     }
 
     /// The CPS of a user (evaluated against current replica content).
     pub fn cps(&self, user: &str) -> Vec<String> {
-        self.domain.borrow().cps(user)
+        self.domain
+            .read()
+            .expect("protection domain lock")
+            .cps(user)
     }
 }
 
@@ -103,7 +128,7 @@ mod tests {
     use super::*;
 
     fn pserver(sites: u32) -> ProtectionServer {
-        ProtectionServer::new(Rc::new(RefCell::new(ProtectionDomain::new())), sites)
+        ProtectionServer::new(Arc::new(RwLock::new(ProtectionDomain::new())), sites)
     }
 
     #[test]
@@ -135,9 +160,9 @@ mod tests {
     fn shared_domain_is_visible_to_replicas() {
         let ps = pserver(2);
         ps.add_user("u", "p").unwrap();
-        // A "replica" holding the same Rc sees the update immediately
+        // A "replica" holding the same Arc sees the update immediately
         // (content sync is free; only time is charged by the system layer).
         let replica = ps.domain();
-        assert!(replica.borrow().is_user("u"));
+        assert!(replica.read().expect("protection domain lock").is_user("u"));
     }
 }

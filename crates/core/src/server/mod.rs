@@ -27,9 +27,8 @@ use crate::volume::{Volume, VolumeError, VolumeId};
 use itc_rpc::{NodeId, RpcStats};
 use itc_sim::{Costs, Resource, SimTime, TraversalMode, ValidationMode};
 use itc_unixfs::{FileType, FsError};
-use std::cell::RefCell;
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::rc::Rc;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::{Arc, RwLock};
 
 /// A request parked on the server's explicit queue, awaiting dispatch by
 /// the event scheduler. The body is still wire bytes: decoding happens at
@@ -82,8 +81,11 @@ pub struct Server {
     disk: Resource,
     volumes: Vec<Volume>,
     location: LocationDb,
-    domain: Rc<RefCell<ProtectionDomain>>,
-    callbacks: HashMap<String, HashSet<NodeId>>,
+    domain: Arc<RwLock<ProtectionDomain>>,
+    /// Outstanding callback promises. A `BTreeMap` of `BTreeSet`s, not
+    /// hash collections: break fan-out feeds the event calendars, so every
+    /// iteration here must be a function of the seed alone.
+    callbacks: BTreeMap<String, BTreeSet<NodeId>>,
     locks: LockTable,
     stats: RpcStats,
     validation: ValidationMode,
@@ -129,7 +131,7 @@ impl Server {
     pub fn new(
         id: ServerId,
         node: NodeId,
-        domain: Rc<RefCell<ProtectionDomain>>,
+        domain: Arc<RwLock<ProtectionDomain>>,
         validation: ValidationMode,
         traversal: TraversalMode,
     ) -> Server {
@@ -141,7 +143,7 @@ impl Server {
             volumes: Vec::new(),
             location: LocationDb::new(),
             domain,
-            callbacks: HashMap::new(),
+            callbacks: BTreeMap::new(),
             locks: LockTable::new(),
             stats: RpcStats::new(),
             validation,
@@ -513,7 +515,7 @@ impl Server {
     /// Number of callback promises currently outstanding (server state the
     /// check-on-open design avoids, at the price of validation traffic).
     pub fn callback_promises(&self) -> usize {
-        self.callbacks.values().map(HashSet::len).sum()
+        self.callbacks.values().map(BTreeSet::len).sum()
     }
 
     /// Records statistics for a completed call (invoked by the system layer
@@ -555,7 +557,11 @@ impl Server {
     }
 
     fn cps_of(&self, user: &str) -> Vec<String> {
-        let mut cps = self.domain.borrow().cps(user);
+        let mut cps = self
+            .domain
+            .read()
+            .expect("protection domain lock")
+            .cps(user);
         // "System:AnyUser"-style blanket entries are common on ACLs; every
         // authenticated principal implicitly carries it.
         cps.push("anyuser".to_string());
@@ -642,9 +648,8 @@ impl Server {
         let mut charged: Vec<NodeId> = Vec::new();
         for target in targets {
             if let Some(holders) = self.callbacks.remove(&target) {
-                // HashSet iteration order is per-process random; breaks
-                // feed the event calendar, so sort holders to keep the
-                // simulation bit-reproducible across processes.
+                // BTreeSet iteration is already sorted; the explicit sort
+                // documents that break order must stay seed-deterministic.
                 let mut holders: Vec<NodeId> = holders.into_iter().collect();
                 holders.sort_unstable();
                 for ws in holders {

@@ -30,6 +30,7 @@
 
 mod admin;
 mod ops;
+pub mod parallel;
 #[cfg(test)]
 mod tests;
 mod topology;
@@ -44,12 +45,11 @@ use crate::surrogate::Surrogate;
 use crate::venus::{Venus, VenusError};
 use itc_rpc::TimingKernel;
 use itc_sim::{Clock, SimTime};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 use self::topology::Topology;
-use self::transport::{EventCore, NetEvent, PendingBreak, SystemTransport};
+use self::transport::{EventCore, NetEvent, Parts, PendingBreak, SystemTransport};
 
 /// Index of a workstation within the system.
 pub type WsId = usize;
@@ -95,9 +95,9 @@ pub struct ItcSystem {
     config: SystemConfig,
     topo: Topology,
     clients: Vec<Venus>,
-    clock: Rc<Clock>,
+    clock: Arc<Clock>,
     kernel: TimingKernel,
-    domain: Rc<RefCell<ProtectionDomain>>,
+    domain: Arc<RwLock<ProtectionDomain>>,
     pserver: ProtectionServer,
     core: EventCore,
     next_volume: u32,
@@ -111,12 +111,14 @@ impl ItcSystem {
     /// root volume mounted at `/vice` on server 0, and the standard
     /// `/vice/usr`, `/vice/unix/<arch>/{bin,lib}` skeleton.
     pub fn build(config: SystemConfig) -> ItcSystem {
-        let domain = Rc::new(RefCell::new(ProtectionDomain::new()));
+        let domain = Arc::new(RwLock::new(ProtectionDomain::new()));
         let (topo, clients) = Topology::build(&config, &domain);
-        let pserver = ProtectionServer::new(Rc::clone(&domain), config.clusters);
+        let pserver = ProtectionServer::new(Arc::clone(&domain), config.clusters);
         let kernel = TimingKernel::new(config.costs.clone(), config.structure, config.encryption);
-        let mut core = EventCore::new(config.seed, config.costs.rpc_timeout);
-        core.trace.set_enabled(config.tracing);
+        let mut core = EventCore::new(config.seed, config.costs.rpc_timeout, config.clusters);
+        for cluster in &mut core.clusters {
+            cluster.trace.set_enabled(config.tracing);
+        }
         let mut sys = ItcSystem {
             topo,
             clients,
@@ -238,14 +240,23 @@ impl ItcSystem {
             core,
             ..
         } = self;
+        // The flag is identical across clusters; copied out so the
+        // transport never needs cluster 0 just to branch on it.
+        let tracing = core.clusters[0].trace.is_enabled();
         (
             SystemTransport {
-                topo,
-                core,
+                servers: Parts::Whole(&mut topo.servers),
+                cores: Parts::Whole(&mut core.clusters),
+                net: &topo.network,
+                home: &topo.home,
+                server_nodes: &topo.server_nodes,
                 kernel,
                 clock,
-                monitor,
+                monitor: monitor.as_mut(),
                 domain,
+                retry: core.retry,
+                plan_gen: core.plan_gen,
+                tracing,
             },
             clients,
         )
@@ -279,22 +290,34 @@ impl ItcSystem {
     /// immediate: the network cost was charged when the break was
     /// scheduled, but a lagging workstation's clock is not dragged
     /// forward.
-    fn deliver_pending_breaks(&mut self) {
-        let mut breaks = std::mem::take(&mut self.core.pending);
-        for f in self
-            .core
-            .sched
-            .drain_where(|e| matches!(e, NetEvent::BreakDeliver { .. }))
-        {
-            if let NetEvent::BreakDeliver { to_ws, paths } = f.ev {
-                for path in paths {
-                    breaks.push(PendingBreak { to_ws, path });
+    pub(crate) fn deliver_pending_breaks(&mut self) {
+        for cluster in &mut self.core.clusters {
+            let mut breaks = std::mem::take(&mut cluster.pending);
+            // Claim the still-queued BreakDeliver events by recorded id
+            // (O(1) tombstone each, counted as cancellations — they are
+            // being rerouted out of the calendar, not executed there).
+            // Ids that already fired mid-pump return `None` and were
+            // captured in `pending` above; sorting the claimed batch by
+            // (time, id) reproduces the order the calendar would have
+            // popped them in.
+            let mut claimed = Vec::new();
+            for id in std::mem::take(&mut cluster.break_ids) {
+                if let Some(f) = cluster.sched.take(id) {
+                    claimed.push((f.at, f.id, f.ev));
                 }
             }
-        }
-        for b in breaks {
-            if let Some(&ws) = self.topo.node_to_ws.get(&b.to_ws) {
-                self.clients[ws].on_callback_break(&b.path);
+            claimed.sort_by_key(|&(at, id, _)| (at, id));
+            for (_, _, ev) in claimed {
+                if let NetEvent::BreakDeliver { to_ws, paths } = ev {
+                    for path in paths {
+                        breaks.push(PendingBreak { to_ws, path });
+                    }
+                }
+            }
+            for b in breaks {
+                if let Some(&ws) = self.topo.node_to_ws.get(&b.to_ws) {
+                    self.clients[ws].on_callback_break(&b.path);
+                }
             }
         }
     }

@@ -400,24 +400,30 @@ impl ItcSystem {
         self.core.install_faults(plan);
     }
 
-    /// Counters of faults the installed plan has injected so far.
+    /// Counters of faults the installed plan has injected so far, summed
+    /// across every cluster's shard.
     pub fn fault_stats(&self) -> FaultStats {
-        self.core
-            .faults
-            .as_ref()
-            .map(FaultPlan::stats)
-            .unwrap_or_default()
+        self.core.fault_stats()
     }
 
-    /// Counters of what the RPC retry machinery did across all calls.
+    /// Whether any fault plan is currently installed. Parallel drivers
+    /// consult this to widen their op masks to every cluster — crash and
+    /// break schedules make cross-cluster interactions unpredictable, so
+    /// faulted runs serialize (and stay bit-identical).
+    pub fn faults_installed(&self) -> bool {
+        self.core.any_faults()
+    }
+
+    /// Counters of what the RPC retry machinery did across all calls,
+    /// summed across every cluster.
     pub fn call_stats(&self) -> CallStats {
-        self.core.call_stats
+        self.core.call_stats()
     }
 
-    /// Lifetime counters of the event calendar (scheduled, executed,
-    /// drained, high-water queue depth).
+    /// Lifetime counters of the event calendars (scheduled, executed,
+    /// cancelled, high-water queue depth), summed across every cluster.
     pub fn event_stats(&self) -> EventStats {
-        self.core.sched.stats()
+        self.core.event_stats()
     }
 
     /// Replaces the retry/backoff policy for subsequent calls.
@@ -527,10 +533,12 @@ impl ItcSystem {
             let (mut t, _) = self.split();
             t.pump_idle(now);
         }
-        // Callback breaks that matured during the pump.
-        for b in std::mem::take(&mut self.core.pending) {
-            if let Some(&ws) = self.topo.node_to_ws.get(&b.to_ws) {
-                self.clients[ws].on_callback_break(&b.path);
+        // Callback breaks that matured during the pump, cluster by cluster.
+        for cluster in &mut self.core.clusters {
+            for b in std::mem::take(&mut cluster.pending) {
+                if let Some(&ws) = self.topo.node_to_ws.get(&b.to_ws) {
+                    self.clients[ws].on_callback_break(&b.path);
+                }
             }
         }
     }
@@ -592,45 +600,59 @@ impl ItcSystem {
     /// the anomaly flight recorder. Observation-only — virtual timing is
     /// bit-identical with tracing on or off.
     pub fn enable_tracing(&mut self) {
-        self.core.trace.set_enabled(true);
+        for cluster in &mut self.core.clusters {
+            cluster.trace.set_enabled(true);
+        }
     }
 
     /// Turns tracing off. Resident spans, aggregates, and frozen dumps
     /// are kept for inspection.
     pub fn disable_tracing(&mut self) {
-        self.core.trace.set_enabled(false);
+        for cluster in &mut self.core.clusters {
+            cluster.trace.set_enabled(false);
+        }
     }
 
-    /// Whether tracing is currently recording.
+    /// Whether tracing is currently recording (the flag is identical
+    /// across clusters).
     pub fn tracing_enabled(&self) -> bool {
-        self.core.trace.is_enabled()
+        self.core.clusters[0].trace.is_enabled()
     }
 
-    /// The span ring and flight recorder (spans, per-trace lookup, frozen
-    /// anomaly dumps).
+    /// Cluster 0's span ring and flight recorder (spans, per-trace lookup,
+    /// frozen anomaly dumps). Single-cluster systems have exactly one;
+    /// multi-cluster callers wanting everything use
+    /// [`ItcSystem::cluster_trace_collector`] per cluster or the merged
+    /// renderings below.
     pub fn trace_collector(&self) -> &TraceCollector {
-        &self.core.trace
+        &self.core.clusters[0].trace
+    }
+
+    /// One cluster's span ring and flight recorder.
+    pub fn cluster_trace_collector(&self, cluster: usize) -> &TraceCollector {
+        &self.core.clusters[cluster].trace
     }
 
     /// Lifetime tracing counters (traces minted, spans recorded/evicted,
-    /// anomalies frozen).
+    /// anomalies frozen), summed across every cluster.
     pub fn trace_stats(&self) -> TraceStats {
-        self.core.trace.stats()
+        self.core.trace_stats()
     }
 
-    /// The latency-attribution aggregates over completed traced calls.
-    pub fn attribution(&self) -> &AttributionAgg {
-        &self.core.attr
+    /// The latency-attribution aggregates over completed traced calls,
+    /// merged across every cluster in cluster order.
+    pub fn attribution(&self) -> AttributionAgg {
+        self.core.attribution()
     }
 
-    /// Renders every frozen anomaly dump as `(file name, JSONL text)`.
-    /// Dumps contain only virtual-time observables, so the rendering is
-    /// byte-identical across same-seed runs.
+    /// Renders every frozen anomaly dump as `(file name, JSONL text)`, in
+    /// cluster order. Dumps contain only virtual-time observables, so the
+    /// rendering is byte-identical across same-seed runs.
     pub fn render_anomaly_dumps(&self) -> Vec<(String, String)> {
         self.core
-            .trace
-            .dumps()
+            .clusters
             .iter()
+            .flat_map(|c| c.trace.dumps().iter())
             .map(|d| (dump_file_name(d), render_dump(d)))
             .collect()
     }
@@ -688,10 +710,8 @@ impl ItcSystem {
             cache,
             venus,
             attribution: self
-                .core
-                .trace
-                .is_enabled()
-                .then(|| self.core.attr.summary()),
+                .tracing_enabled()
+                .then(|| self.core.attribution().summary()),
         }
     }
 }

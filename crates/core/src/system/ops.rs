@@ -53,8 +53,12 @@ impl ItcSystem {
         }
         let node = self.topo.ws_nodes[ws];
         self.clients[ws].clear_session();
-        // Bindings are per-user connections: drop them.
-        self.core.bindings.retain(|(n, _), _| *n != node);
+        // Bindings are per-user connections: drop them. They live on the
+        // workstation's own cluster.
+        let cc = self.topo.network.cluster_of(node).0 as usize;
+        self.core.clusters[cc]
+            .bindings
+            .retain(|(n, _), _| *n != node);
     }
 
     // ------------------------------------------------------------------
@@ -208,7 +212,10 @@ impl ItcSystem {
     /// store-on-close this is always zero — the paper's point.)
     pub fn crash_workstation(&mut self, ws: WsId) -> usize {
         let node = self.topo.ws_nodes[ws];
-        self.core.bindings.retain(|(n, _), _| *n != node);
+        let cc = self.topo.network.cluster_of(node).0 as usize;
+        self.core.clusters[cc]
+            .bindings
+            .retain(|(n, _), _| *n != node);
         let lost = self.clients[ws].crash();
         self.clients[ws].clear_session();
         lost

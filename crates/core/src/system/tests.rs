@@ -378,10 +378,8 @@ fn event_pipeline_runs_every_call() {
     s.store(0, "/vice/usr/satya/f", b"x".to_vec()).unwrap();
     let st = s.event_stats();
     assert!(st.executed > 0, "calls must flow through the scheduler");
-    assert_eq!(
-        st.scheduled,
-        st.executed + st.drained + s.core.sched.len() as u64
-    );
+    let queued: u64 = s.core.clusters.iter().map(|c| c.sched.len() as u64).sum();
+    assert_eq!(st.scheduled, st.executed + st.cancelled + queued);
     // Every server request passed through the explicit queue and was
     // drained back out in event order.
     assert!(s.server(ServerId(0)).queue_high_water() >= 1);

@@ -14,24 +14,32 @@ use crate::server::Server;
 use crate::system::WsId;
 use crate::venus::{Venus, WorkstationType};
 use itc_rpc::{Network, NodeId};
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
 
 /// The wired-up hardware of the campus: network, servers, and the node
 /// identity maps.
+///
+/// The maps are `BTreeMap`s, not `HashMap`s: parts of the system iterate
+/// them on event-emitting paths, and iteration order must be a function of
+/// the seed alone, never of hasher state.
 #[derive(Debug)]
 pub(crate) struct Topology {
     /// The bridged cluster network.
     pub network: Network,
-    /// One Vice server per cluster.
+    /// One Vice server per cluster. In a parallel run the servers are
+    /// temporarily moved out into per-cluster shards and reassembled
+    /// afterwards.
     pub servers: Vec<Server>,
+    /// Each server's node id, indexed by server id — readable without
+    /// touching the (possibly sharded-away) server itself.
+    pub server_nodes: Vec<NodeId>,
     /// Workstation node ids, indexed by [`WsId`].
     pub ws_nodes: Vec<NodeId>,
     /// Reverse map from node id to workstation index.
-    pub node_to_ws: HashMap<NodeId, WsId>,
+    pub node_to_ws: BTreeMap<NodeId, WsId>,
     /// Each workstation node's home (same-cluster) server.
-    pub home: HashMap<NodeId, ServerId>,
+    pub home: BTreeMap<NodeId, ServerId>,
 }
 
 impl Topology {
@@ -42,14 +50,15 @@ impl Topology {
     /// [`WsId`] order).
     pub fn build(
         config: &SystemConfig,
-        domain: &Rc<RefCell<ProtectionDomain>>,
+        domain: &Arc<RwLock<ProtectionDomain>>,
     ) -> (Topology, Vec<Venus>) {
         let mut network = Network::new();
         let mut servers = Vec::new();
+        let mut server_nodes = Vec::new();
         let mut clients = Vec::new();
         let mut ws_nodes = Vec::new();
-        let mut node_to_ws = HashMap::new();
-        let mut home = HashMap::new();
+        let mut node_to_ws = BTreeMap::new();
+        let mut home = BTreeMap::new();
 
         for c in 0..config.clusters {
             let cluster = network.add_cluster();
@@ -58,12 +67,13 @@ impl Topology {
             let mut server = Server::new(
                 sid,
                 srv_node,
-                Rc::clone(domain),
+                Arc::clone(domain),
                 config.validation,
                 config.traversal,
             );
             server.set_break_batching(config.callback_break_batching);
             servers.push(server);
+            server_nodes.push(srv_node);
             for w in 0..config.workstations_per_cluster {
                 let node = network.add_node(cluster);
                 let ws_type = if (c + w) % 2 == 0 {
@@ -100,6 +110,7 @@ impl Topology {
             Topology {
                 network,
                 servers,
+                server_nodes,
                 ws_nodes,
                 node_to_ws,
                 home,

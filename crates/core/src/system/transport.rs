@@ -1,12 +1,33 @@
-//! The event-driven RPC transport.
+//! The event-driven RPC transport over per-cluster calendars.
 //!
 //! A Vice call used to be one synchronous function that computed every
 //! timestamp inline. Here it is a chain of scheduler events — the request
 //! departs, arrives, queues at the server, is served, and the reply departs
-//! and arrives — drained from the [`Scheduler`] in virtual-time order.
-//! Retry timeouts, scheduled server crashes/restarts, and callback-break
-//! deliveries live on the same calendar, so their interleavings with
-//! message traffic are explicit.
+//! and arrives — drained in virtual-time order. Retry timeouts, scheduled
+//! server crashes/restarts, and callback-break deliveries live on the same
+//! calendars, so their interleavings with message traffic are explicit.
+//!
+//! ## Per-cluster decomposition
+//!
+//! Since the parallel-simulation refactor there is no single global
+//! calendar: every cluster owns a [`ClusterCore`] — its own scheduler, rng
+//! streams, fault shard, bindings, trace collector, and counters. Events
+//! are routed to the cluster that owns their state:
+//!
+//! * client-side events (`AttemptSend`, `TimeoutFire`, `ReplyArrive`) live
+//!   on the **calling workstation's** cluster;
+//! * server-side events (`RequestArrive`, `ServiceDispatch`,
+//!   `ReplyDepart`, `Crash`, `Restart`, `Salvage`) live on the **server's**
+//!   cluster;
+//! * `BreakDeliver` lives on the **target workstation's** cluster.
+//!
+//! The executor merge-pops the participating calendars by
+//! `(time, class, cluster, ...)` — a total order that is a function of the
+//! per-cluster calendars alone, never of how clusters are partitioned
+//! across threads. A sequential run holds every cluster
+//! ([`Parts::Whole`]); a parallel worker holds exactly the clusters in its
+//! operation's declared mask ([`Parts::Split`]), and touching any other
+//! cluster is a hard panic (the mask tripwire), not silent corruption.
 //!
 //! ## Equivalence with the synchronous transport
 //!
@@ -14,8 +35,8 @@
 //! bit: every rng draw (fault decisions, backoff jitter, handshake nonces),
 //! every sealing/opening of the authenticated channel, and every
 //! [`Resource`](itc_sim::Resource) acquisition happens with the same
-//! arguments in the same global order — merely distributed across events.
-//! Two deliberate carry-overs from the synchronous model:
+//! arguments in the same per-cluster order — merely distributed across
+//! events. Two deliberate carry-overs from the synchronous model:
 //!
 //! * the server handler is shown the *attempt start* time (its work is
 //!   conceptually scheduled when the client issued the call), and
@@ -23,6 +44,15 @@
 //!   sent, never mid-chain — a crash firing while a request is in flight
 //!   does not retroactively kill the exchange, exactly as the polled
 //!   implementation behaved.
+//!
+//! ## Retransmission timers are armed, then cancelled
+//!
+//! Every attempt arms its retransmission timer when it is sent; the reply's
+//! arrival *cancels* the now-losing timer (an O(1) tombstone in the
+//! scheduler) instead of scheduling one only on the loss paths. A timer
+//! that beats a slow reply to the front of the calendar finds its chain leg
+//! still in flight and stands down — delivery was trusted in the
+//! synchronous model, and still is.
 
 use crate::monitor::TrafficMonitor;
 use crate::protect::ProtectionDomain;
@@ -31,21 +61,22 @@ use crate::proto::{
     ViceReply, ViceRequest,
 };
 use crate::server::{CallCost, QueuedRequest, Server};
-use crate::system::topology::Topology;
 use crate::trace::{AttributionAgg, CallBreakdown};
 use crate::venus::ViceTransport;
 use itc_cryptbox::Key;
 use itc_rpc::binding::{establish, Binding};
-use itc_rpc::{frame_call, split_frame, CallSpec, CallStats, NodeId, RetryPolicy, TimingKernel};
+use itc_rpc::{
+    frame_call, split_frame, CallSpec, CallStats, Network, NodeId, RetryPolicy, TimingKernel,
+};
 use itc_sim::resource::BUCKET_WIDTH;
 use itc_sim::{
-    AnomalyReason, Clock, EventClass, FaultPlan, MessageFault, Scheduler, SimRng, SimTime, Span,
-    SpanClass, TraceCollector, TraceId,
+    AnomalyReason, Clock, EventClass, EventId, EventKey, EventStats, FaultPlan, FaultStats, Firing,
+    MessageFault, Scheduler, SimRng, SimTime, Span, SpanClass, TraceCollector, TraceId, TraceStats,
 };
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::RwLock;
 
-/// A callback break that has been popped from the calendar but not yet
+/// A callback break that has been popped from a calendar but not yet
 /// applied to its target workstation's cache.
 #[derive(Debug)]
 pub(crate) struct PendingBreak {
@@ -56,8 +87,8 @@ pub(crate) struct PendingBreak {
 }
 
 /// Everything a network exchange can schedule. Call-chain events carry no
-/// call identifier: the synchronous façade keeps exactly one logical call
-/// in flight, pumping the calendar until that call resolves.
+/// call identifier: each executor keeps exactly one logical call in
+/// flight, pumping its calendars until that call resolves.
 #[derive(Debug)]
 pub(crate) enum NetEvent {
     /// The client (re)sends the framed request: fault draw, sealing, and
@@ -100,78 +131,228 @@ pub(crate) enum NetEvent {
     },
 }
 
-/// The event machinery and RPC bookkeeping shared by every call: the
-/// calendar, authenticated bindings, fault plan, retry policy, and the
-/// deterministic rng streams.
+/// One cluster's share of the event machinery: its calendar, rng streams,
+/// fault shard, the authenticated bindings of its workstations, and its
+/// observability state. Owning all of this per cluster is what lets
+/// operations with disjoint cluster masks run on different threads without
+/// sharing a single mutable core.
 #[derive(Debug)]
-pub(crate) struct EventCore {
-    /// The deterministic event calendar.
+pub(crate) struct ClusterCore {
+    /// This cluster's deterministic event calendar.
     pub sched: Scheduler<NetEvent>,
-    /// Authenticated per-(workstation, server) channels.
-    pub bindings: HashMap<(NodeId, ServerId), Binding>,
-    /// Nonce stream for binding handshakes.
+    /// Authenticated per-(workstation, server) channels of this cluster's
+    /// workstations (keyed by the *calling* node; the server may be
+    /// remote). A `BTreeMap` so any iteration is seed-stable.
+    pub bindings: BTreeMap<(NodeId, ServerId), Binding>,
+    /// Nonce stream for binding handshakes initiated by this cluster's
+    /// workstations.
     pub rng: SimRng,
-    /// The installed fault plan, if any.
-    pub faults: Option<FaultPlan>,
-    /// Bumped each time a plan is installed; lifecycle events from an
-    /// earlier plan are recognized as stale and ignored.
-    pub plan_gen: u64,
-    /// The retry/backoff policy in force.
-    pub retry: RetryPolicy,
     /// Jitter stream for retry backoff, independent of the nonce stream.
     pub retry_rng: SimRng,
-    /// Counters of what the retry machinery did.
+    /// This cluster's shard of the installed fault plan, if any.
+    pub faults: Option<FaultPlan>,
+    /// Counters of what this cluster's retry machinery did.
     pub call_stats: CallStats,
-    /// Idempotency-token allocator.
+    /// Idempotency-token allocator for calls issued from this cluster.
     pub next_token: u64,
     /// Callback breaks popped mid-pump, awaiting delivery at op end.
     pub pending: Vec<PendingBreak>,
-    /// The span ring and anomaly flight recorder. Disabled by default:
-    /// minting returns [`TraceId::NONE`] and recording is one branch.
+    /// Calendar ids of scheduled `BreakDeliver` events, so op-end delivery
+    /// can claim the still-queued ones in O(1) each (ids of events that
+    /// already fired are simply skipped).
+    pub break_ids: Vec<EventId>,
+    /// The span ring and anomaly flight recorder for activity anchored at
+    /// this cluster. Disabled by default: minting returns
+    /// [`TraceId::NONE`] and recording is one branch.
     pub trace: TraceCollector,
-    /// Latency-attribution aggregates over completed traced calls.
+    /// Latency-attribution aggregates over completed traced calls issued
+    /// from this cluster.
     pub attr: AttributionAgg,
+}
+
+impl ClusterCore {
+    /// Fresh machinery for cluster `cluster` of a system seeded with
+    /// `seed`. Cluster 0's streams are seeded exactly as the old global
+    /// streams were, so single-cluster runs reproduce the pre-refactor
+    /// calendars bit for bit; other clusters get independent streams
+    /// derived by a golden-ratio step.
+    fn new(seed: u64, cluster: u32) -> ClusterCore {
+        let base = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(cluster)));
+        let mut trace = TraceCollector::new();
+        trace.set_cluster(cluster);
+        ClusterCore {
+            // Tie-break stream independent of both the nonce and jitter
+            // streams: scheduling an event must not perturb either.
+            sched: Scheduler::seeded(base ^ 0x0e5e_77ed_0c4a_1e4d),
+            bindings: BTreeMap::new(),
+            rng: SimRng::seeded(base),
+            // Jitter stream seeded independently of the main rng: backoff
+            // draws must not perturb handshake nonce generation.
+            retry_rng: SimRng::seeded(base ^ 0x9e37_79b9_7f4a_7c15),
+            faults: None,
+            call_stats: CallStats::default(),
+            next_token: 0,
+            pending: Vec::new(),
+            break_ids: Vec::new(),
+            trace,
+            attr: AttributionAgg::new(),
+        }
+    }
+}
+
+/// The event machinery of the whole system: one [`ClusterCore`] per
+/// cluster plus the (cluster-independent) retry policy and fault-plan
+/// generation counter.
+#[derive(Debug)]
+pub(crate) struct EventCore {
+    /// Per-cluster calendars and streams, indexed by cluster id.
+    pub clusters: Vec<ClusterCore>,
+    /// The retry/backoff policy in force (shared; `Copy`).
+    pub retry: RetryPolicy,
+    /// Bumped each time a plan is installed; lifecycle events from an
+    /// earlier plan are recognized as stale and ignored.
+    pub plan_gen: u64,
 }
 
 impl EventCore {
     /// Fresh machinery for a system seeded with `seed`, whose default
-    /// retry timeout is `rpc_timeout`.
-    pub fn new(seed: u64, rpc_timeout: SimTime) -> EventCore {
+    /// retry timeout is `rpc_timeout`, with one core per cluster.
+    pub fn new(seed: u64, rpc_timeout: SimTime, n_clusters: u32) -> EventCore {
         EventCore {
-            // Tie-break stream independent of both the nonce and jitter
-            // streams: scheduling an event must not perturb either.
-            sched: Scheduler::seeded(seed ^ 0x0e5e_77ed_0c4a_1e4d),
-            bindings: HashMap::new(),
-            rng: SimRng::seeded(seed),
-            faults: None,
-            plan_gen: 0,
+            clusters: (0..n_clusters).map(|c| ClusterCore::new(seed, c)).collect(),
             retry: RetryPolicy::standard(rpc_timeout),
-            // Jitter stream seeded independently of the main rng: backoff
-            // draws must not perturb handshake nonce generation.
-            retry_rng: SimRng::seeded(seed ^ 0x9e37_79b9_7f4a_7c15),
-            call_stats: CallStats::default(),
-            next_token: 0,
-            pending: Vec::new(),
-            trace: TraceCollector::new(),
-            attr: AttributionAgg::new(),
+            plan_gen: 0,
         }
     }
 
-    /// Installs a fault plan: its crash/restart schedule is entered into
-    /// the calendar (crashes sort before restarts at the same instant) and
-    /// its message faults govern every subsequent call.
+    /// Installs a fault plan: the plan is split into per-cluster shards
+    /// (each server's faults land on its own cluster, with independent
+    /// per-shard rng streams), each shard's crash/restart schedule is
+    /// entered into its cluster's calendar (crashes sort before restarts
+    /// at the same instant), and its message faults govern every
+    /// subsequent call served there.
     pub fn install_faults(&mut self, plan: FaultPlan) {
         self.plan_gen += 1;
         let gen = self.plan_gen;
-        for (server, at) in plan.crash_schedule() {
-            self.sched
-                .schedule_class(at, EventClass::Crash, NetEvent::Crash { server, gen });
+        let shards = plan.split(self.clusters.len(), |server| server as usize);
+        for (cluster, shard) in shards.into_iter().enumerate() {
+            let cl = &mut self.clusters[cluster];
+            for (server, at) in shard.crash_schedule() {
+                cl.sched
+                    .schedule_class(at, EventClass::Crash, NetEvent::Crash { server, gen });
+            }
+            for (server, at) in shard.restart_schedule() {
+                cl.sched
+                    .schedule_class(at, EventClass::Restart, NetEvent::Restart { server, gen });
+            }
+            cl.faults = Some(shard);
         }
-        for (server, at) in plan.restart_schedule() {
-            self.sched
-                .schedule_class(at, EventClass::Restart, NetEvent::Restart { server, gen });
+    }
+
+    /// Whether any cluster currently has a fault shard installed.
+    pub fn any_faults(&self) -> bool {
+        self.clusters.iter().any(|c| c.faults.is_some())
+    }
+
+    /// Scheduler counters summed across every cluster calendar.
+    pub fn event_stats(&self) -> EventStats {
+        let mut total = EventStats::default();
+        for c in &self.clusters {
+            total.merge(&c.sched.stats());
         }
-        self.faults = Some(plan);
+        total
+    }
+
+    /// Retry-machinery counters summed across every cluster.
+    pub fn call_stats(&self) -> CallStats {
+        let mut total = CallStats::default();
+        for c in &self.clusters {
+            total.absorb(c.call_stats);
+        }
+        total
+    }
+
+    /// Fault-injection counters summed across every installed shard.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for c in &self.clusters {
+            if let Some(f) = &c.faults {
+                total.merge(&f.stats());
+            }
+        }
+        total
+    }
+
+    /// Trace-collector counters summed across every cluster.
+    pub fn trace_stats(&self) -> TraceStats {
+        let mut total = TraceStats::default();
+        for c in &self.clusters {
+            total.merge(&c.trace.stats());
+        }
+        total
+    }
+
+    /// Attribution aggregates merged across every cluster, in cluster
+    /// order (deterministic, and the identity for single-cluster systems).
+    pub fn attribution(&self) -> AttributionAgg {
+        let mut total = AttributionAgg::new();
+        for c in &self.clusters {
+            total.merge(&c.attr);
+        }
+        total
+    }
+}
+
+/// A view over the per-cluster slots an executor is entitled to.
+///
+/// The sequential executor holds every slot ([`Parts::Whole`]); a parallel
+/// worker holds exactly the slots in its operation's declared cluster mask
+/// ([`Parts::Split`], absent slots `None`). Indexing an absent slot is the
+/// *mask tripwire*: the operation touched state outside what its driver
+/// declared, which would have been a data race — so it panics loudly
+/// instead of corrupting the run.
+pub(crate) enum Parts<'a, T> {
+    /// Every slot, mutably (sequential execution).
+    Whole(&'a mut [T]),
+    /// Only the masked slots, indexed by cluster id (parallel execution).
+    Split(Vec<Option<&'a mut T>>),
+}
+
+impl<T> Parts<'_, T> {
+    /// Total number of slots (present or not).
+    pub fn len(&self) -> usize {
+        match self {
+            Parts::Whole(s) => s.len(),
+            Parts::Split(v) => v.len(),
+        }
+    }
+
+    /// Whether slot `i` is present in this view.
+    pub fn has(&self, i: usize) -> bool {
+        match self {
+            Parts::Whole(s) => i < s.len(),
+            Parts::Split(v) => v.get(i).is_some_and(|o| o.is_some()),
+        }
+    }
+
+    /// Slot `i`, panicking on the mask tripwire if absent.
+    pub fn get(&self, i: usize) -> &T {
+        match self {
+            Parts::Whole(s) => &s[i],
+            Parts::Split(v) => v[i]
+                .as_deref()
+                .unwrap_or_else(|| panic!("op touched cluster {i} outside its declared mask")),
+        }
+    }
+
+    /// Slot `i`, mutably, panicking on the mask tripwire if absent.
+    pub fn get_mut(&mut self, i: usize) -> &mut T {
+        match self {
+            Parts::Whole(s) => &mut s[i],
+            Parts::Split(v) => v[i]
+                .as_deref_mut()
+                .unwrap_or_else(|| panic!("op touched cluster {i} outside its declared mask")),
+        }
     }
 }
 
@@ -199,6 +380,9 @@ struct AttemptParts {
 struct CallInFlight<'r> {
     /// Calling workstation's node.
     ws: NodeId,
+    /// The calling workstation's cluster (where the client-side events and
+    /// the call's spans live).
+    cluster: usize,
     /// Target server.
     server: ServerId,
     /// The request being issued (borrowed from Venus for the whole call).
@@ -231,6 +415,12 @@ struct CallInFlight<'r> {
     attempt_start: SimTime,
     /// Fault-injected delay accumulated by the current attempt.
     extra: SimTime,
+    /// The current attempt's retransmission timer, armed at send and
+    /// cancelled (an O(1) tombstone) when the reply arrives first.
+    timeout_id: Option<EventId>,
+    /// The single in-flight chain leg `(cluster, event id)` between send
+    /// and resolution — what a winning timeout would find still queued.
+    chain: Option<(usize, EventId)>,
     /// Sealed request in flight between send and arrival.
     sealed_req: Option<Vec<u8>>,
     /// Sealed reply in flight between service and arrival.
@@ -246,19 +436,95 @@ struct CallInFlight<'r> {
     result: Option<(ViceReply, SimTime)>,
 }
 
-/// The transport the system hands to Venus: real bindings over the
+/// The transport an executor hands to Venus: real bindings over the
 /// simulated network, with every leg of every call routed through the
-/// event calendar.
+/// per-cluster event calendars. Sequential execution holds every cluster
+/// and server ([`Parts::Whole`]); a parallel worker holds exactly its
+/// operation's mask.
 pub(crate) struct SystemTransport<'a> {
-    pub topo: &'a mut Topology,
-    pub core: &'a mut EventCore,
+    /// The Vice servers this executor may touch, indexed by server id
+    /// (== cluster id).
+    pub servers: Parts<'a, Server>,
+    /// The per-cluster event cores this executor may touch.
+    pub cores: Parts<'a, ClusterCore>,
+    /// The bridged network graph (read-only, shared).
+    pub net: &'a Network,
+    /// Workstation-node → home-server map (read-only, shared).
+    pub home: &'a BTreeMap<NodeId, ServerId>,
+    /// Every server's node id (read-only, shared — readable even for
+    /// servers outside the mask, e.g. for hop counting in `nearest`).
+    pub server_nodes: &'a [NodeId],
     pub kernel: &'a TimingKernel,
     pub clock: &'a Clock,
-    pub monitor: &'a mut Option<TrafficMonitor>,
-    pub domain: &'a RefCell<ProtectionDomain>,
+    /// The traffic monitor, if sampling (sequential-only: parallel runs
+    /// assert it off).
+    pub monitor: Option<&'a mut TrafficMonitor>,
+    pub domain: &'a RwLock<ProtectionDomain>,
+    /// Copy of the retry policy (shared and immutable during a run).
+    pub retry: RetryPolicy,
+    /// Copy of the fault-plan generation (stable during a run; plans are
+    /// installed only between runs).
+    pub plan_gen: u64,
+    /// Copy of the tracing flag (identical across clusters; kept here so
+    /// the branch never needs cluster 0, which a mask may exclude).
+    pub tracing: bool,
 }
 
 impl SystemTransport<'_> {
+    /// The next due event across every calendar in this view, in the
+    /// deterministic merged order `(time, class, cluster, tie, seq)`. The
+    /// order is a function of the per-cluster calendars alone — stable
+    /// under any partition of clusters across workers.
+    fn pop_next(&mut self) -> Option<(usize, Firing<NetEvent>)> {
+        let best = self.peek_best()?;
+        let (cluster, _) = best;
+        let firing = self
+            .cores
+            .get_mut(cluster)
+            .sched
+            .pop()
+            .expect("peeked key is live");
+        Some((cluster, firing))
+    }
+
+    /// Like [`SystemTransport::pop_next`] but only if the merged next
+    /// event is due at or before `upto`.
+    fn pop_next_due(&mut self, upto: SimTime) -> Option<(usize, Firing<NetEvent>)> {
+        let (cluster, key) = self.peek_best()?;
+        if key.at > upto {
+            return None;
+        }
+        let firing = self
+            .cores
+            .get_mut(cluster)
+            .sched
+            .pop()
+            .expect("peeked key is live");
+        Some((cluster, firing))
+    }
+
+    /// The `(cluster, key)` of the merged-minimum event, if any calendar
+    /// in this view is non-empty.
+    fn peek_best(&mut self) -> Option<(usize, EventKey)> {
+        let mut best: Option<(usize, EventKey)> = None;
+        for cluster in 0..self.cores.len() {
+            if !self.cores.has(cluster) {
+                continue;
+            }
+            let Some(key) = self.cores.get_mut(cluster).sched.peek_key() else {
+                continue;
+            };
+            let replace = match &best {
+                None => true,
+                Some((bc, bk)) => (key.at, key.class, cluster) < (bk.at, bk.class, *bc),
+            };
+            if replace {
+                best = Some((cluster, key));
+            }
+        }
+        best
+    }
+
     /// Ensures an authenticated binding exists, running (and charging) the
     /// mutual handshake on first contact. Returns the time at which the
     /// binding is usable.
@@ -270,30 +536,41 @@ impl SystemTransport<'_> {
         server: ServerId,
         at: SimTime,
     ) -> Result<SimTime, String> {
-        if self.core.bindings.contains_key(&(ws, server)) {
+        let cc = self.net.cluster_of(ws).0 as usize;
+        if self.cores.get(cc).bindings.contains_key(&(ws, server)) {
             return Ok(at);
         }
-        let srv = &self.topo.servers[server.0 as usize];
+        let sid = server.0 as usize;
         // Vice looks the user's key up in its protection database; an
         // unknown user cannot bind at all.
         let server_key = self
             .domain
-            .borrow()
+            .read()
+            .expect("protection domain lock")
             .auth_key(user)
             .map_err(|e| e.to_string())?;
-        let nonces = (self.core.rng.next_u64(), self.core.rng.next_u64());
-        let binding = establish(user, ws, srv.node(), client_key, server_key, nonces)
+        let nonces = {
+            let rng = &mut self.cores.get_mut(cc).rng;
+            (rng.next_u64(), rng.next_u64())
+        };
+        let srv_node = self.server_nodes[sid];
+        let binding = establish(user, ws, srv_node, client_key, server_key, nonces)
             .map_err(|e| e.to_string())?;
         let ready = self
             .kernel
-            .handshake(&self.topo.network, ws, srv.node(), srv.cpu(), at);
-        self.core.bindings.insert((ws, server), binding);
+            .handshake(self.net, ws, srv_node, self.servers.get(sid).cpu(), at);
+        self.cores
+            .get_mut(cc)
+            .bindings
+            .insert((ws, server), binding);
         self.clock.advance_to(ready);
         Ok(ready)
     }
 
-    /// Records one span of the in-flight call. A single branch while
-    /// tracing is off; never draws rng, schedules events, or moves clocks.
+    /// Records one span of the in-flight call into the *caller's* cluster
+    /// collector (where the whole chain of this call lives). A single
+    /// branch while tracing is off; never draws rng, schedules events, or
+    /// moves clocks.
     fn call_span(
         &mut self,
         trace: TraceId,
@@ -302,11 +579,12 @@ impl SystemTransport<'_> {
         at: SimTime,
         queue_depth: Option<u32>,
     ) {
-        if !self.core.trace.is_enabled() {
+        if !self.tracing {
             return;
         }
-        let seq = self.core.trace.next_seq();
-        self.core.trace.record(Span {
+        let collector = &mut self.cores.get_mut(call.cluster).trace;
+        let seq = collector.next_seq();
+        collector.record(Span {
             trace,
             seq,
             class,
@@ -321,19 +599,21 @@ impl SystemTransport<'_> {
     }
 
     /// Records one lifecycle span (crash, restart, salvage, break
-    /// delivery) outside any trace. A single branch while tracing is off.
+    /// delivery) outside any trace, into `cluster`'s collector. A single
+    /// branch while tracing is off.
     fn life_span(
         &mut self,
+        cluster: usize,
         class: SpanClass,
         at: SimTime,
         server: Option<u32>,
         client: Option<u32>,
         volume: Option<u32>,
     ) {
-        if !self.core.trace.is_enabled() {
+        if !self.tracing {
             return;
         }
-        self.core.trace.record(Span {
+        self.cores.get_mut(cluster).trace.record(Span {
             trace: TraceId::NONE,
             seq: 0,
             class,
@@ -351,52 +631,56 @@ impl SystemTransport<'_> {
     /// in flight: scheduled crashes/restarts take effect and matured
     /// callback breaks queue for delivery.
     pub(crate) fn pump_idle(&mut self, upto: SimTime) {
-        while let Some(f) = self.core.sched.pop_due(upto) {
-            self.system_event(f.at, f.ev);
+        while let Some((cluster, f)) = self.pop_next_due(upto) {
+            self.system_event(cluster, f.at, f.ev);
         }
     }
 
-    /// Applies a non-call event.
-    fn system_event(&mut self, at: SimTime, ev: NetEvent) {
+    /// Applies a non-call event that fired from `cluster`'s calendar.
+    fn system_event(&mut self, cluster: usize, at: SimTime, ev: NetEvent) {
         match ev {
             NetEvent::Crash { server, gen } => {
-                if gen == self.core.plan_gen {
-                    let srv = &mut self.topo.servers[server as usize];
+                if gen == self.plan_gen {
+                    let sid = server as usize;
                     // The torn-write model: the crash catches up to
                     // `unsynced` journal bytes mid-write. The draw is
                     // skipped entirely when the journal is clean, so the
                     // write-ahead policy leaves the fault rng untouched.
-                    let unsynced = srv.unsynced_journal_bytes();
+                    let unsynced = self.servers.get(sid).unsynced_journal_bytes();
                     let torn = self
-                        .core
+                        .cores
+                        .get_mut(cluster)
                         .faults
                         .as_mut()
                         .map_or(0, |f| f.torn_bytes(unsynced));
-                    srv.crash_with_torn(torn);
-                    self.life_span(SpanClass::Crash, at, Some(server), None, None);
+                    self.servers.get_mut(sid).crash_with_torn(torn);
+                    self.life_span(cluster, SpanClass::Crash, at, Some(server), None, None);
                 }
             }
             NetEvent::Restart { server, gen } => {
-                if gen == self.core.plan_gen {
-                    let srv = &mut self.topo.servers[server as usize];
+                if gen == self.plan_gen {
+                    let sid = server as usize;
+                    let costs = self.kernel.costs();
+                    let srv = self.servers.get_mut(sid);
                     srv.restart();
                     // Volumes stay offline until a salvager pass replays
                     // the journal over their checkpoints. Each pass is a
                     // calendar event charged on the server's disk, so
                     // traffic arriving mid-salvage sees `VolumeOffline`.
                     let epoch = srv.epoch();
-                    let costs = self.kernel.costs();
+                    let tracing = self.tracing;
                     for volume in srv.salvage_pending().to_vec() {
                         let (records, bytes) = srv.salvage_work(volume);
                         let pass = costs.salvage_time(bytes, records);
                         let done = srv.disk().acquire(at, pass);
-                        if self.core.trace.is_enabled() {
+                        let cl = self.cores.get_mut(cluster);
+                        if tracing {
                             // Salvage passes charge the disk outside any
                             // call; the attribution ledger keeps them
                             // separate so disk busy time decomposes fully.
-                            self.core.attr.add_salvage_disk(pass);
+                            cl.attr.add_salvage_disk(pass);
                         }
-                        self.core.sched.schedule_class(
+                        cl.sched.schedule_class(
                             done,
                             EventClass::Salvage,
                             NetEvent::Salvage {
@@ -407,7 +691,7 @@ impl SystemTransport<'_> {
                             },
                         );
                     }
-                    self.life_span(SpanClass::Restart, at, Some(server), None, None);
+                    self.life_span(cluster, SpanClass::Restart, at, Some(server), None, None);
                 }
             }
             NetEvent::Salvage {
@@ -416,19 +700,34 @@ impl SystemTransport<'_> {
                 gen,
                 epoch,
             } => {
-                let srv = &mut self.topo.servers[server as usize];
+                let srv = self.servers.get_mut(server as usize);
                 // A stale pass — superseded plan, or the server crashed
                 // again before the salvager finished — is simply dropped;
                 // the next restart schedules fresh passes.
-                if gen == self.core.plan_gen && srv.is_online() && srv.epoch() == epoch {
+                if gen == self.plan_gen && srv.is_online() && srv.epoch() == epoch {
                     srv.salvage_volume(volume);
-                    self.life_span(SpanClass::Salvage, at, Some(server), None, Some(volume.0));
+                    self.life_span(
+                        cluster,
+                        SpanClass::Salvage,
+                        at,
+                        Some(server),
+                        None,
+                        Some(volume.0),
+                    );
                 }
             }
             NetEvent::BreakDeliver { to_ws, paths } => {
-                self.life_span(SpanClass::BreakDeliver, at, None, Some(to_ws.0), None);
+                self.life_span(
+                    cluster,
+                    SpanClass::BreakDeliver,
+                    at,
+                    None,
+                    Some(to_ws.0),
+                    None,
+                );
+                let cl = self.cores.get_mut(cluster);
                 for path in paths {
-                    self.core.pending.push(PendingBreak { to_ws, path });
+                    cl.pending.push(PendingBreak { to_ws, path });
                 }
             }
             _ => unreachable!("call-chain event with no call in flight"),
@@ -439,24 +738,34 @@ impl SystemTransport<'_> {
     fn dispatch(
         &mut self,
         call: &mut CallInFlight<'_>,
+        from_cluster: usize,
         at: SimTime,
+        id: EventId,
         ev: NetEvent,
     ) -> Result<(), String> {
         let server = call.server;
         let sid = server.0 as usize;
+        let cc = call.cluster;
+        // The chain leg that just fired is no longer cancellable.
+        if call.chain == Some((from_cluster, id)) {
+            call.chain = None;
+        }
         match ev {
             NetEvent::Crash { .. }
             | NetEvent::Restart { .. }
             | NetEvent::Salvage { .. }
             | NetEvent::BreakDeliver { .. } => {
-                self.system_event(at, ev);
+                self.system_event(from_cluster, at, ev);
             }
 
             NetEvent::AttemptSend => {
                 call.attempt += 1;
-                self.core.call_stats.attempts += 1;
-                if call.attempt > 1 {
-                    self.core.call_stats.retries += 1;
+                {
+                    let stats = &mut self.cores.get_mut(cc).call_stats;
+                    stats.attempts += 1;
+                    if call.attempt > 1 {
+                        stats.retries += 1;
+                    }
                 }
                 call.attempt_start = at;
                 call.extra = SimTime::ZERO;
@@ -465,11 +774,11 @@ impl SystemTransport<'_> {
                 // Lifecycle events due by now have already fired from the
                 // calendar; if the server is down the client burns the
                 // retry timeout and reports it unreachable.
-                if !self.topo.servers[sid].is_online() {
-                    let done = at + self.core.retry.timeout;
+                if !self.servers.get(sid).is_online() {
+                    let done = at + self.retry.timeout;
                     self.clock.advance_to(done);
                     self.call_span(call.trace, call, SpanClass::CallAbort, done, None);
-                    self.core.trace.freeze(
+                    self.cores.get_mut(cc).trace.freeze(
                         AnomalyReason::Unreachable,
                         done,
                         Some(server.0),
@@ -479,24 +788,33 @@ impl SystemTransport<'_> {
                     call.result = Some((ViceReply::Error(ViceError::Unreachable(server.0)), done));
                     return Ok(());
                 }
-                let fate = match self.core.faults.as_mut() {
+                // Arm this attempt's retransmission timer. On the loss
+                // paths it fires at exactly the instant the old transport
+                // scheduled it; on the success path the reply's arrival
+                // cancels it.
+                let tid = self
+                    .cores
+                    .get_mut(cc)
+                    .sched
+                    .schedule(at + self.retry.timeout, NetEvent::TimeoutFire);
+                call.timeout_id = Some(tid);
+                let fate = match self.cores.get_mut(sid).faults.as_mut() {
                     Some(f) => f.request_fault(server.0),
                     None => MessageFault::Deliver,
                 };
                 // The client always seals (its sequence number advances);
                 // the network decides the fate of the sealed bytes.
-                let binding = self
-                    .core
+                let sealed = self
+                    .cores
+                    .get_mut(cc)
                     .bindings
                     .get_mut(&(call.ws, server))
-                    .expect("bound before the first attempt");
-                let sealed = binding.client_seal(&call.framed);
+                    .expect("bound before the first attempt")
+                    .client_seal(&call.framed);
                 match fate {
                     MessageFault::Drop => {
-                        self.core.call_stats.timeouts += 1;
-                        self.core
-                            .sched
-                            .schedule(at + self.core.retry.timeout, NetEvent::TimeoutFire);
+                        // The armed timer fires; nothing else to schedule.
+                        self.cores.get_mut(cc).call_stats.timeouts += 1;
                     }
                     fate => {
                         if let MessageFault::Delay(d) = fate {
@@ -504,24 +822,38 @@ impl SystemTransport<'_> {
                         }
                         call.sealed_req = Some(sealed);
                         let arrived = self.kernel.request_leg(
-                            &self.topo.network,
+                            self.net,
                             call.ws,
-                            self.topo.servers[sid].node(),
+                            self.server_nodes[sid],
                             at,
                             call.req_wire,
                         );
-                        self.core.sched.schedule(arrived, NetEvent::RequestArrive);
+                        let leg = self
+                            .cores
+                            .get_mut(sid)
+                            .sched
+                            .schedule(arrived, NetEvent::RequestArrive);
+                        call.chain = Some((sid, leg));
                     }
                 }
             }
 
             NetEvent::TimeoutFire => {
+                call.timeout_id = None;
+                if call.chain.is_some() {
+                    // The request was delivered and its chain leg is still
+                    // in flight: the reply is merely slower than the
+                    // timer. The synchronous model trusted delivery, so
+                    // the stale timer stands down (normally the reply's
+                    // arrival cancels it before it ever fires).
+                    return Ok(());
+                }
                 self.call_span(call.trace, call, SpanClass::TimeoutFire, at, None);
-                if call.attempt >= self.core.retry.max_attempts {
-                    self.core.call_stats.failures += 1;
+                if call.attempt >= self.retry.max_attempts {
+                    self.cores.get_mut(cc).call_stats.failures += 1;
                     self.clock.advance_to(at);
                     self.call_span(call.trace, call, SpanClass::CallAbort, at, None);
-                    self.core.trace.freeze(
+                    self.cores.get_mut(cc).trace.freeze(
                         AnomalyReason::TimedOut,
                         at,
                         Some(server.0),
@@ -530,28 +862,32 @@ impl SystemTransport<'_> {
                     );
                     call.result = Some((ViceReply::Error(ViceError::TimedOut(server.0)), at));
                 } else {
-                    let wait = self
-                        .core
-                        .retry
-                        .backoff(call.attempt, &mut self.core.retry_rng);
-                    self.core.sched.schedule(at + wait, NetEvent::AttemptSend);
+                    let retry = self.retry;
+                    let wait = retry.backoff(call.attempt, &mut self.cores.get_mut(cc).retry_rng);
+                    self.cores
+                        .get_mut(cc)
+                        .sched
+                        .schedule(at + wait, NetEvent::AttemptSend);
                 }
             }
 
             NetEvent::RequestArrive => {
                 let sealed = call.sealed_req.take().expect("request leg carries bytes");
-                let binding = self
-                    .core
-                    .bindings
-                    .get_mut(&(call.ws, server))
-                    .expect("bound");
-                let opened = binding.server_open(&sealed).map_err(|e| e.to_string())?;
-                // Identity comes from the binding, never the request.
-                let auth_user = binding.server_user().to_string();
+                let (auth_user, opened) = {
+                    let binding = self
+                        .cores
+                        .get_mut(cc)
+                        .bindings
+                        .get_mut(&(call.ws, server))
+                        .expect("bound");
+                    let opened = binding.server_open(&sealed).map_err(|e| e.to_string())?;
+                    // Identity comes from the binding, never the request.
+                    (binding.server_user().to_string(), opened)
+                };
                 let (token, wire_trace, body) = split_frame(&opened).expect("framed by call()");
                 // The span names the trace id that actually rode the wire;
                 // queue depth is observed before this request joins.
-                let depth = self.topo.servers[sid].queue_depth() as u32;
+                let depth = self.servers.get(sid).queue_depth() as u32;
                 self.call_span(
                     TraceId(wire_trace),
                     call,
@@ -560,7 +896,7 @@ impl SystemTransport<'_> {
                     Some(depth),
                 );
                 call.parts.req_net = at - call.attempt_start;
-                self.topo.servers[sid].enqueue_request(QueuedRequest {
+                self.servers.get_mut(sid).enqueue_request(QueuedRequest {
                     user: auth_user,
                     from: call.ws,
                     token,
@@ -569,60 +905,76 @@ impl SystemTransport<'_> {
                     payload: call.req_payload.clone(),
                     arrived: at,
                 });
-                self.core.sched.schedule(at, NetEvent::ServiceDispatch);
+                let leg = self
+                    .cores
+                    .get_mut(sid)
+                    .sched
+                    .schedule(at, NetEvent::ServiceDispatch);
+                call.chain = Some((sid, leg));
             }
 
             NetEvent::ServiceDispatch => {
-                let qr = self.topo.servers[sid]
+                let qr = self
+                    .servers
+                    .get_mut(sid)
                     .dequeue_request()
                     .expect("enqueued on arrival");
                 // The server-side span carries the identity the frame
                 // delivered, proving propagation end to end.
                 self.call_span(qr.trace, call, SpanClass::ServiceDispatch, at, None);
                 let costs = self.kernel.costs().clone();
-                let srv = &mut self.topo.servers[sid];
                 let mut cost = CallCost::default();
-                let reply = match decode_request(&qr.body, qr.payload) {
-                    Ok(decoded) => {
-                        if let Some(cached) = decoded
-                            .is_mutation()
-                            .then(|| srv.replay_lookup(qr.from, qr.token))
-                            .flatten()
-                        {
-                            // A retry of a mutation the server already
-                            // applied: answer from the replay cache, do not
-                            // re-apply.
-                            cached.clone()
-                        } else {
-                            // Handlers see the attempt's start time, as the
-                            // synchronous transport always showed them.
-                            let (reply, c) =
-                                srv.handle(&qr.user, qr.from, &decoded, call.attempt_start, &costs);
-                            cost = c;
-                            if decoded.is_mutation() {
-                                srv.replay_record(qr.from, qr.token, reply.clone());
+                let reply = {
+                    let srv = self.servers.get_mut(sid);
+                    match decode_request(&qr.body, qr.payload) {
+                        Ok(decoded) => {
+                            if let Some(cached) = decoded
+                                .is_mutation()
+                                .then(|| srv.replay_lookup(qr.from, qr.token))
+                                .flatten()
+                            {
+                                // A retry of a mutation the server already
+                                // applied: answer from the replay cache, do
+                                // not re-apply.
+                                cached.clone()
+                            } else {
+                                // Handlers see the attempt's start time, as
+                                // the synchronous transport always showed
+                                // them.
+                                let (reply, c) = srv.handle(
+                                    &qr.user,
+                                    qr.from,
+                                    &decoded,
+                                    call.attempt_start,
+                                    &costs,
+                                );
+                                cost = c;
+                                if decoded.is_mutation() {
+                                    srv.replay_record(qr.from, qr.token, reply.clone());
+                                }
+                                reply
                             }
-                            reply
                         }
+                        Err(e) => ViceReply::Error(ViceError::BadRequest(e.to_string())),
                     }
-                    Err(e) => ViceReply::Error(ViceError::BadRequest(e.to_string())),
                 };
                 // Write-ahead discipline: the journal is forced to disk
                 // before the reply can leave (whatever its network fate),
                 // so no acknowledged mutation can be lost to a torn tail.
                 // The force rides the disk-bytes charge already in the
                 // call's cost; it adds no time and no calendar events.
-                self.topo.servers[sid].sync_journal();
+                self.servers.get_mut(sid).sync_journal();
                 let msg = encode_reply(&reply);
                 call.reply_wire = msg.wire_len() as u64 + 40;
                 call.reply_payload = msg.payload;
-                let binding = self
-                    .core
+                let sealed_reply = self
+                    .cores
+                    .get_mut(cc)
                     .bindings
                     .get_mut(&(call.ws, server))
-                    .expect("bound");
-                let sealed_reply = binding.server_seal(&msg.head);
-                let fate = match self.core.faults.as_mut() {
+                    .expect("bound")
+                    .server_seal(&msg.head);
+                let fate = match self.cores.get_mut(sid).faults.as_mut() {
                     Some(f) => f.reply_fault(server.0),
                     None => MessageFault::Deliver,
                 };
@@ -630,12 +982,11 @@ impl SystemTransport<'_> {
                     MessageFault::Drop => {
                         // The server did the work (and remembered the
                         // reply); the client never hears back, and no
-                        // CPU/disk time is charged for the aborted leg.
-                        self.core.call_stats.timeouts += 1;
-                        self.core.sched.schedule(
-                            call.attempt_start + self.core.retry.timeout,
-                            NetEvent::TimeoutFire,
-                        );
+                        // CPU/disk time is charged for the aborted leg. The
+                        // timer armed at send fires at attempt_start +
+                        // timeout, exactly where the old transport
+                        // scheduled it from here.
+                        self.cores.get_mut(cc).call_stats.timeouts += 1;
                     }
                     fate => {
                         if let MessageFault::Delay(d) = fate {
@@ -651,13 +1002,13 @@ impl SystemTransport<'_> {
                             disk_bytes: cost.disk_bytes,
                             lock_ipc: cost.lock_ipc,
                         };
-                        let srv = &self.topo.servers[sid];
-                        if self.core.trace.is_enabled() {
+                        if self.tracing {
                             // Decompose the service leg from the same
                             // arithmetic `TimingKernel::service` is about to
                             // run: read-only availability snapshots taken
                             // before the charge, so attribution adds no
                             // perturbation and sums exactly.
+                            let srv = self.servers.get(sid);
                             let cpu_free = srv.cpu().available_at();
                             let disk_free = srv.disk().available_at();
                             let demand = self.kernel.service_demand(&spec);
@@ -674,25 +1025,32 @@ impl SystemTransport<'_> {
                                 call.parts.service_disk = SimTime::ZERO;
                             }
                         }
-                        let served = self.kernel.service(srv.cpu(), srv.disk(), at, &spec);
-                        self.core.sched.schedule(served, NetEvent::ReplyDepart);
+                        let served = {
+                            let srv = self.servers.get(sid);
+                            self.kernel.service(srv.cpu(), srv.disk(), at, &spec)
+                        };
+                        let leg = self
+                            .cores
+                            .get_mut(sid)
+                            .sched
+                            .schedule(served, NetEvent::ReplyDepart);
+                        call.chain = Some((sid, leg));
                     }
                 }
             }
 
             NetEvent::ReplyDepart => {
                 self.call_span(call.trace, call, SpanClass::ReplyDepart, at, None);
-                let srv = &self.topo.servers[sid];
                 let completed = self.kernel.reply_leg(
-                    &self.topo.network,
-                    srv.node(),
+                    self.net,
+                    self.server_nodes[sid],
                     call.ws,
                     at,
                     call.reply_wire,
                 );
                 call.elapsed = completed - call.attempt_start;
                 call.parts.reply_net = completed - at;
-                if self.core.trace.is_enabled() {
+                if self.tracing {
                     // Saturation probe for the flight recorder (the paper's
                     // short-term peaks "sometimes peaking at 98%"): check
                     // the one-minute bucket the service just charged into,
@@ -702,40 +1060,60 @@ impl SystemTransport<'_> {
                     // saturated (server, resource, minute).
                     let width = BUCKET_WIDTH.as_micros();
                     let this_bucket = at.as_micros() / width;
-                    for (tag, res) in [(0u8, srv.cpu()), (1u8, srv.disk())] {
+                    for tag in [0u8, 1u8] {
                         for bucket in this_bucket.saturating_sub(1)..=this_bucket {
                             let probe = SimTime::from_micros(bucket * width);
-                            let util = res.bucket_utilization(probe);
+                            let util = {
+                                let srv = self.servers.get(sid);
+                                let res = if tag == 0 { srv.cpu() } else { srv.disk() };
+                                res.bucket_utilization(probe)
+                            };
                             if util >= 0.98 {
                                 let pct = ((util * 100.0) as u64).min(100) as u8;
-                                self.core.trace.report_peak(server.0, tag, bucket, pct, at);
+                                self.cores
+                                    .get_mut(sid)
+                                    .trace
+                                    .report_peak(server.0, tag, bucket, pct, at);
                             }
                         }
                     }
                 }
-                self.core
+                let leg = self
+                    .cores
+                    .get_mut(cc)
                     .sched
                     .schedule(completed + call.extra, NetEvent::ReplyArrive);
+                call.chain = Some((cc, leg));
             }
 
             NetEvent::ReplyArrive => {
+                // The retransmission timer lost the race: tombstone it
+                // instead of letting it fire and be ignored.
+                if let Some(tid) = call.timeout_id.take() {
+                    self.cores.get_mut(cc).sched.cancel(tid);
+                }
                 let sealed = call.sealed_reply.take().expect("reply leg carries bytes");
-                let binding = self
-                    .core
-                    .bindings
-                    .get_mut(&(call.ws, server))
-                    .expect("bound");
-                let reply_clear = binding.client_open(&sealed).map_err(|e| e.to_string())?;
-                // Second copy of the same sealed reply: the channel's
-                // sequence check discards it.
-                if call.duplicate && binding.client_open(&sealed).is_err() {
-                    self.core.call_stats.duplicates_ignored += 1;
+                let (reply_clear, dup_ignored) = {
+                    let binding = self
+                        .cores
+                        .get_mut(cc)
+                        .bindings
+                        .get_mut(&(call.ws, server))
+                        .expect("bound");
+                    let clear = binding.client_open(&sealed).map_err(|e| e.to_string())?;
+                    // Second copy of the same sealed reply: the channel's
+                    // sequence check discards it.
+                    let dup = call.duplicate && binding.client_open(&sealed).is_err();
+                    (clear, dup)
+                };
+                if dup_ignored {
+                    self.cores.get_mut(cc).call_stats.duplicates_ignored += 1;
                 }
                 let reply = decode_reply(&reply_clear, call.reply_payload.take())
                     .map_err(|e| e.to_string())?;
                 self.call_span(call.trace, call, SpanClass::ReplyArrive, at, None);
-                if self.core.trace.is_enabled() {
-                    self.core.attr.record(CallBreakdown {
+                if self.tracing {
+                    let breakdown = CallBreakdown {
                         trace: call.trace,
                         kind: call.req.kind(),
                         server: server.0,
@@ -752,7 +1130,9 @@ impl SystemTransport<'_> {
                         service_disk: call.parts.service_disk,
                         reply_net: call.parts.reply_net,
                         fault_delay: call.extra,
-                    });
+                    };
+                    let cl = self.cores.get_mut(cc);
+                    cl.attr.record(breakdown);
                     // Degraded-mode replies trip the flight recorder: the
                     // server answered, but could not serve normally.
                     let reason = match &reply {
@@ -763,8 +1143,7 @@ impl SystemTransport<'_> {
                         _ => None,
                     };
                     if let Some(reason) = reason {
-                        self.core
-                            .trace
+                        cl.trace
                             .freeze(reason, at, Some(server.0), call.volume, call.trace);
                     }
                 }
@@ -773,16 +1152,20 @@ impl SystemTransport<'_> {
                 // the covering custodianship subtree and caller's cluster.
                 // The interned lookup hands back the subtree's shared key,
                 // so recording is a refcount bump, not a String allocation.
-                if let Some(m) = self.monitor.as_mut() {
-                    if let Some((subtree, _)) = self.topo.servers[0]
+                // (Monitoring is sequential-only, so indexing server 0 here
+                // can never trip a mask.)
+                if let Some(m) = self.monitor.as_deref_mut() {
+                    if let Some((subtree, _)) = self
+                        .servers
+                        .get(0)
                         .location()
                         .lookup_interned(call.req.path())
                     {
-                        let origin = self.topo.network.cluster_of(call.ws);
+                        let origin = self.net.cluster_of(call.ws);
                         m.record_interned(&subtree, origin.0);
                     }
                 }
-                self.topo.servers[sid].record_call(
+                self.servers.get_mut(sid).record_call(
                     call.req.kind(),
                     call.req_wire,
                     call.reply_wire,
@@ -790,11 +1173,12 @@ impl SystemTransport<'_> {
                 );
                 self.clock.advance_to(at);
 
-                // Callback breaks this call generated enter the calendar;
-                // delivery is applied by the system after the operation.
-                let from_node = self.topo.servers[sid].node();
-                let breaks = self.topo.servers[sid].drain_breaks();
-                if self.topo.servers[sid].break_batching() {
+                // Callback breaks this call generated enter the calendars
+                // of their *target* workstations' clusters; delivery is
+                // applied by the system after the operation.
+                let from_node = self.server_nodes[sid];
+                let breaks = self.servers.get_mut(sid).drain_breaks();
+                if self.servers.get(sid).break_batching() {
                     // One message per recipient workstation, carrying all
                     // of its invalidated paths; the wire cost is one base
                     // message plus a small per-extra-path increment.
@@ -807,25 +1191,27 @@ impl SystemTransport<'_> {
                     }
                     for (to_ws, paths) in grouped {
                         let bytes = 160 + 24 * (paths.len() as u64 - 1);
-                        let arrival =
-                            self.kernel
-                                .one_way(&self.topo.network, from_node, to_ws, at, bytes);
-                        self.core
+                        let arrival = self.kernel.one_way(self.net, from_node, to_ws, at, bytes);
+                        let bc = self.net.cluster_of(to_ws).0 as usize;
+                        let cl = self.cores.get_mut(bc);
+                        let bid = cl
                             .sched
                             .schedule(arrival, NetEvent::BreakDeliver { to_ws, paths });
+                        cl.break_ids.push(bid);
                     }
                 } else {
                     for (to_ws, brk) in breaks {
-                        let arrival =
-                            self.kernel
-                                .one_way(&self.topo.network, from_node, to_ws, at, 160);
-                        self.core.sched.schedule(
+                        let arrival = self.kernel.one_way(self.net, from_node, to_ws, at, 160);
+                        let bc = self.net.cluster_of(to_ws).0 as usize;
+                        let cl = self.cores.get_mut(bc);
+                        let bid = cl.sched.schedule(
                             arrival,
                             NetEvent::BreakDeliver {
                                 to_ws,
                                 paths: vec![brk.path],
                             },
                         );
+                        cl.break_ids.push(bid);
                     }
                 }
                 call.result = Some((reply, at));
@@ -845,21 +1231,30 @@ impl ViceTransport for SystemTransport<'_> {
         req: &ViceRequest,
         at: SimTime,
     ) -> Result<(ViceReply, SimTime), String> {
-        if server.0 as usize >= self.topo.servers.len() {
+        let sid = server.0 as usize;
+        if sid >= self.servers.len() {
             return Err(format!("unknown server {}", server.0));
         }
+        let cc = self.net.cluster_of(ws).0 as usize;
         // Scheduled crashes/restarts that have come due take effect before
         // anything else sees the server.
         self.pump_idle(at);
         // A down server: the client burns the RPC timeout and synthesizes
         // an Unreachable error so Venus can fail over to a replica.
-        if !self.topo.servers[server.0 as usize].is_online() {
+        if !self.servers.get(sid).is_online() {
             let done = at + self.kernel.costs().rpc_timeout;
             self.clock.advance_to(done);
             // Even this pre-binding failure implicates the server: the
             // recorder freezes whatever recent spans touch it.
-            self.life_span(SpanClass::CallAbort, done, Some(server.0), Some(ws.0), None);
-            self.core.trace.freeze(
+            self.life_span(
+                cc,
+                SpanClass::CallAbort,
+                done,
+                Some(server.0),
+                Some(ws.0),
+                None,
+            );
+            self.cores.get_mut(cc).trace.freeze(
                 AnomalyReason::Unreachable,
                 done,
                 Some(server.0),
@@ -875,13 +1270,16 @@ impl ViceTransport for SystemTransport<'_> {
         // retry of this logical call carries the same token, so a mutation
         // whose *reply* was lost is answered from the server's replay
         // cache on retry instead of being applied twice.
-        self.core.next_token += 1;
-        let token = self.core.next_token;
-        let trace = self.core.trace.mint();
+        let (token, trace) = {
+            let cl = self.cores.get_mut(cc);
+            cl.next_token += 1;
+            (cl.next_token, cl.trace.mint())
+        };
         let msg = encode_request(req);
         let framed = frame_call(token, trace.0, &msg.head);
-        let volume = if self.core.trace.is_enabled() {
-            self.topo.servers[server.0 as usize]
+        let volume = if self.tracing {
+            self.servers
+                .get(sid)
                 .volume_covering(req.path())
                 .map(|v| v.0)
         } else {
@@ -890,6 +1288,7 @@ impl ViceTransport for SystemTransport<'_> {
 
         let mut call = CallInFlight {
             ws,
+            cluster: cc,
             server,
             req,
             trace,
@@ -907,6 +1306,8 @@ impl ViceTransport for SystemTransport<'_> {
             attempt: 0,
             attempt_start: at,
             extra: SimTime::ZERO,
+            timeout_id: None,
+            chain: None,
             sealed_req: None,
             sealed_reply: None,
             reply_wire: 0,
@@ -914,36 +1315,35 @@ impl ViceTransport for SystemTransport<'_> {
             duplicate: false,
             result: None,
         };
-        self.core.sched.schedule(at, NetEvent::AttemptSend);
+        self.cores
+            .get_mut(cc)
+            .sched
+            .schedule(at, NetEvent::AttemptSend);
         while call.result.is_none() {
-            let f = self
-                .core
-                .sched
-                .pop()
-                .expect("an in-flight call keeps the calendar non-empty");
-            self.dispatch(&mut call, f.at, f.ev)?;
+            let (cluster, f) = self
+                .pop_next()
+                .expect("an in-flight call keeps the calendars non-empty");
+            self.dispatch(&mut call, cluster, f.at, f.id, f.ev)?;
         }
         Ok(call.result.take().expect("pump exited on resolution"))
     }
 
     fn epoch_of(&self, server: ServerId) -> u64 {
-        self.topo
-            .servers
-            .get(server.0 as usize)
-            .map_or(0, Server::epoch)
+        let sid = server.0 as usize;
+        if sid >= self.servers.len() {
+            return 0;
+        }
+        self.servers.get(sid).epoch()
     }
 
     fn nearest(&self, ws: NodeId, candidates: &[ServerId]) -> ServerId {
         *candidates
             .iter()
-            .min_by_key(|s| {
-                let node = self.topo.servers[s.0 as usize].node();
-                (self.topo.network.hops(ws, node), s.0)
-            })
+            .min_by_key(|s| (self.net.hops(ws, self.server_nodes[s.0 as usize]), s.0))
             .expect("candidates non-empty")
     }
 
     fn home_server(&self, ws: NodeId) -> ServerId {
-        self.topo.home[&ws]
+        self.home[&ws]
     }
 }

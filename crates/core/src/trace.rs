@@ -134,6 +134,17 @@ impl ComponentTotals {
         self.disk_service += b.service_disk;
         self.totals.record(b.total().as_secs_f64());
     }
+
+    /// Folds another aggregate into this one (per-cluster → system-wide).
+    fn merge(&mut self, other: &ComponentTotals) {
+        self.calls += other.calls;
+        self.queueing += other.queueing;
+        self.service += other.service;
+        self.network += other.network;
+        self.wasted += other.wasted;
+        self.disk_service += other.disk_service;
+        self.totals.merge(&other.totals);
+    }
 }
 
 /// Upper bound on retained per-call breakdowns. Aggregates keep running
@@ -207,6 +218,31 @@ impl AttributionAgg {
     /// The retained breakdown of one trace, if still resident.
     pub fn breakdown_of(&self, trace: TraceId) -> Option<&CallBreakdown> {
         self.recent.iter().find(|b| b.trace == trace)
+    }
+
+    /// Folds another aggregate into this one. Used to merge per-cluster
+    /// aggregates into a system-wide view, in cluster-index order — the
+    /// recent rings are *appended*, not re-sorted (per-workstation
+    /// completion times are not globally monotone even in a sequential
+    /// run, so appending in cluster order is the deterministic choice
+    /// that also reduces to the identity for single-cluster systems).
+    pub fn merge(&mut self, other: &AttributionAgg) {
+        for (k, v) in &other.per_server {
+            self.per_server.entry(*k).or_default().merge(v);
+        }
+        for (k, v) in &other.per_volume {
+            self.per_volume.entry(*k).or_default().merge(v);
+        }
+        for (k, v) in &other.disk_by_kind {
+            *self.disk_by_kind.entry(k).or_insert(SimTime::ZERO) += *v;
+        }
+        self.salvage_disk += other.salvage_disk;
+        for b in &other.recent {
+            if self.recent.len() == RECENT_BREAKDOWNS {
+                self.recent.pop_front();
+            }
+            self.recent.push_back(b.clone());
+        }
     }
 }
 

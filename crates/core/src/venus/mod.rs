@@ -43,7 +43,7 @@ use itc_cryptbox::Key;
 use itc_rpc::NodeId;
 use itc_sim::{Costs, SimRng, SimTime, TraversalMode, ValidationMode};
 use itc_unixfs::{dirname_basename, FsError, Mode};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Errors surfaced to applications by Venus.
 #[derive(Debug, Clone, PartialEq)]
@@ -174,7 +174,10 @@ pub struct Venus {
     node: NodeId,
     namespace: Namespace,
     cache: Cache,
-    hints: HashMap<String, (ServerId, Vec<ServerId>)>,
+    /// Custodian hints by subtree root. A `BTreeMap`, not a `HashMap`:
+    /// `hint_for` scans it while routing calls (an event-emitting path),
+    /// so iteration order must be seed-stable.
+    hints: BTreeMap<String, (ServerId, Vec<ServerId>)>,
     session: Option<Session>,
     open_files: HashMap<u64, OpenFile>,
     next_handle: u64,
@@ -185,7 +188,9 @@ pub struct Venus {
     stats: VenusStats,
     write_policy: WritePolicy,
     /// Dirty Vice paths awaiting a deferred flush: path -> flush deadline.
-    dirty: HashMap<String, SimTime>,
+    /// A `BTreeMap` so due entries flush in path order — each flush issues
+    /// RPCs, and their order must be a function of the seed alone.
+    dirty: BTreeMap<String, SimTime>,
     /// Last observed incarnation epoch per server; a bump means the server
     /// crashed (losing callback promises) since we last talked to it.
     server_epochs: HashMap<ServerId, u64>,
@@ -239,7 +244,7 @@ impl Venus {
             node,
             namespace: Namespace::standard(ws_type),
             cache: Cache::new(policy),
-            hints: HashMap::new(),
+            hints: BTreeMap::new(),
             session: None,
             open_files: HashMap::new(),
             next_handle: 1,
@@ -249,7 +254,7 @@ impl Venus {
             costs,
             stats: VenusStats::default(),
             write_policy,
-            dirty: HashMap::new(),
+            dirty: BTreeMap::new(),
             server_epochs: HashMap::new(),
             reconnect_failures: HashMap::new(),
             reconnect_rng: SimRng::seeded(0),

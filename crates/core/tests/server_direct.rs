@@ -8,8 +8,7 @@ use itc_core::server::Server;
 use itc_core::volume::{Volume, VolumeId};
 use itc_rpc::NodeId;
 use itc_sim::{Costs, SimTime, TraversalMode, ValidationMode};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 const WS: NodeId = NodeId(10);
 const WS2: NodeId = NodeId(11);
@@ -20,7 +19,7 @@ fn make_server(validation: ValidationMode) -> Server {
     domain.add_user("mallory", "pw").unwrap();
     domain.add_group("staff").unwrap();
     domain.add_member("staff", "alice").unwrap();
-    let domain = Rc::new(RefCell::new(domain));
+    let domain = Arc::new(RwLock::new(domain));
 
     let mut srv = Server::new(
         ServerId(0),
@@ -405,9 +404,9 @@ fn readonly_replica_serves_reads_but_not_writes() {
     let clone = {
         // The protection database is replicated at each server: the
         // replica knows the same users and groups.
-        let domain = Rc::new(RefCell::new(ProtectionDomain::new()));
+        let domain = Arc::new(RwLock::new(ProtectionDomain::new()));
         {
-            let mut d = domain.borrow_mut();
+            let mut d = domain.write().expect("protection domain lock");
             d.add_user("alice", "pw").unwrap();
             d.add_group("staff").unwrap();
             d.add_member("staff", "alice").unwrap();

@@ -6,10 +6,10 @@
 //! enough that an 8-hour simulated day (2.9 × 10^10 µs) is nowhere near
 //! overflow.
 
-use std::cell::Cell;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// An instant or duration in virtual time, in microseconds.
 ///
@@ -152,44 +152,46 @@ impl fmt::Display for SimTime {
 /// keeps its own local notion of time (its next-free instant); the shared
 /// clock tracks the global high-water mark, which is what utilization windows
 /// and experiment durations are measured against.
+///
+/// The high-water mark is an atomic so per-cluster simulation workers can
+/// publish their progress concurrently: `advance_to` is a `fetch_max`, whose
+/// result is independent of the order the workers arrive in — the final
+/// value is the maximum either way, which is exactly the monotone-max
+/// semantics the sequential executor had.
 #[derive(Debug, Default)]
 pub struct Clock {
-    now: Cell<SimTime>,
+    now: AtomicU64,
 }
 
 impl Clock {
     /// Creates a clock at time zero.
-    pub fn new() -> Rc<Clock> {
-        Rc::new(Clock {
-            now: Cell::new(SimTime::ZERO),
+    pub fn new() -> Arc<Clock> {
+        Arc::new(Clock {
+            now: AtomicU64::new(0),
         })
     }
 
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
-        self.now.get()
+        SimTime(self.now.load(Ordering::SeqCst))
     }
 
     /// Advances the clock to `t` if `t` is later than the current time.
-    /// Never moves backward.
+    /// Never moves backward (a `fetch_max`, safe under concurrent callers).
     pub fn advance_to(&self, t: SimTime) {
-        if t > self.now.get() {
-            self.now.set(t);
-        }
+        self.now.fetch_max(t.0, Ordering::SeqCst);
     }
 
     /// Advances the clock by `d` from its current value and returns the new
     /// time.
     pub fn advance_by(&self, d: SimTime) -> SimTime {
-        let t = self.now.get() + d;
-        self.now.set(t);
-        t
+        SimTime(self.now.fetch_add(d.0, Ordering::SeqCst) + d.0)
     }
 
     /// Resets the clock to zero. Intended for reusing one topology across
     /// repeated experiment trials.
     pub fn reset(&self) {
-        self.now.set(SimTime::ZERO);
+        self.now.store(0, Ordering::SeqCst);
     }
 }
 

@@ -77,6 +77,15 @@ impl FaultStats {
             + self.replies_duplicated
             + self.delays_injected
     }
+
+    /// Folds another shard's counters into this one (used to report totals
+    /// across per-cluster fault streams).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.requests_dropped += other.requests_dropped;
+        self.replies_dropped += other.replies_dropped;
+        self.replies_duplicated += other.replies_duplicated;
+        self.delays_injected += other.delays_injected;
+    }
 }
 
 /// A deterministic plan of message faults and server crashes.
@@ -87,6 +96,7 @@ impl FaultStats {
 #[derive(Debug)]
 pub struct FaultPlan {
     rng: SimRng,
+    seed: u64,
     drop_request: f64,
     drop_reply: f64,
     duplicate_reply: f64,
@@ -104,6 +114,7 @@ impl FaultPlan {
     pub fn new(seed: u64) -> FaultPlan {
         FaultPlan {
             rng: SimRng::seeded(seed),
+            seed,
             drop_request: 0.0,
             drop_reply: 0.0,
             duplicate_reply: 0.0,
@@ -205,6 +216,65 @@ impl FaultPlan {
             due.push(server);
         }
         due
+    }
+
+    /// Whether the plan schedules any server crash. A crash bumps the
+    /// victim's epoch, which can invalidate cached state far from the
+    /// victim's own cluster, so parallel executors treat crash-bearing
+    /// plans as globally coupling.
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+
+    /// Splits the plan into one independent sub-plan per shard (cluster),
+    /// assigning each scripted fault and each lifecycle event to
+    /// `shard_of(server)`'s sub-plan and giving every shard its own
+    /// probabilistic rng stream derived from the plan seed.
+    ///
+    /// Shard 0's stream is seeded exactly like the undivided plan's, so a
+    /// single-cluster system draws the very same fault sequence whether or
+    /// not it was split — the seed-identity rule the pinned goldens rely
+    /// on. Draw order within a shard depends only on that shard's own
+    /// message traffic, which is what makes fault decisions independent of
+    /// how clusters interleave (the partition-independence requirement of
+    /// the parallel executor).
+    pub fn split(self, shards: usize, shard_of: impl Fn(u32) -> usize) -> Vec<FaultPlan> {
+        let mut out: Vec<FaultPlan> = (0..shards)
+            .map(|c| {
+                let derived = self
+                    .seed
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(c as u64));
+                FaultPlan {
+                    rng: SimRng::seeded(derived),
+                    seed: derived,
+                    drop_request: self.drop_request,
+                    drop_reply: self.drop_reply,
+                    duplicate_reply: self.duplicate_reply,
+                    delay_prob: self.delay_prob,
+                    delay_extra: self.delay_extra,
+                    scripted: Vec::new(),
+                    crashes: VecDeque::new(),
+                    restarts: VecDeque::new(),
+                    stats: FaultStats::default(),
+                }
+            })
+            .collect();
+        for (server, q) in self.scripted {
+            out[shard_of(server).min(shards - 1)]
+                .scripted
+                .push((server, q));
+        }
+        for (at, server) in self.crashes {
+            out[shard_of(server).min(shards - 1)]
+                .crashes
+                .push_back((at, server));
+        }
+        for (at, server) in self.restarts {
+            out[shard_of(server).min(shards - 1)]
+                .restarts
+                .push_back((at, server));
+        }
+        out
     }
 
     /// How many bytes of a crashed server's `unsynced` journal window made
@@ -312,6 +382,7 @@ impl FaultPlan {
     pub fn merge(&mut self, other: FaultPlan) {
         let FaultPlan {
             rng: _,
+            seed: _,
             drop_request,
             drop_reply,
             duplicate_reply,

@@ -46,6 +46,6 @@ pub use costs::{Costs, ServerStructure, TraversalMode, ValidationMode};
 pub use fault::{FaultPlan, FaultStats, MessageFault, ScriptedFault};
 pub use resource::{Resource, UtilizationReport};
 pub use rng::SimRng;
-pub use sched::{EventClass, EventId, EventStats, Firing, Scheduler};
+pub use sched::{EventClass, EventId, EventKey, EventStats, Firing, Scheduler};
 pub use stats::{Counter, Histogram, Percentiles, RunningStats, TimeBuckets};
 pub use trace::{AnomalyDump, AnomalyReason, Span, SpanClass, TraceCollector, TraceId, TraceStats};

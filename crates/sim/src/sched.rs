@@ -21,6 +21,15 @@
 //!   sources fire in a seed-dependent but reproducible order;
 //! * the insertion sequence number is the final, total tie-break.
 //!
+//! Since the parallel-simulation refactor the calendar is an *indexed*
+//! heap: the binary heap holds only ordering keys, payloads live in a slab
+//! keyed by [`EventId`]. Cancelling an event ([`Scheduler::cancel`] /
+//! [`Scheduler::take`]) is an O(1) removal from the slab; the orphaned heap
+//! key is lazily skipped when it reaches the front. This replaces the old
+//! `drain_where`, which rebuilt the whole heap (O(n) churn per cancelled
+//! timeout) — the drop shows up in [`EventStats::cancelled`] replacing the
+//! rebuild counter.
+//!
 //! The queue deliberately does **not** enforce that events are scheduled in
 //! the future: retry bookkeeping (a timeout that started counting when the
 //! request departed) may be scheduled at an instant that is already past the
@@ -30,7 +39,7 @@
 use crate::clock::SimTime;
 use crate::rng::SimRng;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Identifier of a scheduled event, unique within one scheduler.
 pub type EventId = u64;
@@ -59,39 +68,65 @@ pub struct EventStats {
     pub scheduled: u64,
     /// Events popped and handed to the owner for execution.
     pub executed: u64,
-    /// Events removed by [`Scheduler::drain_where`] without execution.
-    pub drained: u64,
-    /// Largest queue length observed.
+    /// Events logically cancelled ([`Scheduler::cancel`] or
+    /// [`Scheduler::take`]) — O(1) tombstones, never a heap rebuild.
+    pub cancelled: u64,
+    /// Largest number of live (scheduled, not yet fired or cancelled)
+    /// events observed.
     pub high_water: usize,
 }
 
-#[derive(Debug)]
-struct Entry<E> {
-    at: SimTime,
-    class: EventClass,
-    tie: u64,
-    seq: u64,
-    id: EventId,
-    ev: E,
-}
-
-// BinaryHeap is a max-heap; invert the comparison so the earliest key pops
-// first. Only the key participates in ordering — payloads need no bounds.
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
+impl EventStats {
+    /// Folds another scheduler's counters into this one (used to report
+    /// totals across per-cluster calendars).
+    pub fn merge(&mut self, other: &EventStats) {
+        self.scheduled += other.scheduled;
+        self.executed += other.executed;
+        self.cancelled += other.cancelled;
+        // Calendars run concurrently, so the sum of per-calendar peaks is
+        // the honest upper bound on simultaneous live events.
+        self.high_water += other.high_water;
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+
+/// The full ordering key of a queued event. Orders by
+/// `(at, class, tie, seq)`; `id` rides along for the slab lookup.
+#[derive(Debug, Clone, Copy)]
+pub struct EventKey {
+    /// Due time.
+    pub at: SimTime,
+    /// Dispatch class.
+    pub class: EventClass,
+    /// Seeded tie-break value drawn at schedule time.
+    pub tie: u64,
+    /// Insertion sequence (final total tie-break).
+    pub seq: u64,
+    /// The event's identifier.
+    pub id: EventId,
+}
+
+impl EventKey {
+    fn order(&self) -> (SimTime, EventClass, u64, u64) {
+        (self.at, self.class, self.tie, self.seq)
+    }
+}
+
+impl PartialEq for EventKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.order() == other.order()
+    }
+}
+impl Eq for EventKey {}
+impl PartialOrd for EventKey {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+// BinaryHeap is a max-heap; invert the comparison so the earliest key pops
+// first.
+impl Ord for EventKey {
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.class, other.tie, other.seq)
-            .cmp(&(self.at, self.class, self.tie, self.seq))
+        other.order().cmp(&self.order())
     }
 }
 
@@ -106,10 +141,12 @@ pub struct Firing<E> {
     pub ev: E,
 }
 
-/// A deterministic event calendar.
+/// A deterministic event calendar (indexed heap: keys in a binary heap,
+/// payloads in a slab, cancellation by tombstone).
 #[derive(Debug)]
 pub struct Scheduler<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<EventKey>,
+    live: HashMap<EventId, (SimTime, E)>,
     tie_rng: SimRng,
     next_seq: u64,
     stats: EventStats,
@@ -121,6 +158,7 @@ impl<E> Scheduler<E> {
     pub fn seeded(seed: u64) -> Scheduler<E> {
         Scheduler {
             heap: BinaryHeap::new(),
+            live: HashMap::new(),
             tie_rng: SimRng::seeded(seed),
             next_seq: 0,
             stats: EventStats::default(),
@@ -137,36 +175,56 @@ impl<E> Scheduler<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let tie = self.tie_rng.next_u64();
-        self.heap.push(Entry {
+        self.heap.push(EventKey {
             at,
             class,
             tie,
             seq,
             id: seq,
-            ev,
         });
+        self.live.insert(seq, (at, ev));
         self.stats.scheduled += 1;
-        self.stats.high_water = self.stats.high_water.max(self.heap.len());
+        self.stats.high_water = self.stats.high_water.max(self.live.len());
         seq
     }
 
-    /// The instant of the next event, if any.
-    pub fn peek_at(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+    /// Drops tombstoned keys off the front of the heap.
+    fn skim(&mut self) {
+        while let Some(k) = self.heap.peek() {
+            if self.live.contains_key(&k.id) {
+                return;
+            }
+            self.heap.pop();
+        }
     }
 
-    /// Pops the next event in `(time, class, tie, seq)` order.
+    /// The instant of the next live event, if any.
+    pub fn peek_at(&mut self) -> Option<SimTime> {
+        self.skim();
+        self.heap.peek().map(|k| k.at)
+    }
+
+    /// The full ordering key of the next live event, if any. Exposed so an
+    /// owner of several calendars (one per cluster) can merge-pop them in a
+    /// deterministic total order.
+    pub fn peek_key(&mut self) -> Option<EventKey> {
+        self.skim();
+        self.heap.peek().copied()
+    }
+
+    /// Pops the next live event in `(time, class, tie, seq)` order,
+    /// skipping tombstones.
     pub fn pop(&mut self) -> Option<Firing<E>> {
-        let e = self.heap.pop()?;
-        self.stats.executed += 1;
-        Some(Firing {
-            at: e.at,
-            id: e.id,
-            ev: e.ev,
-        })
+        while let Some(k) = self.heap.pop() {
+            if let Some((at, ev)) = self.live.remove(&k.id) {
+                self.stats.executed += 1;
+                return Some(Firing { at, id: k.id, ev });
+            }
+        }
+        None
     }
 
-    /// Pops the next event only if it is due at or before `limit`.
+    /// Pops the next live event only if it is due at or before `limit`.
     pub fn pop_due(&mut self, limit: SimTime) -> Option<Firing<E>> {
         if self.peek_at()? <= limit {
             self.pop()
@@ -175,40 +233,36 @@ impl<E> Scheduler<E> {
         }
     }
 
-    /// Removes every queued event matching `pred`, returning them in
-    /// `(time, class, tie, seq)` order without counting them as executed.
-    /// Used by owners that must hand a category of events (e.g. callback
-    /// deliveries) to a different executor.
-    pub fn drain_where(&mut self, pred: impl Fn(&E) -> bool) -> Vec<Firing<E>> {
-        let mut kept = BinaryHeap::with_capacity(self.heap.len());
-        let mut out: Vec<Entry<E>> = Vec::new();
-        for e in std::mem::take(&mut self.heap).into_vec() {
-            if pred(&e.ev) {
-                out.push(e);
-            } else {
-                kept.push(e);
-            }
+    /// Logically cancels event `id` in O(1): the payload is dropped now and
+    /// the heap key is skipped when it surfaces. Returns whether the event
+    /// was still pending. Cancelled events are never counted as executed.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.live.remove(&id).is_some() {
+            self.stats.cancelled += 1;
+            true
+        } else {
+            false
         }
-        self.heap = kept;
-        out.sort_by_key(|a| (a.at, a.class, a.tie, a.seq));
-        self.stats.drained += out.len() as u64;
-        out.into_iter()
-            .map(|e| Firing {
-                at: e.at,
-                id: e.id,
-                ev: e.ev,
-            })
-            .collect()
     }
 
-    /// Number of queued events.
+    /// Cancels event `id` and hands its payload (and due time) back to the
+    /// caller — used by owners that must route a pending event (e.g. a
+    /// queued callback delivery) to a different executor. O(1), like
+    /// [`Scheduler::cancel`].
+    pub fn take(&mut self, id: EventId) -> Option<Firing<E>> {
+        let (at, ev) = self.live.remove(&id)?;
+        self.stats.cancelled += 1;
+        Some(Firing { at, id, ev })
+    }
+
+    /// Number of live queued events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live.len()
     }
 
-    /// Whether the queue is empty.
+    /// Whether the queue has no live events.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live.is_empty()
     }
 
     /// Lifetime counters.
@@ -274,19 +328,46 @@ mod tests {
     }
 
     #[test]
-    fn drain_where_removes_matching_in_order() {
+    fn cancel_is_a_tombstone_skipped_on_pop() {
+        let mut s: Scheduler<&str> = Scheduler::seeded(1);
+        let a = s.schedule(SimTime::from_secs(1), "a");
+        s.schedule(SimTime::from_secs(2), "b");
+        assert!(s.cancel(a), "live event cancels");
+        assert!(!s.cancel(a), "second cancel is a no-op");
+        assert_eq!(s.len(), 1, "cancelled event no longer counts as live");
+        assert_eq!(s.pop().unwrap().ev, "b", "tombstone is skipped");
+        assert!(s.pop().is_none());
+        let st = s.stats();
+        assert_eq!(st.cancelled, 1);
+        assert_eq!(st.executed, 1, "cancelled events are not executed");
+    }
+
+    #[test]
+    fn take_returns_the_payload_and_due_time() {
         let mut s: Scheduler<(&str, u32)> = Scheduler::seeded(1);
-        s.schedule(SimTime::from_secs(3), ("brk", 3));
-        s.schedule(SimTime::from_secs(1), ("brk", 1));
+        let brk = s.schedule(SimTime::from_secs(3), ("brk", 3));
         s.schedule(SimTime::from_secs(2), ("other", 0));
-        let drained = s.drain_where(|e| e.0 == "brk");
-        assert_eq!(
-            drained.iter().map(|f| f.ev.1).collect::<Vec<_>>(),
-            vec![1, 3]
-        );
-        assert_eq!(s.len(), 1);
-        assert_eq!(s.stats().drained, 2);
+        let f = s.take(brk).expect("pending event");
+        assert_eq!(f.at, SimTime::from_secs(3));
+        assert_eq!(f.ev, ("brk", 3));
+        assert!(s.take(brk).is_none(), "already taken");
         assert_eq!(s.pop().unwrap().ev.0, "other");
+        assert_eq!(s.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn peek_key_skips_tombstones_and_merges_deterministically() {
+        let mut s: Scheduler<&str> = Scheduler::seeded(9);
+        let a = s.schedule(SimTime::from_secs(1), "a");
+        s.schedule(SimTime::from_secs(4), "b");
+        assert_eq!(s.peek_key().unwrap().at, SimTime::from_secs(1));
+        s.cancel(a);
+        let k = s.peek_key().unwrap();
+        assert_eq!(k.at, SimTime::from_secs(4));
+        // The popped firing matches the peeked key exactly.
+        let f = s.pop().unwrap();
+        assert_eq!(f.id, k.id);
+        assert_eq!(f.ev, "b");
     }
 
     #[test]

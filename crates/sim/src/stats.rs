@@ -200,6 +200,13 @@ impl Percentiles {
         Some(self.samples[rank.min(self.samples.len() - 1)])
     }
 
+    /// Folds another sample set into this one (used when per-cluster
+    /// aggregates are merged into system-wide totals).
+    pub fn merge(&mut self, other: &Percentiles) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// Arithmetic mean; `None` when empty.
     pub fn mean(&self) -> Option<f64> {
         if self.samples.is_empty() {

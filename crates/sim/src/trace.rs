@@ -33,7 +33,10 @@ use std::fmt;
 ///
 /// Ids are minted sequentially starting at 1; 0 is reserved as "untraced"
 /// so a frame carrying trace id 0 marks a call issued while tracing was
-/// disabled.
+/// disabled. A collector owned by cluster `c` tags its ids with `c` in the
+/// top 16 bits ([`TraceCollector::set_cluster`]), so ids stay globally
+/// unique across per-cluster collectors while cluster 0 — and therefore
+/// every single-cluster system — keeps the historical 1, 2, 3… sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TraceId(pub u64);
 
@@ -207,6 +210,17 @@ pub struct TraceStats {
     pub anomalies: u64,
 }
 
+impl TraceStats {
+    /// Folds another collector's counters into this one (used to report
+    /// totals across per-cluster collectors).
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.traces += other.traces;
+        self.spans += other.spans;
+        self.evicted += other.evicted;
+        self.anomalies += other.anomalies;
+    }
+}
+
 /// Default ring-buffer capacity: enough for several hundred calls' worth
 /// of hops without letting a long day grow memory without bound.
 pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
@@ -226,6 +240,7 @@ pub struct TraceCollector {
     capacity: usize,
     freeze_window: usize,
     ring: VecDeque<Span>,
+    trace_base: u64,
     next_trace: u64,
     next_seq: u32,
     dumps: Vec<AnomalyDump>,
@@ -261,6 +276,7 @@ impl TraceCollector {
             capacity,
             freeze_window,
             ring: VecDeque::new(),
+            trace_base: 0,
             next_trace: 0,
             next_seq: 0,
             dumps: Vec::new(),
@@ -285,6 +301,13 @@ impl TraceCollector {
         self.capacity
     }
 
+    /// Marks this collector as cluster `cluster`'s: subsequently minted
+    /// ids carry the cluster in their top 16 bits. Cluster 0 (the only
+    /// cluster of a single-cluster system) mints unchanged ids.
+    pub fn set_cluster(&mut self, cluster: u32) {
+        self.trace_base = u64::from(cluster) << 48;
+    }
+
     /// Mints the next [`TraceId`], or [`TraceId::NONE`] when disabled.
     pub fn mint(&mut self) -> TraceId {
         if !self.enabled {
@@ -293,7 +316,7 @@ impl TraceCollector {
         self.next_trace += 1;
         self.next_seq = 0;
         self.stats.traces += 1;
-        TraceId(self.next_trace)
+        TraceId(self.trace_base | self.next_trace)
     }
 
     /// The next hop index for the current trace.

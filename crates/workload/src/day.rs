@@ -7,9 +7,11 @@
 //! configurable number of hours, with a configurable midday surge, and
 //! returns the measurement snapshot the experiments print.
 
+use crate::driver::SessionDriver;
 use crate::sizes::FileSizeModel;
 use crate::user::{UserConfig, UserSession};
 use itc_core::metrics::SystemMetrics;
+use itc_core::system::parallel::{ClusterMask, RunMode, WsDriver};
 use itc_core::system::{ItcSystem, SystemError};
 use itc_core::SystemConfig;
 use itc_sim::{SimRng, SimTime};
@@ -80,8 +82,12 @@ pub fn run_day(
     Ok((sys, report))
 }
 
-/// Runs the day on an existing (freshly built) system.
-pub fn run_day_on(sys: &mut ItcSystem, day: &DayConfig) -> Result<DayReport, SystemError> {
+/// Provisions the day's population on a fresh system: shared system
+/// binaries, one user per workstation (round-robin across clusters), and
+/// the optional read-only replication of the system subtree. Shared by
+/// the sequential loop and the driver-based runners; the provisioning
+/// sequence (and its RNG draws) is identical in both.
+fn provision_day(sys: &mut ItcSystem, day: &DayConfig) -> Result<Vec<UserSession>, SystemError> {
     let mut rng = SimRng::seeded(day.seed);
     let sizes = FileSizeModel::cmu_1984();
 
@@ -127,6 +133,12 @@ pub fn run_day_on(sys: &mut ItcSystem, day: &DayConfig) -> Result<DayReport, Sys
             &mut rng,
         )?);
     }
+    Ok(sessions)
+}
+
+/// Runs the day on an existing (freshly built) system.
+pub fn run_day_on(sys: &mut ItcSystem, day: &DayConfig) -> Result<DayReport, SystemError> {
+    let mut sessions = provision_day(sys, day)?;
 
     // Interleave all sessions by next-operation time.
     let mut ops = 0u64;
@@ -152,6 +164,62 @@ pub fn run_day_on(sys: &mut ItcSystem, day: &DayConfig) -> Result<DayReport, Sys
         }
     }
 
+    Ok(DayReport {
+        metrics: sys.metrics(),
+        ops,
+        duration: day.duration,
+    })
+}
+
+/// Runs the day through the PDES driver engine, sequentially or in
+/// parallel — `RunMode::Parallel(n)` produces the bit-identical timeline
+/// on `n` worker threads. Provisioning is the sequential prologue; the
+/// day itself becomes one [`SessionDriver`] per workstation.
+///
+/// Masking: a user's ops are confined to their home cluster, except
+/// shared-subtree reads, which add cluster 0 (the system custodian) —
+/// unless the binaries are replicated read-only everywhere, in which case
+/// the nearest replica is cluster-local. An installed fault plan widens
+/// every op to all clusters (scheduled crash/restart events must
+/// interleave exactly as the sequential run interleaves them).
+pub fn run_day_drivers(
+    sys: &mut ItcSystem,
+    day: &DayConfig,
+    mode: RunMode,
+) -> Result<DayReport, SystemError> {
+    let sessions = provision_day(sys, day)?;
+    // Warm each session's home-volume custodian hint before the drivers
+    // start: the per-cluster masks below assume own-volume ops never
+    // bounce through a covering "/vice" hint (see
+    // [`UserSession::warm_home_hint`]).
+    for s in &sessions {
+        s.warm_home_hint(sys)?;
+    }
+    let n_clusters = sys.server_count();
+    let all = ClusterMask::all(n_clusters);
+    let serialized = sys.faults_installed();
+    let drivers = sessions
+        .into_iter()
+        .map(|s| {
+            let ws = s.workstation();
+            let home = ClusterMask::of(s.home_cluster() as usize);
+            let shared = if day.replicate_binaries {
+                home
+            } else {
+                home.union(ClusterMask::of(0))
+            };
+            let (home, shared) = if serialized {
+                (all, all)
+            } else {
+                (home, shared)
+            };
+            (
+                ws,
+                Box::new(SessionDriver::new(s, day, home, shared)) as Box<dyn WsDriver>,
+            )
+        })
+        .collect();
+    let ops = sys.run_drivers(drivers, mode)?;
     Ok(DayReport {
         metrics: sys.metrics(),
         ops,

@@ -28,13 +28,15 @@
 
 pub mod andrew;
 pub mod day;
+pub mod driver;
 pub mod scenario;
 pub mod sizes;
 pub mod tree;
 pub mod user;
 
 pub use andrew::{AndrewBenchmark, BenchmarkReport, PhaseTimes, TreeLocation};
-pub use day::{DayConfig, DayReport};
+pub use day::{run_day_drivers, DayConfig, DayReport};
+pub use driver::{ScriptDriver, SessionDriver, WsCalls};
 pub use scenario::{
     CallbackStormConfig, LoginStormConfig, ReleasePushConfig, ScenarioReport, ThunderingHerdConfig,
 };

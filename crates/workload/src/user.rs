@@ -7,6 +7,7 @@
 //! reads of shared system binaries, and local temporary-file churn that
 //! never touches Vice.
 
+use crate::driver::WsCalls;
 use crate::sizes::{FileClass, FileSizeModel};
 use itc_core::system::{ItcSystem, SystemError, WsId};
 use itc_sim::{SimRng, SimTime};
@@ -88,6 +89,9 @@ pub struct UserSession {
     system_files: Vec<String>,
     /// Virtual time of the next operation.
     pub next_at: SimTime,
+    /// Kind of the next operation, when drawn ahead of execution (so a
+    /// parallel scheduler can know the op's cluster footprint in advance).
+    planned: Option<OpKind>,
     ops_done: u64,
 }
 
@@ -146,10 +150,25 @@ impl UserSession {
             files,
             system_files,
             next_at: SimTime::ZERO,
+            planned: None,
             ops_done: 0,
         };
         session.next_at = SimTime::from_secs_f64(session.rng.exponential(5.0));
         Ok(session)
+    }
+
+    /// The shell's `cd $HOME` at login: one status check that warms the
+    /// home-volume custodian hint. Without it, a shared-subtree read can
+    /// cache a covering "/vice" hint first, and the next own-volume store
+    /// would bounce off the shared custodian (NotCustodian) — correct, but
+    /// a cluster the op's PDES mask must not touch. Only the driver-based
+    /// runners need this; the sequential [`run_day`] loop is golden-pinned
+    /// without it.
+    ///
+    /// [`run_day`]: crate::day::run_day
+    pub fn warm_home_hint(&self, sys: &mut ItcSystem) -> Result<(), SystemError> {
+        let _ = sys.stat(self.ws, &format!("/vice/usr/{}/src", self.cfg.name))?;
+        Ok(())
     }
 
     /// The workstation this session runs at.
@@ -160,6 +179,27 @@ impl UserSession {
     /// The user name.
     pub fn name(&self) -> &str {
         &self.cfg.name
+    }
+
+    /// The cluster custodying the user's home volume.
+    pub fn home_cluster(&self) -> u32 {
+        self.cfg.home_cluster
+    }
+
+    /// Draws the next operation's kind ahead of execution (idempotent
+    /// until that op runs). Draw order is unchanged relative to drawing at
+    /// execution time: planning always happens right after the previous
+    /// op's think-time draw, so the stream stays bit-identical.
+    pub fn plan_next(&mut self) -> OpKind {
+        if self.planned.is_none() {
+            self.planned = Some(self.pick_op());
+        }
+        self.planned.expect("just planned")
+    }
+
+    /// The pre-drawn next operation, if [`UserSession::plan_next`] ran.
+    pub fn planned_kind(&self) -> Option<OpKind> {
+        self.planned
     }
 
     /// Operations performed so far.
@@ -195,14 +235,16 @@ impl UserSession {
     /// Executes one operation at `self.next_at` and schedules the next one
     /// `rate_multiplier` times faster than the configured base rate.
     /// Errors from permission or concurrency races are tolerated (real
-    /// users retry); provisioning errors propagate.
-    pub fn step(
+    /// users retry); provisioning errors propagate. Generic over the call
+    /// surface so the same session runs against the [`ItcSystem`] facade
+    /// or a masked parallel [`itc_core::system::parallel::WsOps`] view.
+    pub fn step<S: WsCalls>(
         &mut self,
-        sys: &mut ItcSystem,
+        sys: &mut S,
         rate_multiplier: f64,
     ) -> Result<OpKind, SystemError> {
         sys.advance_ws(self.ws, self.next_at);
-        let op = self.pick_op();
+        let op = self.planned.take().unwrap_or_else(|| self.pick_op());
         let executed = match op {
             OpKind::Stat => {
                 let (f, _) = self.pick_file();

@@ -108,15 +108,15 @@ fn run_fingerprint(seed: u64) -> String {
     let es = sys.event_stats();
     writeln!(
         fp,
-        "events scheduled={} executed={} drained={} high_water={}",
-        es.scheduled, es.executed, es.drained, es.high_water
+        "events scheduled={} executed={} cancelled={} high_water={}",
+        es.scheduled, es.executed, es.cancelled, es.high_water
     )
     .unwrap();
 
     // Structural invariants, independent of the seed.
     assert!(es.executed > 0, "calls must flow through the scheduler");
     assert!(
-        es.scheduled >= es.executed + es.drained,
+        es.scheduled >= es.executed + es.cancelled,
         "event accounting must balance"
     );
     for c in 0..CLUSTERS {

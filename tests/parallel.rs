@@ -1,0 +1,284 @@
+//! Parallel-determinism regression: the conservative-PDES engine must
+//! produce bit-identical timelines to the sequential reference executor
+//! on every workload shape — single-cluster (zero lookahead to exploit),
+//! the replicated multi-cluster day, an all-cross-bridge storm, and a
+//! server crash/restart concurrent with in-flight bridge traffic — and
+//! identical interleavings across repeated runs of the same seed.
+
+use itc_afs::core::config::SystemConfig;
+use itc_afs::core::protect::{AccessList, Rights};
+use itc_afs::core::proto::ServerId;
+use itc_afs::core::system::parallel::{ClusterMask, RunMode, WsDriver};
+use itc_afs::core::system::ItcSystem;
+use itc_afs::sim::{FaultPlan, SimTime};
+use itc_afs::workload::scenario::{login_storm, OpCounts};
+use itc_afs::workload::{run_day_drivers, DayConfig, LoginStormConfig, ScriptDriver};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Folds every virtual-time observable of a finished system into one
+/// string: per-workstation clocks, the global clock, call/event/fault
+/// counters, and the per-server call tallies. Any divergence between two
+/// schedules of the same workload shows up here.
+fn fingerprint(sys: &ItcSystem) -> String {
+    let mut fp = String::new();
+    for ws in 0..sys.workstation_count() {
+        writeln!(fp, "ws {ws} t={}", sys.ws_time(ws).as_micros()).unwrap();
+    }
+    writeln!(fp, "clock {}", sys.now().as_micros()).unwrap();
+    writeln!(fp, "calls {}", sys.metrics().total_calls()).unwrap();
+    let cs = sys.call_stats();
+    writeln!(
+        fp,
+        "rpc attempts={} retries={} timeouts={} dups={} failures={}",
+        cs.attempts, cs.retries, cs.timeouts, cs.duplicates_ignored, cs.failures
+    )
+    .unwrap();
+    let es = sys.event_stats();
+    writeln!(
+        fp,
+        "events scheduled={} executed={} cancelled={}",
+        es.scheduled, es.executed, es.cancelled
+    )
+    .unwrap();
+    writeln!(fp, "faults {}", sys.fault_stats().total()).unwrap();
+    for s in 0..sys.server_count() {
+        let srv = sys.server(ServerId(s as u32));
+        writeln!(fp, "server {s} calls={}", srv.stats().total_calls()).unwrap();
+    }
+    fp
+}
+
+fn day_fingerprint(cfg: SystemConfig, day: &DayConfig, mode: RunMode) -> (u64, String) {
+    let mut sys = ItcSystem::build(cfg);
+    let report = run_day_drivers(&mut sys, day, mode).expect("day runs");
+    (report.ops, fingerprint(&sys))
+}
+
+#[test]
+fn single_cluster_degenerates_to_sequential() {
+    // One cluster: no lookahead to exploit, every mask is the same
+    // singleton, so the parallel scheduler serializes — and must land on
+    // exactly the sequential timeline.
+    let day = DayConfig {
+        duration: SimTime::from_mins(5),
+        ..DayConfig::short()
+    };
+    let seq = day_fingerprint(SystemConfig::prototype(1, 4), &day, RunMode::Sequential);
+    let par = day_fingerprint(SystemConfig::prototype(1, 4), &day, RunMode::Parallel(4));
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn multi_cluster_day_parallel_is_bit_identical() {
+    let day = DayConfig {
+        duration: SimTime::from_mins(5),
+        replicate_binaries: true,
+        ..DayConfig::short()
+    };
+    let seq = day_fingerprint(SystemConfig::prototype(4, 2), &day, RunMode::Sequential);
+    for threads in [2, 4, 8] {
+        let par = day_fingerprint(
+            SystemConfig::prototype(4, 2),
+            &day,
+            RunMode::Parallel(threads),
+        );
+        assert_eq!(seq, par, "divergence at {threads} threads");
+    }
+}
+
+#[test]
+fn identical_interleavings_across_three_runs_per_seed() {
+    // The satellite-2 guarantee: with HashMap iteration scrubbed from
+    // every event-emitting path, three runs of the same seed produce the
+    // same event interleaving — in both executors.
+    for seed in [7u64, 1985] {
+        for mode in [RunMode::Sequential, RunMode::Parallel(4)] {
+            let day = DayConfig {
+                duration: SimTime::from_mins(3),
+                seed,
+                ..DayConfig::short()
+            };
+            let runs: Vec<_> = (0..3)
+                .map(|_| {
+                    let cfg = SystemConfig {
+                        seed,
+                        ..SystemConfig::prototype(2, 2)
+                    };
+                    day_fingerprint(cfg, &day, mode)
+                })
+                .collect();
+            assert_eq!(runs[0], runs[1], "seed {seed} {mode:?} run 0 vs 1");
+            assert_eq!(runs[1], runs[2], "seed {seed} {mode:?} run 1 vs 2");
+        }
+    }
+}
+
+/// Builds a 4-cluster system with one shared read-only working set and
+/// one private store target per cluster, plus scripted drivers whose
+/// every op crosses the bridge: each workstation round-robins fetches of
+/// the *other* clusters' shared files and stores into its own cluster's
+/// private area. Masks are the true two-cluster footprints, so the
+/// admission rule has real cross-cluster conflicts to order.
+fn cross_bridge_storm(mode: RunMode) -> (u64, String) {
+    const CLUSTERS: usize = 4;
+    const PER: usize = 3;
+    const ROUNDS: usize = 6;
+    let cfg = SystemConfig {
+        seed: 0xb81d,
+        ..SystemConfig::revised(CLUSTERS as u32, PER as u32)
+    };
+    let mut sys = ItcSystem::build(cfg);
+
+    let mut acl = AccessList::new();
+    acl.grant("anyuser", Rights::ALL.minus(Rights::ADMINISTER));
+    for c in 0..CLUSTERS {
+        sys.create_volume(
+            &format!("bridge.c{c}"),
+            &format!("/vice/bridge{c}"),
+            ServerId(c as u32),
+            acl.clone(),
+        )
+        .expect("volume");
+        // The shared files remote workstations fetch (never re-stored, so
+        // no callback break ever escapes the declared two-cluster mask).
+        for f in 0..PER {
+            sys.admin_install_file(&format!("/vice/bridge{c}/shared{f}"), vec![0x42; 18_000])
+                .expect("install");
+        }
+        // Per-workstation private directories: stores land here, not in
+        // the volume root, so they never break the root-directory
+        // callbacks that remote fetchers hold.
+        for w in 0..PER {
+            sys.admin_mkdir_p(&format!("/vice/bridge{c}/p{}", c * PER + w))
+                .expect("mkdir");
+        }
+    }
+    let n = CLUSTERS * PER;
+    for ws in 0..n {
+        let user = format!("x{ws:02}");
+        sys.add_user(&user, "pw").expect("user");
+        sys.login(ws, &user, "pw").expect("login");
+    }
+
+    let counts = Arc::new(Mutex::new(OpCounts::default()));
+    let drivers = (0..n)
+        .map(|ws| {
+            let home = ws / PER;
+            let mut d = ScriptDriver::new(ws, sys.ws_time(ws), Arc::clone(&counts));
+            for r in 0..ROUNDS {
+                let target = (home + 1 + r % (CLUSTERS - 1)) % CLUSTERS;
+                let mask = ClusterMask::of(home).union(ClusterMask::of(target));
+                let path = format!("/vice/bridge{target}/shared{}", (ws + r) % PER);
+                d.push(mask, move |ops| ops.fetch(ws, &path).map(|_| ()));
+                let own = format!("/vice/bridge{home}/p{ws}/w{r}");
+                d.push(ClusterMask::of(home), move |ops| {
+                    ops.store(ws, &own, vec![ws as u8; 9_000])
+                });
+            }
+            (ws, Box::new(d) as Box<dyn WsDriver>)
+        })
+        .collect();
+    let ops = sys.run_drivers(drivers, mode).expect("storm runs");
+    assert_eq!(counts.lock().unwrap().failed, 0);
+    (ops, fingerprint(&sys))
+}
+
+#[test]
+fn all_cross_bridge_storm_is_bit_identical() {
+    let seq = cross_bridge_storm(RunMode::Sequential);
+    let par = cross_bridge_storm(RunMode::Parallel(4));
+    assert_eq!(seq, par);
+    assert!(seq.0 > 100, "storm must execute real work: {} ops", seq.0);
+}
+
+/// Crash/restart of server 1 while bridge traffic is in flight: a fault
+/// plan serializes the schedule (every driver widens to all clusters), so
+/// the scheduled Crash/Restart/Salvage events interleave with the ops
+/// exactly as in the sequential run.
+fn crash_during_bridge_traffic(mode: RunMode) -> (u64, String) {
+    const CLUSTERS: usize = 3;
+    const PER: usize = 2;
+    let cfg = SystemConfig {
+        seed: 0xc4a5,
+        ..SystemConfig::revised(CLUSTERS as u32, PER as u32)
+    };
+    let mut sys = ItcSystem::build(cfg);
+
+    let mut acl = AccessList::new();
+    acl.grant("anyuser", Rights::ALL.minus(Rights::ADMINISTER));
+    for c in 0..CLUSTERS {
+        sys.create_volume(
+            &format!("storm.c{c}"),
+            &format!("/vice/storm{c}"),
+            ServerId(c as u32),
+            acl.clone(),
+        )
+        .expect("volume");
+        for f in 0..4 {
+            sys.admin_install_file(&format!("/vice/storm{c}/f{f}"), vec![0x5a; 12_000])
+                .expect("install");
+        }
+    }
+    let n = CLUSTERS * PER;
+    for ws in 0..n {
+        let user = format!("y{ws}");
+        sys.add_user(&user, "pw").expect("user");
+        sys.login(ws, &user, "pw").expect("login");
+    }
+
+    // Server 1 crashes at 2s (mid-storm) and restarts at 6s; stores to it
+    // before the crash leave journal work for the restart salvage.
+    let mut plan = FaultPlan::new(9);
+    plan.schedule_crash(1, SimTime::from_secs(2));
+    plan.schedule_restart(1, SimTime::from_secs(6));
+    sys.install_faults(plan);
+
+    let all = ClusterMask::all(CLUSTERS);
+    let counts = Arc::new(Mutex::new(OpCounts::default()));
+    let drivers = (0..n)
+        .map(|ws| {
+            let home = ws / PER;
+            let mut d = ScriptDriver::new(ws, sys.ws_time(ws), Arc::clone(&counts));
+            for r in 0..10usize {
+                let target = (home + 1 + r % (CLUSTERS - 1)) % CLUSTERS;
+                let path = format!("/vice/storm{target}/f{}", r % 4);
+                // All-cluster masks: the installed fault plan means any
+                // op may pump a Crash/Restart/Salvage event from any
+                // cluster's calendar.
+                d.push(all, move |ops| ops.fetch(ws, &path).map(|_| ()));
+                let own = format!("/vice/storm{home}/w{ws}-{r}");
+                d.push(all, move |ops| {
+                    // Stores to the crashed custodian fail; that is the
+                    // point — the failure pattern must be identical.
+                    let _ = ops.store(ws, &own, vec![ws as u8; 6_000]);
+                    Ok(())
+                });
+            }
+            (ws, Box::new(d) as Box<dyn WsDriver>)
+        })
+        .collect();
+    let ops = sys.run_drivers(drivers, mode).expect("storm runs");
+    (ops, fingerprint(&sys))
+}
+
+#[test]
+fn crash_restart_concurrent_with_bridge_traffic_is_bit_identical() {
+    let seq = crash_during_bridge_traffic(RunMode::Sequential);
+    let par = crash_during_bridge_traffic(RunMode::Parallel(4));
+    assert_eq!(seq, par);
+    assert!(
+        seq.1.contains("faults"),
+        "fingerprint records fault counters"
+    );
+}
+
+#[test]
+fn login_storm_parallel_matches_sequential_jsonl() {
+    let cfg = LoginStormConfig::parallel();
+    let (_, seq) = login_storm::run_mode(&cfg, RunMode::Sequential).expect("storm");
+    let (_, par) = login_storm::run_mode(&cfg, RunMode::Parallel(4)).expect("storm");
+    assert_eq!(seq.jsonl(), par.jsonl());
+    assert_eq!(seq.counts.failed, 0, "the storm queues but does not fail");
+    assert!(seq.counts.ops > 0);
+}

@@ -496,10 +496,11 @@ fn breakdown_lookup_and_renderers_cover_the_call() {
     sys.store(0, "/vice/usr/eve/f.txt", vec![9u8; 30_000])
         .unwrap();
 
-    let last = sys.attribution().recent().last().unwrap().clone();
-    let by_id = sys.attribution().breakdown_of(last.trace).unwrap();
+    let attr = sys.attribution();
+    let last = attr.recent().last().unwrap().clone();
+    let by_id = attr.breakdown_of(last.trace).unwrap();
     assert_eq!(by_id.finished, last.finished);
-    assert!(sys.attribution().breakdown_of(TraceId(u64::MAX)).is_none());
+    assert!(attr.breakdown_of(TraceId(u64::MAX)).is_none());
 
     let spans = sys.trace_collector().spans_of(last.trace);
     let tree = itc_afs::core::trace::render_span_tree(last.trace, &spans);
