@@ -33,8 +33,21 @@ cargo test -q --offline --test tracing
 echo "== storm scenario suite (four storms, golden pin, fix gates, offline) =="
 cargo test -q --offline --test scenarios
 
+echo "== integrity suite (Merkle property, exhaustive corruption sweep, scrub golden, offline) =="
+cargo test -q --offline --test integrity
+
 echo "== bench smoke (schema + deterministic-metric gate vs BENCH_pr5.json) =="
 cargo run -q -p itc-bench --release --offline --bin bench -- --smoke
+
+echo "== scrub bench smoke (deterministic scrub metrics vs BENCH_pr9.json) =="
+cargo run -q -p itc-bench --release --offline --bin bench -- scrub --smoke
+
+echo "== corruption-sweep determinism (same seed => byte-identical scrub report) =="
+SCRUB_TMP=$(mktemp -d)
+cargo run -q -p itc-bench --release --offline --bin bench -- scrub --smoke | grep -v wall_ms > "$SCRUB_TMP/a"
+cargo run -q -p itc-bench --release --offline --bin bench -- scrub --smoke | grep -v wall_ms > "$SCRUB_TMP/b"
+diff "$SCRUB_TMP/a" "$SCRUB_TMP/b"
+rm -rf "$SCRUB_TMP"
 
 echo "== parallel determinism (sequential vs --parallel 4, byte-identical) =="
 PDES_TMP=$(mktemp -d)

@@ -43,6 +43,11 @@
 //!   each storm's attribution table plus the before/after tables for the
 //!   two shipped fixes (callback-break batching, reconnect backoff).
 //!   `--full` uses the experiment-sized variants instead of the CI sizes.
+//! * `scrub [--smoke]`: run the silent-corruption storm and report the
+//!   integrity subsystem's deterministic economics (scan throughput,
+//!   detection latency percentiles, repair/offline/reject counts).
+//!   Default writes `BENCH_pr9.json`; `--smoke` validates the checked-in
+//!   file and fails on any drift (the metrics are virtual-time exact).
 
 use itc_core::config::{CachePolicy, SystemConfig};
 use itc_core::disk::{Disk, JournalOp, SyncPolicy};
@@ -851,9 +856,172 @@ fn run_scenarios(full: bool) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Scrub benchmark (`bench scrub`)
+// ---------------------------------------------------------------------
+
+/// Runs the corruption storm at a fixed size and reports the integrity
+/// subsystem's economics: scrubber scan throughput in virtual disk time,
+/// detection latency percentiles across the injected flips, and how each
+/// flip was resolved (repaired / offlined / rejected at salvage / caught
+/// at fetch). Every metric except `wall_ms` is virtual-time deterministic
+/// and bit-identical on every machine, so `scrub --smoke` re-runs the
+/// same configuration and requires the deterministic fields to match the
+/// checked-in `BENCH_pr9.json` exactly.
+fn run_scrub(smoke: bool) {
+    use itc_core::proto::ServerId;
+    use itc_workload::scenario::corruption_storm;
+    use itc_workload::CorruptionStormConfig;
+
+    let cfg = CorruptionStormConfig::small();
+    let t0 = Instant::now();
+    let (sys, _) = corruption_storm::run(&cfg).expect("scrub storm");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let counters = sys.integrity_counters();
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut passes, mut files_scanned, mut bytes_scanned, mut mismatches) =
+        (0u64, 0u64, 0u64, 0u64);
+    for s in 0..2u32 {
+        for ev in sys.server_corruption_log(ServerId(s)) {
+            if let Some(at) = ev.detected_at {
+                latencies.push(at.as_micros() - ev.injected_at.as_micros());
+            }
+        }
+        let st = sys.server_scrub_stats(ServerId(s));
+        passes += st.passes;
+        files_scanned += st.files_scanned;
+        bytes_scanned += st.bytes_scanned;
+        mismatches += st.mismatches_detected;
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| {
+        if latencies.is_empty() {
+            0
+        } else {
+            latencies[((latencies.len() - 1) as f64 * p).round() as usize]
+        }
+    };
+    let (p50, p90, max) = (pct(0.50), pct(0.90), pct(1.0));
+    let scrub_disk_us = sys.attribution().summary().scrub_disk.as_micros();
+    let throughput = if scrub_disk_us > 0 {
+        bytes_scanned as f64 / (scrub_disk_us as f64 / 1e6)
+    } else {
+        0.0
+    };
+
+    let report = format!(
+        r#"{{
+  "schema": "itc-bench/pr9/v1",
+  "scrub_storm": {{
+    "workstations": {},
+    "files": {},
+    "flips": {},
+    "injected": {},
+    "detected": {},
+    "latent": {},
+    "repaired": {},
+    "offlined": {},
+    "rejected_at_salvage": {},
+    "caught_at_fetch": {},
+    "scrub_passes": {},
+    "files_scanned": {},
+    "bytes_scanned": {},
+    "mismatches_detected": {},
+    "scrub_disk_virtual_us": {},
+    "scan_bytes_per_virtual_sec": {},
+    "detect_p50_us": {p50},
+    "detect_p90_us": {p90},
+    "detect_max_us": {max},
+    "wall_ms": {}
+  }}
+}}
+"#,
+        cfg.workstations,
+        cfg.files,
+        cfg.flips,
+        counters.injected,
+        counters.detected(),
+        counters.latent,
+        counters.repaired,
+        counters.offlined,
+        counters.rejected_at_salvage,
+        counters.caught_at_fetch,
+        passes,
+        files_scanned,
+        bytes_scanned,
+        mismatches,
+        scrub_disk_us,
+        fnum(throughput),
+        fnum(wall_ms),
+    );
+    println!("{report}");
+
+    if smoke {
+        let baseline = std::fs::read_to_string("BENCH_pr9.json").unwrap_or_else(|e| {
+            eprintln!("scrub smoke: cannot read checked-in BENCH_pr9.json: {e}");
+            std::process::exit(1);
+        });
+        if !baseline.contains("\"schema\": \"itc-bench/pr9/v1\"") {
+            eprintln!("scrub smoke: BENCH_pr9.json does not match schema itc-bench/pr9/v1");
+            std::process::exit(1);
+        }
+        let mut failures = Vec::new();
+        // All virtual: the measured value must equal the baseline exactly.
+        for (key, measured) in [
+            ("injected", counters.injected as f64),
+            ("detected", counters.detected() as f64),
+            ("latent", counters.latent as f64),
+            ("repaired", counters.repaired as f64),
+            ("offlined", counters.offlined as f64),
+            ("rejected_at_salvage", counters.rejected_at_salvage as f64),
+            ("caught_at_fetch", counters.caught_at_fetch as f64),
+            ("scrub_passes", passes as f64),
+            ("files_scanned", files_scanned as f64),
+            ("bytes_scanned", bytes_scanned as f64),
+            ("mismatches_detected", mismatches as f64),
+            ("scrub_disk_virtual_us", scrub_disk_us as f64),
+            ("detect_p50_us", p50 as f64),
+            ("detect_p90_us", p90 as f64),
+            ("detect_max_us", max as f64),
+        ] {
+            match json_number(&baseline, key) {
+                None => failures.push(format!("baseline missing key \"{key}\"")),
+                Some(base) if (base - measured).abs() > 1e-6 => failures.push(format!(
+                    "{key}: measured {measured} vs baseline {base} \
+                     (scrub metrics are virtual-time deterministic)"
+                )),
+                Some(_) => {}
+            }
+        }
+        if counters.latent != 0 {
+            failures.push(format!(
+                "latent corruptions survived the storm: {}",
+                counters.latent
+            ));
+        }
+        if failures.is_empty() {
+            println!("scrub smoke: OK (deterministic scrub metrics match baseline exactly)");
+        } else {
+            eprintln!("scrub smoke: FAILED");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+    } else {
+        std::fs::write("BENCH_pr9.json", &report).expect("write BENCH_pr9.json");
+        println!("wrote BENCH_pr9.json");
+    }
+}
+
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("scenario") {
         run_scenarios(std::env::args().any(|a| a == "--full"));
+        return;
+    }
+    if std::env::args().nth(1).as_deref() == Some("scrub") {
+        run_scrub(std::env::args().any(|a| a == "--smoke"));
         return;
     }
     let smoke = std::env::args().any(|a| a == "--smoke");

@@ -146,10 +146,15 @@ impl JournalOp {
                 // system here (and only here).
                 vol.store(path, *uid, *mtime, data.to_vec()).map(|_| ())
             }
-            JournalOp::Remove { path, mtime } => vol
-                .fs_mut()?
-                .unlink(path, *mtime)
-                .map_err(VolumeError::from),
+            JournalOp::Remove { path, mtime } => {
+                vol.fs_mut()?
+                    .unlink(path, *mtime)
+                    .map_err(VolumeError::from)?;
+                // The unlink succeeded: drop the file's Merkle leaf so the
+                // tree keeps describing exactly the bytes present.
+                vol.merkle_remove(path);
+                Ok(())
+            }
             JournalOp::SetMode { path, mode, mtime } => vol
                 .fs_mut()?
                 .set_mode(path, itc_unixfs::Mode(*mode as u16), *mtime)
@@ -158,10 +163,14 @@ impl JournalOp {
                 vol.mkdir_inherit(path, *uid, *mtime).map(|_| ())
             }
             JournalOp::Rmdir { path, mtime } => vol.rmdir(path, *mtime),
-            JournalOp::Rename { from, to, mtime } => vol
-                .fs_mut()?
-                .rename(from, to, *mtime)
-                .map_err(VolumeError::from),
+            JournalOp::Rename { from, to, mtime } => {
+                vol.fs_mut()?
+                    .rename(from, to, *mtime)
+                    .map_err(VolumeError::from)?;
+                // Re-key the moved leaves (one file, or a whole subtree).
+                vol.merkle_rename(from, to);
+                Ok(())
+            }
             JournalOp::SetAcl { path, acl } => vol.set_acl(path, acl.clone()),
             JournalOp::Symlink {
                 path,
@@ -344,6 +353,12 @@ pub struct Journal {
     syncs: u64,
     torn_discarded: u64,
     records_discarded: u64,
+    /// Silent-corruption overlay: `(byte offset, XOR mask)` flips the
+    /// fault plan injected into the durable prefix. The structured records
+    /// stay pristine (they model the *intended* bytes); the flips damage
+    /// what the platter would actually read back. Empty in any run without
+    /// an installed fault plan — every verifier fast-paths on that.
+    flips: Vec<(u64, u8)>,
 }
 
 impl Default for Journal {
@@ -363,6 +378,7 @@ impl Journal {
             syncs: 0,
             torn_discarded: 0,
             records_discarded: 0,
+            flips: Vec::new(),
         }
     }
 
@@ -442,7 +458,73 @@ impl Journal {
         self.torn_discarded += discarded;
         self.total_len = keep_end;
         self.synced_len = keep_end;
+        // Damage in the discarded tail went down with it.
+        self.flips.retain(|&(off, _)| off < keep_end);
         discarded
+    }
+
+    /// Records a silent flip of one durable byte. The offset must lie in
+    /// the synced prefix — unsynced bytes are in memory, not on the
+    /// platter, so bit rot cannot reach them.
+    pub fn add_flip(&mut self, offset: u64, mask: u8) {
+        debug_assert!(offset < self.synced_len, "flip beyond the durable prefix");
+        self.flips.push((offset, mask));
+    }
+
+    /// The injected flips, in injection order.
+    pub fn flips(&self) -> &[(u64, u8)] {
+        &self.flips
+    }
+
+    /// The record whose framed extent covers durable byte `offset`.
+    pub fn record_covering(&self, offset: u64) -> Option<&Record> {
+        self.records
+            .iter()
+            .find(|r| r.start <= offset && offset < r.end)
+    }
+
+    /// Byte offset at which the salvager's log scan would stop because a
+    /// record's trailer no longer matches its bytes: the start of the
+    /// first durable closed record failing [`Self::verify_record`].
+    /// `None` when the whole durable prefix verifies — in particular
+    /// whenever no flips were injected (the fast path every clean run
+    /// takes).
+    pub fn damage_cut(&self) -> Option<u64> {
+        if self.flips.is_empty() {
+            return None;
+        }
+        self.records
+            .iter()
+            .filter(|r| r.state != RecordState::Pending && r.end <= self.synced_len)
+            .find(|r| !self.verify_record(r))
+            .map(|r| r.start)
+    }
+
+    /// Re-checks one closed record against the bytes the platter would
+    /// actually return: the record is re-framed, the flip overlay applied,
+    /// and the frame re-scanned exactly as the salvager's log scan would.
+    /// Any flipped bit inside the extent — header, body, status byte, or
+    /// the checksum itself — fails the scan. Records with no overlapping
+    /// flip are pristine by construction and verify for free.
+    pub fn verify_record(&self, r: &Record) -> bool {
+        if !self
+            .flips
+            .iter()
+            .any(|&(off, mask)| mask != 0 && off >= r.start && off < r.end)
+        {
+            return true;
+        }
+        let mut bytes = Self::encode_record(r);
+        for &(off, mask) in &self.flips {
+            if off >= r.start && off < r.end {
+                bytes[(off - r.start) as usize] ^= mask;
+            }
+        }
+        matches!(
+            Self::scan_record(&bytes),
+            Some((volume, seq, _, _, len))
+                if volume == r.volume && seq == r.seq && len == r.end - r.start
+        )
     }
 
     /// The records, in log order.
@@ -482,30 +564,43 @@ impl Journal {
         }
     }
 
+    /// Frames one closed record exactly as [`Self::encode_durable`] lays
+    /// it out (header, body, status, checksum) — the *intended* bytes,
+    /// before any flip overlay.
+    fn encode_record(r: &Record) -> Vec<u8> {
+        let body = r.op.encode();
+        let mut rec = WireWriter::new()
+            .u8(RECORD_MAGIC)
+            .u32(r.volume)
+            .u64(r.seq)
+            .u32(body.len() as u32)
+            .finish();
+        rec.extend_from_slice(&body);
+        rec.push(match r.state {
+            RecordState::Committed => STATUS_COMMIT,
+            RecordState::Aborted => STATUS_ABORT,
+            RecordState::Pending => unreachable!("only closed records are framed"),
+        });
+        let sum = crate::proto::payload::payload_digest(&rec);
+        rec.extend_from_slice(&sum.to_be_bytes());
+        rec
+    }
+
     /// Lays the durable prefix out as real framed bytes — the on-disk
-    /// image a crashed server's log device would hold.
+    /// image a crashed server's log device would hold, flip overlay
+    /// included (the platter returns what it holds, not what was meant).
     pub fn encode_durable(&self) -> Vec<u8> {
         let mut out = Vec::new();
         for r in &self.records {
             if r.end > self.synced_len || r.state == RecordState::Pending {
                 break;
             }
-            let body = r.op.encode();
-            let mut rec = WireWriter::new()
-                .u8(RECORD_MAGIC)
-                .u32(r.volume)
-                .u64(r.seq)
-                .u32(body.len() as u32)
-                .finish();
-            rec.extend_from_slice(&body);
-            rec.push(match r.state {
-                RecordState::Committed => STATUS_COMMIT,
-                RecordState::Aborted => STATUS_ABORT,
-                RecordState::Pending => unreachable!("filtered above"),
-            });
-            let sum = crate::proto::payload::payload_digest(&rec);
-            rec.extend_from_slice(&sum.to_be_bytes());
-            out.extend_from_slice(&rec);
+            out.extend_from_slice(&Self::encode_record(r));
+        }
+        for &(off, mask) in &self.flips {
+            if let Some(b) = out.get_mut(off as usize) {
+                *b ^= mask;
+            }
         }
         out
     }

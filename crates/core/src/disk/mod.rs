@@ -29,9 +29,14 @@
 //! the volume's structural invariants, and only then bring it online
 //! ([`Disk::salvage`]).
 
+mod integrity;
 mod journal;
 mod salvage;
 
+pub use integrity::{
+    CorruptionEvent, CorruptionOutcome, FlipRegion, IntegrityCounters, ScrubFinding, ScrubScan,
+    ScrubStats, VolumeMerkle, MERKLE_FANOUT,
+};
 pub use journal::{Journal, JournalOp, JournalStats, Record, RecordState};
 pub use salvage::SalvageReport;
 
@@ -186,8 +191,33 @@ impl Disk {
             skipped_aborted: 0,
             scanned_bytes: 0,
             replay_errors: 0,
+            records_rejected: 0,
             invariant_violations: Vec::new(),
         };
+        // The log scan verifies every record's FNV-1a trailer, not just
+        // torn tails: the first record whose trailer no longer matches its
+        // bytes is end-of-journal, and everything at or past it is
+        // untrustworthy (a corrupted length field means the scan cannot
+        // even re-frame what follows). `None` on every flip-free run.
+        let cut = self.journal.damage_cut();
+        // The scan frames and verifies every closed record from the start
+        // of the log, including this volume's records at or before the
+        // checkpoint sequence. Damage there is superseded by the
+        // checkpoint image — nothing to replay — but it does not pass
+        // silently: each such record is counted rejected.
+        let synced = self.journal.stats().synced_len;
+        report.records_rejected += self
+            .journal
+            .records()
+            .iter()
+            .filter(|r| {
+                r.volume == vid.0
+                    && r.seq <= after
+                    && r.state != RecordState::Pending
+                    && r.end <= synced
+                    && !self.journal.verify_record(r)
+            })
+            .count() as u64;
         // Replay in log order; clone the records out to appease the borrow
         // of self.journal while mutating vol (records are cheap: payloads
         // ride by refcount).
@@ -199,6 +229,12 @@ impl Disk {
             .cloned()
             .collect();
         for r in &records {
+            if let Some(cut) = cut {
+                if r.end > cut {
+                    report.records_rejected += 1;
+                    continue;
+                }
+            }
             report.scanned_bytes += r.end - r.start;
             match r.state {
                 RecordState::Committed => {
@@ -226,6 +262,130 @@ impl Disk {
             },
         );
         Some((vol, report))
+    }
+
+    // ----------------------------------------------------------------
+    // End-to-end integrity: the durable address space, flip injection,
+    // scrubbing, and repair
+    // ----------------------------------------------------------------
+
+    /// Volume ids with a checkpoint on this disk, ascending — the
+    /// scrubber's rotation order.
+    pub fn volumes_on_disk(&self) -> Vec<VolumeId> {
+        let mut vids: Vec<u32> = self.checkpoints.keys().copied().collect();
+        vids.sort_unstable();
+        vids.into_iter().map(VolumeId).collect()
+    }
+
+    /// Read access to a volume's checkpoint image.
+    pub fn checkpoint_image(&self, vid: VolumeId) -> Option<&Volume> {
+        self.checkpoints.get(&vid.0).map(|c| &c.image)
+    }
+
+    /// Total durable bytes a silent flip could land in, laid out
+    /// deterministically: the journal's synced prefix, then per checkpoint
+    /// (ascending volume id) the image's regular-file contents (path
+    /// order) followed by its Merkle leaf table (8 bytes per leaf, path
+    /// order). The same layout on the same state yields the same extent —
+    /// the corruption fault draws offsets against this space.
+    pub fn durable_extent(&self) -> u64 {
+        let mut extent = self.journal.stats().synced_len;
+        for vid in self.volumes_on_disk() {
+            let image = &self.checkpoints[&vid.0].image;
+            extent += image.regular_files().iter().map(|(_, sz)| sz).sum::<u64>();
+            extent += image.merkle().table_bytes();
+        }
+        extent
+    }
+
+    /// Lands one silent flip at `offset` in the durable address space
+    /// (see [`Self::durable_extent`]), XORing `mask` into the byte there.
+    /// Returns where the damage landed, or `None` when the offset fell
+    /// outside every region (an empty disk, or a race with truncation).
+    pub fn apply_flip(&mut self, offset: u64, mask: u8) -> Option<FlipRegion> {
+        let synced = self.journal.stats().synced_len;
+        if offset < synced {
+            // Journal damage rides as an overlay: the structured records
+            // model the intended bytes, the overlay what the platter holds.
+            let seq = self
+                .journal
+                .record_covering(offset)
+                .map(|r| r.seq)
+                .unwrap_or(0);
+            self.journal.add_flip(offset, mask);
+            return Some(FlipRegion::Journal { seq });
+        }
+        let mut rel = offset - synced;
+        for vid in self.volumes_on_disk() {
+            let files = self.checkpoints[&vid.0].image.regular_files();
+            for (path, size) in files {
+                if rel < size {
+                    let image = &mut self.checkpoints.get_mut(&vid.0).expect("present").image;
+                    if image.damage_file_byte(&path, rel, mask) {
+                        return Some(FlipRegion::CheckpointFile { volume: vid, path });
+                    }
+                    return None;
+                }
+                rel -= size;
+            }
+            let image = &self.checkpoints[&vid.0].image;
+            let table = image.merkle().table_bytes();
+            if rel < table {
+                let idx = (rel / 8) as usize;
+                let byte_idx = (rel % 8) as usize;
+                let path = image
+                    .merkle()
+                    .leaves()
+                    .keys()
+                    .nth(idx)
+                    .expect("leaf index within table")
+                    .clone();
+                // The leaf is stored big-endian in the address space; flip
+                // the chosen byte of the digest word.
+                let mask64 = u64::from(mask) << (8 * (7 - byte_idx));
+                let image = &mut self.checkpoints.get_mut(&vid.0).expect("present").image;
+                if image.damage_merkle_leaf(&path, mask64) {
+                    return Some(FlipRegion::MerkleLeaf { volume: vid, path });
+                }
+                return None;
+            }
+            rel -= table;
+        }
+        None
+    }
+
+    /// One scrub pass over `vid`'s checkpoint image: re-digest every
+    /// regular file and compare against the image's own Merkle tree.
+    /// `None` when the disk holds no checkpoint for the volume.
+    pub fn scrub_volume(&self, vid: VolumeId) -> Option<ScrubScan> {
+        let image = self.checkpoint_image(vid)?;
+        let files = image.regular_files();
+        let bytes = files.iter().map(|(_, sz)| sz).sum::<u64>() + image.merkle().table_bytes();
+        Some(ScrubScan {
+            volume: vid,
+            files: files.len() as u64,
+            bytes,
+            findings: image.verify_merkle(),
+        })
+    }
+
+    /// Repairs one file of `vid`'s checkpoint image with bytes re-fetched
+    /// from a vouching replica, quietly (no mtime/version movement: the
+    /// committed contents never logically changed). Returns false when the
+    /// checkpoint or file is missing.
+    pub fn repair_checkpoint_file(&mut self, vid: VolumeId, path: &str, data: Vec<u8>) -> bool {
+        match self.checkpoints.get_mut(&vid.0) {
+            Some(c) => c.image.restore_file(path, data),
+            None => false,
+        }
+    }
+
+    /// Marks `vid`'s checkpoint image offline — the terminal state of an
+    /// unrepairable corruption (no replica can vouch for the bytes).
+    pub fn offline_checkpoint(&mut self, vid: VolumeId) {
+        if let Some(c) = self.checkpoints.get_mut(&vid.0) {
+            c.image.set_online(false);
+        }
     }
 }
 

@@ -22,15 +22,24 @@ pub struct SalvageReport {
     /// Committed records whose replay failed against the checkpoint — a
     /// checkpoint/journal divergence; always 0 in a sound run.
     pub replay_errors: u64,
+    /// Records dropped because the log scan hit a record whose FNV-1a
+    /// trailer no longer matches its bytes (silent corruption in the
+    /// durable prefix). The first bad record is end-of-journal: it and
+    /// everything after it in the replay window are rejected, exactly as
+    /// the byte-level scan would stop there.
+    pub records_rejected: u64,
     /// Invariant violations found on the rebuilt image; empty means the
     /// volume was brought online clean.
     pub invariant_violations: Vec<String>,
 }
 
 impl SalvageReport {
-    /// True when the pass replayed cleanly and the rebuilt volume passed
-    /// every invariant check.
+    /// True when the pass replayed cleanly — no divergence, no corrupt
+    /// records rejected — and the rebuilt volume passed every invariant
+    /// check.
     pub fn is_clean(&self) -> bool {
-        self.replay_errors == 0 && self.invariant_violations.is_empty()
+        self.replay_errors == 0
+            && self.records_rejected == 0
+            && self.invariant_violations.is_empty()
     }
 }

@@ -16,10 +16,13 @@ mod locks;
 
 pub use locks::{LockKind, LockTable};
 
-use crate::disk::{Disk, JournalOp, JournalStats, SalvageReport, SyncPolicy};
+use crate::disk::{
+    CorruptionEvent, CorruptionOutcome, Disk, FlipRegion, JournalOp, JournalStats, SalvageReport,
+    ScrubScan, ScrubStats, SyncPolicy,
+};
 use crate::location::LocationDb;
 use crate::protect::{AccessList, ProtectionDomain, Rights};
-use crate::proto::payload::note_copy;
+use crate::proto::payload::{note_copy, payload_digest};
 use crate::proto::{
     CallbackBreak, EntryKind, Payload, ServerId, VStatus, ViceError, ViceReply, ViceRequest,
 };
@@ -124,6 +127,18 @@ pub struct Server {
     salvage_pending: Vec<VolumeId>,
     /// Reports of completed salvage passes, in completion order.
     salvage_reports: Vec<SalvageReport>,
+    /// Background scrubber rotation cursor (index into the disk's
+    /// ascending volume list; one volume is scanned per pass).
+    scrub_cursor: usize,
+    /// Running scrubber counters.
+    scrub_stats: ScrubStats,
+    /// Ledger of injected silent corruptions and their detection fates —
+    /// the evidence behind the "zero undetected" acceptance sweep.
+    corruption_log: Vec<CorruptionEvent>,
+    /// Volumes an integrity verifier just took offline, as `(volume,
+    /// path)`; drained by the transport to freeze `IntegrityFault`
+    /// anomalies.
+    integrity_events: Vec<(VolumeId, String)>,
 }
 
 impl Server {
@@ -161,6 +176,10 @@ impl Server {
             storage: Disk::new(SyncPolicy::WriteAhead),
             salvage_pending: Vec::new(),
             salvage_reports: Vec::new(),
+            scrub_cursor: 0,
+            scrub_stats: ScrubStats::default(),
+            corruption_log: Vec::new(),
+            integrity_events: Vec::new(),
         }
     }
 
@@ -354,6 +373,132 @@ impl Server {
     /// The server's incarnation epoch (crash count).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    // ------------------------------------------------------------------
+    // End-to-end integrity: corruption injection, scrubbing, repair
+    // ------------------------------------------------------------------
+
+    /// Read access to the durable storage (checkpoints + journal).
+    pub fn storage(&self) -> &Disk {
+        &self.storage
+    }
+
+    /// Total durable bytes a silent flip could land in (see
+    /// [`Disk::durable_extent`]).
+    pub fn durable_extent(&self) -> u64 {
+        self.storage.durable_extent()
+    }
+
+    /// Lands one silent flip on the durable address space and logs it in
+    /// the corruption ledger as latent (undetected). Returns where the
+    /// damage landed, or `None` when the offset fell outside every region.
+    pub fn apply_corruption(&mut self, at: SimTime, offset: u64, mask: u8) -> Option<FlipRegion> {
+        let region = self.storage.apply_flip(offset, mask)?;
+        self.corruption_log.push(CorruptionEvent {
+            injected_at: at,
+            region: region.clone(),
+            detected_at: None,
+            outcome: CorruptionOutcome::Latent,
+        });
+        Some(region)
+    }
+
+    /// The corruption ledger, injection order.
+    pub fn corruption_log(&self) -> &[CorruptionEvent] {
+        &self.corruption_log
+    }
+
+    /// Marks every still-latent ledger entry matching `pred` as detected
+    /// at `at` with the given outcome. Returns how many were marked.
+    pub fn mark_corruptions_detected(
+        &mut self,
+        at: SimTime,
+        outcome: CorruptionOutcome,
+        pred: impl Fn(&FlipRegion) -> bool,
+    ) -> u64 {
+        let mut marked = 0;
+        for ev in &mut self.corruption_log {
+            if ev.outcome == CorruptionOutcome::Latent && pred(&ev.region) {
+                ev.detected_at = Some(at);
+                ev.outcome = outcome;
+                marked += 1;
+            }
+        }
+        marked
+    }
+
+    /// The volume the scrubber's rotation visits next (ascending volume
+    /// id, one per pass); advances the cursor. `None` on a diskless
+    /// server.
+    pub fn next_scrub_volume(&mut self) -> Option<VolumeId> {
+        let vids = self.storage.volumes_on_disk();
+        if vids.is_empty() {
+            return None;
+        }
+        let vid = vids[self.scrub_cursor % vids.len()];
+        self.scrub_cursor = (self.scrub_cursor + 1) % vids.len();
+        Some(vid)
+    }
+
+    /// Runs the digest scan of one scrub pass over `vid`'s checkpoint
+    /// image and folds the scan into the running counters. Repair of any
+    /// findings is the transport layer's job (it can see other servers'
+    /// replicas).
+    pub fn scrub_scan(&mut self, vid: VolumeId) -> Option<ScrubScan> {
+        let scan = self.storage.scrub_volume(vid)?;
+        self.scrub_stats.passes += 1;
+        self.scrub_stats.volumes_scanned += 1;
+        self.scrub_stats.files_scanned += scan.files;
+        self.scrub_stats.bytes_scanned += scan.bytes;
+        self.scrub_stats.mismatches_detected += scan.findings.len() as u64;
+        Some(scan)
+    }
+
+    /// Scrubber counters.
+    pub fn scrub_stats(&self) -> ScrubStats {
+        self.scrub_stats
+    }
+
+    /// Repairs one file of `vid` with bytes a replica vouched for: the
+    /// checkpoint image is restored quietly, and the live volume too if
+    /// its copy of the file also fails the digest. Counts toward the
+    /// scrubber's repair stat.
+    pub fn repair_file(&mut self, vid: VolumeId, path: &str, data: Vec<u8>) -> bool {
+        let expected = payload_digest(&data);
+        let repaired = self.storage.repair_checkpoint_file(vid, path, data.clone());
+        if let Some(vol) = self.volume_mut(vid) {
+            let live_damaged = vol
+                .fs()
+                .read(path)
+                .map(|cur| payload_digest(&cur) != expected)
+                .unwrap_or(false);
+            if live_damaged {
+                vol.restore_file(path, data);
+            }
+        }
+        if repaired {
+            self.scrub_stats.repaired += 1;
+        }
+        repaired
+    }
+
+    /// Terminal state of an unrepairable corruption: the volume (live
+    /// image and checkpoint) goes offline rather than serve bytes nothing
+    /// can vouch for, and an integrity event is queued for the transport
+    /// to surface as an `IntegrityFault` anomaly.
+    pub fn offline_volume_for_integrity(&mut self, vid: VolumeId, path: &str) {
+        if let Some(vol) = self.volume_mut(vid) {
+            vol.set_online(false);
+        }
+        self.storage.offline_checkpoint(vid);
+        self.scrub_stats.offlined += 1;
+        self.integrity_events.push((vid, path.to_string()));
+    }
+
+    /// Takes the integrity events queued since the last drain.
+    pub fn drain_integrity_events(&mut self) -> Vec<(VolumeId, String)> {
+        std::mem::take(&mut self.integrity_events)
     }
 
     /// Looks up a remembered reply for a retried mutation.
@@ -771,6 +916,31 @@ impl Server {
                         // the file out of the volume. From here to the
                         // client's cache the bytes travel by refcount.
                         let data = fs.read_ino(resolved.ino).expect("regular file");
+                        // End-to-end check: the bytes leaving the platter
+                        // must match the volume's Merkle leaf before they
+                        // can reach Venus. A mismatch means silent rot got
+                        // past every earlier verifier — serve nothing,
+                        // take the volume offline, surface the fault.
+                        let key =
+                            itc_unixfs::normalize(&internal).unwrap_or_else(|_| internal.clone());
+                        if let Some(expected) = self.volumes[vol_idx].merkle().leaf(&key) {
+                            if payload_digest(&data) != expected {
+                                let vid = self.volumes[vol_idx].id();
+                                self.offline_volume_for_integrity(vid, &key);
+                                self.mark_corruptions_detected(
+                                    now,
+                                    CorruptionOutcome::CaughtAtFetch,
+                                    |r| match r {
+                                        FlipRegion::CheckpointFile { volume, path }
+                                        | FlipRegion::MerkleLeaf { volume, path } => {
+                                            *volume == vid && path == &key
+                                        }
+                                        FlipRegion::Journal { .. } => false,
+                                    },
+                                );
+                                return ViceReply::Error(ViceError::VolumeOffline(path.clone()));
+                            }
+                        }
                         note_copy(data.len());
                         cost.server_cpu += costs.srv_block_cpu(data.len() as u64);
                         cost.disk_bytes = data.len() as u64;

@@ -256,6 +256,8 @@ impl ItcSystem {
                 domain,
                 retry: core.retry,
                 plan_gen: core.plan_gen,
+                scrub_interval: core.scrub_interval,
+                scrub_gen: core.scrub_gen,
                 tracing,
             },
             clients,

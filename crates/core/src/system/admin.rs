@@ -3,7 +3,10 @@
 //! snapshot. The paper assigns all of this to operators rather than to the
 //! file system interface.
 
-use crate::disk::{JournalOp, JournalStats, SalvageReport, SyncPolicy};
+use crate::disk::{
+    CorruptionEvent, CorruptionOutcome, FlipRegion, IntegrityCounters, JournalOp, JournalStats,
+    SalvageReport, ScrubStats, SyncPolicy,
+};
 use crate::location::LocationDb;
 use crate::metrics::{merge_cache, merge_venus, ServerMetrics, SystemMetrics};
 use crate::monitor::TrafficMonitor;
@@ -414,6 +417,65 @@ impl ItcSystem {
         self.core.any_faults()
     }
 
+    /// Whether the installed plan couples clusters (message faults,
+    /// scripted outcomes, crashes, or restarts). Corruption-only plans do
+    /// not — their flips land on the owning cluster's own calendar — so a
+    /// parallel run keeps its narrow per-cluster masks.
+    pub fn faults_couple_clusters(&self) -> bool {
+        self.core.faults_couple_clusters()
+    }
+
+    // ------------------------------------------------------------------
+    // Data integrity: scrubbing and corruption accounting
+    // ------------------------------------------------------------------
+
+    /// Turns the background scrubber on: every server walks one volume of
+    /// its rotation every `interval`, starting one interval from now. The
+    /// passes are perfectly preemptible — their disk time is charged to
+    /// the scrub attribution ledger only, never to the disk resource or
+    /// the clock — so foreground virtual timings are bit-identical with
+    /// scrubbing on or off.
+    pub fn enable_scrub(&mut self, interval: SimTime) {
+        let now = self.clock.now();
+        self.core.enable_scrub(now, interval);
+    }
+
+    /// Turns the background scrubber off; already-scheduled passes become
+    /// stale and are dropped when they fire.
+    pub fn disable_scrub(&mut self) {
+        self.core.disable_scrub();
+    }
+
+    /// Whether the scrubber is currently enabled.
+    pub fn scrub_enabled(&self) -> bool {
+        self.core.scrub_interval.is_some()
+    }
+
+    /// Running scrubber counters for one server.
+    pub fn server_scrub_stats(&self, id: ServerId) -> ScrubStats {
+        self.topo.servers[id.0 as usize].scrub_stats()
+    }
+
+    /// A server's corruption ledger: every injected flip with its region,
+    /// detection time, and resolution.
+    pub fn server_corruption_log(&self, id: ServerId) -> &[CorruptionEvent] {
+        self.topo.servers[id.0 as usize].corruption_log()
+    }
+
+    /// Corruption accounting summed across every server. The end-to-end
+    /// integrity claim is `latent == 0` once the workload and scrub
+    /// rotation have drained: every injected flip was detected by a
+    /// trailer or digest verifier and repaired, rejected, or offlined.
+    pub fn integrity_counters(&self) -> IntegrityCounters {
+        let mut total = IntegrityCounters::default();
+        for s in &self.topo.servers {
+            for ev in s.corruption_log() {
+                total.absorb(ev);
+            }
+        }
+        total
+    }
+
     /// Counters of what the RPC retry machinery did across all calls,
     /// summed across every cluster.
     pub fn call_stats(&self) -> CallStats {
@@ -463,9 +525,17 @@ impl ItcSystem {
     /// this returns. (Scheduled restarts from a fault plan instead run the
     /// salvager as timed calendar events; see the transport.)
     pub fn restart_server(&mut self, id: ServerId) {
+        let now = self.clock.now();
         let srv = &mut self.topo.servers[id.0 as usize];
         srv.restart();
-        srv.salvage_all();
+        let reports = srv.salvage_all();
+        if reports.iter().any(|r| r.records_rejected > 0) {
+            // Trailer verification rejected a damaged journal suffix: the
+            // flips behind it are now detected.
+            srv.mark_corruptions_detected(now, CorruptionOutcome::RejectedAtSalvage, |r| {
+                matches!(r, FlipRegion::Journal { .. })
+            });
+        }
     }
 
     /// Salvage reports accumulated by a server since construction, in the

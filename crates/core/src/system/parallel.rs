@@ -476,6 +476,8 @@ impl ItcSystem {
                     domain,
                     retry: core.retry,
                     plan_gen: core.plan_gen,
+                    scrub_interval: core.scrub_interval,
+                    scrub_gen: core.scrub_gen,
                     tracing,
                 },
                 venuses: clients.chunks_mut(per).map(Some).collect(),
@@ -562,6 +564,8 @@ impl ItcSystem {
         let domain = &*self.domain;
         let retry = self.core.retry;
         let plan_gen = self.core.plan_gen;
+        let scrub_interval = self.core.scrub_interval;
+        let scrub_gen = self.core.scrub_gen;
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -624,6 +628,8 @@ impl ItcSystem {
                                     domain,
                                     retry,
                                     plan_gen,
+                                    scrub_interval,
+                                    scrub_gen,
                                     tracing,
                                 },
                                 venuses: my_venuses

@@ -54,8 +54,10 @@
 //! still in flight and stands down — delivery was trusted in the
 //! synchronous model, and still is.
 
+use crate::disk::{CorruptionOutcome, FlipRegion, ScrubFinding};
 use crate::monitor::TrafficMonitor;
 use crate::protect::ProtectionDomain;
+use crate::proto::payload::payload_digest;
 use crate::proto::{
     decode_reply, decode_request, encode_reply, encode_request, Payload, ServerId, ViceError,
     ViceReply, ViceRequest,
@@ -129,6 +131,15 @@ pub(crate) enum NetEvent {
         gen: u64,
         epoch: u64,
     },
+    /// A scheduled silent corruption from fault plan generation `gen`
+    /// lands one byte flip on the server's durable storage. Scheduled on
+    /// the server's own cluster calendar with no tie draw, so installing a
+    /// corruption-only plan perturbs nothing else.
+    Corrupt { server: u32, gen: u64 },
+    /// One background scrub pass over the next volume in the server's
+    /// rotation, from scrub generation `gen` (stale if scrubbing was
+    /// re-enabled or disabled since). Also cluster-local and untied.
+    Scrub { server: u32, gen: u64 },
 }
 
 /// One cluster's share of the event machinery: its calendar, rng streams,
@@ -212,6 +223,11 @@ pub(crate) struct EventCore {
     /// Bumped each time a plan is installed; lifecycle events from an
     /// earlier plan are recognized as stale and ignored.
     pub plan_gen: u64,
+    /// Background-scrubber pass interval; `None` while scrubbing is off.
+    pub scrub_interval: Option<SimTime>,
+    /// Bumped whenever scrubbing is enabled or disabled; scrub events from
+    /// an earlier generation are recognized as stale and ignored.
+    pub scrub_gen: u64,
 }
 
 impl EventCore {
@@ -222,6 +238,8 @@ impl EventCore {
             clusters: (0..n_clusters).map(|c| ClusterCore::new(seed, c)).collect(),
             retry: RetryPolicy::standard(rpc_timeout),
             plan_gen: 0,
+            scrub_interval: None,
+            scrub_gen: 0,
         }
     }
 
@@ -245,6 +263,13 @@ impl EventCore {
                 cl.sched
                     .schedule_class(at, EventClass::Restart, NetEvent::Restart { server, gen });
             }
+            for (server, at) in shard.corruption_schedule() {
+                cl.sched.schedule_class_untied(
+                    at,
+                    EventClass::Corrupt,
+                    NetEvent::Corrupt { server, gen },
+                );
+            }
             cl.faults = Some(shard);
         }
     }
@@ -252,6 +277,43 @@ impl EventCore {
     /// Whether any cluster currently has a fault shard installed.
     pub fn any_faults(&self) -> bool {
         self.clusters.iter().any(|c| c.faults.is_some())
+    }
+
+    /// Whether any installed shard couples clusters (message faults,
+    /// scripted outcomes, crashes, or restarts). Corruption-only plans do
+    /// not: their flips are cluster-local, so parallel runs keep narrow
+    /// visibility masks.
+    pub fn faults_couple_clusters(&self) -> bool {
+        self.clusters
+            .iter()
+            .any(|c| c.faults.as_ref().is_some_and(|f| f.couples_clusters()))
+    }
+
+    /// Turns the background scrubber on: every cluster's server gets a
+    /// low-priority scrub pass every `interval`, the first one landing at
+    /// `now + interval`. Idempotent in effect — re-enabling bumps the
+    /// generation so stale passes from the previous cadence are dropped.
+    pub fn enable_scrub(&mut self, now: SimTime, interval: SimTime) {
+        self.scrub_gen += 1;
+        self.scrub_interval = Some(interval);
+        let gen = self.scrub_gen;
+        for (cluster, cl) in self.clusters.iter_mut().enumerate() {
+            cl.sched.schedule_class_untied(
+                now + interval,
+                EventClass::Scrub,
+                NetEvent::Scrub {
+                    server: cluster as u32,
+                    gen,
+                },
+            );
+        }
+    }
+
+    /// Turns the background scrubber off; in-flight scrub events become
+    /// stale and are ignored when they fire.
+    pub fn disable_scrub(&mut self) {
+        self.scrub_gen += 1;
+        self.scrub_interval = None;
     }
 
     /// Scheduler counters summed across every cluster calendar.
@@ -465,6 +527,11 @@ pub(crate) struct SystemTransport<'a> {
     /// Copy of the fault-plan generation (stable during a run; plans are
     /// installed only between runs).
     pub plan_gen: u64,
+    /// Copy of the scrub interval (stable during a run; the scrubber is
+    /// toggled only between runs).
+    pub scrub_interval: Option<SimTime>,
+    /// Copy of the scrub generation (stable during a run).
+    pub scrub_gen: u64,
     /// Copy of the tracing flag (identical across clusters; kept here so
     /// the branch never needs cluster 0, which a mask may exclude).
     pub tracing: bool,
@@ -705,7 +772,17 @@ impl SystemTransport<'_> {
                 // again before the salvager finished — is simply dropped;
                 // the next restart schedules fresh passes.
                 if gen == self.plan_gen && srv.is_online() && srv.epoch() == epoch {
-                    srv.salvage_volume(volume);
+                    let report = srv.salvage_volume(volume);
+                    if report.is_some_and(|r| r.records_rejected > 0) {
+                        // The salvager's trailer verification caught flipped
+                        // journal bytes: those corruption events are now
+                        // detected (the damaged suffix never replays).
+                        srv.mark_corruptions_detected(
+                            at,
+                            CorruptionOutcome::RejectedAtSalvage,
+                            |r| matches!(r, FlipRegion::Journal { .. }),
+                        );
+                    }
                     self.life_span(
                         cluster,
                         SpanClass::Salvage,
@@ -730,7 +807,153 @@ impl SystemTransport<'_> {
                     cl.pending.push(PendingBreak { to_ws, path });
                 }
             }
+            NetEvent::Corrupt { server, gen } => {
+                if gen == self.plan_gen {
+                    let sid = server as usize;
+                    // The flip lands somewhere in the server's durable
+                    // address space (journal bytes, checkpoint file
+                    // contents, Merkle leaf table). The draw is skipped
+                    // entirely when there is nothing durable to damage, so
+                    // an empty disk leaves the fault rng untouched.
+                    let extent = self.servers.get(sid).durable_extent();
+                    let flip = self
+                        .cores
+                        .get_mut(cluster)
+                        .faults
+                        .as_mut()
+                        .and_then(|f| f.flip_bytes(extent));
+                    if let Some((offset, mask)) = flip {
+                        self.servers.get_mut(sid).apply_corruption(at, offset, mask);
+                    }
+                    self.life_span(cluster, SpanClass::Corrupt, at, Some(server), None, None);
+                }
+            }
+            NetEvent::Scrub { server, gen } => {
+                if gen == self.scrub_gen {
+                    let interval = self
+                        .scrub_interval
+                        .expect("scrub event live while scrubbing disabled");
+                    let sid = server as usize;
+                    if self.servers.get(sid).is_online() {
+                        if let Some(vid) = self.servers.get_mut(sid).next_scrub_volume() {
+                            if let Some(scan) = self.servers.get_mut(sid).scrub_scan(vid) {
+                                // Perfectly preemptible background work: the
+                                // pass's disk time is charged to its own
+                                // attribution ledger kind only — never to the
+                                // disk resource or the clock — so foreground
+                                // virtual timings are untouched.
+                                let pass = self.kernel.costs().disk_transfer(scan.bytes);
+                                if self.tracing {
+                                    self.cores.get_mut(cluster).attr.add_scrub_disk(pass);
+                                }
+                                for finding in &scan.findings {
+                                    self.repair_or_offline(at, server, vid, finding);
+                                }
+                                self.drain_integrity_anomalies(cluster, at, server);
+                                self.life_span(
+                                    cluster,
+                                    SpanClass::Scrub,
+                                    at,
+                                    Some(server),
+                                    None,
+                                    Some(vid.0),
+                                );
+                            }
+                        }
+                    }
+                    self.cores.get_mut(cluster).sched.schedule_class_untied(
+                        at + interval,
+                        EventClass::Scrub,
+                        NetEvent::Scrub { server, gen },
+                    );
+                }
+            }
             _ => unreachable!("call-chain event with no call in flight"),
+        }
+    }
+
+    /// Resolves one scrub finding on volume `vid`: if a healthy read-only
+    /// clone of the same mount vouches for the expected digest, the file is
+    /// re-fetched from it and the checkpoint (and live volume, if it shares
+    /// the damage) repaired in place; otherwise the volume goes offline
+    /// with an integrity fault. In a parallel run only replicas inside this
+    /// operation's cluster mask are visible, so determinism across run
+    /// modes requires co-located replicas.
+    fn repair_or_offline(
+        &mut self,
+        at: SimTime,
+        server: u32,
+        vid: crate::proto::VolumeId,
+        finding: &ScrubFinding,
+    ) {
+        let sid = server as usize;
+        let path = finding.path.clone();
+        let voucher = finding.expected.and_then(|expected| {
+            let mount = self
+                .servers
+                .get(sid)
+                .volumes()
+                .iter()
+                .find(|v| v.id() == vid)
+                .map(|v| v.mount().to_string())?;
+            for s in 0..self.servers.len() {
+                if !self.servers.has(s) {
+                    continue;
+                }
+                for v in self.servers.get(s).volumes() {
+                    if v.id() != vid && v.is_read_only() && v.is_online() && v.mount() == mount {
+                        if let Ok(data) = v.fs().read(&path) {
+                            if payload_digest(&data) == expected {
+                                return Some(data);
+                            }
+                        }
+                    }
+                }
+            }
+            None
+        });
+        let srv = self.servers.get_mut(sid);
+        let matches_file = |r: &FlipRegion| match r {
+            FlipRegion::CheckpointFile { volume, path: p }
+            | FlipRegion::MerkleLeaf { volume, path: p } => *volume == vid && p == &path,
+            FlipRegion::Journal { .. } => false,
+        };
+        match voucher {
+            Some(data) => {
+                srv.repair_file(vid, &path, data);
+                srv.mark_corruptions_detected(
+                    at,
+                    CorruptionOutcome::RepairedFromReplica,
+                    matches_file,
+                );
+            }
+            None => {
+                srv.offline_volume_for_integrity(vid, &path);
+                srv.mark_corruptions_detected(at, CorruptionOutcome::VolumeOfflined, matches_file);
+            }
+        }
+    }
+
+    /// Drains integrity events queued on `server` (volumes taken offline by
+    /// scrub or fetch-time digest checks) and freezes an anomaly dump for
+    /// each while tracing.
+    fn drain_integrity_anomalies(&mut self, cluster: usize, at: SimTime, server: u32) {
+        let events = self
+            .servers
+            .get_mut(server as usize)
+            .drain_integrity_events();
+        if !self.tracing {
+            return;
+        }
+        let cl = self.cores.get_mut(cluster);
+        for (vid, _path) in events {
+            cl.trace.freeze(
+                AnomalyReason::IntegrityFault,
+                at,
+                Some(server),
+                Some(vid.0),
+                TraceId::NONE,
+            );
         }
     }
 
@@ -754,6 +977,8 @@ impl SystemTransport<'_> {
             NetEvent::Crash { .. }
             | NetEvent::Restart { .. }
             | NetEvent::Salvage { .. }
+            | NetEvent::Corrupt { .. }
+            | NetEvent::Scrub { .. }
             | NetEvent::BreakDeliver { .. } => {
                 self.system_event(from_cluster, at, ev);
             }
@@ -958,6 +1183,9 @@ impl SystemTransport<'_> {
                         Err(e) => ViceReply::Error(ViceError::BadRequest(e.to_string())),
                     }
                 };
+                // A fetch-time digest check may have taken a volume offline
+                // mid-handle; surface its integrity anomaly now.
+                self.drain_integrity_anomalies(sid, at, server.0);
                 // Write-ahead discipline: the journal is forced to disk
                 // before the reply can leave (whatever its network fate),
                 // so no acknowledged mutation can be lost to a torn tail.

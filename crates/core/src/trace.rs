@@ -159,6 +159,7 @@ pub struct AttributionAgg {
     per_volume: BTreeMap<u32, ComponentTotals>,
     disk_by_kind: BTreeMap<&'static str, SimTime>,
     salvage_disk: SimTime,
+    scrub_disk: SimTime,
     recent: VecDeque<CallBreakdown>,
 }
 
@@ -189,6 +190,14 @@ impl AttributionAgg {
         self.salvage_disk += t;
     }
 
+    /// Adds background-scrubber disk time. The scrubber is perfectly
+    /// preemptible — it only ever uses idle disk time — so its charge
+    /// lands in this ledger alone, never on the disk resource or the
+    /// clock (foreground timings stay bit-identical with scrubbing on).
+    pub fn add_scrub_disk(&mut self, t: SimTime) {
+        self.scrub_disk += t;
+    }
+
     /// Per-server aggregates, keyed by server id.
     pub fn per_server(&self) -> &BTreeMap<u32, ComponentTotals> {
         &self.per_server
@@ -208,6 +217,11 @@ impl AttributionAgg {
     /// Total salvager disk time charged so far.
     pub fn salvage_disk(&self) -> SimTime {
         self.salvage_disk
+    }
+
+    /// Total background-scrubber disk time charged so far.
+    pub fn scrub_disk(&self) -> SimTime {
+        self.scrub_disk
     }
 
     /// The retained raw breakdowns, oldest first.
@@ -237,6 +251,7 @@ impl AttributionAgg {
             *self.disk_by_kind.entry(k).or_insert(SimTime::ZERO) += *v;
         }
         self.salvage_disk += other.salvage_disk;
+        self.scrub_disk += other.scrub_disk;
         for b in &other.recent {
             if self.recent.len() == RECENT_BREAKDOWNS {
                 self.recent.pop_front();
@@ -283,6 +298,8 @@ pub struct AttributionSummary {
     pub disk_by_kind: Vec<(String, SimTime)>,
     /// Salvager disk time (outside any call).
     pub salvage_disk: SimTime,
+    /// Background-scrubber disk time (idle-time only, outside any call).
+    pub scrub_disk: SimTime,
 }
 
 fn summarize_rows(map: &BTreeMap<u32, ComponentTotals>) -> Vec<AttributionRow> {
@@ -317,6 +334,7 @@ impl AttributionAgg {
                 .map(|(&k, &v)| (k.to_string(), v))
                 .collect(),
             salvage_disk: self.salvage_disk,
+            scrub_disk: self.scrub_disk,
         }
     }
 }
@@ -451,6 +469,8 @@ fn parse_span_class(label: &str) -> Option<SpanClass> {
         "restart" => SpanClass::Restart,
         "salvage" => SpanClass::Salvage,
         "break_deliver" => SpanClass::BreakDeliver,
+        "corrupt" => SpanClass::Corrupt,
+        "scrub" => SpanClass::Scrub,
         _ => return None,
     })
 }

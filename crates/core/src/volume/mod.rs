@@ -15,7 +15,9 @@
 //! "quota enforcement mechanism" promised in Section 3.6), and flags for
 //! read-only and offline states.
 
+use crate::disk::{ScrubFinding, VolumeMerkle};
 use crate::protect::AccessList;
+use crate::proto::payload::payload_digest;
 use itc_unixfs::{FileSystem, FsError, Ino, Mode};
 use std::collections::HashMap;
 
@@ -73,6 +75,10 @@ pub struct Volume {
     online: bool,
     /// Bumped each time the volume is cloned; clone names embed it.
     clone_serial: u32,
+    /// Incremental digest tree over the volume's regular files. Rides
+    /// with the volume into clones and checkpoint images, so recovery can
+    /// always verify rebuilt bytes against the tree that committed them.
+    merkle: VolumeMerkle,
 }
 
 impl Volume {
@@ -94,6 +100,7 @@ impl Volume {
             read_only: false,
             online: true,
             clone_serial: 0,
+            merkle: VolumeMerkle::new(),
         }
     }
 
@@ -240,7 +247,11 @@ impl Volume {
         };
         let new_total = self.fs.data_bytes() - old + data.len() as u64;
         self.check_quota(new_total)?;
-        Ok(self.fs.write(internal, uid, now, data)?)
+        let digest = payload_digest(&data);
+        let ino = self.fs.write(internal, uid, now, data)?;
+        let key = itc_unixfs::normalize(internal).unwrap_or_else(|_| internal.to_string());
+        self.merkle.set(&key, digest);
+        Ok(ino)
     }
 
     // ----------------------------------------------------------------
@@ -332,6 +343,7 @@ impl Volume {
             read_only: true,
             online: true,
             clone_serial: 0,
+            merkle: self.merkle.clone(),
         }
     }
 
@@ -345,6 +357,161 @@ impl Volume {
         );
         self.fs = source.fs.clone();
         self.acls = source.acls.clone();
+        self.merkle = source.merkle.clone();
+    }
+
+    // ----------------------------------------------------------------
+    // End-to-end integrity (the Merkle tree and its verifiers)
+    // ----------------------------------------------------------------
+
+    /// The volume's incremental digest tree.
+    pub fn merkle(&self) -> &VolumeMerkle {
+        &self.merkle
+    }
+
+    /// Drops the leaf for a removed file. Called by the journal apply
+    /// path after a successful unlink; paths that never had a leaf
+    /// (symlinks, directories) are a no-op.
+    pub fn merkle_remove(&mut self, internal: &str) {
+        let key = itc_unixfs::normalize(internal).unwrap_or_else(|_| internal.to_string());
+        self.merkle.remove(&key);
+    }
+
+    /// Re-keys leaves after a successful rename (single file or whole
+    /// directory subtree).
+    pub fn merkle_rename(&mut self, from: &str, to: &str) {
+        let from = itc_unixfs::normalize(from).unwrap_or_else(|_| from.to_string());
+        let to = itc_unixfs::normalize(to).unwrap_or_else(|_| to.to_string());
+        // Renaming a path onto itself is a filesystem no-op; removing the
+        // destination leaf first would lose it.
+        if from == to {
+            return;
+        }
+        // Rename has replace semantics: whatever regular file sat at the
+        // destination is gone, so its leaf goes first (a no-op otherwise).
+        self.merkle.remove(&to);
+        self.merkle.rename_subtree(&from, &to);
+    }
+
+    /// Visits every regular file without following symlinks (a dangling
+    /// link is legal state), depth-first over directory entries.
+    fn for_each_regular<F: FnMut(&str, Ino)>(&self, visit: &mut F) {
+        let mut stack = vec!["/".to_string()];
+        while let Some(path) = stack.pop() {
+            let attr = match self.fs.lstat(&path) {
+                Ok(a) => a,
+                Err(_) => continue,
+            };
+            match attr.ftype {
+                itc_unixfs::FileType::Regular => visit(&path, attr.ino),
+                itc_unixfs::FileType::Directory => {
+                    if let Ok(entries) = self.fs.readdir(&path) {
+                        for (name, _) in entries {
+                            stack.push(if path == "/" {
+                                format!("/{name}")
+                            } else {
+                                format!("{path}/{name}")
+                            });
+                        }
+                    }
+                }
+                itc_unixfs::FileType::Symlink => {}
+            }
+        }
+    }
+
+    /// Rebuilds the digest tree from scratch by walking the file system.
+    /// The incremental tree must equal this for any operation history —
+    /// the invariant pinned by the Merkle property test.
+    pub fn recompute_merkle(&self) -> VolumeMerkle {
+        let mut m = VolumeMerkle::new();
+        self.for_each_regular(&mut |path, ino| {
+            if let Ok(data) = self.fs.read_ino(ino) {
+                m.set(path, payload_digest(&data));
+            }
+        });
+        m
+    }
+
+    /// Verifies every file's contents against its Merkle leaf — the
+    /// scrubber's core check. Returns all mismatches: a digest that moved
+    /// (bit rot in the data), a leaf without a file, or a file without a
+    /// leaf (rot in the tree's coverage). Empty = clean.
+    pub fn verify_merkle(&self) -> Vec<ScrubFinding> {
+        let mut findings = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        self.for_each_regular(&mut |path, ino| {
+            seen.insert(path.to_string());
+            let found = self.fs.read_ino(ino).map(|d| payload_digest(&d)).ok();
+            let expected = self.merkle.leaf(path);
+            if expected != found {
+                findings.push(ScrubFinding {
+                    path: path.to_string(),
+                    expected,
+                    found,
+                });
+            }
+        });
+        for (path, digest) in self.merkle.leaves() {
+            if !seen.contains(path) {
+                findings.push(ScrubFinding {
+                    path: path.clone(),
+                    expected: Some(*digest),
+                    found: None,
+                });
+            }
+        }
+        findings.sort_by(|a, b| a.path.cmp(&b.path));
+        findings
+    }
+
+    /// Regular files in path order with their byte sizes — the volume's
+    /// slice of the durable corruption address space, and the scrubber's
+    /// scan plan.
+    pub fn regular_files(&self) -> Vec<(String, u64)> {
+        let mut files = Vec::new();
+        self.for_each_regular(&mut |path, ino| {
+            if let Some(a) = self.fs.attr_of(ino) {
+                files.push((path.to_string(), a.size));
+            }
+        });
+        files.sort();
+        files
+    }
+
+    /// Flips one byte of a file's stored contents in place, bypassing the
+    /// read-only/offline gates (damage does not ask permission) and
+    /// leaving mtime/version untouched — silent corruption by
+    /// construction. Returns false when the path has no such byte.
+    pub fn damage_file_byte(&mut self, internal: &str, offset: u64, mask: u8) -> bool {
+        let ino = match self.fs.lstat(internal) {
+            Ok(a) if a.ftype == itc_unixfs::FileType::Regular => a.ino,
+            _ => return false,
+        };
+        self.fs.damage_byte(ino, offset, mask).is_ok()
+    }
+
+    /// XORs `mask` into the stored Merkle leaf for `internal` — bit rot in
+    /// the digest table itself. Returns false when no leaf exists.
+    pub fn damage_merkle_leaf(&mut self, internal: &str, mask: u64) -> bool {
+        match self.merkle.leaf(internal) {
+            Some(old) => {
+                self.merkle.set(internal, old ^ mask);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Restores a file's committed bytes (the repair path) without
+    /// touching mtime or version: logically the file never changed.
+    /// Returns false when the path is not a regular file.
+    pub fn restore_file(&mut self, internal: &str, data: Vec<u8>) -> bool {
+        let ino = match self.fs.lstat(internal) {
+            Ok(a) if a.ftype == itc_unixfs::FileType::Regular => a.ino,
+            _ => return false,
+        };
+        self.fs.restore_data(ino, data).is_ok()
     }
 
     // ----------------------------------------------------------------

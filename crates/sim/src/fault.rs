@@ -67,6 +67,8 @@ pub struct FaultStats {
     pub replies_duplicated: u64,
     /// Messages delivered late.
     pub delays_injected: u64,
+    /// Silent byte-flips injected into durable storage.
+    pub corruptions_injected: u64,
 }
 
 impl FaultStats {
@@ -85,6 +87,7 @@ impl FaultStats {
         self.replies_dropped += other.replies_dropped;
         self.replies_duplicated += other.replies_duplicated;
         self.delays_injected += other.delays_injected;
+        self.corruptions_injected += other.corruptions_injected;
     }
 }
 
@@ -105,6 +108,7 @@ pub struct FaultPlan {
     scripted: Vec<(u32, VecDeque<ScriptedFault>)>,
     crashes: VecDeque<(SimTime, u32)>,
     restarts: VecDeque<(SimTime, u32)>,
+    corruptions: VecDeque<(SimTime, u32)>,
     stats: FaultStats,
 }
 
@@ -123,6 +127,7 @@ impl FaultPlan {
             scripted: Vec::new(),
             crashes: VecDeque::new(),
             restarts: VecDeque::new(),
+            corruptions: VecDeque::new(),
             stats: FaultStats::default(),
         }
     }
@@ -175,6 +180,14 @@ impl FaultPlan {
         Self::insert_sorted(&mut self.restarts, server, at);
     }
 
+    /// Schedules a silent byte-flip against `server`'s durable storage at
+    /// virtual time `at`. When the event fires, the owner calls
+    /// [`FaultPlan::flip_bytes`] with the extent of the server's durable
+    /// address space to pick the damaged byte.
+    pub fn schedule_corruption(&mut self, server: u32, at: SimTime) {
+        Self::insert_sorted(&mut self.corruptions, server, at);
+    }
+
     /// Crash events due at or before `now`, drained from the schedule.
     pub fn due_crashes(&mut self, now: SimTime) -> Vec<u32> {
         Self::drain_due(&mut self.crashes, now)
@@ -197,6 +210,12 @@ impl FaultPlan {
     /// order.
     pub fn restart_schedule(&self) -> Vec<(u32, SimTime)> {
         self.restarts.iter().map(|&(at, s)| (s, at)).collect()
+    }
+
+    /// Every corruption injection still scheduled, as `(server, at)` pairs
+    /// in firing order.
+    pub fn corruption_schedule(&self) -> Vec<(u32, SimTime)> {
+        self.corruptions.iter().map(|&(at, s)| (s, at)).collect()
     }
 
     /// Keeps a schedule sorted by `(at, server)` on insertion, so the due
@@ -224,6 +243,29 @@ impl FaultPlan {
     /// plans as globally coupling.
     pub fn has_crashes(&self) -> bool {
         !self.crashes.is_empty()
+    }
+
+    /// Whether the plan schedules any silent corruption. Unlike crashes,
+    /// corruption events touch only the victim server's own durable state
+    /// and calendar, so a pure-corruption plan does **not** globally couple
+    /// a parallel run.
+    pub fn has_corruptions(&self) -> bool {
+        !self.corruptions.is_empty()
+    }
+
+    /// Whether the plan carries any fault that couples clusters beyond the
+    /// victim's own: message-fault probabilities, scripted message faults,
+    /// or crash/restart schedules. Corruption-only plans return `false`,
+    /// which is what lets parallel executors keep per-cluster masks narrow
+    /// while an integrity fault plan is installed.
+    pub fn couples_clusters(&self) -> bool {
+        self.drop_request > 0.0
+            || self.drop_reply > 0.0
+            || self.duplicate_reply > 0.0
+            || self.delay_prob > 0.0
+            || !self.scripted.is_empty()
+            || !self.crashes.is_empty()
+            || !self.restarts.is_empty()
     }
 
     /// Splits the plan into one independent sub-plan per shard (cluster),
@@ -255,6 +297,7 @@ impl FaultPlan {
                     scripted: Vec::new(),
                     crashes: VecDeque::new(),
                     restarts: VecDeque::new(),
+                    corruptions: VecDeque::new(),
                     stats: FaultStats::default(),
                 }
             })
@@ -274,6 +317,11 @@ impl FaultPlan {
                 .restarts
                 .push_back((at, server));
         }
+        for (at, server) in self.corruptions {
+            out[shard_of(server).min(shards - 1)]
+                .corruptions
+                .push_back((at, server));
+        }
         out
     }
 
@@ -288,6 +336,23 @@ impl FaultPlan {
             return 0;
         }
         self.rng.range(0, unsynced + 1)
+    }
+
+    /// Picks the silent-corruption target for a durable address space of
+    /// `extent` bytes: the damaged offset and a non-zero XOR mask to apply
+    /// to the byte there (non-zero so the flip always changes the stored
+    /// value). With an empty extent the answer is `None` and **no random
+    /// draw is made**, so plans without corruption events — and corruption
+    /// events firing against an empty disk — consume exactly the rng
+    /// stream they did before the integrity subsystem existed.
+    pub fn flip_bytes(&mut self, extent: u64) -> Option<(u64, u8)> {
+        if extent == 0 {
+            return None;
+        }
+        let offset = self.rng.range(0, extent);
+        let mask = self.rng.range(1, 256) as u8;
+        self.stats.corruptions_injected += 1;
+        Some((offset, mask))
     }
 
     fn pop_scripted(
@@ -391,6 +456,7 @@ impl FaultPlan {
             scripted,
             crashes,
             restarts,
+            corruptions,
             stats,
         } = other;
         if drop_request > 0.0 {
@@ -417,10 +483,10 @@ impl FaultPlan {
         for (at, server) in restarts {
             Self::insert_sorted(&mut self.restarts, server, at);
         }
-        self.stats.requests_dropped += stats.requests_dropped;
-        self.stats.replies_dropped += stats.replies_dropped;
-        self.stats.replies_duplicated += stats.replies_duplicated;
-        self.stats.delays_injected += stats.delays_injected;
+        for (at, server) in corruptions {
+            Self::insert_sorted(&mut self.corruptions, server, at);
+        }
+        self.stats.merge(&stats);
     }
 
     /// Counters of faults injected so far.

@@ -57,8 +57,15 @@ pub enum EventClass {
     /// traffic, so a request due at the completion instant sees the volume
     /// online).
     Salvage,
+    /// Silent-corruption injections from a fault plan (before traffic, so
+    /// a request due at the same instant observes the damaged bytes —
+    /// corruption "happened on the platter" before the request was served).
+    Corrupt,
     /// Ordinary message/service/timeout events.
     Normal,
+    /// Background scrubber passes (after all traffic due at the same
+    /// instant: the scrubber only ever uses idle disk time).
+    Scrub,
 }
 
 /// Counters describing everything the scheduler has done.
@@ -179,6 +186,28 @@ impl<E> Scheduler<E> {
             at,
             class,
             tie,
+            seq,
+            id: seq,
+        });
+        self.live.insert(seq, (at, ev));
+        self.stats.scheduled += 1;
+        self.stats.high_water = self.stats.high_water.max(self.live.len());
+        seq
+    }
+
+    /// Schedules `ev` at `at` in an explicit class **without consuming a
+    /// tie-break draw**: the tie is pinned to zero and insertion order is
+    /// the only same-key discriminator. Background machinery (scrubber
+    /// passes, corruption injections) schedules through this so that
+    /// enabling it never perturbs the seeded tie sequence of ordinary
+    /// traffic — golden timings stay bit-identical.
+    pub fn schedule_class_untied(&mut self, at: SimTime, class: EventClass, ev: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(EventKey {
+            at,
+            class,
+            tie: 0,
             seq,
             id: seq,
         });

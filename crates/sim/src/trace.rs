@@ -83,6 +83,11 @@ pub enum SpanClass {
     Salvage,
     /// A callback break reached its target workstation.
     BreakDeliver,
+    /// A scheduled silent-corruption injection fired against a server's
+    /// durable storage.
+    Corrupt,
+    /// A background scrubber pass over one volume completed.
+    Scrub,
 }
 
 impl SpanClass {
@@ -100,6 +105,8 @@ impl SpanClass {
             SpanClass::Restart => "restart",
             SpanClass::Salvage => "salvage",
             SpanClass::BreakDeliver => "break_deliver",
+            SpanClass::Corrupt => "corrupt",
+            SpanClass::Scrub => "scrub",
         }
     }
 }
@@ -153,6 +160,9 @@ pub enum AnomalyReason {
     /// A resource's one-minute utilization bucket met the peak threshold.
     /// The payload is the utilization in percent, rounded down.
     UtilizationPeak(u8),
+    /// Stored bytes failed their digest check (journal trailer or Merkle
+    /// leaf) and could not be repaired from a replica.
+    IntegrityFault,
 }
 
 impl AnomalyReason {
@@ -164,6 +174,7 @@ impl AnomalyReason {
             AnomalyReason::VolumeOffline => "volume_offline",
             AnomalyReason::Degraded => "degraded",
             AnomalyReason::UtilizationPeak(_) => "utilization_peak",
+            AnomalyReason::IntegrityFault => "integrity_fault",
         }
     }
 }

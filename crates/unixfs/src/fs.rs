@@ -398,6 +398,50 @@ impl FileSystem {
         }
     }
 
+    /// Flips one byte of a regular file's contents in place *without*
+    /// touching mtime, version, or byte accounting. This models platter
+    /// damage, not a write: the file's metadata still claims the committed
+    /// contents, which is exactly what makes the corruption silent.
+    pub fn damage_byte(&mut self, ino: Ino, offset: u64, mask: u8) -> Result<(), FsError> {
+        let n = self
+            .inodes
+            .get_mut(&ino.0)
+            .ok_or_else(|| FsError::NotFound(format!("ino {}", ino.0)))?;
+        match &mut n.data {
+            NodeData::Regular(bytes) => {
+                let b = bytes
+                    .get_mut(offset as usize)
+                    .ok_or_else(|| FsError::NotFound(format!("ino {} byte {offset}", ino.0)))?;
+                *b ^= mask;
+                Ok(())
+            }
+            _ => Err(FsError::IsADirectory(format!("ino {}", ino.0))),
+        }
+    }
+
+    /// Replaces a regular file's contents *without* touching mtime or
+    /// version — the repair path restoring the committed bytes a damaged
+    /// replica was supposed to hold. Logically the file never changed, so
+    /// its metadata must not either (a version bump would invalidate
+    /// workstation cache entries that are in fact still valid).
+    pub fn restore_data(&mut self, ino: Ino, data: Vec<u8>) -> Result<(), FsError> {
+        let n = self
+            .inodes
+            .get_mut(&ino.0)
+            .ok_or_else(|| FsError::NotFound(format!("ino {}", ino.0)))?;
+        match &mut n.data {
+            NodeData::Regular(old) => {
+                let old_len = old.len() as u64;
+                let new_len = data.len() as u64;
+                *old = data;
+                n.attr.size = new_len;
+                self.data_bytes = self.data_bytes - old_len + new_len;
+                Ok(())
+            }
+            _ => Err(FsError::IsADirectory(format!("ino {}", ino.0))),
+        }
+    }
+
     /// Removes a file or symlink.
     pub fn unlink(&mut self, path: &str, now: u64) -> Result<(), FsError> {
         let (parent, name) = self.resolve_parent(path)?;

@@ -197,7 +197,10 @@ pub fn run_day_drivers(
     }
     let n_clusters = sys.server_count();
     let all = ClusterMask::all(n_clusters);
-    let serialized = sys.faults_installed();
+    // Only cluster-coupling faults (message faults, crashes, restarts)
+    // force full masks; a corruption-only plan and the scrubber are both
+    // cluster-local, so those runs keep narrow masks and stay parallel.
+    let serialized = sys.faults_couple_clusters();
     let drivers = sessions
         .into_iter()
         .map(|s| {

@@ -38,7 +38,8 @@ pub use andrew::{AndrewBenchmark, BenchmarkReport, PhaseTimes, TreeLocation};
 pub use day::{run_day_drivers, DayConfig, DayReport};
 pub use driver::{ScriptDriver, SessionDriver, WsCalls};
 pub use scenario::{
-    CallbackStormConfig, LoginStormConfig, ReleasePushConfig, ScenarioReport, ThunderingHerdConfig,
+    CallbackStormConfig, CorruptionStormConfig, LoginStormConfig, ReleasePushConfig,
+    ScenarioReport, ThunderingHerdConfig,
 };
 pub use sizes::{FileClass, FileSizeModel};
 pub use tree::{SourceTree, TreeSpec};

@@ -29,11 +29,13 @@
 //! EXPERIMENTS.md tables.
 
 pub mod callback_storm;
+pub mod corruption_storm;
 pub mod login_storm;
 pub mod release_push;
 pub mod thundering_herd;
 
 pub use callback_storm::CallbackStormConfig;
+pub use corruption_storm::CorruptionStormConfig;
 pub use login_storm::LoginStormConfig;
 pub use release_push::ReleasePushConfig;
 pub use thundering_herd::ThunderingHerdConfig;
