@@ -36,6 +36,9 @@ cargo test -q --offline --test scenarios
 echo "== integrity suite (Merkle property, exhaustive corruption sweep, scrub golden, offline) =="
 cargo test -q --offline --test integrity
 
+echo "== observability suite (series round-trips, health verdicts, console golden, offline) =="
+cargo test -q --offline --test obs
+
 echo "== bench smoke (schema + deterministic-metric gate vs BENCH_pr5.json) =="
 cargo run -q -p itc-bench --release --offline --bin bench -- --smoke
 
@@ -49,6 +52,16 @@ cargo run -q -p itc-bench --release --offline --bin bench -- scrub --smoke | gre
 diff "$SCRUB_TMP/a" "$SCRUB_TMP/b"
 rm -rf "$SCRUB_TMP"
 
+echo "== vice-top smoke (deterministic series metrics + health verdicts vs BENCH_pr10.json) =="
+cargo run -q -p itc-bench --release --offline --bin bench -- top --smoke
+
+echo "== series-export determinism (same seed => byte-identical series JSONL) =="
+TOP_TMP=$(mktemp -d)
+cargo run -q -p itc-bench --release --offline --bin bench -- top --export "$TOP_TMP/a" > /dev/null
+cargo run -q -p itc-bench --release --offline --bin bench -- top --export "$TOP_TMP/b" > /dev/null
+diff -r "$TOP_TMP/a" "$TOP_TMP/b"
+rm -rf "$TOP_TMP"
+
 echo "== parallel determinism (sequential vs --parallel 4, byte-identical) =="
 PDES_TMP=$(mktemp -d)
 cargo run -q -p itc-bench --release --offline --bin pdes -- day --out "$PDES_TMP/day_seq.jsonl"
@@ -57,6 +70,9 @@ diff "$PDES_TMP/day_seq.jsonl" "$PDES_TMP/day_par.jsonl"
 cargo run -q -p itc-bench --release --offline --bin pdes -- login --out "$PDES_TMP/login_seq.jsonl"
 cargo run -q -p itc-bench --release --offline --bin pdes -- login --parallel 4 --out "$PDES_TMP/login_par.jsonl"
 diff "$PDES_TMP/login_seq.jsonl" "$PDES_TMP/login_par.jsonl"
+cargo run -q -p itc-bench --release --offline --bin pdes -- series --out "$PDES_TMP/series_seq.jsonl"
+cargo run -q -p itc-bench --release --offline --bin pdes -- series --parallel 4 --out "$PDES_TMP/series_par.jsonl"
+diff "$PDES_TMP/series_seq.jsonl" "$PDES_TMP/series_par.jsonl"
 rm -rf "$PDES_TMP"
 
 echo "== pdes bench smoke (identity + BENCH_pr7.json schema) =="

@@ -10,6 +10,10 @@
 //!   byte-for-byte.
 //! * `login [--parallel N] [--out FILE]` — run the four-cluster login
 //!   storm the same way and emit the scenario report's canonical JSONL.
+//! * `series [--parallel N] [--out FILE]` — run the login storm and emit
+//!   the deterministic metrics time-series export (DESIGN.md §15). CI
+//!   diffs sequential vs `--parallel 4`: the observability layer samples
+//!   at event boundaries only, so the series must not see the schedule.
 //! * `bench [--smoke] [--out FILE]` — the four-cluster macro storm,
 //!   executed sequentially and at 1/2/4/8 worker threads, asserting
 //!   bit-identical fingerprints throughout and writing wall-clock
@@ -110,6 +114,17 @@ fn gate_login(threads: usize) -> String {
     let cfg = LoginStormConfig::parallel();
     let (_, report) = login_storm::run_mode(&cfg, mode_of(threads)).expect("login storm runs");
     report.jsonl()
+}
+
+/// The observability gate: the same four-cluster login storm, but the
+/// fingerprint is the full metrics time-series export (per-server,
+/// per-volume, and per-cluster minute buckets plus health events). Every
+/// sample is taken observation-only at event boundaries, so the export
+/// must be byte-identical between sequential and parallel schedules.
+fn gate_series(threads: usize) -> String {
+    let cfg = LoginStormConfig::parallel();
+    let (sys, _) = login_storm::run_mode(&cfg, mode_of(threads)).expect("login storm runs");
+    sys.render_series_export()
 }
 
 // ---------------------------------------------------------------------
@@ -383,6 +398,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("day") => emit(parse_out(&args), &gate_day(parse_threads(&args))),
         Some("login") => emit(parse_out(&args), &gate_login(parse_threads(&args))),
+        Some("series") => emit(parse_out(&args), &gate_series(parse_threads(&args))),
         Some("bench") if args.iter().any(|a| a == "--smoke") => match smoke_gate() {
             Ok(()) => println!("pdes smoke gate: ok"),
             Err(e) => {
@@ -402,7 +418,7 @@ fn main() {
             );
         }
         _ => {
-            eprintln!("usage: pdes <day|login|bench> [--parallel N] [--smoke] [--out FILE]");
+            eprintln!("usage: pdes <day|login|series|bench> [--parallel N] [--smoke] [--out FILE]");
             std::process::exit(2);
         }
     }

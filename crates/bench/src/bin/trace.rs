@@ -20,9 +20,11 @@
 //! ```
 
 use itc_core::config::SystemConfig;
+use itc_core::proto::ServerId;
 use itc_core::system::ItcSystem;
 use itc_core::trace::{
-    parse_span_line, render_attribution_table, render_span_tree, span_field_str, span_field_u64,
+    parse_span_line, render_attribution_table, render_integrity_ledger, render_span_tree,
+    span_field_str, span_field_u64,
 };
 use itc_sim::{FaultPlan, SimTime, Span, TraceId};
 
@@ -149,6 +151,23 @@ fn print_summary(sys: &ItcSystem) {
     for r in &summary.volumes {
         row_fmt(format!("volume{}", r.key), r);
     }
+    println!();
+
+    // How every injected flip was resolved, next to the latency tables —
+    // the same ledger `bench scrub` reports, aggregated across servers.
+    let counters = sys.integrity_counters();
+    let mut scrub = itc_core::disk::ScrubStats::default();
+    for s in 0..sys.server_count() {
+        let st = sys.server_scrub_stats(ServerId(s as u32));
+        scrub.passes += st.passes;
+        scrub.volumes_scanned += st.volumes_scanned;
+        scrub.files_scanned += st.files_scanned;
+        scrub.bytes_scanned += st.bytes_scanned;
+        scrub.mismatches_detected += st.mismatches_detected;
+        scrub.repaired += st.repaired;
+        scrub.offlined += st.offlined;
+    }
+    print!("{}", render_integrity_ledger(&counters, &scrub));
     println!();
 }
 

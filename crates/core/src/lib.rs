@@ -54,6 +54,7 @@ pub mod disk;
 pub mod location;
 pub mod metrics;
 pub mod monitor;
+pub mod obs;
 pub mod protect;
 pub mod proto;
 pub mod server;
@@ -64,6 +65,7 @@ pub mod venus;
 pub mod volume;
 
 pub use config::SystemConfig;
+pub use obs::{ObsCore, ObsLine, ObsSummary};
 pub use proto::{VStatus, ViceError, ViceReply, ViceRequest};
 pub use system::ItcSystem;
 pub use trace::{AttributionRow, AttributionSummary, CallBreakdown};

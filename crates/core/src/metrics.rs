@@ -3,7 +3,7 @@
 
 use crate::trace::AttributionSummary;
 use crate::venus::{CacheStats, VenusStats};
-use itc_sim::{Counter, SimTime, UtilizationReport};
+use itc_sim::{Counter, EventStats, SimTime, UtilizationReport};
 
 /// One server's measurement snapshot.
 #[derive(Debug, Clone)]
@@ -34,6 +34,10 @@ pub struct SystemMetrics {
     /// Latency attribution (per-server and per-volume component rollups),
     /// present when tracing was enabled at snapshot time.
     pub attribution: Option<AttributionSummary>,
+    /// Calendar counters summed across every cluster. `events.cancelled`
+    /// is dominated by retransmission timers stood down by their replies —
+    /// the TimeoutFire churn ROADMAP item 1 wants indexed away.
+    pub events: EventStats,
 }
 
 impl SystemMetrics {

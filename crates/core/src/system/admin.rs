@@ -715,6 +715,36 @@ impl ItcSystem {
         self.core.attribution()
     }
 
+    /// The observability time series, merged across every cluster. Empty
+    /// unless tracing was enabled (sampling rides the tracing switch).
+    pub fn obs_summary(&self) -> crate::obs::ObsSummary {
+        self.core.obs_summary()
+    }
+
+    /// The typed health events the SLO engine recorded, merged across
+    /// clusters, deduplicated, and sorted into a stable timeline.
+    pub fn health_events(&self) -> Vec<itc_sim::HealthEvent> {
+        self.core.health_events()
+    }
+
+    /// The deterministic JSONL series export: every sampled series bucket
+    /// plus every health event, one flat line each, byte-identical across
+    /// same-seed runs and across sequential vs. parallel execution.
+    pub fn render_series_export(&self) -> String {
+        self.core
+            .obs_summary()
+            .render_jsonl(&self.core.health_events())
+    }
+
+    /// Writes the series export under `dir` (created if absent) as
+    /// `series.jsonl`; returns the path written.
+    pub fn export_series(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("series.jsonl");
+        std::fs::write(&path, self.render_series_export())?;
+        Ok(path)
+    }
+
     /// Renders every frozen anomaly dump as `(file name, JSONL text)`, in
     /// cluster order. Dumps contain only virtual-time observables, so the
     /// rendering is byte-identical across same-seed runs.
@@ -782,6 +812,7 @@ impl ItcSystem {
             attribution: self
                 .tracing_enabled()
                 .then(|| self.core.attribution().summary()),
+            events: self.core.event_stats(),
         }
     }
 }

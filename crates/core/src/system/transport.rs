@@ -56,6 +56,7 @@
 
 use crate::disk::{CorruptionOutcome, FlipRegion, ScrubFinding};
 use crate::monitor::TrafficMonitor;
+use crate::obs::{ObsCore, ObsSummary};
 use crate::protect::ProtectionDomain;
 use crate::proto::payload::payload_digest;
 use crate::proto::{
@@ -73,9 +74,10 @@ use itc_rpc::{
 use itc_sim::resource::BUCKET_WIDTH;
 use itc_sim::{
     AnomalyReason, Clock, EventClass, EventId, EventKey, EventStats, FaultPlan, FaultStats, Firing,
-    MessageFault, Scheduler, SimRng, SimTime, Span, SpanClass, TraceCollector, TraceId, TraceStats,
+    HealthEvent, MessageFault, Scheduler, SimRng, SimTime, Span, SpanClass, TraceCollector,
+    TraceId, TraceStats,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::RwLock;
 
 /// A callback break that has been popped from a calendar but not yet
@@ -179,6 +181,10 @@ pub(crate) struct ClusterCore {
     /// Latency-attribution aggregates over completed traced calls issued
     /// from this cluster.
     pub attr: AttributionAgg,
+    /// Fixed-interval time series and health-engine state for activity
+    /// anchored at this cluster. Sampled only while tracing is enabled;
+    /// observation-only, like the collector.
+    pub obs: ObsCore,
 }
 
 impl ClusterCore {
@@ -207,6 +213,7 @@ impl ClusterCore {
             break_ids: Vec::new(),
             trace,
             attr: AttributionAgg::new(),
+            obs: ObsCore::new(),
         }
     }
 }
@@ -362,6 +369,34 @@ impl EventCore {
             total.merge(&c.attr);
         }
         total
+    }
+
+    /// Observability series merged across every cluster, in cluster order.
+    /// Per-bucket folds are commutative, so the result is identical
+    /// whichever execution mode filled the cores.
+    pub fn obs_summary(&self) -> ObsSummary {
+        let mut total = ObsSummary::default();
+        for (cluster, c) in self.clusters.iter().enumerate() {
+            total.merge_cluster(cluster as u32, &c.obs);
+        }
+        total
+    }
+
+    /// Health events merged across every cluster, deduplicated on
+    /// `(rule, server, bucket)` keeping the first in cluster order, then
+    /// sorted on `(at, bucket, rule, server)` for a stable timeline.
+    pub fn health_events(&self) -> Vec<HealthEvent> {
+        let mut seen: HashSet<(u8, u32, u64)> = HashSet::new();
+        let mut out = Vec::new();
+        for c in &self.clusters {
+            for ev in c.trace.health_events() {
+                if seen.insert((ev.rule.tag(), ev.server, ev.bucket)) {
+                    out.push(*ev);
+                }
+            }
+        }
+        out.sort_by_key(|ev| (ev.at, ev.bucket, ev.rule.tag(), ev.server));
+        out
     }
 }
 
@@ -772,8 +807,8 @@ impl SystemTransport<'_> {
                 // again before the salvager finished — is simply dropped;
                 // the next restart schedules fresh passes.
                 if gen == self.plan_gen && srv.is_online() && srv.epoch() == epoch {
-                    let report = srv.salvage_volume(volume);
-                    if report.is_some_and(|r| r.records_rejected > 0) {
+                    let rejected = srv.salvage_volume(volume).map_or(0, |r| r.records_rejected);
+                    if rejected > 0 {
                         // The salvager's trailer verification caught flipped
                         // journal bytes: those corruption events are now
                         // detected (the damaged suffix never replays).
@@ -791,6 +826,14 @@ impl SystemTransport<'_> {
                         None,
                         Some(volume.0),
                     );
+                    if self.tracing && rejected > 0 {
+                        let cl = self.cores.get_mut(cluster);
+                        if let Some(ev) =
+                            cl.obs.on_integrity(server, Some(volume.0), at, 0, rejected)
+                        {
+                            cl.trace.record_health(ev);
+                        }
+                    }
                 }
             }
             NetEvent::BreakDeliver { to_ws, paths } => {
@@ -850,6 +893,18 @@ impl SystemTransport<'_> {
                                     self.repair_or_offline(at, server, vid, finding);
                                 }
                                 self.drain_integrity_anomalies(cluster, at, server);
+                                if self.tracing {
+                                    // Scrub-progress gauges: the pass's
+                                    // cumulative counters, sampled at the
+                                    // pass boundary.
+                                    let st = self.servers.get(sid).scrub_stats();
+                                    self.cores.get_mut(cluster).obs.on_scrub(
+                                        server,
+                                        at,
+                                        st.files_scanned,
+                                        st.bytes_scanned,
+                                    );
+                                }
                                 self.life_span(
                                     cluster,
                                     SpanClass::Scrub,
@@ -946,7 +1001,7 @@ impl SystemTransport<'_> {
             return;
         }
         let cl = self.cores.get_mut(cluster);
-        for (vid, _path) in events {
+        for (vid, _path) in &events {
             cl.trace.freeze(
                 AnomalyReason::IntegrityFault,
                 at,
@@ -954,6 +1009,16 @@ impl SystemTransport<'_> {
                 Some(vid.0),
                 TraceId::NONE,
             );
+        }
+        // Integrity burn: each drained event is a volume the verifiers
+        // took offline — losses the health engine must surface.
+        if let Some((vid, _)) = events.first() {
+            if let Some(ev) = cl
+                .obs
+                .on_integrity(server, Some(vid.0), at, events.len() as u64, 0)
+            {
+                cl.trace.record_health(ev);
+            }
         }
     }
 
@@ -1074,6 +1139,15 @@ impl SystemTransport<'_> {
                     return Ok(());
                 }
                 self.call_span(call.trace, call, SpanClass::TimeoutFire, at, None);
+                if self.tracing {
+                    // A genuine expiry (not a stood-down stale timer):
+                    // count it against the unresponsive server and feed
+                    // the retry-rate rule.
+                    let cl = self.cores.get_mut(cc);
+                    if let Some(ev) = cl.obs.on_timeout(server.0, call.volume, at) {
+                        cl.trace.record_health(ev);
+                    }
+                }
                 if call.attempt >= self.retry.max_attempts {
                     self.cores.get_mut(cc).call_stats.failures += 1;
                     self.clock.advance_to(at);
@@ -1121,6 +1195,14 @@ impl SystemTransport<'_> {
                     Some(depth),
                 );
                 call.parts.req_net = at - call.attempt_start;
+                if self.tracing {
+                    // Queue-depth gauge, sampled from the same observation
+                    // the span just recorded.
+                    self.cores
+                        .get_mut(sid)
+                        .obs
+                        .on_queue_depth(server.0, at, u64::from(depth));
+                }
                 self.servers.get_mut(sid).enqueue_request(QueuedRequest {
                     user: auth_user,
                     from: call.ws,
@@ -1186,6 +1268,15 @@ impl SystemTransport<'_> {
                 // A fetch-time digest check may have taken a volume offline
                 // mid-handle; surface its integrity anomaly now.
                 self.drain_integrity_anomalies(sid, at, server.0);
+                if self.tracing {
+                    // Journal-lag gauge: the unsynced tail as it stands
+                    // right before the write-ahead force below.
+                    let lag = self.servers.get(sid).unsynced_journal_bytes();
+                    self.cores
+                        .get_mut(sid)
+                        .obs
+                        .on_journal_lag(server.0, at, lag);
+                }
                 // Write-ahead discipline: the journal is forced to disk
                 // before the reply can leave (whatever its network fate),
                 // so no acknowledged mutation can be lost to a torn tail.
@@ -1296,15 +1387,24 @@ impl SystemTransport<'_> {
                                 let res = if tag == 0 { srv.cpu() } else { srv.disk() };
                                 res.bucket_utilization(probe)
                             };
+                            let pct = ((util * 100.0) as u64).min(100) as u8;
+                            // Utilization gauges feed the series and the
+                            // sustained-utilization rule at every probe;
+                            // the flight recorder only cares about peaks.
+                            let cl = self.cores.get_mut(sid);
+                            if let Some(ev) = cl.obs.on_utilization(server.0, tag, bucket, pct, at)
+                            {
+                                cl.trace.record_health(ev);
+                            }
                             if util >= 0.98 {
-                                let pct = ((util * 100.0) as u64).min(100) as u8;
-                                self.cores
-                                    .get_mut(sid)
-                                    .trace
-                                    .report_peak(server.0, tag, bucket, pct, at);
+                                cl.trace.report_peak(server.0, tag, bucket, pct, at);
                             }
                         }
                     }
+                    // Engine-churn gauge: the server cluster's calendar
+                    // counters as of this event boundary.
+                    let stats = self.cores.get(sid).sched.stats();
+                    self.cores.get_mut(sid).obs.on_engine(this_bucket, &stats);
                 }
                 let leg = self
                     .cores
@@ -1360,6 +1460,11 @@ impl SystemTransport<'_> {
                         fault_delay: call.extra,
                     };
                     let cl = self.cores.get_mut(cc);
+                    // Latency/volume series plus tail-latency evaluation
+                    // ride the same breakdown attribution records.
+                    if let Some(ev) = cl.obs.on_complete(&breakdown) {
+                        cl.trace.record_health(ev);
+                    }
                     cl.attr.record(breakdown);
                     // Degraded-mode replies trip the flight recorder: the
                     // server answered, but could not serve normally.

@@ -542,6 +542,44 @@ pub fn render_span_tree(trace: TraceId, spans: &[&Span]) -> String {
     out
 }
 
+/// Renders the end-to-end integrity ledger next to the attribution
+/// tables: how every injected flip was resolved, plus the scrubber's
+/// cumulative progress. The `trace` bin prints this so the corruption
+/// accounting is reachable from the operator tooling, not only from the
+/// disk subsystem's structs.
+pub fn render_integrity_ledger(
+    counters: &crate::disk::IntegrityCounters,
+    scrub: &crate::disk::ScrubStats,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "integrity ledger:");
+    let _ = writeln!(
+        out,
+        "  flips injected {:>6}   detected {:>6}   latent {:>6}",
+        counters.injected,
+        counters.detected(),
+        counters.latent,
+    );
+    let _ = writeln!(
+        out,
+        "  repaired {:>6}   offlined {:>6}   rejected_at_salvage {:>6}   caught_at_fetch {:>6}",
+        counters.repaired,
+        counters.offlined,
+        counters.rejected_at_salvage,
+        counters.caught_at_fetch,
+    );
+    let _ = writeln!(
+        out,
+        "  scrub: passes {:>5}   volumes {:>5}   files {:>7}   bytes {:>12}   mismatches {:>5}",
+        scrub.passes,
+        scrub.volumes_scanned,
+        scrub.files_scanned,
+        scrub.bytes_scanned,
+        scrub.mismatches_detected,
+    );
+    out
+}
+
 /// Renders the four-way attribution table for one completed call.
 pub fn render_attribution_table(b: &CallBreakdown) -> String {
     let total = b.total();

@@ -48,4 +48,7 @@ pub use resource::{Resource, UtilizationReport};
 pub use rng::SimRng;
 pub use sched::{EventClass, EventId, EventKey, EventStats, Firing, Scheduler};
 pub use stats::{Counter, Histogram, Percentiles, RunningStats, TimeBuckets};
-pub use trace::{AnomalyDump, AnomalyReason, Span, SpanClass, TraceCollector, TraceId, TraceStats};
+pub use trace::{
+    AnomalyDump, AnomalyReason, HealthEvent, HealthRuleKind, Span, SpanClass, TraceCollector,
+    TraceId, TraceStats,
+};

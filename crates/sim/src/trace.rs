@@ -188,6 +188,76 @@ impl fmt::Display for AnomalyReason {
     }
 }
 
+/// Which declarative SLO rule fired (the health engine's rule table lives
+/// in the core observability layer; the typed events land here, in the
+/// flight recorder, next to the anomaly dumps they complement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HealthRuleKind {
+    /// One-minute utilization at or above the threshold percentage for a
+    /// window of consecutive buckets.
+    SustainedUtilization,
+    /// A closed bucket's p99 end-to-end latency above the threshold (µs).
+    TailLatency,
+    /// Genuine retransmission-timer expiries in one bucket at or above the
+    /// threshold count.
+    RetryRate,
+    /// Integrity verifiers offlined a volume or rejected journal records
+    /// this bucket.
+    IntegrityBurn,
+}
+
+impl HealthRuleKind {
+    /// Stable lower-case label used in serialized series exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthRuleKind::SustainedUtilization => "sustained_utilization",
+            HealthRuleKind::TailLatency => "tail_latency",
+            HealthRuleKind::RetryRate => "retry_rate",
+            HealthRuleKind::IntegrityBurn => "integrity_burn",
+        }
+    }
+
+    /// Compact tag used in dedup keys.
+    pub fn tag(self) -> u8 {
+        match self {
+            HealthRuleKind::SustainedUtilization => 0,
+            HealthRuleKind::TailLatency => 1,
+            HealthRuleKind::RetryRate => 2,
+            HealthRuleKind::IntegrityBurn => 3,
+        }
+    }
+}
+
+impl fmt::Display for HealthRuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One typed SLO/health event emitted by the health engine's windowed
+/// burn-rate rules. All fields are virtual-time observables, so recorded
+/// events are bit-identical across same-seed runs and across sequential
+/// vs. parallel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthEvent {
+    /// The rule that fired.
+    pub rule: HealthRuleKind,
+    /// The implicated server.
+    pub server: u32,
+    /// The implicated volume, when the rule names one.
+    pub volume: Option<u32>,
+    /// The one-minute bucket whose value breached.
+    pub bucket: u64,
+    /// Virtual time of the observation that completed the breach window.
+    pub at: SimTime,
+    /// The measured value (percent, µs, or count, per the rule).
+    pub value: u64,
+    /// The rule's threshold in the same unit.
+    pub threshold: u64,
+    /// Consecutive breached buckets the rule required.
+    pub window: u32,
+}
+
 /// A frozen snapshot of recent spans around one anomaly.
 #[derive(Debug, Clone)]
 pub struct AnomalyDump {
@@ -259,6 +329,11 @@ pub struct TraceCollector {
     /// bucket-index)` — the recorder fires once per saturated bucket, not
     /// once per call that observes it.
     seen_peaks: HashSet<(u32, u8, u64)>,
+    /// Typed SLO events recorded by the health engine, in detection order.
+    health: Vec<HealthEvent>,
+    /// Health events already recorded, as `(rule-tag, server, bucket)` —
+    /// the deterministic dedup the engine's rules rely on.
+    seen_health: HashSet<(u8, u32, u64)>,
     stats: TraceStats,
 }
 
@@ -292,6 +367,8 @@ impl TraceCollector {
             next_seq: 0,
             dumps: Vec::new(),
             seen_peaks: HashSet::new(),
+            health: Vec::new(),
+            seen_health: HashSet::new(),
             stats: TraceStats::default(),
         }
     }
@@ -416,6 +493,19 @@ impl TraceCollector {
         if !self.enabled || !self.seen_peaks.insert((server, resource_tag, bucket)) {
             return;
         }
+        // One sustained saturation episode can span a bucket edge: the
+        // reply-depart probe examines both the current and the previous
+        // bucket, so adjacent saturated buckets are one episode continuing,
+        // not a new peak. The key is still inserted above, which lets a
+        // long episode extend bucket by bucket while freezing only once; a
+        // gap of at least one unsaturated bucket starts a fresh episode.
+        if bucket > 0
+            && self
+                .seen_peaks
+                .contains(&(server, resource_tag, bucket - 1))
+        {
+            return;
+        }
         self.freeze(
             AnomalyReason::UtilizationPeak(percent),
             at,
@@ -423,6 +513,27 @@ impl TraceCollector {
             None,
             TraceId::NONE,
         );
+    }
+
+    /// Records one typed health event, deduplicated on `(rule, server,
+    /// bucket)` so a rule fires once per breached bucket no matter how
+    /// many observations re-confirm it. Returns whether the event was
+    /// kept. A no-op while disabled.
+    pub fn record_health(&mut self, ev: HealthEvent) -> bool {
+        if !self.enabled
+            || !self
+                .seen_health
+                .insert((ev.rule.tag(), ev.server, ev.bucket))
+        {
+            return false;
+        }
+        self.health.push(ev);
+        true
+    }
+
+    /// The recorded health events, in detection order.
+    pub fn health_events(&self) -> &[HealthEvent] {
+        &self.health
     }
 
     /// The frozen anomaly dumps, in detection order.
@@ -508,19 +619,68 @@ mod tests {
     }
 
     #[test]
-    fn peak_reports_fire_once_per_bucket() {
+    fn peak_reports_fire_once_per_episode() {
         let mut c = TraceCollector::new();
         c.set_enabled(true);
         c.record(span(1, 0, SpanClass::ServiceDispatch, 0));
+        // Re-observations of the same bucket and the adjacent bucket of the
+        // same episode stay silent; only the episode's first bucket fires.
         c.report_peak(0, 1, 7, 99, SimTime::from_mins(7));
         c.report_peak(0, 1, 7, 99, SimTime::from_mins(7));
         c.report_peak(0, 1, 8, 100, SimTime::from_mins(8));
-        assert_eq!(c.dumps().len(), 2);
+        assert_eq!(c.dumps().len(), 1);
         assert_eq!(
             c.dumps()[0].reason,
             AnomalyReason::UtilizationPeak(99),
             "percent rides the reason"
         );
+    }
+
+    #[test]
+    fn peak_spanning_a_bucket_edge_reports_once_but_a_gap_restarts() {
+        let mut c = TraceCollector::new();
+        c.set_enabled(true);
+        c.record(span(1, 0, SpanClass::ServiceDispatch, 0));
+        // A three-bucket episode: each continuation bucket is suppressed
+        // even though the middle report arrives via the previous-bucket
+        // probe of a later call.
+        c.report_peak(0, 0, 3, 98, SimTime::from_mins(3));
+        c.report_peak(0, 0, 4, 99, SimTime::from_mins(4));
+        c.report_peak(0, 0, 5, 100, SimTime::from_mins(5));
+        assert_eq!(c.dumps().len(), 1, "one episode, one dump");
+        // Bucket 7 is separated by an unsaturated bucket 6: new episode.
+        c.report_peak(0, 0, 7, 99, SimTime::from_mins(7));
+        assert_eq!(c.dumps().len(), 2, "a gap starts a fresh episode");
+        // Other servers and the other resource are independent episodes.
+        c.report_peak(1, 0, 4, 99, SimTime::from_mins(4));
+        c.report_peak(0, 1, 4, 99, SimTime::from_mins(4));
+        assert_eq!(c.dumps().len(), 4);
+    }
+
+    #[test]
+    fn health_events_dedup_per_rule_server_bucket() {
+        let mut c = TraceCollector::new();
+        let ev = HealthEvent {
+            rule: HealthRuleKind::RetryRate,
+            server: 2,
+            volume: None,
+            bucket: 5,
+            at: SimTime::from_mins(5),
+            value: 3,
+            threshold: 2,
+            window: 1,
+        };
+        assert!(!c.record_health(ev), "disabled collector records nothing");
+        c.set_enabled(true);
+        assert!(c.record_health(ev));
+        assert!(!c.record_health(ev), "same rule+server+bucket dedups");
+        assert!(c.record_health(HealthEvent {
+            rule: HealthRuleKind::TailLatency,
+            ..ev
+        }));
+        assert!(c.record_health(HealthEvent { bucket: 6, ..ev }));
+        assert_eq!(c.health_events().len(), 3);
+        assert_eq!(c.health_events()[0].rule, HealthRuleKind::RetryRate);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Observability layer: the deterministic metrics time-series, the SLO
+//! health engine, and the vice-top operator console (DESIGN.md §15).
+//!
+//! Everything the observer emits is a pure function of the event
+//! sequence — sampled observation-only at event boundaries, no RNG
+//! draws, no virtual-time cost — so these tests pin outputs exactly:
+//! byte-for-byte series round-trips, an exact console golden, and exact
+//! health verdicts per storm. If a pin trips, the event pipeline's
+//! timing drifted; diagnose with the flight recorder before re-capturing.
+
+use itc_afs::core::config::SystemConfig;
+use itc_afs::core::obs::{parse_obs_line, render_console, render_obs_line};
+use itc_afs::core::system::parallel::RunMode;
+use itc_afs::core::system::ItcSystem;
+use itc_afs::core::ObsLine;
+use itc_afs::sim::{HealthRuleKind, SimTime};
+use itc_workload::day::{run_day_on, DayConfig};
+use itc_workload::scenario::{callback_storm, corruption_storm, login_storm};
+use itc_workload::{CallbackStormConfig, CorruptionStormConfig, LoginStormConfig};
+
+// ---------------------------------------------------------------------
+// No false positives on a healthy campus
+// ---------------------------------------------------------------------
+
+/// A fault-free day — scrubber running, tracing on — produces a full
+/// set of series but not a single health event: every rule's threshold
+/// sits above what a healthy campus does.
+#[test]
+fn fault_free_day_raises_no_health_events() {
+    let day = DayConfig::short();
+    let mut cfg = SystemConfig::prototype(2, 2);
+    cfg.tracing = true;
+    let mut sys = ItcSystem::build(cfg);
+    sys.enable_scrub(SimTime::from_secs(90));
+    let report = run_day_on(&mut sys, &day).expect("day runs");
+    assert!(report.ops > 0);
+
+    let lines = sys.obs_summary().lines(&sys.health_events());
+    assert!(
+        lines.iter().any(|l| matches!(l, ObsLine::Server(_))),
+        "observer recorded no server series on a traced day"
+    );
+    assert!(
+        lines.iter().any(|l| matches!(l, ObsLine::Cluster(_))),
+        "observer recorded no engine series on a traced day"
+    );
+    let health = sys.health_events();
+    assert!(
+        health.is_empty(),
+        "healthy day raised health events: {health:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// The storms the engine must flag
+// ---------------------------------------------------------------------
+
+/// The callback storm's scripted mid-storm brownout times out one
+/// reader's refetch (four dropped attempts); the retry-rate rule flags
+/// the timeout churn, and the break fan-out's queueing pushes the p99 of
+/// a closed minute over the tail-latency threshold. Exactly these two
+/// verdicts — adjacent breached minutes coalesce into one event each.
+#[test]
+fn callback_storm_brownout_is_flagged() {
+    let (sys, _) = callback_storm::run(&CallbackStormConfig::small()).expect("storm runs");
+    let health = sys.health_events();
+    assert!(
+        health
+            .iter()
+            .any(|e| e.rule == HealthRuleKind::RetryRate && e.server == 0),
+        "brownout timeout churn not flagged: {health:?}"
+    );
+    assert!(
+        health.iter().any(|e| e.rule == HealthRuleKind::TailLatency),
+        "storm tail latency not flagged: {health:?}"
+    );
+    assert_eq!(health.len(), 2, "unexpected extra verdicts: {health:?}");
+}
+
+/// The corruption storm's scrub passes detect unrepairable flips and
+/// offline the victim volumes; the integrity-burn rule turns each
+/// detection bucket into a verdict. Nothing else fires — corruption does
+/// not masquerade as a latency or retry problem.
+#[test]
+fn corruption_storm_offlining_is_flagged() {
+    let (sys, _) = corruption_storm::run(&CorruptionStormConfig::small()).expect("storm runs");
+    let health = sys.health_events();
+    assert!(
+        health
+            .iter()
+            .any(|e| e.rule == HealthRuleKind::IntegrityBurn),
+        "volume offlining not flagged: {health:?}"
+    );
+    assert!(
+        health
+            .iter()
+            .all(|e| e.rule == HealthRuleKind::IntegrityBurn),
+        "corruption storm raised non-integrity verdicts: {health:?}"
+    );
+    assert_eq!(health.len(), 2, "one verdict per detection bucket");
+}
+
+// ---------------------------------------------------------------------
+// Satellite: cancelled-TimeoutFire churn through SystemMetrics
+// ---------------------------------------------------------------------
+
+/// Every acknowledged RPC arms a retransmission timer that its reply
+/// then stands down; `SystemMetrics::events.cancelled` counts exactly
+/// that churn. The login storm's value is pinned — the calendar-index
+/// work (ROADMAP item 1) must change `high_water`, not this count.
+#[test]
+fn login_storm_cancelled_timer_churn_is_pinned() {
+    let (sys, _) = login_storm::run(&LoginStormConfig::small()).expect("storm runs");
+    let m = sys.metrics();
+    assert!(m.events.cancelled > 0, "no timers were ever stood down");
+    assert!(m.events.executed + m.events.cancelled <= m.events.scheduled);
+    assert_eq!(m.events.cancelled, 117, "cancelled-timer churn drifted");
+}
+
+// ---------------------------------------------------------------------
+// Series export: round-trips, disk, schedule-independence
+// ---------------------------------------------------------------------
+
+/// The JSONL export parses back line-for-line into the same typed
+/// records, re-renders to identical bytes, and the offline console over
+/// the parsed lines matches the live console — the `bench top FILE`
+/// re-renderer needs no simulator state.
+#[test]
+fn series_export_round_trips_through_the_offline_renderer() {
+    let (sys, _) = callback_storm::run(&CallbackStormConfig::small()).expect("storm runs");
+    let text = sys.render_series_export();
+    assert!(!text.is_empty());
+
+    let lines: Vec<ObsLine> = text
+        .lines()
+        .map(|l| parse_obs_line(l).unwrap_or_else(|| panic!("unparseable line: {l}")))
+        .collect();
+    let rerendered: String = lines
+        .iter()
+        .map(|l| format!("{}\n", render_obs_line(l)))
+        .collect();
+    assert_eq!(text, rerendered, "render -> parse -> render must be exact");
+
+    let live = render_console(&sys.obs_summary().lines(&sys.health_events()));
+    assert_eq!(render_console(&lines), live);
+
+    // Export to disk and read back: same bytes (mirrors the anomaly-dump
+    // round-trip; CI also diffs two exports of separate processes).
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("obs_export");
+    let path = sys.export_series(&dir).expect("export");
+    assert_eq!(path.file_name().unwrap(), "series.jsonl");
+    assert_eq!(std::fs::read_to_string(path).expect("read back"), text);
+}
+
+/// The observer must not see the parallel schedule: the full series
+/// export of the four-cluster login storm is byte-identical between the
+/// sequential and 4-worker runs (the same gate ci.sh drives through
+/// `pdes series`).
+#[test]
+fn series_export_is_schedule_independent() {
+    let cfg = LoginStormConfig::parallel();
+    let (seq, _) = login_storm::run_mode(&cfg, RunMode::Sequential).expect("storm runs");
+    let (par, _) = login_storm::run_mode(&cfg, RunMode::Parallel(4)).expect("storm runs");
+    assert_eq!(
+        seq.render_series_export(),
+        par.render_series_export(),
+        "series export diverged between schedules"
+    );
+}
+
+// ---------------------------------------------------------------------
+// The console golden
+// ---------------------------------------------------------------------
+
+/// The vice-top console over the callback storm, pinned byte-for-byte
+/// (the same output `bench top` prints). The golden shows the storm's
+/// whole arc: the warm-up minute, the break fan-out driving the p99 and
+/// cancel columns up, and the two health verdicts at the bottom.
+#[test]
+fn vice_top_console_is_golden_pinned() {
+    let (sys, _) = callback_storm::run(&CallbackStormConfig::small()).expect("storm runs");
+    let console = render_console(&sys.obs_summary().lines(&sys.health_events()));
+    let golden = include_str!("data/vice_top_callback_small.txt");
+    assert_eq!(console, golden, "vice-top console drifted from the golden");
+}
+
+// ---------------------------------------------------------------------
+// Observation-only: tracing off means no series, same timings
+// ---------------------------------------------------------------------
+
+/// With tracing off the observer is never consulted: no series, no
+/// health events, and (checked exhaustively by the golden-timing suite)
+/// the same virtual timeline. The operator pays for vice-top only when
+/// the flight recorder is already on.
+#[test]
+fn observer_is_silent_with_tracing_off() {
+    let day = DayConfig::short();
+    let mut sys = ItcSystem::build(SystemConfig::prototype(2, 2));
+    let _ = run_day_on(&mut sys, &day).expect("day runs");
+    assert!(sys.obs_summary().lines(&[]).is_empty());
+    assert!(sys.health_events().is_empty());
+}
